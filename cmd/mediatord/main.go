@@ -1,0 +1,180 @@
+// Command mediatord serves the bookstore mediator of Examples 1–2 over
+// HTTP: it accepts constraint queries in the mediator vocabulary,
+// translates them for each integrated source (Amazon and Clbooks),
+// executes them against an in-memory catalog, filters false positives, and
+// returns JSON.
+//
+// Endpoints:
+//
+//	GET /translate?q=<query>      per-source translations and the filter
+//	GET /query?q=<query>          mediated answers from the catalog
+//	GET /sources                  the integrated sources and their rules
+//	GET /healthz                  liveness
+//
+// Example:
+//
+//	mediatord -addr :8080 &
+//	curl 'localhost:8080/translate?q=[ln = "Clancy"] and [fn = "Tom"]'
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/mediator"
+	"repro/internal/qparse"
+	"repro/internal/qtree"
+	"repro/internal/rules"
+	"repro/internal/sources"
+)
+
+type server struct {
+	med     *mediator.Mediator
+	catalog *engine.Relation
+	data    map[string]*engine.Relation
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	nBooks := flag.Int("books", 500, "synthetic catalog size")
+	seed := flag.Int64("seed", 1999, "catalog generator seed")
+	flag.Parse()
+
+	s := newServer(*seed, *nBooks)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /translate", s.handleTranslate)
+	mux.HandleFunc("GET /query", s.handleQuery)
+	mux.HandleFunc("GET /sources", s.handleSources)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+	log.Printf("mediatord: serving %d-book catalog on %s", s.catalog.Len(), *addr)
+	log.Fatal(srv.ListenAndServe())
+}
+
+func newServer(seed int64, nBooks int) *server {
+	med := mediator.New(sources.NewAmazon(), sources.NewClbooks())
+	catalog := sources.BookRelation("catalog", sources.GenBooks(seed, nBooks))
+	// Equality indexes accelerate the directly-indexable translations;
+	// overridden operators (the structured author match) fall back to scans.
+	med.Indexes = map[string]engine.IndexSet{
+		"amazon":  engine.BuildIndexes(catalog, "publisher", "isbn", "subject"),
+		"clbooks": engine.BuildIndexes(catalog, "publisher"),
+	}
+	return &server{
+		med:     med,
+		catalog: catalog,
+		data: map[string]*engine.Relation{
+			"amazon":  catalog,
+			"clbooks": catalog,
+		},
+	}
+}
+
+type translationJSON struct {
+	Query   string          `json:"query"`
+	Sources []sourceMapJSON `json:"sources"`
+	Filter  string          `json:"filter"`
+}
+
+type sourceMapJSON struct {
+	Source     string      `json:"source"`
+	Translated string      `json:"translated"`
+	Tree       *qtree.Node `json:"tree"`
+	Residue    string      `json:"residue"`
+}
+
+func (s *server) handleTranslate(w http.ResponseWriter, r *http.Request) {
+	q, err := qparse.Parse(r.URL.Query().Get("q"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	tr, err := s.med.Translate(q)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	out := translationJSON{Query: q.String(), Filter: tr.Filter.String()}
+	for _, st := range tr.Sources {
+		out.Sources = append(out.Sources, sourceMapJSON{
+			Source:     st.Source.Name,
+			Translated: st.Query.String(),
+			Tree:       st.Query,
+			Residue:    st.Residue.String(),
+		})
+	}
+	writeJSON(w, out)
+}
+
+type queryResultJSON struct {
+	Query       string              `json:"query"`
+	Answers     []map[string]string `json:"answers"`
+	AnswerCount int                 `json:"answer_count"`
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q, err := qparse.Parse(r.URL.Query().Get("q"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	result, _, err := s.med.ExecuteUnion(q, s.data)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	out := queryResultJSON{Query: q.String(), AnswerCount: result.Len()}
+	for _, t := range result.Tuples {
+		row := make(map[string]string)
+		for _, attr := range []string{"ti", "author", "publisher", "id-no"} {
+			if v, ok := t[attr]; ok {
+				row[attr] = v.String()
+			}
+		}
+		out.Answers = append(out.Answers, row)
+	}
+	writeJSON(w, out)
+}
+
+type sourceInfoJSON struct {
+	Name  string `json:"name"`
+	Rules string `json:"rules"`
+}
+
+func (s *server) handleSources(w http.ResponseWriter, r *http.Request) {
+	var out []sourceInfoJSON
+	for _, src := range s.med.Sources {
+		out = append(out, sourceInfoJSON{Name: src.Name, Rules: rules.FormatSpec(src.Spec)})
+	}
+	writeJSON(w, out)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("mediatord: encoding response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}) //nolint:errcheck
+}

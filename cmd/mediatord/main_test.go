@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"repro/internal/qparse"
+	"repro/internal/qtree"
+)
+
+func testServer(t *testing.T) *server {
+	t.Helper()
+	return newServer(7, 120)
+}
+
+func TestHandleTranslate(t *testing.T) {
+	s := testServer(t)
+	req := httptest.NewRequest("GET", "/translate?q="+url.QueryEscape(`[ln = "Clancy"] and [fn = "Tom"]`), nil)
+	rec := httptest.NewRecorder()
+	s.handleTranslate(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var out translationJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Sources) != 2 {
+		t.Fatalf("got %d source translations", len(out.Sources))
+	}
+	if out.Sources[0].Source != "amazon" || !strings.Contains(out.Sources[0].Translated, "Clancy, Tom") {
+		t.Errorf("amazon translation = %+v", out.Sources[0])
+	}
+	if out.Sources[1].Source != "clbooks" || !strings.Contains(out.Sources[1].Translated, "contains") {
+		t.Errorf("clbooks translation = %+v", out.Sources[1])
+	}
+}
+
+func TestHandleQueryFiltersFalsePositives(t *testing.T) {
+	s := testServer(t)
+	q := `[ln = "Clancy"] and [fn = "Tom"]`
+	req := httptest.NewRequest("GET", "/query?q="+url.QueryEscape(q), nil)
+	rec := httptest.NewRecorder()
+	s.handleQuery(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var out queryResultJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	// Reference: evaluate Q directly.
+	direct, err := s.catalog.Select(mustParse(t, q), s.med.Eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.AnswerCount != direct.Len() {
+		t.Errorf("mediated %d answers, direct evaluation %d", out.AnswerCount, direct.Len())
+	}
+	for _, row := range out.Answers {
+		if !strings.Contains(row["author"], "Clancy, Tom") {
+			t.Errorf("answer with wrong author survived filtering: %v", row)
+		}
+	}
+}
+
+func TestHandleTranslateBadQuery(t *testing.T) {
+	s := testServer(t)
+	req := httptest.NewRequest("GET", "/translate?q=%5Bgarbage", nil)
+	rec := httptest.NewRecorder()
+	s.handleTranslate(rec, req)
+	if rec.Code != 400 {
+		t.Fatalf("status %d, want 400", rec.Code)
+	}
+}
+
+func TestHandleSources(t *testing.T) {
+	s := testServer(t)
+	req := httptest.NewRequest("GET", "/sources", nil)
+	rec := httptest.NewRecorder()
+	s.handleSources(rec, req)
+	var out []sourceInfoJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || !strings.Contains(out[0].Rules, "rule R2") {
+		t.Errorf("sources = %+v", out)
+	}
+}
+
+func mustParse(t *testing.T, s string) *qtree.Node {
+	t.Helper()
+	q, err := qparse.Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}

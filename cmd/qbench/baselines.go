@@ -1,0 +1,116 @@
+package main
+
+// Experiment E15: quantify the Section 3 comparisons. The paper argues
+// other systems (a) ignore constraint dependencies (Garlic-style CNF
+// processing) and (b) drop unsupported constraints instead of relaxing
+// them. Both alternatives still produce correct subsuming translations —
+// the cost is selectivity: the source returns more tuples that the
+// mediator must filter.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/qtree"
+	"repro/internal/workload"
+)
+
+func runE15() {
+	s := workload.New(workload.Config{Indep: 3, Pairs: 2, InexactPairs: 2, Triples: 1})
+	exactOnly := core.WithoutRelaxations(s.Spec)
+	rng := rand.New(rand.NewSource(15))
+	cfg := workload.DefaultQueryConfig()
+
+	var nQ, nTDQM, nCNF, nNoRelax int
+	for i := 0; i < 100; i++ {
+		q := s.RandomQuery(rng, cfg)
+		tr := core.NewTranslator(s.Spec)
+		viaTDQM, err := tr.TDQM(q)
+		must(err)
+		viaCNF, err := tr.CNFMap(q)
+		must(err)
+		trNR := core.NewTranslator(exactOnly)
+		viaNoRelax, err := trNR.TDQM(q)
+		must(err)
+		for j := 0; j < 150; j++ {
+			tup := s.RandomTuple(rng)
+			inQ, err := s.Eval.EvalQuery(q, tup)
+			must(err)
+			inT, err := s.Eval.EvalQuery(viaTDQM, tup)
+			must(err)
+			inC, err := s.Eval.EvalQuery(viaCNF, tup)
+			must(err)
+			inN, err := s.Eval.EvalQuery(viaNoRelax, tup)
+			must(err)
+			if inQ && (!inT || !inC || !inN) {
+				panic("baseline missed an answer — subsumption violated")
+			}
+			if inQ {
+				nQ++
+			}
+			if inT {
+				nTDQM++
+			}
+			if inC {
+				nCNF++
+			}
+			if inN {
+				nNoRelax++
+			}
+		}
+	}
+	ratio := func(n int) string { return fmt.Sprintf("%d (%.2fx exact)", n, float64(n)/float64(nQ)) }
+	table([]string{"translation", "tuples returned"}, [][]string{
+		{"exact answers (Q)", fmt.Sprint(nQ)},
+		{"TDQM (dependency-aware, relaxing)", ratio(nTDQM)},
+		{"CNF baseline (no dependencies)", ratio(nCNF)},
+		{"no semantic relaxation (drop unsupported)", ratio(nNoRelax)},
+	})
+	// Dependency-heavy family (the Example 2 shape): each query splits a
+	// dependent pair across a disjunction — exactly where dependency-blind
+	// translation loses the most.
+	fmt.Println("\ndependency-heavy family (Example 2 shape: (p ∨ x) ∧ q with {p,q} a pair):")
+	nQ, nTDQM, nCNF = 0, 0, 0
+	for i := 0; i < 100; i++ {
+		g := s.Groups[3+rng.Intn(2)] // a pair group
+		indep := s.Groups[rng.Intn(3)].Attrs[0]
+		q := qtree.AndOf(
+			qtree.OrOf(
+				qtree.Leaf(s.Constraint(g.Attrs[0], rng.Intn(3))),
+				qtree.Leaf(s.Constraint(indep, rng.Intn(3)))),
+			qtree.Leaf(s.Constraint(g.Attrs[1], rng.Intn(3))),
+		)
+		tr := core.NewTranslator(s.Spec)
+		viaTDQM, err := tr.TDQM(q)
+		must(err)
+		viaCNF, err := tr.CNFMap(q)
+		must(err)
+		for j := 0; j < 150; j++ {
+			tup := s.RandomTuple(rng)
+			inQ, err := s.Eval.EvalQuery(q, tup)
+			must(err)
+			inT, err := s.Eval.EvalQuery(viaTDQM, tup)
+			must(err)
+			inC, err := s.Eval.EvalQuery(viaCNF, tup)
+			must(err)
+			if inQ {
+				nQ++
+			}
+			if inT {
+				nTDQM++
+			}
+			if inC {
+				nCNF++
+			}
+		}
+	}
+	table([]string{"translation", "tuples returned"}, [][]string{
+		{"exact answers (Q)", fmt.Sprint(nQ)},
+		{"TDQM", ratio(nTDQM)},
+		{"CNF baseline", ratio(nCNF)},
+	})
+	fmt.Println("\npaper (Section 3): ignoring dependencies or dropping unsupported")
+	fmt.Println("constraints stays correct but loses selectivity — the source ships")
+	fmt.Println("more false positives for the mediator to filter. TDQM is minimal.")
+}

@@ -1,0 +1,86 @@
+package main
+
+// Experiment E14 (extension): quantify the filtering work saved by
+// per-branch filters (Translator.TranslateBranches) over the whole-query
+// fallback filter, on random disjunctive queries. Not a paper table — the
+// paper defers filter generation to its refs [15, 16] — but it measures the
+// practical benefit of the tight residues the library computes.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/qtree"
+	"repro/internal/workload"
+)
+
+func runE14() {
+	s := workload.New(workload.Config{Indep: 4, Pairs: 2, InexactPairs: 2})
+	rng := rand.New(rand.NewSource(14))
+	cfg := workload.QueryConfig{MaxDepth: 3, MaxFanout: 3, LeafProb: 0.35}
+
+	var globalChecks, branchChecks, tuples int
+	queries := 0
+	for i := 0; i < 120; i++ {
+		// Disjunctive-rooted queries: a union of 2–4 independent branches.
+		n := 2 + rng.Intn(3)
+		kids := make([]*qtree.Node, n)
+		for j := range kids {
+			kids[j] = s.RandomQuery(rng, cfg)
+		}
+		q := qtree.Or(kids...).Normalize()
+		tr := core.NewTranslator(s.Spec)
+		mapped, filter, err := tr.TranslateWithFilter(q, core.AlgTDQM)
+		must(err)
+		branches, err := tr.TranslateBranches(q, core.AlgTDQM)
+		must(err)
+		queries++
+		for j := 0; j < 120; j++ {
+			tup := s.RandomTuple(rng)
+			tuples++
+			// Global: every tuple passing S(Q) is re-checked with F
+			// (when F is non-trivial).
+			inS, err := s.Eval.EvalQuery(mapped, tup)
+			must(err)
+			if inS && !filter.IsTrue() {
+				globalChecks++
+			}
+			// Per-branch: a tuple admitted by an *exact* branch needs no
+			// re-check (the executor tries exact branches first); only
+			// tuples admitted solely by inexact branches are re-checked.
+			exactHit, inexactHit := false, false
+			for _, b := range branches {
+				inB, err := s.Eval.EvalQuery(b.Mapped, tup)
+				must(err)
+				if !inB {
+					continue
+				}
+				if b.Filter.IsTrue() {
+					exactHit = true
+					break
+				}
+				inexactHit = true
+			}
+			if !exactHit && inexactHit {
+				branchChecks++
+			}
+		}
+	}
+	table([]string{"metric", "value"}, [][]string{
+		{"random disjunctive queries", fmt.Sprint(queries)},
+		{"tuples probed", fmt.Sprint(tuples)},
+		{"filter re-checks, global F", fmt.Sprint(globalChecks)},
+		{"filter re-checks, per-branch F", fmt.Sprint(branchChecks)},
+		{"saved", fmt.Sprintf("%.0f%%", 100*(1-float64(branchChecks)/float64(max(globalChecks, 1))))},
+	})
+	fmt.Println("\nextension: branches that translate exactly need no re-checking, so")
+	fmt.Println("per-branch filters (tight residues per Example 3) reduce filter work.")
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

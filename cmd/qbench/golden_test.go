@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs f with stdout redirected and returns what it printed.
+func capture(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r) //nolint:errcheck
+		done <- buf.String()
+	}()
+	defer func() {
+		os.Stdout = old
+	}()
+	f()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}
+
+// TestGoldenExperimentsReproduce pins the deterministic experiment outputs:
+// the figures and worked examples must keep printing the paper's results.
+func TestGoldenExperimentsReproduce(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func()
+		want []string
+	}{
+		{"E2", runE2, []string{
+			`[author = "Smith"]`,
+			`[ti-word contains java(^)jdk]`,
+			`[pdate during May/97]`,
+			`[subject = "programming"]`,
+			`[isbn = "081815181Y"]`,
+		}},
+		{"E3", runE3, []string{
+			`[fac.aubib.name = pub.paper.au]`,
+			`[fac.prof.dept = 230]`,
+			`F`,
+			`data(^)mining`,
+		}},
+		{"E5", runE5, []string{
+			"eps",
+			"{[pyear = 1997]}",
+			"{[pmonth = 5]} v {[pmonth = 6]}",
+		}},
+		{"E6", runE6, []string{
+			"(f1 f2)(f3 f4)  2", // 2 cross-matchings
+			"true",              // separable
+			"false",             // inseparable
+		}},
+		{"E7", runE7, []string{
+			"{{0,1}, {2}}",
+			"{{0,1,2}}",
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			out := capture(t, c.run)
+			for _, want := range c.want {
+				if !strings.Contains(out, want) {
+					t.Errorf("experiment %s output missing %q:\n%s", c.name, want, out)
+				}
+			}
+		})
+	}
+}
+
+func TestExperimentRegistryUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, e := range experiments {
+		if seen[e.id] {
+			t.Errorf("duplicate experiment id %s", e.id)
+		}
+		seen[e.id] = true
+		if e.title == "" || e.run == nil {
+			t.Errorf("experiment %s incomplete", e.id)
+		}
+	}
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"} {
+		if !seen[id] {
+			t.Errorf("experiment %s missing", id)
+		}
+	}
+}

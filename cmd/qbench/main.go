@@ -1,0 +1,118 @@
+// Command qbench regenerates the reproduction's experiment tables — one per
+// figure, worked example, or analytic claim in the paper (see DESIGN.md's
+// experiment index and EXPERIMENTS.md for the recorded results).
+//
+// Usage:
+//
+//	qbench             # run every experiment
+//	qbench -exp E10    # run one experiment
+//	qbench -list       # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+type experiment struct {
+	id    string
+	title string
+	run   func()
+}
+
+var experiments = []experiment{
+	{"E1", "Examples 1-2: dependency-aware bookstore translation and relaxation", runE1},
+	{"E2", "Figure 2: simple-conjunction mappings for Amazon", runE2},
+	{"E3", "Example 3: multi-view multi-source mapping with filter", runE3},
+	{"E4", "Example 6 / Figure 7: TDQM vs DNF on Q_book", runE4},
+	{"E5", "Examples 10-11: EDNF annotations and safety of Q_book", runE5},
+	{"E6", "Example 8 / Figure 9: redundant cross-matchings at the map source", runE6},
+	{"E7", "Examples 13-14 / Figure 12: PSafe partitions", runE7},
+	{"E8", "Section 4.4: SCM runtime linear in N and R", runE8},
+	{"E9", "Section 8: TDQM vs DNF cost without dependencies", runE9},
+	{"E10", "Section 8: compactness — TDQM vs DNF output size", runE10},
+	{"E11", "Section 8: safety-check cost vs dependency degree e", runE11},
+	{"E12", "Definition 1 / Eq. 3: empirical subsumption and filtering", runE12},
+	{"E13", "Ablations: suppression, PSafe partitioning, EDNF", runE13},
+	{"E14", "Extension: filtering work saved by per-branch filters", runE14},
+	{"E15", "Section 3 comparisons: dependency-blind and non-relaxing baselines", runE15},
+}
+
+func main() {
+	var (
+		exp  = flag.String("exp", "", "experiment id to run (default: all)")
+		list = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-5s %s\n", e.id, e.title)
+		}
+		return
+	}
+	ran := false
+	for _, e := range experiments {
+		if *exp != "" && !strings.EqualFold(*exp, e.id) {
+			continue
+		}
+		ran = true
+		fmt.Printf("=== %s: %s ===\n\n", e.id, e.title)
+		e.run()
+		fmt.Println()
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "qbench: unknown experiment %q (use -list)\n", *exp)
+		os.Exit(1)
+	}
+}
+
+// table prints an aligned text table.
+func table(header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Println("  " + strings.Join(parts, "  "))
+	}
+	line(header)
+	seps := make([]string, len(header))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, r := range rows {
+		line(r)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"repro/internal/qtree"
+	"repro/internal/rules"
+)
+
+// xyuvSpec is the synthetic specification of Examples 13/14: constraints on
+// x, y, u, v with matchings {x,y}, {u}, {v}.
+func xyuvSpec() *rules.Spec {
+	rs := rules.MustParseRules(`
+rule RXY {
+  match [x = A], [y = B];
+  where Value(A), Value(B);
+  emit exact [txy = A];
+}
+rule RU {
+  match [u = A];
+  where Value(A);
+  emit exact [tu = A];
+}
+rule RV {
+  match [v = A];
+  where Value(A);
+  emit exact [tv = A];
+}
+`)
+	target := rules.NewTarget("xyuv",
+		rules.Capability{Attr: "txy", Op: qtree.OpEq},
+		rules.Capability{Attr: "tu", Op: qtree.OpEq},
+		rules.Capability{Attr: "tv", Op: qtree.OpEq},
+	)
+	return rules.MustSpec("K_xyuv", target, rules.NewRegistry(), rs...)
+}

@@ -1,0 +1,180 @@
+// Command qmap translates a constraint query for a target source from the
+// command line.
+//
+// Usage:
+//
+//	qmap -spec amazon -alg tdqm '[ln = "Clancy"] and [fn = "Tom"]'
+//	qmap -spec t1 -tree '[fac.ln = pub.ln] and [fac.fn = pub.fn]'
+//	qmap -spec amazon -explain '...'   # print the derivation
+//	qmap -spec amazon -rules           # print the spec's rules and exit
+//	qmap -rulefile my.rules -lint      # check a user rule file
+//
+// Built-in specifications: amazon, clbooks, t1, t2, map, cars, metric (the
+// paper's scenarios plus the Section 1 motivating examples). A rule file
+// written in the DSL (see docs/dsl.md) can be layered on top of the
+// built-in function registry with -rulefile.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/qparse"
+	"repro/internal/qtree"
+	"repro/internal/rules"
+	"repro/internal/sources"
+)
+
+func main() {
+	var (
+		specName = flag.String("spec", "amazon", "built-in spec: amazon, clbooks, t1, t2, map, cars, metric")
+		ruleFile = flag.String("rulefile", "", "load a rule-DSL file instead of a built-in spec (functions resolve against the base registry; capability checks are skipped)")
+		alg      = flag.String("alg", core.AlgTDQM, "algorithm: scm, dnf, tdqm, cnf (dependency-blind baseline)")
+		showTree = flag.Bool("tree", false, "print original and translated query trees")
+		showF    = flag.Bool("filter", true, "print the filter query F")
+		stats    = flag.Bool("stats", false, "print translation statistics")
+		simplify = flag.Bool("simplify", false, "apply Boolean absorption simplification to the output")
+		explain  = flag.Bool("explain", false, "print the translation derivation (rule firings, partitions, rewrites)")
+		listRule = flag.Bool("rules", false, "print the mapping specification and exit")
+		lint     = flag.Bool("lint", false, "lint the mapping specification and exit (non-zero on errors)")
+	)
+	flag.Parse()
+
+	var src *sources.Source
+	var err error
+	if *ruleFile != "" {
+		src, err = fileSource(*ruleFile)
+	} else {
+		src, err = builtinSource(*specName)
+	}
+	if err != nil {
+		fail(err)
+	}
+	if *listRule {
+		fmt.Print(rules.FormatSpec(src.Spec))
+		return
+	}
+	if *lint {
+		ps := rules.Lint(src.Spec)
+		if len(ps) == 0 {
+			fmt.Println("no findings")
+			return
+		}
+		for _, p := range ps {
+			fmt.Println(p)
+		}
+		for _, p := range ps {
+			if p.Level == rules.LintError {
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	queryText := strings.Join(flag.Args(), " ")
+	if strings.TrimSpace(queryText) == "" {
+		fail(fmt.Errorf("no query given; try: qmap -spec amazon '[ln = \"Clancy\"]'"))
+	}
+	q, err := qparse.Parse(queryText)
+	if err != nil {
+		fail(err)
+	}
+
+	tr := core.NewTranslator(src.Spec)
+	var trace *core.Trace
+	if *explain {
+		trace = &core.Trace{}
+		tr.SetTrace(trace)
+	}
+	mapped, filter, err := tr.TranslateWithFilter(q, *alg)
+	if err != nil {
+		fail(err)
+	}
+	if *simplify {
+		mapped = qtree.Simplify(mapped)
+	}
+
+	fmt.Printf("target:     %s\n", src.Name)
+	fmt.Printf("algorithm:  %s\n", *alg)
+	fmt.Printf("original:   %s\n", q)
+	fmt.Printf("translated: %s\n", mapped)
+	if *showF {
+		fmt.Printf("filter F:   %s\n", filter)
+	}
+	if *ruleFile == "" {
+		if err := src.Target().Expressible(mapped); err != nil {
+			fmt.Printf("WARNING: %v\n", err)
+		}
+	}
+	if *explain {
+		fmt.Println("\nderivation:")
+		fmt.Print(trace.String())
+	}
+	if *showTree {
+		fmt.Println("\noriginal tree:")
+		fmt.Print(q.TreeString())
+		fmt.Println("translated tree:")
+		fmt.Print(mapped.TreeString())
+	}
+	if *stats {
+		s := tr.Stats
+		fmt.Println("\nstatistics:")
+		fmt.Printf("  SCM calls:            %d\n", s.SCMCalls)
+		fmt.Printf("  rule-match passes:    %d\n", s.MatchRuns)
+		fmt.Printf("  matchings found:      %d\n", s.MatchingsFound)
+		fmt.Printf("  PSafe calls:          %d\n", s.PSafeCalls)
+		fmt.Printf("  product terms:        %d\n", s.ProductTerms)
+		fmt.Printf("  disjunctivizations:   %d\n", s.Disjunctivizations)
+		fmt.Printf("  DNF disjuncts:        %d\n", s.DNFDisjuncts)
+		fmt.Printf("  original size:        %d nodes\n", q.Size())
+		fmt.Printf("  translated size:      %d nodes\n", mapped.Size())
+	}
+}
+
+func builtinSource(name string) (*sources.Source, error) {
+	switch name {
+	case "amazon":
+		return sources.NewAmazon(), nil
+	case "clbooks":
+		return sources.NewClbooks(), nil
+	case "t1":
+		return sources.NewT1(), nil
+	case "t2":
+		return sources.NewT2(), nil
+	case "map":
+		return sources.NewMapSource(), nil
+	case "cars":
+		return sources.NewCars(), nil
+	case "metric":
+		return sources.NewMetric(), nil
+	default:
+		return nil, fmt.Errorf("unknown spec %q (want amazon, clbooks, t1, t2, map, cars, metric)", name)
+	}
+}
+
+// fileSource loads a user rule file against the base registry. The target's
+// capabilities are unknown, so a permissive target is used and
+// expressibility checking is skipped.
+func fileSource(path string) (*sources.Source, error) {
+	text, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := rules.ParseRules(string(text))
+	if err != nil {
+		return nil, err
+	}
+	spec, err := rules.NewSpec(path, rules.NewTarget("custom"), sources.BaseRegistry(), rs...)
+	if err != nil {
+		return nil, err
+	}
+	return &sources.Source{Name: "custom", Spec: spec}, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "qmap:", err)
+	os.Exit(1)
+}

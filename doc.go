@@ -1,0 +1,8 @@
+// Package repro is the root of a reproduction of "Mind Your Vocabulary:
+// Query Mapping Across Heterogeneous Information Sources" (Chang &
+// García-Molina, SIGMOD 1999).
+//
+// The public API lives in package repro/querymap; the benchmark harness in
+// bench_test.go regenerates the paper's evaluation (see EXPERIMENTS.md),
+// and cmd/qbench prints the same tables outside the testing framework.
+package repro

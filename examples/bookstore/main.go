@@ -1,0 +1,72 @@
+// Command bookstore reproduces the bookstore mediation of Examples 1 and 2:
+// a mediator integrates Amazon (structured author search) and Clbooks
+// (word-containment author search only), translates the user's query for
+// each, executes both against a synthetic catalog, and shows the false
+// positives that Clbooks' relaxation admits and the mediator's filter
+// removes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/engine"
+	"repro/internal/sources"
+	"repro/querymap"
+)
+
+func main() {
+	amazon, clbooks := querymap.Amazon(), querymap.Clbooks()
+	med := querymap.NewMediator(amazon, clbooks)
+
+	// Synthetic catalog, seeded with Example 1's adversarial names.
+	books := sources.GenBooks(99, 60)
+	books = append(books,
+		sources.Book{Title: "reversed decoy", Ln: "Tom", Fn: "Clancy", Year: 1997, Month: 1, Day: 5, Category: "D.3", Publisher: "oreilly", IDNo: "000000001A", Keywords: []string{"decoy"}},
+		sources.Book{Title: "middle-name decoy", Ln: "Clancy", Fn: "Joe Tom", Year: 1996, Month: 7, Day: 9, Category: "H.2", Publisher: "mit-press", IDNo: "000000002B", Keywords: []string{"decoy"}},
+		sources.Book{Title: "the hunt for red october", Ln: "Clancy", Fn: "Tom", Year: 1997, Month: 3, Day: 1, Category: "D.3", Publisher: "oreilly", IDNo: "000000003C", Keywords: []string{"hunt"}},
+	)
+	catalog := sources.BookRelation("catalog", books)
+	data := map[string]*engine.Relation{"amazon": catalog, "clbooks": catalog}
+
+	q := querymap.MustParse(`[fn = "Tom"] and [ln = "Clancy"]`)
+	fmt.Println("user query Q:", q)
+	fmt.Println()
+
+	tr, err := med.Translate(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, st := range tr.Sources {
+		fmt.Printf("%-8s S(Q) = %s\n", st.Source.Name+":", st.Query)
+		fmt.Printf("%-8s F    = %s\n", "", st.Residue)
+		raw, err := data[st.Source.Name].Select(st.Query, st.Source.Eval)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s raw source answers: %d\n", "", raw.Len())
+		if st.Source.Name == "clbooks" {
+			for _, t := range raw.Tuples {
+				author, _ := t.Get(querymap.Attr{Name: "author"})
+				title, _ := t.Get(querymap.Attr{Name: "ti"})
+				fmt.Printf("%-8s   %-20s %s\n", "", author, title)
+			}
+		}
+		fmt.Println()
+	}
+
+	result, _, err := med.ExecuteUnion(q, data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mediated result after filtering: %d book(s)\n", result.Len())
+	for _, t := range result.Tuples {
+		author, _ := t.Get(querymap.Attr{Name: "author"})
+		title, _ := t.Get(querymap.Attr{Name: "ti"})
+		fmt.Printf("  %-20s %s\n", author, title)
+	}
+	fmt.Println()
+	fmt.Println(`note: Clbooks returned "Tom, Clancy" and "Clancy, Joe Tom" — word`)
+	fmt.Println(`containment cannot distinguish them from "Clancy, Tom" (Example 1);`)
+	fmt.Println("the mediator's filter re-applied Q and removed them.")
+}

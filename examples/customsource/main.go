@@ -1,0 +1,192 @@
+// Command customsource shows how a downstream user integrates their own
+// source with the public querymap API, end to end: define the target's
+// capabilities, register conversion functions, write mapping rules in the
+// DSL, lint them, translate queries, and execute against data with the
+// source's native semantics.
+//
+// The scenario: a music catalog. The mediator speaks in artist first/last
+// name, a release year+month, and a genre code; the source stores a
+// combined "artist" name, a "released" date with period search, and coarse
+// genre shelves.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/querymap"
+)
+
+// splitName splits "Last, First" (or bare "Last") into components.
+func splitName(name string) (ln, fn string) {
+	if i := strings.Index(name, ","); i >= 0 {
+		return strings.TrimSpace(name[:i]), strings.TrimSpace(name[i+1:])
+	}
+	return strings.TrimSpace(name), ""
+}
+
+const musicRules = `
+# Mapping rules for the "vinylvault" music source.
+
+rule M1 {
+  match [artist-ln = L], [artist-fn = F];
+  where Value(L), Value(F);
+  let A = LnFnToName(L, F);
+  emit exact [artist = A];
+}
+
+rule M2 {
+  match [artist-ln = L];
+  where Value(L);
+  emit exact [artist = L];
+}
+
+rule M3 {
+  match [ryear = Y], [rmonth = M];
+  where Value(Y), Value(M);
+  let D = MonthYearToDate(M, Y);
+  emit exact [released during D];
+}
+
+rule M4 {
+  match [ryear = Y];
+  where Value(Y);
+  let D = YearToDate(Y);
+  emit exact [released during D];
+}
+
+rule M5 {
+  match [genre = G];
+  where Value(G);
+  let S = Shelf(G);
+  emit [shelf = S];
+}
+`
+
+// shelves maps fine mediator genres to the source's coarse shelves —
+// an inexact mapping, like the paper's category → subject rule R9.
+var shelves = map[string]string{
+	"bebop":     "jazz",
+	"cool-jazz": "jazz",
+	"delta":     "blues",
+	"chicago":   "blues",
+	"baroque":   "classical",
+	"romantic":  "classical",
+}
+
+func main() {
+	// 1. Conversion functions. LnFnToName / MonthYearToDate / YearToDate
+	// come with the library; Shelf is ours.
+	reg := querymap.BaseRegistry()
+	reg.RegisterAction("Shelf", func(b querymap.Binding, args []string) (querymap.BoundVal, error) {
+		v, err := b.Value(args[0])
+		if err != nil {
+			return querymap.BoundVal{}, err
+		}
+		g, ok := querymap.StringValue(v)
+		if !ok {
+			return querymap.BoundVal{}, fmt.Errorf("genre must be a string, got %s", v.Kind())
+		}
+		s, ok := shelves[g]
+		if !ok {
+			return querymap.BoundVal{}, fmt.Errorf("unknown genre %q", g)
+		}
+		return querymap.ValueOfString(s), nil
+	})
+
+	// 2. The target's native vocabulary.
+	target := querymap.NewTarget("vinylvault",
+		querymap.Capability{Attr: "artist", Op: "=", ValueKinds: []string{"string"}},
+		querymap.Capability{Attr: "released", Op: "during", ValueKinds: []string{"date"}},
+		querymap.Capability{Attr: "shelf", Op: "=", ValueKinds: []string{"string"}},
+	)
+
+	// 3. Parse, assemble, and lint the specification.
+	spec, err := querymap.NewSpec("K_vinylvault", target, reg, querymap.MustParseRules(musicRules)...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if problems := querymap.LintSpec(spec); len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Println("lint:", p)
+		}
+	}
+
+	// 4. Translate queries.
+	tr := querymap.NewTranslator(spec)
+	for _, qs := range []string{
+		`[artist-ln = "Davis"] and [artist-fn = "Miles"] and [ryear = 1959] and [rmonth = 8]`,
+		`[genre = "bebop"] or [genre = "cool-jazz"]`,
+		`([artist-ln = "Monk"] or [artist-ln = "Powell"]) and [ryear = 1957]`,
+	} {
+		q := querymap.MustParse(qs)
+		mapped, filter, err := tr.TranslateWithFilter(q, querymap.AlgTDQM)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Q:      ", q)
+		fmt.Println("S(Q):   ", mapped)
+		fmt.Println("filter: ", filter)
+		fmt.Println()
+	}
+
+	// 5. Execute against data. Tuples carry both vocabularies (the
+	// conceptual-relation view of the paper's Section 2).
+	records := []struct {
+		ln, fn string
+		y, m   int
+		genre  string
+	}{
+		{"Davis", "Miles", 1959, 8, "cool-jazz"},
+		{"Davis", "Miles", 1970, 3, "bebop"},
+		{"Monk", "Thelonious", 1957, 7, "bebop"},
+		{"Johnson", "Robert", 1936, 11, "delta"},
+	}
+	rel := querymap.NewRelation("vault")
+	for _, r := range records {
+		t := make(querymap.Tuple)
+		t.Set(querymap.Attr{Name: "artist-ln"}, querymap.Str(r.ln))
+		t.Set(querymap.Attr{Name: "artist-fn"}, querymap.Str(r.fn))
+		t.Set(querymap.Attr{Name: "ryear"}, querymap.Int(int64(r.y)))
+		t.Set(querymap.Attr{Name: "rmonth"}, querymap.Int(int64(r.m)))
+		t.Set(querymap.Attr{Name: "genre"}, querymap.Str(r.genre))
+		t.Set(querymap.Attr{Name: "artist"}, querymap.Str(r.ln+", "+r.fn))
+		t.Set(querymap.Attr{Name: "released"}, querymap.Date(r.y, r.m, 1))
+		t.Set(querymap.Attr{Name: "shelf"}, querymap.Str(shelves[r.genre]))
+		rel.Tuples = append(rel.Tuples, t)
+	}
+
+	q := querymap.MustParse(`[artist-ln = "Davis"] and [genre = "cool-jazz"]`)
+	mapped, filter, err := tr.TranslateWithFilter(q, querymap.AlgTDQM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The source's artist attribute has structured-name semantics: a
+	// query name "Last" matches any "Last, First" (which is what makes
+	// rule M2 exact). Install it as an operator override — the same
+	// technique the built-in Amazon source uses.
+	ev := querymap.NewEvaluator()
+	ev.Override("artist", "=", func(tv, cv querymap.Value) (bool, error) {
+		stored, _ := querymap.StringValue(tv)
+		queried, _ := querymap.StringValue(cv)
+		sLn, sFn := splitName(stored)
+		qLn, qFn := splitName(queried)
+		return sLn == qLn && (qFn == "" || sFn == qFn), nil
+	})
+	raw, err := rel.Select(mapped, ev)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact, err := raw.Select(filter, ev)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query %s\n", q)
+	fmt.Printf("source returned %d record(s); %d after filtering\n", raw.Len(), exact.Len())
+	for _, t := range exact.Tuples {
+		artist, _ := t.Get(querymap.Attr{Name: "artist"})
+		released, _ := t.Get(querymap.Attr{Name: "released"})
+		fmt.Printf("  %-22s released %s\n", artist, released)
+	}
+}

@@ -1,0 +1,117 @@
+// Package boolex provides Boolean-level semantics for constraint queries:
+// evaluation under truth assignments to constraint atoms, and equivalence /
+// subsumption testing by exhausting assignments. It treats each distinct
+// constraint (by canonical key) as an independent propositional atom.
+//
+// Atom-level subsumption is sound but conservative for *semantic*
+// subsumption (two different atoms may be semantically dependent); the
+// library uses boolex to validate structural theorems — e.g. that Algorithm
+// TDQM and Algorithm DNF produce logically equivalent results over the same
+// emission atoms (Theorem 2) — and uses internal/engine for data-level
+// subsumption (Definition 1).
+package boolex
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/qtree"
+)
+
+// MaxAtoms bounds exhaustive assignment enumeration (2^MaxAtoms cases).
+const MaxAtoms = 22
+
+// Assignment maps constraint keys to truth values. Missing keys are false.
+type Assignment map[string]bool
+
+// Eval evaluates q under the assignment.
+func Eval(q *qtree.Node, a Assignment) bool {
+	switch q.Kind {
+	case qtree.KindTrue:
+		return true
+	case qtree.KindLeaf:
+		return a[q.C.Key()]
+	case qtree.KindAnd:
+		for _, k := range q.Kids {
+			if !Eval(k, a) {
+				return false
+			}
+		}
+		return true
+	case qtree.KindOr:
+		for _, k := range q.Kids {
+			if Eval(k, a) {
+				return true
+			}
+		}
+		return false
+	default:
+		panic("boolex: invalid node kind")
+	}
+}
+
+// Atoms returns the sorted union of constraint keys in the given queries.
+func Atoms(qs ...*qtree.Node) []string {
+	set := make(map[string]bool)
+	for _, q := range qs {
+		for _, c := range q.Constraints() {
+			set[c.Key()] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Equivalent reports whether p and q evaluate identically under every truth
+// assignment to their combined atoms. It returns an error if the atom count
+// exceeds MaxAtoms.
+func Equivalent(p, q *qtree.Node) (bool, error) {
+	return forAll(p, q, func(ep, eq bool) bool { return ep == eq })
+}
+
+// Subsumes reports whether q ⊆ p at the Boolean level: every assignment
+// satisfying q also satisfies p (p is "broader"). This matches the paper's
+// "p subsumes q".
+func Subsumes(p, q *qtree.Node) (bool, error) {
+	return forAll(p, q, func(ep, eq bool) bool { return !eq || ep })
+}
+
+func forAll(p, q *qtree.Node, ok func(ep, eq bool) bool) (bool, error) {
+	atoms := Atoms(p, q)
+	if len(atoms) > MaxAtoms {
+		return false, fmt.Errorf("boolex: %d atoms exceeds limit %d", len(atoms), MaxAtoms)
+	}
+	a := make(Assignment, len(atoms))
+	n := uint(len(atoms))
+	for bits := uint64(0); bits < 1<<n; bits++ {
+		for i, k := range atoms {
+			a[k] = bits&(1<<uint(i)) != 0
+		}
+		if !ok(Eval(p, a), Eval(q, a)) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// MustEquivalent panics on atom overflow; for tests.
+func MustEquivalent(p, q *qtree.Node) bool {
+	ok, err := Equivalent(p, q)
+	if err != nil {
+		panic(err)
+	}
+	return ok
+}
+
+// MustSubsumes panics on atom overflow; for tests.
+func MustSubsumes(p, q *qtree.Node) bool {
+	ok, err := Subsumes(p, q)
+	if err != nil {
+		panic(err)
+	}
+	return ok
+}

@@ -1,0 +1,85 @@
+package boolex
+
+import (
+	"testing"
+
+	"repro/internal/qparse"
+	"repro/internal/qtree"
+)
+
+func TestEquivalentBasics(t *testing.T) {
+	cases := []struct {
+		p, q string
+		want bool
+	}{
+		{`[a = 1] and [b = 1]`, `[b = 1] and [a = 1]`, true},
+		{`[a = 1] and ([b = 1] or [c = 1])`, `([a = 1] and [b = 1]) or ([a = 1] and [c = 1])`, true},
+		{`[a = 1]`, `[a = 1] or ([a = 1] and [b = 1])`, true}, // absorption
+		{`[a = 1]`, `[b = 1]`, false},
+		{`[a = 1] and [b = 1]`, `[a = 1] or [b = 1]`, false},
+		{`TRUE`, `[a = 1] or TRUE`, true},
+	}
+	for _, c := range cases {
+		got := MustEquivalent(qparse.MustParse(c.p), qparse.MustParse(c.q))
+		if got != c.want {
+			t.Errorf("Equivalent(%s, %s) = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestSubsumesDirection(t *testing.T) {
+	broad := qparse.MustParse(`[a = 1]`)
+	narrow := qparse.MustParse(`[a = 1] and [b = 1]`)
+	if !MustSubsumes(broad, narrow) {
+		t.Error("a should subsume a∧b")
+	}
+	if MustSubsumes(narrow, broad) {
+		t.Error("a∧b should not subsume a")
+	}
+	// True subsumes everything.
+	if !MustSubsumes(qtree.True(), narrow) {
+		t.Error("TRUE should subsume everything")
+	}
+	if MustSubsumes(narrow, qtree.True()) {
+		t.Error("a∧b should not subsume TRUE")
+	}
+}
+
+func TestAtomLimit(t *testing.T) {
+	kids := make([]*qtree.Node, MaxAtoms+1)
+	for i := range kids {
+		kids[i] = qparse.MustParse(`[a` + itoa(i) + ` = 1]`)
+	}
+	big := qtree.AndOf(kids...)
+	if _, err := Equivalent(big, big); err == nil {
+		t.Error("expected atom-limit error")
+	}
+}
+
+func itoa(i int) string {
+	if i < 10 {
+		return string(rune('0' + i))
+	}
+	return itoa(i/10) + itoa(i%10)
+}
+
+func TestAtoms(t *testing.T) {
+	p := qparse.MustParse(`[a = 1] and [b = 1]`)
+	q := qparse.MustParse(`[b = 1] or [c = 1]`)
+	atoms := Atoms(p, q)
+	if len(atoms) != 3 {
+		t.Errorf("Atoms = %v, want 3 distinct", atoms)
+	}
+}
+
+func TestEvalAssignment(t *testing.T) {
+	q := qparse.MustParse(`([a = 1] or [b = 1]) and [c = 1]`)
+	keyA := qparse.MustParse(`[a = 1]`).C.Key()
+	keyC := qparse.MustParse(`[c = 1]`).C.Key()
+	if !Eval(q, Assignment{keyA: true, keyC: true}) {
+		t.Error("satisfying assignment rejected")
+	}
+	if Eval(q, Assignment{keyA: true}) {
+		t.Error("c missing (false) but query satisfied")
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+// Baselines modeling the translation behavior the paper attributes to other
+// systems (Section 3), for the comparative experiments:
+//
+//   - CNFMap — Garlic-style processing: the query is converted to CNF and
+//     every clause is translated independently, constraint by constraint.
+//     No cross-constraint dependencies are considered, so the result is a
+//     correct subsuming mapping but generally NOT minimal (it is exactly
+//     the suboptimal Qa of Example 2).
+//   - WithoutRelaxations — a specification stripped of its inexact rules,
+//     modeling wrappers that "translate a constraint syntactically if
+//     supported, or else drop it entirely" with no semantic rewriting.
+
+import (
+	"repro/internal/qtree"
+	"repro/internal/rules"
+)
+
+// CNFMap translates q clause-by-clause over its CNF, mapping every
+// constraint independently (one-to-one, the implicit assumption the paper
+// ascribes to other frameworks). The output subsumes q but misses the
+// selectivity that dependency-aware mapping provides.
+func (t *Translator) CNFMap(q *qtree.Node) (*qtree.Node, error) {
+	cnf := qtree.ToCNF(q)
+	clauses := cnf.Conjuncts()
+	kids := make([]*qtree.Node, 0, len(clauses))
+	for _, clause := range clauses {
+		ds := clause.Disjuncts()
+		mapped := make([]*qtree.Node, 0, len(ds))
+		for _, d := range ds {
+			// Each disjunct of a CNF clause is a single constraint (or
+			// True); translate it alone.
+			res, err := t.SCM(d.SimpleConjuncts())
+			if err != nil {
+				return nil, err
+			}
+			mapped = append(mapped, res.Query)
+		}
+		kids = append(kids, qtree.Or(mapped...).Normalize())
+	}
+	return qtree.And(kids...).Normalize(), nil
+}
+
+// WithoutRelaxations derives a specification containing only the exact
+// rules of spec — the "syntactic-only" wrapper model without semantic
+// rewriting. Constraints whose only mappings were relaxations now map to
+// True and fall entirely to the mediator's filter.
+func WithoutRelaxations(spec *rules.Spec) *rules.Spec {
+	var exact []*rules.Rule
+	for _, r := range spec.Rules {
+		if r.Exact {
+			exact = append(exact, r)
+		}
+	}
+	return rules.MustSpec(spec.Name+"_exact_only", spec.Target, spec.Reg, exact...)
+}

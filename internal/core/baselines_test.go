@@ -1,0 +1,150 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/boolex"
+	"repro/internal/core"
+	"repro/internal/qparse"
+	"repro/internal/qtree"
+	"repro/internal/sources"
+)
+
+// TestCNFMapReproducesQa: the Garlic-style baseline produces exactly the
+// suboptimal Qa of Example 2 — the combined-name dependency is lost.
+func TestCNFMapReproducesQa(t *testing.T) {
+	tr := amazonTranslator()
+	q := qparse.MustParse(`([ln = "Clancy"] or [ln = "Klancy"]) and [fn = "Tom"]`)
+	got, err := tr.CNFMap(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantQa := qparse.MustParse(`[author = "Clancy"] or [author = "Klancy"]`)
+	if !got.EqualCanonical(wantQa) {
+		t.Errorf("CNFMap = %s, want Qa = %s", got, wantQa)
+	}
+	// TDQM produces the strictly more selective Qb — witnessed on data:
+	// a "Clancy, Joe" book matches Qa but not Qb.
+	qb, err := tr.TDQM(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am := sources.NewAmazon()
+	decoy := sources.Book{Title: "decoy", Ln: "Clancy", Fn: "Joe", Year: 1997, Month: 1, Day: 1,
+		Category: "D.3", Publisher: "oreilly", IDNo: "000000009Z", Keywords: []string{"decoy"}}.Tuple()
+	inQa, err := am.Eval.EvalQuery(got, decoy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inQb, err := am.Eval.EvalQuery(qb, decoy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inQa || inQb {
+		t.Errorf("decoy: inQa=%v inQb=%v, want true/false (Qa properly subsumes Qb)", inQa, inQb)
+	}
+}
+
+// TestCNFMapSubsumes: the baseline is still correct (subsuming) on data.
+func TestCNFMapSubsumes(t *testing.T) {
+	am := sources.NewAmazon()
+	tr := core.NewTranslator(am.Spec)
+	catalog := sources.BookRelation("catalog", sources.GenBooks(15, 300))
+
+	queries := []string{
+		`([ln = "Clancy"] or [ln = "Smith"]) and [fn = "Tom"]`,
+		`[pyear = 1997] and ([pmonth = 5] or [publisher = "oreilly"])`,
+		`([category = "D.3"] and [pyear = 1996]) or [id-no = "zzz"]`,
+	}
+	for _, qs := range queries {
+		q := qparse.MustParse(qs)
+		viaCNF, err := tr.CNFMap(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaTDQM, err := tr.TDQM(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var nQ, nCNF, nTDQM int
+		for _, tup := range catalog.Tuples {
+			inQ, err := am.Eval.EvalQuery(q, tup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inCNF, err := am.Eval.EvalQuery(viaCNF, tup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inTDQM, err := am.Eval.EvalQuery(viaTDQM, tup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if inQ {
+				nQ++
+				if !inCNF {
+					t.Fatalf("%s: CNF baseline missed an answer", qs)
+				}
+				if !inTDQM {
+					t.Fatalf("%s: TDQM missed an answer", qs)
+				}
+			}
+			if inCNF {
+				nCNF++
+			}
+			if inTDQM {
+				nTDQM++
+			}
+		}
+		if nTDQM > nCNF {
+			t.Errorf("%s: TDQM (%d) less selective than CNF baseline (%d)?", qs, nTDQM, nCNF)
+		}
+	}
+}
+
+// TestWithoutRelaxations: stripping inexact rules models syntactic-only
+// wrappers — the near-pattern title constraint now has no mapping at all.
+func TestWithoutRelaxations(t *testing.T) {
+	full := sources.NewAmazon().Spec
+	exactOnly := core.WithoutRelaxations(full)
+	if len(exactOnly.Rules) >= len(full.Rules) {
+		t.Fatalf("exact-only spec has %d rules, full has %d", len(exactOnly.Rules), len(full.Rules))
+	}
+	tr := core.NewTranslator(exactOnly)
+	got, err := tr.TDQM(qparse.MustParse(`[ti contains java(near)jdk]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsTrue() {
+		t.Errorf("without relaxations, near-title maps to %s, want TRUE (dropped)", got)
+	}
+	// Exact mappings survive.
+	got, err = tr.TDQM(qparse.MustParse(`[ln = "Clancy"] and [fn = "Tom"]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.IsTrue() {
+		t.Error("exact name mapping lost")
+	}
+}
+
+// TestToCNF: structural and logical checks for the CNF conversion.
+func TestToCNF(t *testing.T) {
+	q := qparse.MustParse(`[a = 1] or ([b = 1] and [c = 1])`)
+	cnf := qtree.ToCNF(q)
+	if cnf.Kind != qtree.KindAnd || len(cnf.Kids) != 2 {
+		t.Fatalf("CNF shape = %s", cnf)
+	}
+	for _, clause := range cnf.Kids {
+		if clause.Kind != qtree.KindOr || len(clause.Kids) != 2 {
+			t.Fatalf("clause %s not a 2-way disjunction", clause)
+		}
+	}
+	if !boolex.MustEquivalent(q, cnf) {
+		t.Errorf("CNF not equivalent: %s vs %s", q, cnf)
+	}
+	// True passes through.
+	if !qtree.ToCNF(qtree.True()).IsTrue() {
+		t.Error("ToCNF(TRUE) != TRUE")
+	}
+}

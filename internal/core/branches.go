@@ -1,0 +1,38 @@
+package core
+
+import (
+	"repro/internal/qtree"
+)
+
+// BranchTranslation is one top-level disjunct of a query translated with
+// its own (tight, per-branch) filter: σ_Q(D) = ∪_i σ_Fi(σ_Si(D)).
+//
+// A single global filter for a disjunctive query must fall back to Q itself
+// whenever any branch is inexact (TranslateWithFilter), because after the
+// union it is unknown which branch admitted a tuple. Keeping branches
+// separate preserves the tight residue of Example 3 per branch — the
+// practical upshot of the paper's companion filter work [15, 16].
+type BranchTranslation struct {
+	// Branch is the original disjunct.
+	Branch *qtree.Node
+	// Mapped is S(Branch) in the target vocabulary.
+	Mapped *qtree.Node
+	// Filter restores exactness for this branch: Branch = Filter ∧ Mapped.
+	Filter *qtree.Node
+}
+
+// TranslateBranches translates each top-level disjunct of q independently
+// with its own filter. A non-disjunctive query yields a single branch.
+func (t *Translator) TranslateBranches(q *qtree.Node, algorithm string) ([]BranchTranslation, error) {
+	q = q.Normalize()
+	ds := q.Disjuncts()
+	out := make([]BranchTranslation, 0, len(ds))
+	for _, d := range ds {
+		mapped, filter, err := t.TranslateWithFilter(d, algorithm)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, BranchTranslation{Branch: d, Mapped: mapped, Filter: filter})
+	}
+	return out, nil
+}

@@ -1,0 +1,58 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/qparse"
+)
+
+// TestTranslateBranchesShape: each top-level disjunct is translated with
+// its own filter; simple-conjunction branches get tight residues.
+func TestTranslateBranchesShape(t *testing.T) {
+	tr := amazonTranslator()
+	q := qparse.MustParse(
+		`([ti contains java(near)jdk] and [publisher = "oreilly"]) or ` +
+			`([ln = "Clancy"] and [fn = "Tom"])`)
+	branches, err := tr.TranslateBranches(q, core.AlgTDQM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(branches) != 2 {
+		t.Fatalf("got %d branches, want 2", len(branches))
+	}
+	// Branch 1: the title relaxation leaves exactly the ti constraint in
+	// the filter (tight residue, not the whole branch).
+	wantF := qparse.MustParse(`[ti contains java(near)jdk]`)
+	if !branches[0].Filter.EqualCanonical(wantF) {
+		t.Errorf("branch 1 filter = %s, want %s", branches[0].Filter, wantF)
+	}
+	// Branch 2 is exact.
+	if !branches[1].Filter.IsTrue() {
+		t.Errorf("branch 2 filter = %s, want TRUE", branches[1].Filter)
+	}
+
+	// Non-disjunctive query: a single branch.
+	one, err := tr.TranslateBranches(qparse.MustParse(`[ln = "X"]`), core.AlgTDQM)
+	if err != nil || len(one) != 1 {
+		t.Fatalf("single-branch case: %d branches, %v", len(one), err)
+	}
+}
+
+// TestEDNFExprString covers the ε rendering used in experiment output.
+func TestEDNFExprString(t *testing.T) {
+	e := core.Epsilon()
+	if got := e.String(); got != "eps" {
+		t.Errorf("Epsilon String = %q", got)
+	}
+	tr := amazonTranslator()
+	q := qparse.MustParse(`[pyear = 1997] or [pmonth = 5]`)
+	mp, err := tr.PotentialMatchings(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	de := tr.EDNF(q, mp)
+	if de.String() == "" {
+		t.Error("EDNF String empty")
+	}
+}

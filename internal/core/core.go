@@ -1,0 +1,115 @@
+// Package core implements the paper's query-mapping algorithms:
+//
+//   - Algorithm SCM (Figure 4): minimal subsuming mapping of simple
+//     conjunctions via rule matching and submatching suppression.
+//   - Algorithm DNF (Figure 6): the baseline for complex queries — global
+//     DNF conversion, then SCM per disjunct.
+//   - Procedure EDNF (Figure 10): essential-DNF computation for cheap
+//     separability (safety) testing.
+//   - Algorithm PSafe (Figure 11): safe, minimal partitioning of the
+//     conjuncts of an ∧-node by covering cross-matchings.
+//   - Algorithm TDQM (Figure 8): top-down query mapping that rewrites query
+//     structure locally and only when dependencies require it.
+//
+// All algorithms take a mapping specification (internal/rules.Spec) that is
+// assumed sound and complete (Definitions 3–4); under that assumption the
+// outputs are minimal subsuming mappings (Theorems 1, 2).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/qtree"
+	"repro/internal/rules"
+)
+
+// Stats counts the work performed during a translation; the benchmark
+// harness uses it to reproduce the paper's cost claims (Sections 4.4, 8).
+type Stats struct {
+	// SCMCalls counts invocations of Algorithm SCM.
+	SCMCalls int
+	// MatchRuns counts rule-matching passes (M(·, K) evaluations).
+	MatchRuns int
+	// MatchingsFound counts matchings produced across all passes.
+	MatchingsFound int
+	// PSafeCalls counts conjunct-partitioning invocations.
+	PSafeCalls int
+	// ProductTerms counts product terms (disjuncts) examined during safety
+	// checking — the 2^{ne} / 2^{nk} quantity of Section 8.
+	ProductTerms int
+	// Disjunctivizations counts local structure rewritings performed.
+	Disjunctivizations int
+	// DNFDisjuncts counts disjuncts processed by Algorithm DNF.
+	DNFDisjuncts int
+}
+
+// Translator binds a mapping specification and accumulates statistics.
+// Its methods are not safe for concurrent use; create one per goroutine.
+type Translator struct {
+	Spec  *rules.Spec
+	Stats Stats
+
+	// residueClean tracks, during TranslateWithFilter, whether every SCM
+	// invocation realized its conjunction exactly (empty residue).
+	residueClean bool
+	// fullDNFSafety switches the safety machinery to full DNF (ablation;
+	// see SetFullDNFSafety).
+	fullDNFSafety bool
+	// trace, when non-nil, collects derivation steps (see SetTrace).
+	trace *Trace
+}
+
+// NewTranslator returns a translator for spec.
+func NewTranslator(spec *rules.Spec) *Translator {
+	return &Translator{Spec: spec}
+}
+
+// ResetStats zeroes the statistics counters.
+func (t *Translator) ResetStats() { t.Stats = Stats{} }
+
+// matchings runs M(·, K) with counting.
+func (t *Translator) matchings(cs []*qtree.Constraint) ([]*rules.Matching, error) {
+	t.Stats.MatchRuns++
+	ms, err := t.Spec.Matchings(cs)
+	if err != nil {
+		return nil, err
+	}
+	t.Stats.MatchingsFound += len(ms)
+	return ms, nil
+}
+
+// Algorithm names accepted by Translate.
+const (
+	AlgSCM  = "scm"
+	AlgDNF  = "dnf"
+	AlgTDQM = "tdqm"
+	// AlgCNF is the Garlic-style dependency-blind baseline (see CNFMap);
+	// its output subsumes the original but is generally not minimal.
+	AlgCNF = "cnf"
+)
+
+// Translate maps q with the named algorithm. AlgSCM requires a simple
+// conjunction; AlgDNF, AlgTDQM and AlgCNF accept arbitrary ∧/∨ queries.
+func (t *Translator) Translate(q *qtree.Node, algorithm string) (*qtree.Node, error) {
+	switch algorithm {
+	case AlgSCM:
+		q = q.Normalize()
+		if !q.IsSimpleConjunction() {
+			return nil, fmt.Errorf("core: %s is not a simple conjunction; use %s or %s",
+				q, AlgDNF, AlgTDQM)
+		}
+		res, err := t.SCM(q.SimpleConjuncts())
+		if err != nil {
+			return nil, err
+		}
+		return res.Query, nil
+	case AlgDNF:
+		return t.DNFMap(q)
+	case AlgTDQM:
+		return t.TDQM(q)
+	case AlgCNF:
+		return t.CNFMap(q)
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %q", algorithm)
+	}
+}

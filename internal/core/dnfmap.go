@@ -1,0 +1,27 @@
+package core
+
+import (
+	"repro/internal/qtree"
+)
+
+// DNFMap is Algorithm DNF (Figure 6): it converts q into disjunctive normal
+// form, maps every disjunct independently with Algorithm SCM (disjuncts are
+// always separable), and returns the disjunction of the mappings.
+//
+// The result is the minimal subsuming mapping, but the conversion is
+// exponential in general and the output is typically far less compact than
+// Algorithm TDQM's (Section 8) — this is the paper's baseline.
+func (t *Translator) DNFMap(q *qtree.Node) (*qtree.Node, error) {
+	dnf := qtree.ToDNF(q)
+	ds := dnf.Disjuncts()
+	t.Stats.DNFDisjuncts += len(ds)
+	kids := make([]*qtree.Node, 0, len(ds))
+	for _, d := range ds {
+		res, err := t.SCM(d.SimpleConjuncts())
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, res.Query)
+	}
+	return qtree.Or(kids...).Normalize(), nil
+}

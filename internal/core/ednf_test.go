@@ -1,0 +1,174 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/qparse"
+	"repro/internal/qtree"
+	"repro/internal/sources"
+)
+
+// qbookConjuncts parses Q_book (Figure 7) and returns its three conjuncts
+// Č1 = (fl ff ∨ fk1 ∨ fk2), Č2 = fy, Č3 = (fm1 ∨ fm2).
+func qbookConjuncts(t *testing.T) []*qtree.Node {
+	t.Helper()
+	q := qparse.MustParse(
+		`(([ln = "Smith"] and [fn = "John"]) or [kwd contains web] or [kwd contains java]) ` +
+			`and [pyear = 1997] and ([pmonth = 5] or [pmonth = 6])`).Normalize()
+	if q.Kind != qtree.KindAnd || len(q.Kids) != 3 {
+		t.Fatalf("unexpected shape: %s", q)
+	}
+	return q.Kids
+}
+
+// TestExample11EDNF reproduces the essential-DNF annotations of Figure 7 /
+// Example 11: De(Č1) = ε, De(Č2) = fy, De(Č3) = fm1 ∨ fm2.
+func TestExample11EDNF(t *testing.T) {
+	tr := core.NewTranslator(sources.NewAmazon().Spec)
+	conj := qbookConjuncts(t)
+
+	all := qtree.AndOf(conj...)
+	mp, err := tr.PotentialMatchings(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	de1 := tr.EDNF(conj[0], mp)
+	if len(de1) != 1 || !de1[0].IsEmpty() {
+		t.Errorf("De(Č1) = %s, want ε", de1)
+	}
+
+	de2 := tr.EDNF(conj[1], mp)
+	if len(de2) != 1 || de2[0].Len() != 1 {
+		t.Errorf("De(Č2) = %s, want {fy}", de2)
+	}
+
+	de3 := tr.EDNF(conj[2], mp)
+	if len(de3) != 2 {
+		t.Errorf("De(Č3) = %s, want fm1 ∨ fm2", de3)
+	}
+	for _, d := range de3 {
+		if d.Len() != 1 {
+			t.Errorf("De(Č3) disjunct %s should be a single pmonth constraint", d)
+		}
+	}
+}
+
+// TestExample11PotentialMatchings checks M_p for Q_book: the potential
+// matchings include the cross pairs {fy,fm1}, {fy,fm2} and the name pair
+// {fl,ff} alongside the singleton matchings.
+func TestExample11PotentialMatchings(t *testing.T) {
+	tr := core.NewTranslator(sources.NewAmazon().Spec)
+	conj := qbookConjuncts(t)
+	mp, err := tr.PotentialMatchings(qtree.AndOf(conj...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySize := map[int]int{}
+	for _, m := range mp {
+		bySize[m.Len()]++
+	}
+	// Pairs: {fl,ff} (R2), {fy,fm1}, {fy,fm2} (R6).
+	if bySize[2] != 3 {
+		for _, m := range mp {
+			t.Logf("potential: %s", m)
+		}
+		t.Errorf("got %d pair matchings, want 3", bySize[2])
+	}
+	// Singletons: {fl} (R3), {fy} (R7), {fk1}, {fk2} (R8).
+	if bySize[1] != 4 {
+		for _, m := range mp {
+			t.Logf("potential: %s", m)
+		}
+		t.Errorf("got %d singleton matchings, want 4", bySize[1])
+	}
+}
+
+// TestEDNFLeafNullification checks the false-positive guard discussed in
+// Section 7.1.3: in (fl ff)(fl)(ff) the pair {fl, ff} lies wholly inside the
+// first conjunct, so the conjunction is safe — deleting fl ff prematurely
+// would fabricate a cross-matching.
+func TestEDNFLeafNullification(t *testing.T) {
+	tr := core.NewTranslator(sources.NewAmazon().Spec)
+	c1 := qparse.MustParse(`[ln = "Smith"] and [fn = "John"]`)
+	c2 := qparse.MustParse(`[ln = "Smith"]`)
+	c3 := qparse.MustParse(`[fn = "John"]`)
+
+	p, err := tr.PSafe([]*qtree.Node{c1, c2, c3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CrossMatchings != 0 {
+		t.Errorf("found %d cross-matchings in (flff)(fl)(ff); want 0 — {fl,ff} is inside Č1", p.CrossMatchings)
+	}
+	if !p.Separable {
+		t.Errorf("(flff)(fl)(ff) should be separable, got %s", p)
+	}
+}
+
+// TestEDNFNoDependencies checks the Section 8 claim that with no dependent
+// constraints every EDNF collapses to ε and the safety check examines a
+// single product term.
+func TestEDNFNoDependencies(t *testing.T) {
+	tr := core.NewTranslator(sources.NewAmazon().Spec)
+	// publisher / id-no / category constraints have only singleton
+	// matchings at Amazon.
+	q := qparse.MustParse(`([publisher = "oreilly"] or [publisher = "mit-press"]) and ` +
+		`([id-no = "111111111A"] or [id-no = "222222222B"]) and [category = "D.3"]`).Normalize()
+	p, err := tr.PSafe(q.Kids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Separable {
+		t.Errorf("independent conjunction not separable: %s", p)
+	}
+	// All EDNF terms are ε, so exactly one product term is examined by the
+	// top-level PSafe (plus the per-node products inside EDNF computation).
+	if tr.Stats.ProductTerms > 4 {
+		t.Errorf("safety check examined %d product terms; expected ≤ 4 with all-ε EDNF", tr.Stats.ProductTerms)
+	}
+}
+
+// TestLemma3Equivalence checks Lemma 3 on Q_book: Algorithm PSafe finds the
+// same cross-matching count and partition whether it uses essential or full
+// DNF. The full-DNF run is emulated with a spec-free scan: we compare the
+// partition computed by PSafe (EDNF-based) with the partition derived from
+// brute-force DNF safety analysis.
+func TestLemma3Equivalence(t *testing.T) {
+	tr := core.NewTranslator(sources.NewAmazon().Spec)
+	conj := qbookConjuncts(t)
+
+	p, err := tr.PSafe(conj)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Brute force: full DNF of the conjunction, Definition 5 per disjunct.
+	brute := core.NewTranslator(sources.NewAmazon().Spec)
+	cross := 0
+	full := qtree.ToDNF(qtree.AndOf(conj...))
+	for _, d := range full.Disjuncts() {
+		// Partition the disjunct's constraints by originating conjunct.
+		var parts []*qtree.ConstraintSet
+		dset := qtree.SetOfConstraints(d)
+		for _, c := range conj {
+			inter := qtree.NewConstraintSet()
+			for _, cc := range qtree.SetOfConstraints(c).Slice() {
+				if dset.Has(cc) {
+					inter.Add(cc)
+				}
+			}
+			parts = append(parts, inter)
+		}
+		delta, err := brute.CrossMatchings(parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cross += len(delta)
+	}
+	if (cross == 0) != (p.CrossMatchings == 0) {
+		t.Errorf("EDNF-based safety (%d cross) disagrees with full-DNF safety (%d cross)",
+			p.CrossMatchings, cross)
+	}
+}

@@ -1,0 +1,389 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/qtree"
+)
+
+// Partition is the result of Algorithm PSafe: a partition of a conjunction's
+// conjuncts into blocks that are safe to translate independently
+// (S(Q̂) = ∏ S(∧(B))) and minimal before merging (no block further
+// partitionable safely — Theorem 6).
+type Partition struct {
+	// Blocks holds disjoint, sorted conjunct-index blocks covering all
+	// conjuncts, ordered by first index.
+	Blocks [][]int
+	// Separable reports whether every conjunct ended up in its own block,
+	// i.e. the conjunction was safe to separate completely.
+	Separable bool
+	// CrossMatchings counts the cross-matching instances found across the
+	// examined product terms.
+	CrossMatchings int
+}
+
+// String renders the partition as {{0,1},{2}}.
+func (p *Partition) String() string {
+	parts := make([]string, len(p.Blocks))
+	for i, b := range p.Blocks {
+		es := make([]string, len(b))
+		for j, x := range b {
+			es[j] = fmt.Sprint(x)
+		}
+		parts[i] = "{" + strings.Join(es, ",") + "}"
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// PSafe is Algorithm PSafe (Figure 11): it partitions the given conjuncts
+// into safe, minimal blocks with respect to the translator's specification.
+//
+// Step 1 computes the conjuncts' essential DNF (Procedure EDNF) and scans
+// every product term for cross-matchings — potential matchings spanning
+// ingredients of different conjuncts — recording, per cross-matching, the
+// candidate blocks that minimally cover it. Step 2 selects an irredundant
+// set of candidate blocks covering all cross-matchings, merges overlapping
+// blocks, and completes the partition with singleton blocks.
+func (t *Translator) PSafe(conjuncts []*qtree.Node) (*Partition, error) {
+	t.Stats.PSafeCalls++
+	n := len(conjuncts)
+	all := qtree.NewConstraintSet()
+	for _, c := range conjuncts {
+		all.AddAll(qtree.SetOfConstraints(c))
+	}
+	ms, err := t.matchings(all.Slice())
+	if err != nil {
+		return nil, err
+	}
+	mp := matchingSets(ms)
+
+	des := make([]DNFExpr, n)
+	for i, c := range conjuncts {
+		des[i] = t.EDNF(c, mp)
+	}
+
+	// Step 1: scan product terms for cross-matchings and candidate blocks.
+	cands := make(map[string]*candBlock) // keyed by index-tuple
+	instBlocks := make(map[string][]string)
+	var instOrder []string
+
+	idx := make([]int, n)
+	ing := make([]*qtree.ConstraintSet, n)
+	for {
+		term := qtree.NewConstraintSet()
+		for i := range idx {
+			ing[i] = des[i][idx[i]]
+			term.AddAll(ing[i])
+		}
+		t.Stats.ProductTerms++
+		termID := fmt.Sprint(idx)
+		for _, m := range mp {
+			if !m.SubsetOf(term) {
+				continue
+			}
+			inside := false
+			for i := 0; i < n; i++ {
+				if m.SubsetOf(ing[i]) {
+					inside = true
+					break
+				}
+			}
+			if inside {
+				continue // not a cross-matching in this term
+			}
+			instID := termID + "|" + m.ID()
+			if _, dup := instBlocks[instID]; dup {
+				continue
+			}
+			instOrder = append(instOrder, instID)
+			for _, bidx := range minimalCovers(m, ing) {
+				key := blockKey(bidx)
+				cb, ok := cands[key]
+				if !ok {
+					cb = &candBlock{indices: bidx, covers: make(map[string]bool)}
+					cands[key] = cb
+				}
+				cb.covers[instID] = true
+				instBlocks[instID] = append(instBlocks[instID], key)
+			}
+		}
+		// odometer
+		i := n - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(des[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+
+	p := &Partition{CrossMatchings: len(instOrder)}
+
+	// Step 2: choose an irredundant cover of the cross-matching instances.
+	chosen := chooseCover(instOrder, instBlocks, cands)
+
+	// Merge overlapping chosen blocks (union-find over conjunct indices).
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, key := range chosen {
+		b := cands[key].indices
+		for _, x := range b[1:] {
+			parent[find(x)] = find(b[0])
+		}
+	}
+	groups := make(map[int][]int)
+	for i := 0; i < n; i++ {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	// Order blocks by their smallest member for determinism.
+	sort.Slice(roots, func(a, b int) bool { return groups[roots[a]][0] < groups[roots[b]][0] })
+	for _, r := range roots {
+		blk := groups[r]
+		sort.Ints(blk)
+		p.Blocks = append(p.Blocks, blk)
+	}
+	p.Separable = len(p.Blocks) == n
+	return p, nil
+}
+
+func blockKey(idx []int) string {
+	parts := make([]string, len(idx))
+	for i, x := range idx {
+		parts[i] = fmt.Sprint(x)
+	}
+	return strings.Join(parts, ",")
+}
+
+// minimalCovers enumerates all minimal (irredundant) covers of matching m by
+// the ingredient constraint sets: subsets β of conjunct indices such that
+// m ⊆ ∪_{i∈β} C(I_i) and no proper subset of β covers m (Figure 11,
+// lines 9–10).
+//
+// Enumeration goes by per-constraint choice: for each constraint of m pick
+// one conjunct containing it, union the choices, then keep the minimal
+// sets. Every minimal cover arises this way (each member of a minimal
+// cover exclusively covers some constraint, so choosing those exclusive
+// constraints reconstructs it), and the work is bounded by
+// ∏ |holders(c)| over m's constraints — small, since rule arity bounds |m|.
+func minimalCovers(m *qtree.ConstraintSet, ing []*qtree.ConstraintSet) [][]int {
+	keys := m.Keys()
+	holders := make([][]int, len(keys))
+	for ki, key := range keys {
+		for i, s := range ing {
+			if s.HasKey(key) {
+				holders[ki] = append(holders[ki], i)
+			}
+		}
+		if len(holders[ki]) == 0 {
+			return nil // m not coverable in this term (cannot happen when m ⊆ term)
+		}
+	}
+	// Product of choices, collecting candidate index sets.
+	seen := make(map[string]bool)
+	var candidates [][]int
+	choice := make([]int, len(keys))
+	for {
+		set := make(map[int]bool, len(keys))
+		for ki := range keys {
+			set[holders[ki][choice[ki]]] = true
+		}
+		idxs := make([]int, 0, len(set))
+		for i := range set {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		key := blockKey(idxs)
+		if !seen[key] {
+			seen[key] = true
+			candidates = append(candidates, idxs)
+		}
+		// odometer
+		ki := len(keys) - 1
+		for ; ki >= 0; ki-- {
+			choice[ki]++
+			if choice[ki] < len(holders[ki]) {
+				break
+			}
+			choice[ki] = 0
+		}
+		if ki < 0 {
+			break
+		}
+	}
+	// Keep only the minimal candidates (no other candidate is a proper
+	// subset).
+	var out [][]int
+	for i, a := range candidates {
+		minimal := true
+		for j, b := range candidates {
+			if i != j && properSubsetInts(b, a) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// properSubsetInts reports whether sorted a is a proper subset of sorted b.
+func properSubsetInts(a, b []int) bool {
+	if len(a) >= len(b) {
+		return false
+	}
+	j := 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j >= len(b) || b[j] != x {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// candBlock is a candidate block (Figure 11, variable X): the conjunct
+// indices it comprises and the cross-matching instances it covers (B̃).
+type candBlock struct {
+	indices []int
+	covers  map[string]bool
+}
+
+// chooseCover selects an irredundant subset of the candidate blocks covering
+// every cross-matching instance (Figure 11, line 16). Blocks that are the
+// sole cover of some instance are forced; the remainder is covered greedily
+// (largest marginal coverage, ties broken by smaller block then by key for
+// determinism), and a final pruning pass removes blocks made redundant by
+// later choices, yielding a minimal (irredundant) cover.
+func chooseCover(instOrder []string, instBlocks map[string][]string, cands map[string]*candBlock) []string {
+	if len(instOrder) == 0 {
+		return nil
+	}
+	chosen := make(map[string]bool)
+	covered := make(map[string]bool)
+
+	markCovered := func(key string) {
+		for inst := range cands[key].covers {
+			covered[inst] = true
+		}
+	}
+
+	// Forced blocks: sole cover of some instance.
+	for _, inst := range instOrder {
+		bs := instBlocks[inst]
+		if len(bs) == 1 && !chosen[bs[0]] {
+			chosen[bs[0]] = true
+			markCovered(bs[0])
+		}
+	}
+
+	// Greedy cover of the remainder.
+	keys := make([]string, 0, len(cands))
+	for k := range cands {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		ka, kb := cands[keys[a]], cands[keys[b]]
+		if len(ka.indices) != len(kb.indices) {
+			return len(ka.indices) < len(kb.indices)
+		}
+		return keys[a] < keys[b]
+	})
+	remaining := func() int {
+		c := 0
+		for _, inst := range instOrder {
+			if !covered[inst] {
+				c++
+			}
+		}
+		return c
+	}
+	for remaining() > 0 {
+		best, bestGain := "", 0
+		for _, k := range keys {
+			if chosen[k] {
+				continue
+			}
+			gain := 0
+			for inst := range cands[k].covers {
+				if !covered[inst] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = k, gain
+			}
+		}
+		if best == "" {
+			break // cannot happen: every instance has at least one candidate
+		}
+		chosen[best] = true
+		markCovered(best)
+	}
+
+	// Prune: drop blocks whose instances are all covered by other choices.
+	chosenKeys := make([]string, 0, len(chosen))
+	for k := range chosen {
+		chosenKeys = append(chosenKeys, k)
+	}
+	// Try to drop larger blocks first so the surviving cover prefers small
+	// blocks, matching the paper's minimality discussion.
+	sort.Slice(chosenKeys, func(a, b int) bool {
+		ka, kb := cands[chosenKeys[a]], cands[chosenKeys[b]]
+		if len(ka.indices) != len(kb.indices) {
+			return len(ka.indices) > len(kb.indices)
+		}
+		return chosenKeys[a] < chosenKeys[b]
+	})
+	for _, k := range chosenKeys {
+		redundant := true
+		for inst := range cands[k].covers {
+			soleHolder := true
+			for _, other := range instBlocks[inst] {
+				if other != k && chosen[other] {
+					soleHolder = false
+					break
+				}
+			}
+			if soleHolder {
+				redundant = false
+				break
+			}
+		}
+		if redundant {
+			delete(chosen, k)
+		}
+	}
+
+	out := make([]string, 0, len(chosen))
+	for k := range chosen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

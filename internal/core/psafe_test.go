@@ -1,0 +1,233 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/qparse"
+	"repro/internal/qtree"
+	"repro/internal/rules"
+	"repro/internal/sources"
+)
+
+// xyuvSpec builds the synthetic specification of Examples 13/14: the
+// matchings for constraints x, y, u, v are {x,y}, {u}, and {v}.
+func xyuvSpec(t *testing.T) *rules.Spec {
+	t.Helper()
+	rs := rules.MustParseRules(`
+rule RXY {
+  match [x = A], [y = B];
+  where Value(A), Value(B);
+  emit exact [txy = A];
+}
+rule RU {
+  match [u = A];
+  where Value(A);
+  emit exact [tu = A];
+}
+rule RV {
+  match [v = A];
+  where Value(A);
+  emit exact [tv = A];
+}
+`)
+	target := rules.NewTarget("xyuv",
+		rules.Capability{Attr: "txy", Op: qtree.OpEq},
+		rules.Capability{Attr: "tu", Op: qtree.OpEq},
+		rules.Capability{Attr: "tv", Op: qtree.OpEq},
+	)
+	return rules.MustSpec("K_xyuv", target, rules.NewRegistry(), rs...)
+}
+
+// TestExample13Qa reproduces the first partition of Examples 13/14:
+// Q̂a = (x)(y)(yu ∨ v) partitions into {{Č1, Č2}, {Č3}} — only the block
+// covering the cross-matching {x, y} is required, and Č3 separates.
+func TestExample13Qa(t *testing.T) {
+	tr := core.NewTranslator(xyuvSpec(t))
+	qa := qparse.MustParse(`[x = 1] and [y = 1] and (([y = 1] and [u = 1]) or [v = 1])`).Normalize()
+	if qa.Kind != qtree.KindAnd || len(qa.Kids) != 3 {
+		t.Fatalf("unexpected shape: %s", qa)
+	}
+	p, err := tr.PSafe(qa.Kids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != "{{0,1}, {2}}" {
+		t.Errorf("partition(Qa) = %s, want {{0,1}, {2}}", p)
+	}
+}
+
+// TestExample13Qb reproduces the second partition: Q̂b = (x)(y∨u)(y∨v)
+// needs both blocks {Č1,Č2} and {Č1,Č3}, which merge into one
+// {Č1, Č2, Č3}.
+func TestExample13Qb(t *testing.T) {
+	tr := core.NewTranslator(xyuvSpec(t))
+	qb := qparse.MustParse(`[x = 1] and ([y = 1] or [u = 1]) and ([y = 1] or [v = 1])`).Normalize()
+	if qb.Kind != qtree.KindAnd || len(qb.Kids) != 3 {
+		t.Fatalf("unexpected shape: %s", qb)
+	}
+	p, err := tr.PSafe(qb.Kids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != "{{0,1,2}}" {
+		t.Errorf("partition(Qb) = %s, want {{0,1,2}}", p)
+	}
+}
+
+// TestExample7Safety reproduces Example 7: with K_Amazon,
+// Q̂ = (fl ff)(fy)(fm1) is unsafe because of the cross-matching {fy, fm1}.
+func TestExample7Safety(t *testing.T) {
+	tr := core.NewTranslator(sources.NewAmazon().Spec)
+	c1 := qtree.SetOfConstraints(qparse.MustParse(`[ln = "Smith"] and [fn = "John"]`))
+	c2 := qtree.SetOfConstraints(qparse.MustParse(`[pyear = 1997]`))
+	c3 := qtree.SetOfConstraints(qparse.MustParse(`[pmonth = 5]`))
+
+	delta, err := tr.CrossMatchings([]*qtree.ConstraintSet{c1, c2, c3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delta) != 1 {
+		t.Fatalf("got %d cross-matchings (%v), want 1", len(delta), delta)
+	}
+	want := qtree.SetOfConstraints(qparse.MustParse(`[pyear = 1997] and [pmonth = 5]`))
+	if !delta[0].Equal(want) {
+		t.Errorf("cross-matching = %s, want %s", delta[0], want)
+	}
+	safe, err := tr.SafeBase([]*qtree.ConstraintSet{c1, c2, c3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if safe {
+		t.Error("Q̂ reported safe; Example 7 says unsafe")
+	}
+}
+
+// mapOracle builds an engine-backed subsumption oracle over a grid of map
+// points: broader subsumes narrower iff every grid point selected by
+// narrower is selected by broader.
+func mapOracle(t *testing.T) core.SubsumptionOracle {
+	t.Helper()
+	ev := sources.NewMapEvaluator()
+	var grid []engine.Tuple
+	for x := -10.0; x <= 60; x += 5 {
+		for y := -10.0; y <= 60; y += 5 {
+			grid = append(grid, sources.MapTuple(x, y))
+		}
+	}
+	return func(broader, narrower *qtree.Node) (bool, error) {
+		for _, tup := range grid {
+			inN, err := ev.EvalQuery(narrower, tup)
+			if err != nil {
+				return false, err
+			}
+			if !inN {
+				continue
+			}
+			inB, err := ev.EvalQuery(broader, tup)
+			if err != nil {
+				return false, err
+			}
+			if !inB {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+}
+
+// TestExample8 reproduces Example 8 / Figure 9: with the map rules,
+// Q̂ = (f1 f2)(f3 f4) has two cross-matchings yet is *separable* (they are
+// redundant: the corner constraints subsume the range pair), while
+// Q̂' = (f1 f4)(f2 f3) is truly inseparable.
+func TestExample8(t *testing.T) {
+	g := sources.NewMapSource()
+	tr := core.NewTranslator(g.Spec)
+	oracle := mapOracle(t)
+
+	f1 := qtree.SetOfConstraints(qparse.MustParse(`[xmin = 10]`))
+	f2 := qtree.SetOfConstraints(qparse.MustParse(`[xmax = 30]`))
+	f3 := qtree.SetOfConstraints(qparse.MustParse(`[ymin = 20]`))
+	f4 := qtree.SetOfConstraints(qparse.MustParse(`[ymax = 40]`))
+
+	// First conjunction: (f1 f2)(f3 f4).
+	c1, c2 := f1.Union(f2), f3.Union(f4)
+	delta, err := tr.CrossMatchings([]*qtree.ConstraintSet{c1, c2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delta) != 2 {
+		t.Fatalf("got %d cross-matchings (%v), want 2 (m3, m4)", len(delta), delta)
+	}
+	safe, err := tr.SafeBase([]*qtree.ConstraintSet{c1, c2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if safe {
+		t.Error("(f1f2)(f3f4) reported safe; it has cross-matchings")
+	}
+	sep, err := tr.SeparableBase([]*qtree.ConstraintSet{c1, c2}, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sep {
+		t.Error("(f1f2)(f3f4) not separable; Example 8 proves it is (redundant cross-matchings)")
+	}
+
+	// Second conjunction: (f1 f4)(f2 f3) — all cross-matchings essential.
+	d1, d2 := f1.Union(f4), f2.Union(f3)
+	delta, err = tr.CrossMatchings([]*qtree.ConstraintSet{d1, d2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delta) != 4 {
+		t.Fatalf("got %d cross-matchings (%v), want 4", len(delta), delta)
+	}
+	sep, err = tr.SeparableBase([]*qtree.ConstraintSet{d1, d2}, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sep {
+		t.Error("(f1f4)(f2f3) reported separable; Example 8 proves it is not")
+	}
+}
+
+// TestExample8Mapping checks the actual translations behind Example 8: the
+// separated mapping S(f1f2)S(f3f4) = g1 ∧ g2, and the cross-matching's
+// mapping S(f1f3) = g3, with g1g2 ⊆ g3 on data (Figure 9: point (50,30) is
+// in g3 but not in g1g2).
+func TestExample8Mapping(t *testing.T) {
+	g := sources.NewMapSource()
+	tr := core.NewTranslator(g.Spec)
+
+	res, err := tr.SCMQuery(qparse.MustParse(`[xmin = 10] and [xmax = 30]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := qparse.MustParse(`[xrange = (10:30)]`); !res.Query.EqualCanonical(want) {
+		t.Errorf("S(f1f2) = %s, want %s", res.Query, want)
+	}
+
+	res, err = tr.SCMQuery(qparse.MustParse(`[xmin = 10] and [ymin = 20]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := qparse.MustParse(`[cll = (10,20)]`); !res.Query.EqualCanonical(want) {
+		t.Errorf("S(f1f3) = %s, want %s", res.Query, want)
+	}
+
+	ev := sources.NewMapEvaluator()
+	pt := sources.MapTuple(50, 30) // Figure 9's witness point
+	inG3, err := ev.EvalQuery(qparse.MustParse(`[cll = (10,20)]`), pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inG1G2, err := ev.EvalQuery(qparse.MustParse(`[xrange = (10:30)] and [yrange = (20:40)]`), pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inG3 || inG1G2 {
+		t.Errorf("point (50,30): inG3=%v inG1G2=%v, want true/false", inG3, inG1G2)
+	}
+}

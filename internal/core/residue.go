@@ -1,0 +1,34 @@
+package core
+
+import (
+	"repro/internal/qtree"
+)
+
+// TranslateWithFilter maps q and also returns the filter query F the
+// mediator must apply to the source results so that Q = F ∧ S(Q) (Eq. 3).
+//
+// For a simple conjunction the residue is tight, as in Example 3: only the
+// constraints not exactly realized at the target remain in F. For complex
+// queries the library returns True when the whole translation was exact and
+// the original query otherwise — re-applying Q is always a correct filter
+// (Example 1 does exactly that); per-branch filter minimization is the
+// subject of the paper's references [15, 16] and out of scope (DESIGN.md).
+func (t *Translator) TranslateWithFilter(q *qtree.Node, algorithm string) (mapped, filter *qtree.Node, err error) {
+	q = q.Normalize()
+	if q.IsSimpleConjunction() {
+		res, err := t.SCM(q.SimpleConjuncts())
+		if err != nil {
+			return nil, nil, err
+		}
+		return res.Query, res.Residue, nil
+	}
+	t.residueClean = true
+	mapped, err = t.Translate(q, algorithm)
+	if err != nil {
+		return nil, nil, err
+	}
+	if t.residueClean {
+		return mapped, qtree.True(), nil
+	}
+	return mapped, q.Clone(), nil
+}

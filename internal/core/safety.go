@@ -1,0 +1,181 @@
+package core
+
+import (
+	"repro/internal/engine"
+	"repro/internal/qtree"
+)
+
+// CrossMatchings computes δ for a base-case conjunction Q̂ = Ĉ1···Ĉn of
+// simple conjunctions (Definition 5): the matchings found in Q̂ as a whole
+// that are not contained in any single conjunct. Because rule conditions
+// inspect only the constraints they bind, a matching lies in M(Ĉi, K)
+// exactly when its constraint set is a subset of Ĉi's constraints.
+func (t *Translator) CrossMatchings(conjuncts []*qtree.ConstraintSet) ([]*qtree.ConstraintSet, error) {
+	whole := qtree.NewConstraintSet()
+	for _, c := range conjuncts {
+		whole.AddAll(c)
+	}
+	ms, err := t.matchings(whole.Slice())
+	if err != nil {
+		return nil, err
+	}
+	var delta []*qtree.ConstraintSet
+	for _, m := range matchingSets(ms) {
+		inside := false
+		for _, c := range conjuncts {
+			if m.SubsetOf(c) {
+				inside = true
+				break
+			}
+		}
+		if !inside {
+			delta = append(delta, m)
+		}
+	}
+	return delta, nil
+}
+
+// SafeBase tests the Definition 5 safety condition for a conjunction of
+// simple conjunctions: safe iff no cross-matchings exist. Safety is
+// sufficient (but not necessary) for separability (Corollary 1).
+func (t *Translator) SafeBase(conjuncts []*qtree.ConstraintSet) (bool, error) {
+	delta, err := t.CrossMatchings(conjuncts)
+	if err != nil {
+		return false, err
+	}
+	return len(delta) == 0, nil
+}
+
+// Safe tests the Definition 6 safety condition for a general conjunction of
+// disjunctive conjuncts, using Procedure EDNF exactly as Algorithm PSafe
+// does: the conjunction is safe iff no product term contains a
+// cross-matching.
+func (t *Translator) Safe(conjuncts []*qtree.Node) (bool, error) {
+	p, err := t.PSafe(conjuncts)
+	if err != nil {
+		return false, err
+	}
+	return p.CrossMatchings == 0, nil
+}
+
+// SubsumptionOracle decides whether broader subsumes narrower — i.e.
+// σ_broader(D) ⊇ σ_narrower(D) for all D. Oracles are domain-specific: the
+// library provides an engine-backed oracle over sampled data and a
+// Boolean-level oracle (internal/boolex) for shared-atom queries.
+type SubsumptionOracle func(broader, narrower *qtree.Node) (bool, error)
+
+// SeparableGeneral tests the precise separability condition of Theorem 4
+// for a general conjunction of disjunctive conjuncts, empirically over a
+// tuple sample: Q̂ is separable iff for every disjunct D̂j of
+// Disjunctivize(Q̂), the "slack" of separating its ingredients —
+// [∏ S(I_ik)] ∖ S(D̂j) — is absorbed by the other disjuncts' mappings
+// (Eq. 8). Negation is not representable in the query language, so the
+// set difference is evaluated tuple by tuple with the given evaluator.
+//
+// The verdict is exact over the sample: a false result is definitive (a
+// witness tuple violates Eq. 8); a true result certifies separability over
+// the sampled data (exhaustive samples give the full theorem).
+func (t *Translator) SeparableGeneral(conjuncts []*qtree.Node, ev *engine.Evaluator, sample []engine.Tuple) (bool, error) {
+	disj := qtree.Disjunctivize(conjuncts)
+	ds := disj.Disjuncts()
+
+	// Per disjunct: the separated mapping Zj = ∏ S(ingredient) and the
+	// joint mapping S(D̂j).
+	type branch struct {
+		z, s *qtree.Node
+	}
+	branches := make([]branch, len(ds))
+	for j, d := range ds {
+		var zs []*qtree.Node
+		for _, ing := range d.Conjuncts() {
+			m, err := t.TDQM(ing)
+			if err != nil {
+				return false, err
+			}
+			zs = append(zs, m)
+		}
+		s, err := t.TDQM(d)
+		if err != nil {
+			return false, err
+		}
+		branches[j] = branch{z: qtree.AndOf(zs...), s: s}
+	}
+
+	for _, tup := range sample {
+		for j, b := range branches {
+			inZ, err := ev.EvalQuery(b.z, tup)
+			if err != nil {
+				return false, err
+			}
+			if !inZ {
+				continue
+			}
+			inS, err := ev.EvalQuery(b.s, tup)
+			if err != nil {
+				return false, err
+			}
+			if inS {
+				continue
+			}
+			// Tuple is in the slack Zj ∖ S(D̂j): some other disjunct's
+			// mapping must absorb it.
+			absorbed := false
+			for j2, b2 := range branches {
+				if j2 == j {
+					continue
+				}
+				in2, err := ev.EvalQuery(b2.s, tup)
+				if err != nil {
+					return false, err
+				}
+				if in2 {
+					absorbed = true
+					break
+				}
+			}
+			if !absorbed {
+				return false, nil // Eq. 8 violated: not separable
+			}
+		}
+	}
+	return true, nil
+}
+
+// SeparableBase tests the *precise* separability condition of Theorem 3 for
+// a base-case conjunction: Q̂ is separable iff every cross-matching m ∈ δ is
+// redundant, i.e. S(Ĉ1)···S(Ĉn) ⊆ S(∧(m)). Redundant cross-matchings are
+// rare in practice (Example 8's interdependent map attributes are the
+// canonical exception), so Algorithm PSafe uses the cheap safety test; this
+// function exists to quantify how conservative that test is.
+func (t *Translator) SeparableBase(conjuncts []*qtree.ConstraintSet, subsumes SubsumptionOracle) (bool, error) {
+	delta, err := t.CrossMatchings(conjuncts)
+	if err != nil {
+		return false, err
+	}
+	if len(delta) == 0 {
+		return true, nil
+	}
+	sep := make([]*qtree.Node, 0, len(conjuncts))
+	for _, c := range conjuncts {
+		res, err := t.SCM(c.Slice())
+		if err != nil {
+			return false, err
+		}
+		sep = append(sep, res.Query)
+	}
+	separated := qtree.And(sep...).Normalize()
+	for _, m := range delta {
+		res, err := t.SCM(m.Slice())
+		if err != nil {
+			return false, err
+		}
+		ok, err := subsumes(res.Query, separated)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil // essential cross-matching: not separable
+		}
+	}
+	return true, nil
+}

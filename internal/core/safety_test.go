@@ -1,0 +1,195 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/boolex"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/qparse"
+	"repro/internal/qtree"
+	"repro/internal/rules"
+	"repro/internal/sources"
+	"repro/internal/values"
+)
+
+// TestExample9GeneralSafety reproduces Example 9: for
+// Q̂ = (I11 ∨ I12)(I21) with no cross-ingredient dependencies, every
+// ingredient conjunction is safe and therefore so is the whole conjunction.
+func TestExample9GeneralSafety(t *testing.T) {
+	tr := core.NewTranslator(sources.NewAmazon().Spec)
+	// Ingredients over independent attributes (publisher / id-no /
+	// category have only singleton matchings at Amazon).
+	c1 := qparse.MustParse(`[publisher = "a"] or [publisher = "b"]`)
+	c2 := qparse.MustParse(`[id-no = "123456789X"]`)
+	safe, err := tr.Safe([]*qtree.Node{c1, c2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !safe {
+		t.Error("(I11 ∨ I12)(I21) with independent ingredients reported unsafe")
+	}
+}
+
+// anomalySpec builds the Section 7.1.2 anomaly scenario: constraints x, y,
+// z where {y, z} is a matching and x has no mapping at all
+// (S(x) = True, so S(xz) = S(z)).
+func anomalySpec(t *testing.T) *rules.Spec {
+	t.Helper()
+	// Note YZ's emission must be the *minimal* subsuming mapping of y ∧ z
+	// (Definition 3): since the target supports tz too, that is
+	// [tyz = A] ∧ [tz = B], not [tyz = A] alone.
+	rs := rules.MustParseRules(`
+rule YZ {
+  match [y = A], [z = B];
+  where Value(A), Value(B);
+  emit exact [tyz = A] and [tz = B];
+}
+rule Z {
+  match [z = B];
+  where Value(B);
+  emit exact [tz = B];
+}
+`)
+	target := rules.NewTarget("anomaly",
+		rules.Capability{Attr: "tyz", Op: qtree.OpEq},
+		rules.Capability{Attr: "tz", Op: qtree.OpEq},
+	)
+	return rules.MustSpec("K_anomaly", target, rules.NewRegistry(), rs...)
+}
+
+// TestDefinition6Anomaly reproduces the Section 7.1.2 "anomaly": the
+// conjunction (x ∨ y)(z) is UNSAFE by Definition 6 (the term (y)(z) has the
+// cross-matching {y,z}) yet actually separable, because S(x) = True masks
+// the unsafe term. The safety test is conservative: PSafe groups the
+// conjuncts, and the resulting mapping — while less succinct — must still
+// be logically equivalent to the separated one (both are minimal).
+func TestDefinition6Anomaly(t *testing.T) {
+	tr := core.NewTranslator(anomalySpec(t))
+	q := qparse.MustParse(`([x = 1] or [y = 1]) and [z = 1]`).Normalize()
+
+	safe, err := tr.Safe(q.Kids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if safe {
+		t.Error("(x ∨ y)(z) reported safe; Definition 6 classifies it unsafe")
+	}
+	p, err := tr.PSafe(q.Kids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Separable {
+		t.Errorf("PSafe separated the unsafe conjunction: %s", p)
+	}
+
+	// The conservative (grouped) mapping and the separated mapping are both
+	// correct here: S((x∨y)z) = S(x∨y) ∧ S(z) = S(z) = [tz = 1].
+	grouped, err := tr.TDQM(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1Map, err := tr.DNFMap(q.Kids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tr.SCMQuery(q.Kids[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	separated := qtree.AndOf(c1Map, res.Query)
+	eq, err := boolex.Equivalent(grouped, separated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Errorf("anomaly case: grouped %s and separated %s mappings differ", grouped, separated)
+	}
+	// And both reduce to S(z): the y-branch's stricter [tyz] mapping stays
+	// inside a disjunct that the x-branch's True-mapped disjunct absorbs
+	// semantically.
+	want := qparse.MustParse(`[tz = 1]`)
+	if ok, _ := boolex.Equivalent(grouped, want); !ok {
+		t.Errorf("grouped mapping %s not equivalent to S(z) = %s", grouped, want)
+	}
+}
+
+// TestTheorem4GeneralSeparability: the Section 7.1.2 anomaly, completed.
+// Definition 6 calls (x ∨ y)(z) unsafe, but the precise Theorem 4 test —
+// evaluated exhaustively over the value grid — certifies it IS separable:
+// the unsafe term's slack is absorbed because S(x) = True masks it.
+// The inseparable control case (pyear)(pmonth ∨ publisher at Amazon)
+// fails the same test.
+func TestTheorem4GeneralSeparability(t *testing.T) {
+	tr := core.NewTranslator(anomalySpec(t))
+	q := qparse.MustParse(`([x = 1] or [y = 1]) and [z = 1]`).Normalize()
+
+	// Exhaustive sample over the anomaly vocabulary: x,y,z ∈ {0,1} with
+	// derived tyz = y and tz = z.
+	var sample []engine.Tuple
+	ev := engine.NewEvaluator()
+	for x := 0; x <= 1; x++ {
+		for y := 0; y <= 1; y++ {
+			for z := 0; z <= 1; z++ {
+				tup := make(engine.Tuple)
+				tup.Set(qtree.A("x"), values.Int(int64(x)))
+				tup.Set(qtree.A("y"), values.Int(int64(y)))
+				tup.Set(qtree.A("z"), values.Int(int64(z)))
+				tup.Set(qtree.A("tyz"), values.Int(int64(y)))
+				tup.Set(qtree.A("tz"), values.Int(int64(z)))
+				sample = append(sample, tup)
+			}
+		}
+	}
+	sep, err := tr.SeparableGeneral(q.Kids, ev, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sep {
+		t.Error("Theorem 4 should certify (x ∨ y)(z) separable (the anomaly)")
+	}
+
+	// Control: a truly inseparable conjunction at Amazon —
+	// (pyear)(pmonth ∨ publisher); the pyear∧pmonth branch loses the
+	// combined date if separated.
+	am := sources.NewAmazon()
+	amTr := core.NewTranslator(am.Spec)
+	qa := qparse.MustParse(`[pyear = 1997] and ([pmonth = 5] or [publisher = "x"])`).Normalize()
+	var books []engine.Tuple
+	for _, bk := range sources.GenBooks(3, 200) {
+		books = append(books, bk.Tuple())
+	}
+	sep, err = amTr.SeparableGeneral(qa.Kids, am.Eval, books)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sep {
+		t.Error("Theorem 4 should refute separability of (pyear)(pmonth ∨ publisher)")
+	}
+}
+
+// TestSafetyMatchesPartitionSeparability: Safe ⟺ PSafe finds zero
+// cross-matchings ⟺ fully separable partition, across the paper's
+// fixtures.
+func TestSafetyMatchesPartitionSeparability(t *testing.T) {
+	tr := core.NewTranslator(sources.NewAmazon().Spec)
+	cases := []struct {
+		q    string
+		safe bool
+	}{
+		{`[publisher = "a"] and ([category = "D.3"] or [category = "H.2"])`, true},
+		{`[pyear = 1997] and ([pmonth = 5] or [pmonth = 6])`, false},
+		{`([ln = "a"] or [ln = "b"]) and [fn = "c"]`, false},
+		{`([ln = "a"] or [ln = "b"]) and ([pyear = 1997] or [publisher = "x"])`, true},
+	}
+	for _, c := range cases {
+		q := qparse.MustParse(c.q).Normalize()
+		safe, err := tr.Safe(q.Conjuncts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if safe != c.safe {
+			t.Errorf("Safe(%s) = %v, want %v", c.q, safe, c.safe)
+		}
+	}
+}

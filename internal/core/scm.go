@@ -1,0 +1,69 @@
+package core
+
+import (
+	"repro/internal/qtree"
+	"repro/internal/rules"
+)
+
+// SCMResult is the output of Algorithm SCM: the translated query, the
+// matchings retained after submatching suppression, the constraints no
+// retained matching covers (their mapping is True), and the residue — the
+// part of the input the translation realizes only inexactly, which the
+// mediator folds into the filter query F (Section 2, Eq. 3).
+type SCMResult struct {
+	Query     *qtree.Node
+	Matchings []*rules.Matching
+	Unmatched []*qtree.Constraint
+	Residue   *qtree.Node
+}
+
+// SCM is Algorithm SCM (Figure 4): it maps the simple conjunction of the
+// given constraints to its minimal subsuming mapping with respect to the
+// translator's specification.
+//
+// Steps: (1) find all matchings M(Q̂, K); (2) suppress submatchings —
+// a matching that is a proper subset of another is redundant by Lemma 1;
+// (3) conjoin the emissions of the remaining matchings. Constraints covered
+// by no matching map to True.
+func (t *Translator) SCM(cs []*qtree.Constraint) (*SCMResult, error) {
+	t.Stats.SCMCalls++
+	all, err := t.matchings(cs)
+	if err != nil {
+		return nil, err
+	}
+	ms := rules.SuppressSubmatchings(all)
+	t.traceSCM(cs, all, ms)
+
+	res := &SCMResult{Matchings: ms}
+	kids := make([]*qtree.Node, 0, len(ms))
+	covered := qtree.NewConstraintSet()
+	exact := qtree.NewConstraintSet()
+	for _, m := range ms {
+		kids = append(kids, m.Emission)
+		covered.AddAll(m.Set)
+		if m.Rule.Exact {
+			exact.AddAll(m.Set)
+		}
+	}
+	res.Query = qtree.And(kids...).Normalize()
+
+	var residue []*qtree.Node
+	for _, c := range cs {
+		if !covered.Has(c) {
+			res.Unmatched = append(res.Unmatched, c)
+		}
+		if !exact.Has(c) {
+			residue = append(residue, qtree.Leaf(c))
+		}
+	}
+	res.Residue = qtree.And(residue...).Normalize()
+	if !res.Residue.IsTrue() {
+		t.residueClean = false
+	}
+	return res, nil
+}
+
+// SCMQuery runs Algorithm SCM on a simple-conjunction query node.
+func (t *Translator) SCMQuery(q *qtree.Node) (*SCMResult, error) {
+	return t.SCM(q.Normalize().SimpleConjuncts())
+}

@@ -1,0 +1,197 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/boolex"
+	"repro/internal/core"
+	"repro/internal/qparse"
+	"repro/internal/qtree"
+	"repro/internal/sources"
+)
+
+func amazonTranslator() *core.Translator {
+	return core.NewTranslator(sources.NewAmazon().Spec)
+}
+
+func TestTDQMTrivialInputs(t *testing.T) {
+	tr := amazonTranslator()
+
+	// True maps to True.
+	got, err := tr.TDQM(qtree.True())
+	if err != nil || !got.IsTrue() {
+		t.Errorf("TDQM(TRUE) = %v, %v", got, err)
+	}
+
+	// A single unsupported constraint maps to True.
+	got, err = tr.TDQM(qparse.MustParse(`[fn = "Tom"]`))
+	if err != nil || !got.IsTrue() {
+		t.Errorf("TDQM(fn alone) = %v, %v", got, err)
+	}
+
+	// A single supported constraint maps to its emission.
+	got, err = tr.TDQM(qparse.MustParse(`[ln = "Chang"]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := qparse.MustParse(`[author = "Chang"]`); !got.EqualCanonical(want) {
+		t.Errorf("TDQM(ln) = %s, want %s", got, want)
+	}
+}
+
+func TestTDQMUnsupportedDisjunctBroadensToTrue(t *testing.T) {
+	// fn alone maps to True; in a disjunction, True absorbs: the whole
+	// query must map to True (anything could match the unsupported branch).
+	tr := amazonTranslator()
+	got, err := tr.TDQM(qparse.MustParse(`[ln = "Chang"] or [fn = "Kevin"]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsTrue() {
+		t.Errorf("got %s, want TRUE (unsupported disjunct broadens the mapping)", got)
+	}
+}
+
+func TestTDQMDeepAlternation(t *testing.T) {
+	tr := amazonTranslator()
+	q := qparse.MustParse(
+		`[publisher = "oreilly"] and ` +
+			`([category = "D.3"] or ([category = "H.2"] and ` +
+			`([pyear = 1997] or [pyear = 1998])))`)
+	got, err := tr.TDQM(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaDNF, err := tr.DNFMap(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !boolex.MustEquivalent(got, viaDNF) {
+		t.Errorf("deep alternation: TDQM != DNF\nTDQM: %s\nDNF:  %s", got, viaDNF)
+	}
+}
+
+func TestTranslateUnknownAlgorithm(t *testing.T) {
+	tr := amazonTranslator()
+	if _, err := tr.Translate(qtree.True(), "bogus"); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestTranslateSCMRejectsComplex(t *testing.T) {
+	tr := amazonTranslator()
+	q := qparse.MustParse(`[ln = "a"] or [ln = "b"]`)
+	if _, err := tr.Translate(q, core.AlgSCM); err == nil {
+		t.Error("SCM accepted a disjunction")
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	tr := amazonTranslator()
+	q := qparse.MustParse(`([ln = "a"] or [ln = "b"]) and [fn = "c"]`)
+	if _, err := tr.TDQM(q); err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Stats
+	if s.SCMCalls == 0 || s.MatchRuns == 0 || s.PSafeCalls == 0 {
+		t.Errorf("stats not recorded: %+v", s)
+	}
+	tr.ResetStats()
+	if tr.Stats != (core.Stats{}) {
+		t.Errorf("ResetStats left %+v", tr.Stats)
+	}
+}
+
+func TestResidueTightForSimpleConjunction(t *testing.T) {
+	tr := amazonTranslator()
+	q := qparse.MustParse(`[ti contains java(near)jdk] and [publisher = "oreilly"] and [pyear = 1997]`)
+	_, filter, err := tr.TranslateWithFilter(q, core.AlgTDQM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the relaxed ti constraint remains; publisher and pyear are exact.
+	want := qparse.MustParse(`[ti contains java(near)jdk]`)
+	if !filter.EqualCanonical(want) {
+		t.Errorf("filter = %s, want %s", filter, want)
+	}
+}
+
+func TestResidueFallbackForComplexInexact(t *testing.T) {
+	tr := amazonTranslator()
+	q := qparse.MustParse(`[ti contains java(near)jdk] or [category = "D.3"]`)
+	_, filter, err := tr.TranslateWithFilter(q, core.AlgTDQM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !filter.EqualCanonical(q) {
+		t.Errorf("complex inexact filter = %s, want Q itself", filter)
+	}
+
+	// All-exact complex query: filter must be True.
+	q = qparse.MustParse(`[publisher = "a"] or [publisher = "b"]`)
+	_, filter, err = tr.TranslateWithFilter(q, core.AlgTDQM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !filter.IsTrue() {
+		t.Errorf("all-exact complex filter = %s, want TRUE", filter)
+	}
+}
+
+func TestUnmatchedConstraintsReported(t *testing.T) {
+	tr := amazonTranslator()
+	res, err := tr.SCMQuery(qparse.MustParse(`[fn = "Tom"] and [publisher = "x"]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unmatched) != 1 || res.Unmatched[0].Attr.Name != "fn" {
+		t.Errorf("Unmatched = %v, want the fn constraint", res.Unmatched)
+	}
+}
+
+func TestPSafeSingleConjunct(t *testing.T) {
+	tr := amazonTranslator()
+	q := qparse.MustParse(`[ln = "a"] or [ln = "b"]`)
+	p, err := tr.PSafe([]*qtree.Node{q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != "{{0}}" || !p.Separable {
+		t.Errorf("single conjunct partition = %s", p)
+	}
+}
+
+func TestDNFMapTrue(t *testing.T) {
+	tr := amazonTranslator()
+	got, err := tr.DNFMap(qtree.True())
+	if err != nil || !got.IsTrue() {
+		t.Errorf("DNFMap(TRUE) = %v, %v", got, err)
+	}
+}
+
+func TestTDQMDeterministic(t *testing.T) {
+	// Repeated translations of the same query must render identically —
+	// the library guarantees canonical ordering for reproducible output.
+	q := qparse.MustParse(
+		`(([ln = "Smith"] and [fn = "John"]) or [kwd contains web]) and ` +
+			`[pyear = 1997] and ([pmonth = 5] or [pmonth = 6])`)
+	var first string
+	for i := 0; i < 10; i++ {
+		tr := amazonTranslator()
+		got, err := tr.TDQM(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = got.String()
+			continue
+		}
+		if got.String() != first {
+			t.Fatalf("nondeterministic output:\n%s\nvs\n%s", first, got)
+		}
+	}
+	if !strings.Contains(first, "pdate") {
+		t.Fatalf("unexpected translation: %s", first)
+	}
+}

@@ -1,0 +1,84 @@
+// Package datamap implements data translation on top of the query-mapping
+// framework. The paper's rule system was adapted *from* a data-translation
+// framework (Section 4.1, ref [17]): translating a data object is the
+// special case of mapping a conjunction of equality constraints — an
+// attribute-value record [a1 = v1] ∧ [a2 = v2] ∧ … maps through Algorithm
+// SCM, and the definite part of the emission is read back as a record in
+// the target vocabulary.
+//
+// Only definite emissions become data: equality leaves assign values
+// directly; a during leaf assigns the (possibly partial) date; disjunctive
+// or relational emissions (containment, prefixes) are indefinite and are
+// skipped — data translation can be lossy exactly where query translation
+// must relax.
+package datamap
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/qparse"
+	"repro/internal/qtree"
+)
+
+// Result is the outcome of translating one record.
+type Result struct {
+	// Tuple holds the target-vocabulary record.
+	Tuple engine.Tuple
+	// Indefinite lists the target constraints that could not be read back
+	// as attribute values (relaxations, disjunctions).
+	Indefinite []*qtree.Node
+	// Dropped lists source attributes with no mapping at all.
+	Dropped []string
+}
+
+// TranslateTuple translates an attribute-value record into the target
+// vocabulary of the translator's specification.
+func TranslateTuple(t engine.Tuple, tr *core.Translator) (*Result, error) {
+	// Render the record as a simple conjunction of equality constraints,
+	// in canonical attribute order for determinism.
+	keys := make([]string, 0, len(t))
+	for k := range t {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	cs := make([]*qtree.Constraint, 0, len(t))
+	for _, k := range keys {
+		attr, err := qparse.ParseAttr(k)
+		if err != nil {
+			return nil, fmt.Errorf("datamap: attribute %q: %w", k, err)
+		}
+		cs = append(cs, qtree.Sel(attr, qtree.OpEq, t[k]))
+	}
+
+	res, err := tr.SCM(cs)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Tuple: make(engine.Tuple)}
+	for _, c := range res.Unmatched {
+		out.Dropped = append(out.Dropped, c.Attr.Key())
+	}
+	// Walk the top-level conjunction of the mapping; read back definite
+	// leaves.
+	for _, conj := range res.Query.Conjuncts() {
+		if conj.Kind == qtree.KindLeaf && !conj.C.IsJoin() && definiteOp(conj.C.Op) {
+			out.Tuple.Set(conj.C.Attr, conj.C.Val)
+			continue
+		}
+		if conj.IsTrue() {
+			continue
+		}
+		out.Indefinite = append(out.Indefinite, conj)
+	}
+	return out, nil
+}
+
+// definiteOp reports whether a constraint operator assigns a value to the
+// attribute when read as data. Equality does; during does for dates (the
+// value is the date at the constraint's granularity).
+func definiteOp(op string) bool {
+	return op == qtree.OpEq || op == qtree.OpDuring
+}

@@ -1,0 +1,152 @@
+package datamap
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/qtree"
+	"repro/internal/sources"
+	"repro/internal/values"
+)
+
+// TestTranslateBookRecord: the mediator-side attributes of a book record
+// translate into the native Amazon vocabulary, matching the hand-derived
+// conversions of sources.Book.Tuple where the mapping is definite.
+func TestTranslateBookRecord(t *testing.T) {
+	tr := core.NewTranslator(sources.NewAmazon().Spec)
+
+	rec := make(engine.Tuple)
+	rec.Set(qtree.A("ln"), values.String("Clancy"))
+	rec.Set(qtree.A("fn"), values.String("Tom"))
+	rec.Set(qtree.A("pyear"), values.Int(1997))
+	rec.Set(qtree.A("pmonth"), values.Int(5))
+	rec.Set(qtree.A("publisher"), values.String("oreilly"))
+	rec.Set(qtree.A("id-no"), values.String("000000001A"))
+	rec.Set(qtree.A("category"), values.String("D.3"))
+
+	res, err := TranslateTuple(rec, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"author":    `"Clancy, Tom"`,
+		"pdate":     "May/97",
+		"publisher": `"oreilly"`,
+		"isbn":      `"000000001A"`,
+		"subject":   `"programming"`,
+	}
+	for attr, text := range want {
+		v, ok := res.Tuple.Get(qtree.A(attr))
+		if !ok {
+			t.Errorf("translated record missing %s", attr)
+			continue
+		}
+		if v.String() != text {
+			t.Errorf("%s = %s, want %s", attr, v, text)
+		}
+	}
+	if len(res.Dropped) != 0 {
+		t.Errorf("unexpected dropped attributes: %v", res.Dropped)
+	}
+}
+
+// TestTranslateDropsAndIndefinites: a first name alone has no mapping
+// (dropped); a title maps only to a prefix constraint (indefinite).
+func TestTranslateDropsAndIndefinites(t *testing.T) {
+	tr := core.NewTranslator(sources.NewAmazon().Spec)
+
+	rec := make(engine.Tuple)
+	rec.Set(qtree.A("fn"), values.String("Tom"))
+	rec.Set(qtree.A("ti"), values.String("the hunt"))
+
+	res, err := TranslateTuple(rec, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dropped) != 1 || res.Dropped[0] != "fn" {
+		t.Errorf("Dropped = %v, want [fn]", res.Dropped)
+	}
+	if len(res.Indefinite) != 1 {
+		t.Fatalf("Indefinite = %v, want the title-prefix constraint", res.Indefinite)
+	}
+	if res.Indefinite[0].C.Op != qtree.OpStarts {
+		t.Errorf("indefinite constraint = %s, want a starts constraint", res.Indefinite[0])
+	}
+	if _, ok := res.Tuple.Get(qtree.A("title")); ok {
+		t.Error("prefix constraint wrongly read back as data")
+	}
+}
+
+// TestTranslateCarRecord: the many-to-many Section 1 mapping works as data
+// translation too.
+func TestTranslateCarRecord(t *testing.T) {
+	tr := core.NewTranslator(sources.NewCars().Spec)
+	rec := make(engine.Tuple)
+	rec.Set(qtree.A("car-type"), values.String("ford-taurus"))
+	rec.Set(qtree.A("year"), values.Int(1994))
+
+	res, err := TranslateTuple(rec, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk, _ := res.Tuple.Get(qtree.A("make"))
+	md, _ := res.Tuple.Get(qtree.A("model"))
+	if mk == nil || md == nil || mk.String() != `"ford"` || md.String() != `"taurus-94"` {
+		t.Errorf("make/model = %v/%v", mk, md)
+	}
+}
+
+// TestTranslateMetricRecord: unit conversions as data translation.
+func TestTranslateMetricRecord(t *testing.T) {
+	tr := core.NewTranslator(sources.NewMetric().Spec)
+	rec := make(engine.Tuple)
+	rec.Set(qtree.A("length"), values.Float(3))
+	rec.Set(qtree.A("cost"), values.Float(100))
+
+	res, err := TranslateTuple(rec, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, _ := res.Tuple.Get(qtree.A("length-cm"))
+	cents, _ := res.Tuple.Get(qtree.A("price-cents"))
+	if cm == nil || cm.String() != "7.62" {
+		t.Errorf("length-cm = %v, want 7.62", cm)
+	}
+	if cents == nil || cents.String() != "10000" {
+		t.Errorf("price-cents = %v, want 10000", cents)
+	}
+}
+
+// TestRoundTripAgainstGenerator: data translation reproduces the generator's
+// derived attributes for every definite mapping across a whole catalog.
+func TestRoundTripAgainstGenerator(t *testing.T) {
+	tr := core.NewTranslator(sources.NewAmazon().Spec)
+	for _, bk := range sources.GenBooks(77, 120) {
+		full := bk.Tuple()
+		// Source-side record: only the mediator attributes.
+		rec := make(engine.Tuple)
+		for _, a := range []string{"ln", "fn", "pyear", "pmonth", "publisher", "id-no", "category"} {
+			v, _ := full.Get(qtree.A(a))
+			rec.Set(qtree.A(a), v)
+		}
+		res, err := TranslateTuple(rec, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range []string{"author", "publisher", "isbn", "subject"} {
+			want, _ := full.Get(qtree.A(a))
+			got, ok := res.Tuple.Get(qtree.A(a))
+			if !ok || !got.Equal(want) {
+				t.Fatalf("book %+v: %s = %v, want %v", bk, a, got, want)
+			}
+		}
+		// pdate translates at month granularity (the day is not in the
+		// mediator vocabulary).
+		got, _ := res.Tuple.Get(qtree.A("pdate"))
+		d, ok := got.(values.Date)
+		if !ok || d.Year != bk.Year || d.Month != bk.Month || d.Day != 0 {
+			t.Fatalf("book %+v: pdate = %v", bk, got)
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/qparse"
+	"repro/internal/qtree"
+	"repro/internal/values"
+)
+
+func tup(pairs ...any) Tuple {
+	t := make(Tuple)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		t.Set(qtree.A(pairs[i].(string)), pairs[i+1].(qtree.Value))
+	}
+	return t
+}
+
+func TestDefaultOpsComparisons(t *testing.T) {
+	ev := NewEvaluator()
+	tuple := tup("n", values.Int(5), "s", values.String("bravo"),
+		"d", values.Date{Year: 1997, Month: 5, Day: 12})
+
+	cases := []struct {
+		q    string
+		want bool
+	}{
+		{`[n = 5]`, true},
+		{`[n != 5]`, false},
+		{`[n < 6]`, true},
+		{`[n <= 5]`, true},
+		{`[n > 5]`, false},
+		{`[n >= 5]`, true},
+		{`[s = "bravo"]`, true},
+		{`[s < "charlie"]`, true},
+		{`[s > "alpha"]`, true},
+		{`[d during May/97]`, true},
+		{`[d during 97]`, true},
+		{`[d during Jun/97]`, false},
+		{`[d during 96]`, false},
+	}
+	for _, c := range cases {
+		got, err := ev.EvalQuery(qparse.MustParse(c.q), tuple)
+		if err != nil {
+			t.Errorf("%s: %v", c.q, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestContainsAndStarts(t *testing.T) {
+	ev := NewEvaluator()
+	tuple := tup("ti", values.String("Java JDK in a Nutshell"))
+
+	cases := []struct {
+		q    string
+		want bool
+	}{
+		{`[ti contains java]`, true},
+		{`[ti contains java(^)jdk]`, true},
+		{`[ti contains java(near)jdk]`, true},
+		{`[ti contains java(^)python]`, false},
+		{`[ti contains python(v)java]`, true},
+		{`[ti starts "java jdk"]`, true}, // prefix match is case-insensitive
+		{`[ti starts "jdk"]`, false},
+	}
+	for _, c := range cases {
+		got, err := ev.EvalQuery(qparse.MustParse(c.q), tuple)
+		if err != nil {
+			t.Errorf("%s: %v", c.q, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestJoinConstraint(t *testing.T) {
+	ev := NewEvaluator()
+	tuple := tup("x", values.Int(3), "y", values.Int(3), "z", values.Int(4))
+	ok, err := ev.EvalConstraint(qtree.Join(qtree.A("x"), qtree.OpEq, qtree.A("y")), tuple)
+	if err != nil || !ok {
+		t.Errorf("[x = y] = %v, %v", ok, err)
+	}
+	ok, err = ev.EvalConstraint(qtree.Join(qtree.A("x"), qtree.OpLt, qtree.A("z")), tuple)
+	if err != nil || !ok {
+		t.Errorf("[x < z] = %v, %v", ok, err)
+	}
+}
+
+func TestBooleanEvaluation(t *testing.T) {
+	ev := NewEvaluator()
+	tuple := tup("a", values.Int(1), "b", values.Int(2))
+	cases := []struct {
+		q    string
+		want bool
+	}{
+		{`[a = 1] and [b = 2]`, true},
+		{`[a = 1] and [b = 3]`, false},
+		{`[a = 9] or [b = 2]`, true},
+		{`TRUE`, true},
+		{`([a = 9] or [b = 9]) and [a = 1]`, false},
+	}
+	for _, c := range cases {
+		got, err := ev.EvalQuery(qparse.MustParse(c.q), tuple)
+		if err != nil {
+			t.Errorf("%s: %v", c.q, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestMissingAttribute(t *testing.T) {
+	ev := NewEvaluator()
+	tuple := tup("a", values.Int(1))
+	if _, err := ev.EvalQuery(qparse.MustParse(`[missing = 1]`), tuple); err == nil {
+		t.Error("missing attribute should error by default")
+	}
+	ev.MissingIsFalse = true
+	got, err := ev.EvalQuery(qparse.MustParse(`[missing = 1]`), tuple)
+	if err != nil || got {
+		t.Errorf("MissingIsFalse: got %v, %v", got, err)
+	}
+}
+
+func TestOverride(t *testing.T) {
+	ev := NewEvaluator()
+	ev.Override("x", qtree.OpEq, func(tv, cv qtree.Value) (bool, error) {
+		a, _ := values.Numeric(tv)
+		b, _ := values.Numeric(cv)
+		return a >= b, nil // '=' reinterpreted as ≥
+	})
+	tuple := tup("x", values.Int(10))
+	got, err := ev.EvalQuery(qparse.MustParse(`[x = 5]`), tuple)
+	if err != nil || !got {
+		t.Errorf("override not applied: %v, %v", got, err)
+	}
+}
+
+func TestTypeErrors(t *testing.T) {
+	ev := NewEvaluator()
+	tuple := tup("n", values.Int(5))
+	for _, q := range []string{
+		`[n contains java]`, `[n starts "x"]`, `[n during May/97]`,
+	} {
+		if _, err := ev.EvalQuery(qparse.MustParse(q), tuple); err == nil {
+			t.Errorf("%s on int attribute should error", q)
+		}
+	}
+	if _, err := Compare(values.Int(1), values.String("a")); err == nil {
+		t.Error("cross-kind compare should error")
+	}
+}
+
+func TestSelectAndProduct(t *testing.T) {
+	r := NewRelation("r",
+		tup("a", values.Int(1)),
+		tup("a", values.Int(2)),
+		tup("a", values.Int(3)),
+	)
+	ev := NewEvaluator()
+	sel, err := r.Select(qparse.MustParse(`[a >= 2]`), ev)
+	if err != nil || sel.Len() != 2 {
+		t.Fatalf("select: %d tuples, %v", sel.Len(), err)
+	}
+
+	u := NewRelation("u", tup("b", values.Int(10)), tup("b", values.Int(20)))
+	p := Product(r, u)
+	if p.Len() != 6 {
+		t.Fatalf("product: %d tuples, want 6", p.Len())
+	}
+	if _, ok := p.Tuples[0].Get(qtree.A("a")); !ok {
+		t.Error("product tuple missing left attribute")
+	}
+	if _, ok := p.Tuples[0].Get(qtree.A("b")); !ok {
+		t.Error("product tuple missing right attribute")
+	}
+}
+
+func TestTupleCloneMerge(t *testing.T) {
+	a := tup("x", values.Int(1))
+	b := a.Clone()
+	b.Set(qtree.A("x"), values.Int(2))
+	if v, _ := a.Get(qtree.A("x")); !v.Equal(values.Int(1)) {
+		t.Error("Clone shares storage")
+	}
+	m := a.Merge(tup("y", values.Int(3)))
+	if _, ok := m.Get(qtree.A("y")); !ok {
+		t.Error("Merge lost attribute")
+	}
+}
+
+func TestCompareDates(t *testing.T) {
+	early := values.Date{Year: 1996, Month: 12, Day: 31}
+	late := values.Date{Year: 1997, Month: 1, Day: 1}
+	c, err := Compare(early, late)
+	if err != nil || c >= 0 {
+		t.Errorf("Compare(dates) = %d, %v", c, err)
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	tuple := tup("b", values.Int(2), "a", values.Int(1))
+	if got := tuple.String(); got != "{a=1, b=2}" {
+		t.Errorf("Tuple String = %q (must be deterministic, sorted)", got)
+	}
+}
+
+func TestContainsStringConstant(t *testing.T) {
+	ev := NewEvaluator()
+	tuple := tup("s", values.String("alpha beta"))
+	ok, err := ev.EvalConstraint(
+		qtree.Sel(qtree.A("s"), qtree.OpContains, values.String("beta")), tuple)
+	if err != nil || !ok {
+		t.Errorf("contains with string constant = %v, %v", ok, err)
+	}
+	// Wrong constant kind errors.
+	if _, err := ev.EvalConstraint(
+		qtree.Sel(qtree.A("s"), qtree.OpContains, values.Int(1)), tuple); err == nil {
+		t.Error("contains with int constant accepted")
+	}
+}
+
+func TestUnsupportedOperator(t *testing.T) {
+	ev := NewEvaluator()
+	tuple := tup("a", values.Int(1))
+	if _, err := ev.EvalConstraint(
+		qtree.Sel(qtree.A("a"), "bogus-op", values.Int(1)), tuple); err == nil {
+		t.Error("unsupported operator accepted")
+	}
+}

@@ -1,0 +1,208 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/qtree"
+	"repro/internal/values"
+)
+
+// OpFunc evaluates a single selection predicate: tv is the tuple's value of
+// the constrained attribute, cv the constraint's constant.
+type OpFunc func(tv, cv qtree.Value) (bool, error)
+
+// Evaluator evaluates constraint queries over tuples. Overrides registered
+// with Override take precedence over the default operator semantics, keyed
+// by (attribute name, operator); this is how sources with special attribute
+// semantics (Example 8's Cll/Cur corners) plug in.
+type Evaluator struct {
+	overrides map[string]OpFunc
+	// MissingIsFalse controls evaluation when the tuple lacks the
+	// constrained attribute: if true the constraint is simply false; if
+	// false (the default) evaluation fails with an error, which catches
+	// vocabulary mismatches in tests.
+	MissingIsFalse bool
+}
+
+// NewEvaluator returns an evaluator with the default operator semantics.
+func NewEvaluator() *Evaluator {
+	return &Evaluator{overrides: make(map[string]OpFunc)}
+}
+
+// Override installs fn for constraints on the named attribute (by bare
+// attribute name, ignoring view/relation qualifiers) with operator op.
+func (e *Evaluator) Override(attrName, op string, fn OpFunc) {
+	e.overrides[attrName+"\x00"+op] = fn
+}
+
+// hasOverride reports whether a custom predicate is installed for the
+// attribute/operator pair; index probes must not bypass it.
+func (e *Evaluator) hasOverride(attrName, op string) bool {
+	_, ok := e.overrides[attrName+"\x00"+op]
+	return ok
+}
+
+// EvalQuery evaluates a whole query tree against a tuple.
+func (e *Evaluator) EvalQuery(q *qtree.Node, t Tuple) (bool, error) {
+	switch q.Kind {
+	case qtree.KindTrue:
+		return true, nil
+	case qtree.KindLeaf:
+		return e.EvalConstraint(q.C, t)
+	case qtree.KindAnd:
+		for _, k := range q.Kids {
+			ok, err := e.EvalQuery(k, t)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+		return true, nil
+	case qtree.KindOr:
+		for _, k := range q.Kids {
+			ok, err := e.EvalQuery(k, t)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	default:
+		return false, fmt.Errorf("engine: invalid node kind %v", q.Kind)
+	}
+}
+
+// EvalConstraint evaluates a single constraint against a tuple.
+func (e *Evaluator) EvalConstraint(c *qtree.Constraint, t Tuple) (bool, error) {
+	lv, ok := t.Get(c.Attr)
+	if !ok {
+		if e.MissingIsFalse {
+			return false, nil
+		}
+		return false, fmt.Errorf("engine: tuple lacks attribute %s", c.Attr)
+	}
+	var rv qtree.Value
+	if c.IsJoin() {
+		rv, ok = t.Get(*c.RAttr)
+		if !ok {
+			if e.MissingIsFalse {
+				return false, nil
+			}
+			return false, fmt.Errorf("engine: tuple lacks attribute %s", c.RAttr)
+		}
+	} else {
+		rv = c.Val
+	}
+	if fn, ok := e.overrides[c.Attr.Name+"\x00"+c.Op]; ok {
+		return fn(lv, rv)
+	}
+	return DefaultOp(c.Op, lv, rv)
+}
+
+// DefaultOp implements the standard operator semantics.
+func DefaultOp(op string, lv, rv qtree.Value) (bool, error) {
+	switch op {
+	case qtree.OpEq:
+		return lv.Equal(rv), nil
+	case qtree.OpNe:
+		return !lv.Equal(rv), nil
+	case qtree.OpLt, qtree.OpLe, qtree.OpGt, qtree.OpGe:
+		cmp, err := Compare(lv, rv)
+		if err != nil {
+			return false, err
+		}
+		switch op {
+		case qtree.OpLt:
+			return cmp < 0, nil
+		case qtree.OpLe:
+			return cmp <= 0, nil
+		case qtree.OpGt:
+			return cmp > 0, nil
+		default:
+			return cmp >= 0, nil
+		}
+	case qtree.OpContains:
+		return evalContains(lv, rv)
+	case qtree.OpStarts:
+		ls, ok1 := asString(lv)
+		rs, ok2 := asString(rv)
+		if !ok1 || !ok2 {
+			return false, fmt.Errorf("engine: starts needs string operands, got %s/%s", lv.Kind(), rv.Kind())
+		}
+		return strings.HasPrefix(strings.ToLower(ls), strings.ToLower(rs)), nil
+	case qtree.OpDuring:
+		ld, ok1 := lv.(values.Date)
+		rd, ok2 := rv.(values.Date)
+		if !ok1 || !ok2 {
+			return false, fmt.Errorf("engine: during needs date operands, got %s/%s", lv.Kind(), rv.Kind())
+		}
+		// [pdate during May/97]: the constant period contains the tuple date.
+		return rd.Contains(ld), nil
+	default:
+		return false, fmt.Errorf("engine: unsupported operator %q", op)
+	}
+}
+
+func evalContains(lv, rv qtree.Value) (bool, error) {
+	text, ok := asString(lv)
+	if !ok {
+		return false, fmt.Errorf("engine: contains needs a string attribute, got %s", lv.Kind())
+	}
+	switch p := rv.(type) {
+	case *values.Pattern:
+		return p.Match(text), nil
+	case values.String:
+		return values.Word(p.Raw()).Match(text), nil
+	default:
+		return false, fmt.Errorf("engine: contains needs a pattern or string constant, got %s", rv.Kind())
+	}
+}
+
+func asString(v qtree.Value) (string, bool) {
+	s, ok := v.(values.String)
+	if !ok {
+		return "", false
+	}
+	return s.Raw(), true
+}
+
+// Compare orders two values of the same family: numbers numerically,
+// strings lexicographically, dates chronologically (by year, month, day
+// with unspecified components ordered first).
+func Compare(a, b qtree.Value) (int, error) {
+	if x, ok := values.Numeric(a); ok {
+		if y, ok := values.Numeric(b); ok {
+			switch {
+			case x < y:
+				return -1, nil
+			case x > y:
+				return 1, nil
+			default:
+				return 0, nil
+			}
+		}
+	}
+	if x, ok := a.(values.String); ok {
+		if y, ok := b.(values.String); ok {
+			return strings.Compare(string(x), string(y)), nil
+		}
+	}
+	if x, ok := a.(values.Date); ok {
+		if y, ok := b.(values.Date); ok {
+			ka := [3]int{x.Year, x.Month, x.Day}
+			kb := [3]int{y.Year, y.Month, y.Day}
+			for i := range ka {
+				if ka[i] != kb[i] {
+					if ka[i] < kb[i] {
+						return -1, nil
+					}
+					return 1, nil
+				}
+			}
+			return 0, nil
+		}
+	}
+	return 0, fmt.Errorf("engine: cannot compare %s with %s", a.Kind(), b.Kind())
+}

@@ -1,0 +1,93 @@
+package engine
+
+import (
+	"repro/internal/qtree"
+)
+
+// Index is a hash index over one attribute's values, accelerating equality
+// selections. Indexes are built once over an immutable relation snapshot;
+// rebuilding after mutation is the caller's responsibility.
+type Index struct {
+	attr    string
+	buckets map[string][]Tuple
+}
+
+// BuildIndex indexes relation r on the named attribute. Tuples lacking the
+// attribute are not indexed (an equality probe cannot select them).
+func BuildIndex(r *Relation, attrName string) *Index {
+	idx := &Index{attr: attrName, buckets: make(map[string][]Tuple)}
+	for _, t := range r.Tuples {
+		if v, ok := t[attrName]; ok {
+			k := valueBucketKey(v)
+			idx.buckets[k] = append(idx.buckets[k], t)
+		}
+	}
+	return idx
+}
+
+// Attr returns the indexed attribute name.
+func (ix *Index) Attr() string { return ix.attr }
+
+// Probe returns the tuples whose indexed attribute equals v.
+func (ix *Index) Probe(v qtree.Value) []Tuple {
+	return ix.buckets[valueBucketKey(v)]
+}
+
+// valueBucketKey mirrors the canonical value identity used by constraint
+// keys (numeric kinds share one identity).
+func valueBucketKey(v qtree.Value) string {
+	kind := v.Kind()
+	if kind == "int" || kind == "float" {
+		kind = "num"
+	}
+	return kind + ":" + v.String()
+}
+
+// IndexSet holds the indexes available on one relation, by attribute name.
+type IndexSet map[string]*Index
+
+// BuildIndexes builds indexes for each named attribute.
+func BuildIndexes(r *Relation, attrs ...string) IndexSet {
+	out := make(IndexSet, len(attrs))
+	for _, a := range attrs {
+		out[a] = BuildIndex(r, a)
+	}
+	return out
+}
+
+// SelectIndexed evaluates q over the relation like Select, but when q is a
+// simple conjunction containing an equality constraint on an indexed
+// attribute with *default* semantics, it probes the index and evaluates the
+// full query only on the bucket. Overridden operators (source-specific
+// semantics such as Amazon's structured author match) disable the probe for
+// that constraint, since their equality is not value identity. Results are
+// identical to Select's up to tuple order.
+func (r *Relation) SelectIndexed(q *qtree.Node, ev *Evaluator, indexes IndexSet) (*Relation, error) {
+	q = q.Normalize()
+	if q.IsSimpleConjunction() {
+		for _, c := range q.SimpleConjuncts() {
+			if c.IsJoin() || c.Op != qtree.OpEq || c.Val == nil {
+				continue
+			}
+			if ev.hasOverride(c.Attr.Name, c.Op) {
+				continue
+			}
+			ix, ok := indexes[c.Attr.Key()]
+			if !ok {
+				continue
+			}
+			out := &Relation{Name: r.Name}
+			for _, t := range ix.Probe(c.Val) {
+				match, err := ev.EvalQuery(q, t)
+				if err != nil {
+					return nil, err
+				}
+				if match {
+					out.Tuples = append(out.Tuples, t)
+				}
+			}
+			return out, nil
+		}
+	}
+	return r.Select(q, ev)
+}

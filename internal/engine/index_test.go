@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/qparse"
+	"repro/internal/qtree"
+	"repro/internal/values"
+)
+
+func randomRelation(seed int64, n int) *Relation {
+	rng := rand.New(rand.NewSource(seed))
+	r := NewRelation("r")
+	for i := 0; i < n; i++ {
+		r.Tuples = append(r.Tuples, tup(
+			"a", values.Int(int64(rng.Intn(20))),
+			"b", values.Int(int64(rng.Intn(5))),
+			"s", values.String(fmt.Sprintf("w%d", rng.Intn(8))),
+		))
+	}
+	return r
+}
+
+// TestSelectIndexedEquivalence: for many random queries, indexed selection
+// returns exactly Select's answer set.
+func TestSelectIndexedEquivalence(t *testing.T) {
+	r := randomRelation(1, 500)
+	ev := NewEvaluator()
+	indexes := BuildIndexes(r, "a", "s")
+
+	queries := []string{
+		`[a = 7]`,
+		`[a = 7] and [b = 2]`,
+		`[s = "w3"] and [a >= 10]`,
+		`[b = 4]`,              // not indexed: falls back to scan
+		`[a = 7] or [a = 12]`,  // not a simple conjunction: scan
+		`[a = 999]`,            // empty bucket
+		`[a != 7] and [b = 1]`, // inequality cannot probe
+	}
+	for _, qs := range queries {
+		q := qparse.MustParse(qs)
+		want, err := r.Select(q, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.SelectIndexed(q, ev, indexes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != want.Len() {
+			t.Errorf("%s: indexed %d tuples, scan %d", qs, got.Len(), want.Len())
+		}
+		seen := make(map[string]bool, want.Len())
+		for _, tu := range want.Tuples {
+			seen[tu.String()] = true
+		}
+		for _, tu := range got.Tuples {
+			if !seen[tu.String()] {
+				t.Errorf("%s: indexed returned extra tuple %s", qs, tu)
+			}
+		}
+	}
+}
+
+// TestSelectIndexedRespectsOverrides: an overridden equality (Amazon-style
+// structured matching) must not be answered from the index.
+func TestSelectIndexedRespectsOverrides(t *testing.T) {
+	r := NewRelation("r",
+		tup("author", values.String("Clancy, Tom")),
+		tup("author", values.String("Clancy, Jack")),
+		tup("author", values.String("Smith, Ann")),
+	)
+	ev := NewEvaluator()
+	ev.Override("author", qtree.OpEq, func(tv, cv qtree.Value) (bool, error) {
+		// Last-name-only matching: value identity would miss both Clancys.
+		st, _ := tv.(values.String)
+		cs, _ := cv.(values.String)
+		ln, _ := values.NameToLnFn(st.Raw())
+		qn, _ := values.NameToLnFn(cs.Raw())
+		return ln == qn, nil
+	})
+	indexes := BuildIndexes(r, "author")
+	got, err := r.SelectIndexed(qparse.MustParse(`[author = "Clancy"]`), ev, indexes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Errorf("indexed select with override returned %d tuples, want 2 (must fall back to scan)", got.Len())
+	}
+}
+
+// TestIndexNumericIdentity: 3 and 3.0 share a bucket, matching Value.Equal.
+func TestIndexNumericIdentity(t *testing.T) {
+	r := NewRelation("r", tup("a", values.Float(3)), tup("a", values.Int(3)))
+	ix := BuildIndex(r, "a")
+	if got := len(ix.Probe(values.Int(3))); got != 2 {
+		t.Errorf("Probe(3) = %d tuples, want 2 (cross-kind numeric identity)", got)
+	}
+	if ix.Attr() != "a" {
+		t.Errorf("Attr = %q", ix.Attr())
+	}
+}
+
+func BenchmarkSelectScanVsIndexed(b *testing.B) {
+	r := randomRelation(2, 20000)
+	ev := NewEvaluator()
+	indexes := BuildIndexes(r, "a")
+	q := qparse.MustParse(`[a = 7] and [b = 2]`)
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := r.Select(q, ev); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := r.SelectIndexed(q, ev, indexes); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,109 @@
+// Package engine is a small in-memory relational engine: typed tuples,
+// relations, constraint-query selection, and cross products. It is the
+// substrate on which the reproduction *executes* translated queries so that
+// the paper's subsumption guarantees (Definition 1, Eq. 3) can be verified
+// empirically rather than only on paper.
+//
+// Constraint evaluation is pluggable per attribute/operator so that sources
+// with non-standard attribute semantics — like Example 8's map source, where
+// [Cll = (10,20)] selects the open region x ≥ 10 ∧ y ≥ 20 — can supply
+// their own predicates.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/qtree"
+)
+
+// Tuple maps attribute keys (qtree.Attr.Key()) to values. A tuple may carry
+// attributes from several vocabularies at once — the mediator's view
+// attributes and a source's native attributes — mirroring the paper's
+// conceptual relations X that relate the two (Section 2). That is what lets
+// a single tuple witness both an original query and its translation.
+type Tuple map[string]qtree.Value
+
+// Get returns the value of attribute a.
+func (t Tuple) Get(a qtree.Attr) (qtree.Value, bool) {
+	v, ok := t[a.Key()]
+	return v, ok
+}
+
+// Set stores the value of attribute a.
+func (t Tuple) Set(a qtree.Attr, v qtree.Value) { t[a.Key()] = v }
+
+// Clone returns a shallow copy (values are immutable).
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	for k, v := range t {
+		c[k] = v
+	}
+	return c
+}
+
+// Merge returns the union of two tuples; keys of u win on conflict.
+func (t Tuple) Merge(u Tuple) Tuple {
+	c := t.Clone()
+	for k, v := range u {
+		c[k] = v
+	}
+	return c
+}
+
+// String renders the tuple deterministically for tests and debugging.
+func (t Tuple) String() string {
+	keys := make([]string, 0, len(t))
+	for k := range t {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%s", k, t[k].String())
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Relation is a named bag of tuples.
+type Relation struct {
+	Name   string
+	Tuples []Tuple
+}
+
+// NewRelation returns a relation with the given name and tuples.
+func NewRelation(name string, tuples ...Tuple) *Relation {
+	return &Relation{Name: name, Tuples: tuples}
+}
+
+// Len returns the tuple count.
+func (r *Relation) Len() int { return len(r.Tuples) }
+
+// Select evaluates q over every tuple and returns the satisfying ones.
+func (r *Relation) Select(q *qtree.Node, ev *Evaluator) (*Relation, error) {
+	out := &Relation{Name: r.Name}
+	for _, t := range r.Tuples {
+		ok, err := ev.EvalQuery(q, t)
+		if err != nil {
+			return nil, fmt.Errorf("engine: selecting from %s: %w", r.Name, err)
+		}
+		if ok {
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	return out, nil
+}
+
+// Product returns the cross product of two relations; tuple attribute sets
+// are expected to be disjoint (qualified by view/relation), and u's values
+// win on conflict.
+func Product(r, u *Relation) *Relation {
+	out := &Relation{Name: r.Name + "x" + u.Name}
+	for _, a := range r.Tuples {
+		for _, b := range u.Tuples {
+			out.Tuples = append(out.Tuples, a.Merge(b))
+		}
+	}
+	return out
+}

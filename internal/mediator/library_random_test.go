@@ -1,0 +1,123 @@
+package mediator
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/boolex"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/qparse"
+	"repro/internal/qtree"
+	"repro/internal/sources"
+)
+
+// libraryPool is a pool of constraints (selections and joins) in the
+// fac/pub mediator vocabulary of Example 3 from which random queries are
+// assembled.
+var libraryPool = []string{
+	`[fac.ln = pub.ln]`,
+	`[fac.fn = pub.fn]`,
+	`[fac.bib contains data(near)mining]`,
+	`[fac.bib contains web(^)search]`,
+	`[fac.bib contains integration]`,
+	`[fac.dept = cs]`,
+	`[fac.dept = ee]`,
+	`[fac.ln = "Ullman"]`,
+	`[fac.fn = "Hector"]`,
+	`[pub.ti = "a study of data mining"]`,
+	`[pub.ln = "Chang"]`,
+}
+
+// randomLibraryQuery assembles a random ∧/∨ query from the pool.
+func randomLibraryQuery(rng *rand.Rand) *qtree.Node {
+	var pick func(depth int) *qtree.Node
+	pick = func(depth int) *qtree.Node {
+		if depth == 0 || rng.Float64() < 0.5 {
+			return qparse.MustParse(libraryPool[rng.Intn(len(libraryPool))])
+		}
+		n := 2 + rng.Intn(2)
+		kids := make([]*qtree.Node, n)
+		for i := range kids {
+			kids[i] = pick(depth - 1)
+		}
+		if rng.Intn(2) == 0 {
+			return qtree.And(kids...)
+		}
+		return qtree.Or(kids...)
+	}
+	return qtree.And(pick(2), pick(2)).Normalize()
+}
+
+// TestLibraryRandomQueries runs random join+selection queries through the
+// full mediation pipeline and checks the Eq. 3 identity against direct
+// evaluation on the glued universe — exercising join-constraint rules under
+// complex query structure, which the synthetic workload does not cover.
+func TestLibraryRandomQueries(t *testing.T) {
+	people, papers := sources.GenLibrary(31, 10, 20)
+	t1 := sources.T1Relation(people, papers)
+	t2 := sources.T2Relation(people)
+	data := map[string]*engine.Relation{"t1": t1, "t2": t2}
+
+	med := New(sources.NewT1(), sources.NewT2())
+	med.Glue = sources.LibraryGlue()
+	universe := engine.Product(t1, t2)
+	glued, err := universe.Select(med.Glue, med.Eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(64))
+	nonEmpty := 0
+	for i := 0; i < 60; i++ {
+		q := randomLibraryQuery(rng)
+		got, _, err := med.ExecuteJoin(q, data)
+		if err != nil {
+			t.Fatalf("case %d (%s): %v", i, q, err)
+		}
+		want, err := glued.Select(q, med.Eval)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != want.Len() {
+			t.Fatalf("case %d: mediated %d tuples, direct %d\nq = %s",
+				i, got.Len(), want.Len(), q)
+		}
+		if want.Len() > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 10 {
+		t.Fatalf("only %d/60 queries had answers; pool too selective", nonEmpty)
+	}
+}
+
+// TestLibraryTDQMEqualsDNFOnJoins: TDQM and the DNF baseline agree for
+// random queries with join constraints against both library sources.
+func TestLibraryTDQMEqualsDNFOnJoins(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	specs := []*sources.Source{sources.NewT1(), sources.NewT2()}
+	for i := 0; i < 80; i++ {
+		q := randomLibraryQuery(rng)
+		for _, src := range specs {
+			tdqmTr := core.NewTranslator(src.Spec)
+			viaTDQM, err := tdqmTr.TDQM(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dnfTr := core.NewTranslator(src.Spec)
+			viaDNF, err := dnfTr.DNFMap(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eq, err := boolex.Equivalent(viaTDQM, viaDNF)
+			if err != nil {
+				continue // atom overflow; skip this case
+			}
+			if !eq {
+				t.Fatalf("case %d source %s: TDQM and DNF disagree\nq = %s\ntdqm = %s\ndnf = %s",
+					i, src.Name, q, viaTDQM, viaDNF)
+			}
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package mediator
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/qparse"
+	"repro/internal/qtree"
+	"repro/internal/sources"
+)
+
+// example3Query is Q of Example 3: papers written by CS faculty interested
+// in data mining.
+const example3Query = `[fac.ln = pub.ln] and [fac.fn = pub.fn] and ` +
+	`[fac.bib contains data(near)mining] and [fac.dept = cs]`
+
+// TestExample3Translation reproduces Example 3's mappings:
+// S1(Q) = [paper.au = aubib.name] ∧ [aubib.bib contains data(∧)mining],
+// S2(Q) = [prof.dept = 230], and F = c (the only inexactly realized
+// constraint).
+func TestExample3Translation(t *testing.T) {
+	med := New(sources.NewT1(), sources.NewT2())
+	q := qparse.MustParse(example3Query)
+
+	tr, err := med.Translate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Sources) != 2 {
+		t.Fatalf("got %d source translations", len(tr.Sources))
+	}
+
+	s1 := tr.Sources[0]
+	wantS1 := qparse.MustParse(`[fac.aubib.name = pub.paper.au] and ` +
+		`[fac.aubib.bib contains data(^)mining]`)
+	if !s1.Query.EqualCanonical(wantS1) {
+		t.Errorf("S1(Q)\n got: %s\nwant: %s", s1.Query, wantS1)
+	}
+
+	s2 := tr.Sources[1]
+	wantS2 := qparse.MustParse(`[fac.prof.dept = 230]`)
+	if !s2.Query.EqualCanonical(wantS2) {
+		t.Errorf("S2(Q)\n got: %s\nwant: %s", s2.Query, wantS2)
+	}
+
+	wantF := qparse.MustParse(`[fac.bib contains data(near)mining]`)
+	if !tr.Filter.EqualCanonical(wantF) {
+		t.Errorf("F\n got: %s\nwant: %s", tr.Filter, wantF)
+	}
+
+	for _, st := range tr.Sources {
+		if err := st.Source.Target().Expressible(st.Query); err != nil {
+			t.Errorf("%s: %v", st.Source.Name, err)
+		}
+	}
+}
+
+// TestExample3EndToEnd executes Example 3's pipeline (Eq. 2) on synthetic
+// library data and checks Eq. 3: the mediated result equals evaluating the
+// original Q over the glued universe.
+func TestExample3EndToEnd(t *testing.T) {
+	people, papers := sources.GenLibrary(42, 12, 30)
+	t1 := sources.T1Relation(people, papers)
+	t2 := sources.T2Relation(people)
+	data := map[string]*engine.Relation{"t1": t1, "t2": t2}
+
+	med := New(sources.NewT1(), sources.NewT2())
+	med.Glue = sources.LibraryGlue()
+	q := qparse.MustParse(example3Query)
+
+	got, _, err := med.ExecuteJoin(q, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: evaluate Q directly over the glued cross product.
+	universe := engine.Product(t1, t2)
+	glued, err := universe.Select(med.Glue, med.Eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := glued.Select(q, med.Eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortRelation(want)
+	if got.Len() != want.Len() {
+		t.Fatalf("mediated result has %d tuples, direct evaluation %d", got.Len(), want.Len())
+	}
+	if want.Len() == 0 {
+		t.Fatalf("test data produced no matches; weak test")
+	}
+	for i := range want.Tuples {
+		if got.Tuples[i].String() != want.Tuples[i].String() {
+			t.Fatalf("tuple %d differs:\n got: %s\nwant: %s", i, got.Tuples[i], want.Tuples[i])
+		}
+	}
+}
+
+// TestExample3Subsumption checks Definition 1 on data: each source's
+// translated query selects a superset of what Q selects (restricted to that
+// source's part of the universe, witnessed on the full universe tuples).
+func TestExample3Subsumption(t *testing.T) {
+	people, papers := sources.GenLibrary(7, 10, 20)
+	t1 := sources.T1Relation(people, papers)
+	med := New(sources.NewT1(), sources.NewT2())
+	q := qparse.MustParse(example3Query)
+	tr, err := med.Translate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := tr.Sources[0]
+
+	// Build full universe tuples (T1 attrs + matching person's T2 attrs) so
+	// Q itself is evaluable.
+	t2 := sources.T2Relation(people)
+	universe, err := engine.Product(t1, t2).Select(sources.LibraryGlue(), med.Eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, tup := range universe.Tuples {
+		inQ, err := med.Eval.EvalQuery(q, tup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !inQ {
+			continue
+		}
+		count++
+		inS1, err := s1.Source.Eval.EvalQuery(s1.Query, tup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !inS1 {
+			t.Fatalf("tuple satisfies Q but not S1(Q): %s", tup)
+		}
+	}
+	if count == 0 {
+		t.Fatal("no tuples satisfied Q; weak test")
+	}
+}
+
+// TestSelfJoinRule exercises rule R8 of K2: a self-join over two fac
+// instances maps to the corresponding prof self-join with instance indexes
+// preserved.
+func TestSelfJoinRule(t *testing.T) {
+	tr := core.NewTranslator(sources.NewT2().Spec)
+	q := qparse.MustParse(`[fac[1].ln = fac[2].ln]`)
+	got, err := tr.Translate(q, core.AlgSCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := qparse.MustParse(`[fac[1].prof.ln = fac[2].prof.ln]`)
+	if !got.EqualCanonical(want) {
+		t.Errorf("got %s, want %s", got, want)
+	}
+}
+
+// TestUnionIntegration exercises union-style mediation over the two
+// bookstores of Example 1: Amazon answers exactly; Clbooks relaxes to word
+// containment and the mediator's filter removes the false positives.
+func TestUnionIntegration(t *testing.T) {
+	am, cl := sources.NewAmazon(), sources.NewClbooks()
+	med := New(am, cl)
+
+	books := sources.GenBooks(3, 200)
+	// Add the adversarial names from Example 1 that defeat a naive Clbooks
+	// translation: "Tom, Clancy" (reversed) and "Clancy, Joe Tom".
+	books = append(books,
+		sources.Book{Title: "decoy one", Ln: "Tom", Fn: "Clancy", Year: 1997, Month: 1, Day: 1, Category: "D.3", Publisher: "oreilly", IDNo: "000000001A", Keywords: []string{"decoy"}},
+		sources.Book{Title: "decoy two", Ln: "Clancy", Fn: "Joe Tom", Year: 1997, Month: 2, Day: 2, Category: "D.3", Publisher: "oreilly", IDNo: "000000002B", Keywords: []string{"decoy"}},
+		sources.Book{Title: "the real thing", Ln: "Clancy", Fn: "Tom", Year: 1997, Month: 3, Day: 3, Category: "D.3", Publisher: "oreilly", IDNo: "000000003C", Keywords: []string{"real"}},
+	)
+	rel := sources.BookRelation("books", books)
+	data := map[string]*engine.Relation{"amazon": rel, "clbooks": rel}
+
+	q := qparse.MustParse(`[fn = "Tom"] and [ln = "Clancy"]`)
+	got, tr, err := med.ExecuteUnion(q, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: direct evaluation of Q.
+	want, err := rel.Select(q, med.Eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("union result %d tuples, direct evaluation %d", got.Len(), want.Len())
+	}
+	if want.Len() == 0 {
+		t.Fatal("no matching books; weak test")
+	}
+
+	// The Clbooks translation must be the relaxation of Example 1 — and it
+	// must select the decoys before filtering (proving the filter matters).
+	var clT *qtree.Node
+	for _, st := range tr.Sources {
+		if st.Source.Name == "clbooks" {
+			clT = st.Query
+		}
+	}
+	wantCl := qparse.MustParse(`[author contains "Tom"] and [author contains "Clancy"]`)
+	if !clT.EqualCanonical(wantCl) {
+		t.Errorf("Clbooks translation\n got: %s\nwant: %s", clT, wantCl)
+	}
+	raw, err := rel.Select(clT, cl.Eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.Len() <= want.Len() {
+		t.Errorf("Clbooks raw result (%d) should exceed exact result (%d): relaxation must produce false positives",
+			raw.Len(), want.Len())
+	}
+}

@@ -1,0 +1,156 @@
+package mediator
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/qparse"
+	"repro/internal/sources"
+)
+
+// TestExecuteUnionByDisjunct checks the per-branch executor returns the
+// same answers as whole-query union execution and as direct evaluation.
+func TestExecuteUnionByDisjunct(t *testing.T) {
+	med := New(sources.NewAmazon(), sources.NewClbooks())
+	catalog := sources.BookRelation("catalog", sources.GenBooks(11, 250))
+	data := map[string]*engine.Relation{"amazon": catalog, "clbooks": catalog}
+
+	queries := []string{
+		`([ln = "Clancy"] and [fn = "Tom"]) or [publisher = "oreilly"]`,
+		`[kwd contains java] or ([pyear = 1997] and [pmonth = 5])`,
+		`[ln = "Smith"]`,
+	}
+	for _, qs := range queries {
+		q := qparse.MustParse(qs)
+		whole, _, err := med.ExecuteUnion(q, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perBranch, err := med.ExecuteUnionByDisjunct(q, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := catalog.Select(q, med.Eval)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if whole.Len() != direct.Len() || perBranch.Len() != direct.Len() {
+			t.Errorf("%s: whole=%d perBranch=%d direct=%d", qs, whole.Len(), perBranch.Len(), direct.Len())
+		}
+	}
+}
+
+// TestMediatorErrorPaths covers the misuse diagnostics.
+func TestMediatorErrorPaths(t *testing.T) {
+	med := New(sources.NewAmazon())
+	q := qparse.MustParse(`[ln = "x"]`)
+
+	// Missing data for a source.
+	if _, _, err := med.ExecuteUnion(q, map[string]*engine.Relation{}); err == nil {
+		t.Error("missing source data accepted by ExecuteUnion")
+	}
+	if _, _, err := med.ExecuteJoin(q, map[string]*engine.Relation{}); err == nil {
+		t.Error("missing source data accepted by ExecuteJoin")
+	}
+}
+
+// TestMediatorDNFAlgorithm runs the mediator with the DNF baseline and
+// checks it agrees with TDQM end to end.
+func TestMediatorDNFAlgorithm(t *testing.T) {
+	catalog := sources.BookRelation("catalog", sources.GenBooks(13, 200))
+	data := map[string]*engine.Relation{"amazon": catalog, "clbooks": catalog}
+	q := qparse.MustParse(`([ln = "Clancy"] and [fn = "Tom"]) or [category = "D.3"]`)
+
+	tdqmMed := New(sources.NewAmazon(), sources.NewClbooks())
+	gotT, _, err := tdqmMed.ExecuteUnion(q, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dnfMed := New(sources.NewAmazon(), sources.NewClbooks())
+	dnfMed.Algorithm = core.AlgDNF
+	gotD, _, err := dnfMed.ExecuteUnion(q, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotT.Len() != gotD.Len() {
+		t.Errorf("TDQM mediation %d answers, DNF mediation %d", gotT.Len(), gotD.Len())
+	}
+}
+
+// TestTranslationResidueTightness: in a simple conjunction, exactly the
+// inexactly-realized constraints survive into each source's residue.
+func TestTranslationResidueTightness(t *testing.T) {
+	med := New(sources.NewAmazon())
+	q := qparse.MustParse(`[ti contains java(near)jdk] and [publisher = "oreilly"]`)
+	tr, err := med.Translate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := qparse.MustParse(`[ti contains java(near)jdk]`)
+	if !tr.Sources[0].Residue.EqualCanonical(want) {
+		t.Errorf("residue = %s, want %s", tr.Sources[0].Residue, want)
+	}
+	if !tr.Filter.EqualCanonical(want) {
+		t.Errorf("filter = %s, want %s", tr.Filter, want)
+	}
+}
+
+// TestGlueIsAppliedBeforeFilter verifies ExecuteJoin prunes inconsistent
+// cross-product tuples with the view-definition glue.
+func TestGlueIsAppliedBeforeFilter(t *testing.T) {
+	people, papers := sources.GenLibrary(21, 8, 16)
+	t1 := sources.T1Relation(people, papers)
+	t2 := sources.T2Relation(people)
+	data := map[string]*engine.Relation{"t1": t1, "t2": t2}
+	q := qparse.MustParse(`[fac.dept = cs]`)
+
+	with := New(sources.NewT1(), sources.NewT2())
+	with.Glue = sources.LibraryGlue()
+	glued, _, err := with.ExecuteJoin(q, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without := New(sources.NewT1(), sources.NewT2())
+	unglued, _, err := without.ExecuteJoin(q, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if glued.Len() >= unglued.Len() {
+		t.Errorf("glue did not prune: glued=%d unglued=%d", glued.Len(), unglued.Len())
+	}
+}
+
+// TestExecuteUnionWithIndexes: indexed execution returns the same answers
+// as scans, including with Amazon's overridden author equality.
+func TestExecuteUnionWithIndexes(t *testing.T) {
+	am, cl := sources.NewAmazon(), sources.NewClbooks()
+	catalog := sources.BookRelation("catalog", sources.GenBooks(17, 400))
+	data := map[string]*engine.Relation{"amazon": catalog, "clbooks": catalog}
+
+	plain := New(am, cl)
+	indexed := New(am, cl)
+	indexed.Indexes = map[string]engine.IndexSet{
+		"amazon":  engine.BuildIndexes(catalog, "author", "publisher", "isbn"),
+		"clbooks": engine.BuildIndexes(catalog, "author"),
+	}
+	for _, qs := range []string{
+		`[ln = "Clancy"] and [fn = "Tom"]`, // author '=' is overridden: must scan
+		`[publisher = "oreilly"]`,          // indexable
+		`[id-no = "000000001A"]`,
+		`[publisher = "oreilly"] or [category = "D.3"]`,
+	} {
+		q := qparse.MustParse(qs)
+		a, _, err := plain.ExecuteUnion(q, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := indexed.ExecuteUnion(q, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Len() != b.Len() {
+			t.Errorf("%s: scan %d answers, indexed %d", qs, a.Len(), b.Len())
+		}
+	}
+}

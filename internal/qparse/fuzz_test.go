@@ -1,0 +1,39 @@
+package qparse
+
+import (
+	"testing"
+)
+
+// FuzzParse checks the parser never panics and that successfully parsed
+// queries survive a print→reparse round trip canonically.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`[ln = "Clancy"] and [fn = "Tom"]`,
+		`([a = 1] or [b = 2]) and [c = 3]`,
+		`[fac[1].ln = fac[2].ln]`,
+		`[ti contains java(near)jdk]`,
+		`[pdate during 12/May/97] or [x = (10:30)] or [y = (1,2)]`,
+		`TRUE`,
+		`[a = "unterminated`,
+		`[[nested] = 1]`,
+		`[a <= -4.5]`,
+		`((((`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := q.String()
+		rt, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("re-parse of printed query %q failed: %v", printed, err)
+		}
+		if !rt.EqualCanonical(q) {
+			t.Fatalf("round trip changed query:\noriginal: %s\nreparsed: %s", q, rt)
+		}
+	})
+}

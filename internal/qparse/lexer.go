@@ -1,0 +1,140 @@
+// Package qparse implements a parser for the textual constraint-query
+// language used throughout the paper's examples:
+//
+//	[ln = "Clancy"] and ([fn = "Tom"] or [kwd contains data(near)mining])
+//
+// Constraints are bracketed; attributes may be view-qualified with instance
+// indexes (fac[1].ln); values are quoted strings, numbers, dates (May/97),
+// text patterns (java(near)jdk), ranges ((10:30)) and points ((10,20));
+// a bare dotted identifier on the right-hand side denotes a join attribute.
+package qparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokLParen
+	tokRParen
+	tokAnd
+	tokOr
+	tokTrue
+	tokConstraint // a whole bracketed constraint, raw text without brackets
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokConstraint:
+		return "[" + t.text + "]"
+	default:
+		return t.text
+	}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the whole input. Bracketed constraints are captured raw;
+// splitting their interior is the parser's job since values may contain
+// parentheses and spaces.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(tokEOF, "")
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case c == '(':
+			l.emit(tokLParen, "(")
+			l.pos++
+		case c == ')':
+			l.emit(tokRParen, ")")
+			l.pos++
+		case c == '[':
+			start := l.pos + 1
+			depth := 1
+			i := start
+			inStr := false
+			for ; i < len(l.src); i++ {
+				ch := l.src[i]
+				if inStr {
+					if ch == '"' {
+						inStr = false
+					}
+					continue
+				}
+				switch ch {
+				case '"':
+					inStr = true
+				case '[':
+					depth++
+				case ']':
+					depth--
+				}
+				if depth == 0 {
+					break
+				}
+			}
+			if i >= len(l.src) {
+				return nil, fmt.Errorf("qparse: unterminated constraint at offset %d", l.pos)
+			}
+			l.emit(tokConstraint, l.src[start:i])
+			l.pos = i + 1
+		case isWordStart(rune(c)):
+			start := l.pos
+			for l.pos < len(l.src) && isWordPart(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			w := l.src[start:l.pos]
+			switch strings.ToLower(w) {
+			case "and":
+				l.toks = append(l.toks, token{tokAnd, w, start})
+			case "or":
+				l.toks = append(l.toks, token{tokOr, w, start})
+			case "true":
+				l.toks = append(l.toks, token{tokTrue, w, start})
+			default:
+				return nil, fmt.Errorf("qparse: unexpected word %q at offset %d", w, start)
+			}
+		default:
+			return nil, fmt.Errorf("qparse: unexpected character %q at offset %d", c, l.pos)
+		}
+	}
+}
+
+func (l *lexer) emit(k tokKind, text string) {
+	l.toks = append(l.toks, token{k, text, l.pos})
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+}
+
+func isWordStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isWordPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

@@ -1,0 +1,405 @@
+package qparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/qtree"
+	"repro/internal/values"
+)
+
+// Parse parses a constraint query. The result is normalized (alternating
+// ∧/∨, duplicates removed).
+func Parse(src string) (*qtree.Node, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.orExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("qparse: trailing input at %s", p.peek())
+	}
+	return q.Normalize(), nil
+}
+
+// MustParse is Parse that panics on error; intended for tests and fixtures.
+func MustParse(src string) *qtree.Node {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// ParseConstraint parses a single constraint without surrounding brackets,
+// e.g. `ln = "Clancy"` or with them, e.g. `[ln = "Clancy"]`.
+func ParseConstraint(src string) (*qtree.Constraint, error) {
+	s := strings.TrimSpace(src)
+	s = strings.TrimPrefix(s, "[")
+	s = strings.TrimSuffix(s, "]")
+	return parseConstraintBody(s)
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) orExpr() (*qtree.Node, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	kids := []*qtree.Node{left}
+	for p.peek().kind == tokOr {
+		p.next()
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, right)
+	}
+	if len(kids) == 1 {
+		return kids[0], nil
+	}
+	return qtree.Or(kids...), nil
+}
+
+func (p *parser) andExpr() (*qtree.Node, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	kids := []*qtree.Node{left}
+	for p.peek().kind == tokAnd {
+		p.next()
+		right, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, right)
+	}
+	if len(kids) == 1 {
+		return kids[0], nil
+	}
+	return qtree.And(kids...), nil
+}
+
+func (p *parser) unary() (*qtree.Node, error) {
+	switch t := p.peek(); t.kind {
+	case tokLParen:
+		p.next()
+		q, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind != tokRParen {
+			return nil, fmt.Errorf("qparse: expected ) at %s", p.peek())
+		}
+		p.next()
+		return q, nil
+	case tokTrue:
+		p.next()
+		return qtree.True(), nil
+	case tokConstraint:
+		p.next()
+		c, err := parseConstraintBody(t.text)
+		if err != nil {
+			return nil, err
+		}
+		return qtree.Leaf(c), nil
+	default:
+		return nil, fmt.Errorf("qparse: expected constraint or ( at %s", t)
+	}
+}
+
+// operators ordered longest-first so that "<=" wins over "<".
+var opTokens = []string{
+	qtree.OpContains, qtree.OpStarts, qtree.OpDuring,
+	qtree.OpNe, qtree.OpLe, qtree.OpGe, qtree.OpEq, qtree.OpLt, qtree.OpGt,
+}
+
+// parseConstraintBody splits "attr op rhs" and builds the constraint.
+func parseConstraintBody(s string) (*qtree.Constraint, error) {
+	lhs, op, rhs, err := SplitConstraint(s)
+	if err != nil {
+		return nil, err
+	}
+	attr, err := ParseAttr(lhs)
+	if err != nil {
+		return nil, err
+	}
+	// Join constraint: the right-hand side is an attribute reference for
+	// comparison operators when it parses as a dotted/indexed identifier.
+	if op != qtree.OpContains && op != qtree.OpStarts && op != qtree.OpDuring {
+		if looksLikeAttr(rhs) {
+			rattr, err := ParseAttr(rhs)
+			if err != nil {
+				return nil, err
+			}
+			return qtree.Join(attr, op, rattr), nil
+		}
+	}
+	val, err := ParseValue(rhs, op)
+	if err != nil {
+		return nil, err
+	}
+	return qtree.Sel(attr, op, val), nil
+}
+
+// SplitConstraint splits a constraint body "lhs op rhs" at the first
+// operator occurring outside string literals, preferring the longest
+// operator at that position. Word operators must be space-delimited.
+func SplitConstraint(s string) (lhs, op, rhs string, err error) {
+	s = strings.TrimSpace(s)
+	opIdx, opLen := -1, 0
+	inStr := false
+scan:
+	for i := 0; i < len(s); i++ {
+		if s[i] == '"' {
+			inStr = !inStr
+		}
+		if inStr {
+			continue
+		}
+		for _, o := range opTokens {
+			if !strings.HasPrefix(s[i:], o) {
+				continue
+			}
+			// Word operators must be delimited by spaces so that an
+			// attribute like "during-field" is not misread.
+			if isWordOp(o) && !wordBoundary(s, i, len(o)) {
+				continue
+			}
+			if len(o) > opLen {
+				opIdx, opLen, op = i, len(o), o
+			}
+		}
+		if opIdx == i {
+			break scan
+		}
+	}
+	if opIdx <= 0 {
+		return "", "", "", fmt.Errorf("qparse: no operator in constraint %q", s)
+	}
+	lhs = strings.TrimSpace(s[:opIdx])
+	rhs = strings.TrimSpace(s[opIdx+opLen:])
+	if rhs == "" {
+		return "", "", "", fmt.Errorf("qparse: missing right-hand side in %q", s)
+	}
+	return lhs, op, rhs, nil
+}
+
+func isWordOp(o string) bool {
+	return o == qtree.OpContains || o == qtree.OpStarts || o == qtree.OpDuring
+}
+
+func wordBoundary(s string, i, n int) bool {
+	before := i == 0 || s[i-1] == ' '
+	after := i+n >= len(s) || s[i+n] == ' '
+	return before && after
+}
+
+// ParseAttr parses an attribute reference: name, view.name, view[i].name,
+// or view.rel.name (and view[i].rel.name).
+func ParseAttr(s string) (qtree.Attr, error) {
+	parts := strings.Split(s, ".")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+		if parts[i] == "" {
+			return qtree.Attr{}, fmt.Errorf("qparse: empty attribute component in %q", s)
+		}
+	}
+	var a qtree.Attr
+	switch len(parts) {
+	case 1:
+		a.Name = parts[0]
+	case 2:
+		a.View, a.Name = parts[0], parts[1]
+	case 3:
+		a.View, a.Rel, a.Name = parts[0], parts[1], parts[2]
+	default:
+		return qtree.Attr{}, fmt.Errorf("qparse: too many components in attribute %q", s)
+	}
+	// Optional instance index on the view: fac[1]. Indexes are 1-based;
+	// the view name before the bracket must be present.
+	if i := strings.Index(a.View, "["); i >= 0 {
+		if !strings.HasSuffix(a.View, "]") || i == 0 {
+			return qtree.Attr{}, fmt.Errorf("qparse: malformed view index in %q", s)
+		}
+		idx, err := strconv.Atoi(a.View[i+1 : len(a.View)-1])
+		if err != nil || idx < 1 {
+			return qtree.Attr{}, fmt.Errorf("qparse: bad view index in %q", s)
+		}
+		a.Index = idx
+		a.View = a.View[:i]
+	}
+	if !validIdent(a.Name) || (a.View != "" && !validIdent(a.View)) || (a.Rel != "" && !validIdent(a.Rel)) {
+		return qtree.Attr{}, fmt.Errorf("qparse: invalid attribute %q", s)
+	}
+	return a, nil
+}
+
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r == '-' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func looksLikeAttr(s string) bool {
+	if strings.HasPrefix(s, "\"") || s == "" {
+		return false
+	}
+	if _, err := ParseAttr(s); err != nil {
+		return false
+	}
+	// A bare single identifier could be either a string word or an attr; we
+	// only treat dotted or indexed references as joins to avoid ambiguity.
+	return strings.Contains(s, ".") || strings.Contains(s, "[")
+}
+
+// ParseValue interprets a value literal. The operator gives context: the
+// value of a contains constraint is a text pattern; during takes a date.
+func ParseValue(s, op string) (qtree.Value, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case strings.HasPrefix(s, "\""):
+		us, err := strconv.Unquote(s)
+		if err != nil {
+			return nil, fmt.Errorf("qparse: bad string literal %s: %v", s, err)
+		}
+		return values.String(us), nil
+	case op == qtree.OpContains:
+		return values.ParsePattern(s)
+	case op == qtree.OpDuring:
+		return ParseDate(s)
+	}
+	if r, ok := parseRange(s); ok {
+		return r, nil
+	}
+	if p, ok := parsePoint(s); ok {
+		return p, nil
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return values.Int(i), nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return values.Float(f), nil
+	}
+	if d, err := ParseDate(s); err == nil {
+		return d, nil
+	}
+	// Bare word: a string value written without quotes (e.g. [dept = cs]).
+	if validIdent(s) {
+		return values.String(s), nil
+	}
+	return nil, fmt.Errorf("qparse: cannot interpret value %q", s)
+}
+
+// ParseDate parses the paper's date notations: 97, 1997, May/97, 12/May/97.
+func ParseDate(s string) (values.Date, error) {
+	parts := strings.Split(s, "/")
+	switch len(parts) {
+	case 1:
+		y, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return values.Date{}, fmt.Errorf("qparse: bad date %q", s)
+		}
+		return values.Date{Year: normYear(y)}, nil
+	case 2:
+		m, ok := values.ParseMonth(parts[0])
+		if !ok {
+			return values.Date{}, fmt.Errorf("qparse: bad month in date %q", s)
+		}
+		y, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return values.Date{}, fmt.Errorf("qparse: bad year in date %q", s)
+		}
+		return values.Date{Year: normYear(y), Month: m}, nil
+	case 3:
+		d, err := strconv.Atoi(parts[0])
+		if err != nil || d < 1 || d > 31 {
+			return values.Date{}, fmt.Errorf("qparse: bad day in date %q", s)
+		}
+		m, ok := values.ParseMonth(parts[1])
+		if !ok {
+			return values.Date{}, fmt.Errorf("qparse: bad month in date %q", s)
+		}
+		y, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return values.Date{}, fmt.Errorf("qparse: bad year in date %q", s)
+		}
+		return values.Date{Year: normYear(y), Month: m, Day: d}, nil
+	default:
+		return values.Date{}, fmt.Errorf("qparse: bad date %q", s)
+	}
+}
+
+// normYear expands two-digit years with a 1950–2049 pivot.
+func normYear(y int) int {
+	switch {
+	case y >= 100:
+		return y
+	case y >= 50:
+		return 1900 + y
+	default:
+		return 2000 + y
+	}
+}
+
+func parseRange(s string) (values.Range, bool) {
+	if !strings.HasPrefix(s, "(") || !strings.HasSuffix(s, ")") {
+		return values.Range{}, false
+	}
+	body := s[1 : len(s)-1]
+	parts := strings.Split(body, ":")
+	if len(parts) != 2 {
+		return values.Range{}, false
+	}
+	lo, err1 := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	hi, err2 := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err1 != nil || err2 != nil {
+		return values.Range{}, false
+	}
+	return values.Range{Lo: lo, Hi: hi}, true
+}
+
+func parsePoint(s string) (values.Point, bool) {
+	if !strings.HasPrefix(s, "(") || !strings.HasSuffix(s, ")") {
+		return values.Point{}, false
+	}
+	body := s[1 : len(s)-1]
+	parts := strings.Split(body, ",")
+	if len(parts) != 2 {
+		return values.Point{}, false
+	}
+	x, err1 := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	y, err2 := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err1 != nil || err2 != nil {
+		return values.Point{}, false
+	}
+	return values.Point{X: x, Y: y}, true
+}

@@ -1,0 +1,211 @@
+package qparse
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/qtree"
+	"repro/internal/values"
+)
+
+func TestParseSimpleConstraint(t *testing.T) {
+	q := MustParse(`[ln = "Clancy"]`)
+	if q.Kind != qtree.KindLeaf {
+		t.Fatalf("got %s, want leaf", q)
+	}
+	c := q.C
+	if c.Attr != qtree.A("ln") || c.Op != qtree.OpEq {
+		t.Errorf("constraint = %s", c)
+	}
+	if s, ok := c.Val.(values.String); !ok || s.Raw() != "Clancy" {
+		t.Errorf("value = %v", c.Val)
+	}
+}
+
+func TestParseBooleanStructure(t *testing.T) {
+	q := MustParse(`([a = 1] or [b = 2]) and [c = 3]`)
+	if q.Kind != qtree.KindAnd || len(q.Kids) != 2 {
+		t.Fatalf("got %s", q)
+	}
+	if q.Kids[0].Kind != qtree.KindOr {
+		t.Errorf("first conjunct %s, want disjunction", q.Kids[0])
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// and binds tighter than or.
+	q := MustParse(`[a = 1] or [b = 2] and [c = 3]`)
+	if q.Kind != qtree.KindOr || len(q.Kids) != 2 {
+		t.Fatalf("got %s", q)
+	}
+	if q.Kids[1].Kind != qtree.KindAnd {
+		t.Errorf("second disjunct %s, want conjunction", q.Kids[1])
+	}
+}
+
+func TestParseAttrForms(t *testing.T) {
+	cases := map[string]qtree.Attr{
+		"ln":               qtree.A("ln"),
+		"fac.ln":           qtree.VA("fac", "ln"),
+		"fac[2].ln":        qtree.VIA("fac", 2, "ln"),
+		"fac.aubib.name":   qtree.RA("fac", "aubib", "name"),
+		"ti-word":          qtree.A("ti-word"),
+		"fac[1].prof.dept": {View: "fac", Index: 1, Rel: "prof", Name: "dept"},
+	}
+	for src, want := range cases {
+		got, err := ParseAttr(src)
+		if err != nil {
+			t.Errorf("ParseAttr(%q): %v", src, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseAttr(%q) = %#v, want %#v", src, got, want)
+		}
+	}
+}
+
+func TestParseJoinConstraint(t *testing.T) {
+	q := MustParse(`[fac.ln = pub.ln]`)
+	c := q.C
+	if !c.IsJoin() {
+		t.Fatalf("%s not recognized as join", c)
+	}
+	if c.Attr != qtree.VA("fac", "ln") || *c.RAttr != qtree.VA("pub", "ln") {
+		t.Errorf("join attrs wrong: %s", c)
+	}
+}
+
+func TestParseValueKinds(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind string
+	}{
+		{`[a = "text"]`, "string"},
+		{`[a = 42]`, "int"},
+		{`[a = 4.5]`, "float"},
+		{`[a = (10:30)]`, "range"},
+		{`[a = (10,20)]`, "point"},
+		{`[a during May/97]`, "date"},
+		{`[a during 12/May/97]`, "date"},
+		{`[a contains java(near)jdk]`, "pattern"},
+		{`[a contains www]`, "pattern"},
+		{`[a = cs]`, "string"}, // bare word value
+	}
+	for _, c := range cases {
+		q, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.src, err)
+			continue
+		}
+		if got := q.C.Val.Kind(); got != c.kind {
+			t.Errorf("Parse(%q) value kind = %s, want %s", c.src, got, c.kind)
+		}
+	}
+}
+
+func TestParseDates(t *testing.T) {
+	d, err := ParseDate("May/97")
+	if err != nil || d.Year != 1997 || d.Month != 5 || d.Day != 0 {
+		t.Errorf("May/97 = %+v (%v)", d, err)
+	}
+	d, err = ParseDate("12/May/97")
+	if err != nil || d.Day != 12 {
+		t.Errorf("12/May/97 = %+v (%v)", d, err)
+	}
+	d, err = ParseDate("2001")
+	if err != nil || d.Year != 2001 {
+		t.Errorf("2001 = %+v (%v)", d, err)
+	}
+	d, err = ParseDate("49")
+	if err != nil || d.Year != 2049 {
+		t.Errorf("49 = %+v (%v), want 2049 pivot", d, err)
+	}
+	d, err = ParseDate("50")
+	if err != nil || d.Year != 1950 {
+		t.Errorf("50 = %+v (%v), want 1950 pivot", d, err)
+	}
+	if _, err := ParseDate("notadate"); err == nil {
+		t.Error("notadate parsed without error")
+	}
+}
+
+func TestParseComparisonOps(t *testing.T) {
+	for _, op := range []string{"=", "!=", "<", "<=", ">", ">="} {
+		q, err := Parse(`[a ` + op + ` 5]`)
+		if err != nil {
+			t.Errorf("op %s: %v", op, err)
+			continue
+		}
+		if q.C.Op != op {
+			t.Errorf("op parsed as %s, want %s", q.C.Op, op)
+		}
+	}
+}
+
+func TestParseTrue(t *testing.T) {
+	if !MustParse(`TRUE`).IsTrue() {
+		t.Error("TRUE did not parse to the trivial query")
+	}
+	if !MustParse(`true and true`).IsTrue() {
+		t.Error("true∧true did not normalize to TRUE")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``, `[a = ]`, `[= 5]`, `[a 5]`, `[a = 5`, `(a = 5)`,
+		`[a = 5] and`, `[a = 5] bogus [b = 2]`, `((([a=1])`, `[a..b = 1]`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	// Printing a parsed query and re-parsing yields the same canonical tree.
+	exprs := []string{
+		`[ln = "Clancy"] and ([fn = "Tom"] or [pyear = 1997])`,
+		`[a = 1] or ([b = 2] and ([c = 3] or [d = 4]))`,
+		`[fac.bib contains data(near)mining] and [fac.dept = cs]`,
+		`[pdate during May/97] or [xrange = (10:30)]`,
+		`[fac[1].ln = fac[2].ln]`,
+	}
+	f := func(i uint) bool {
+		src := exprs[i%uint(len(exprs))]
+		q := MustParse(src)
+		rt, err := Parse(q.String())
+		if err != nil {
+			t.Logf("re-parse of %q failed: %v", q.String(), err)
+			return false
+		}
+		return rt.EqualCanonical(q)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitConstraintQuotedOperator(t *testing.T) {
+	// Operators inside string literals must not split the constraint.
+	lhs, op, rhs, err := SplitConstraint(`ti = "a = b"`)
+	if err != nil || lhs != "ti" || op != "=" || rhs != `"a = b"` {
+		t.Errorf("got %q %q %q (%v)", lhs, op, rhs, err)
+	}
+}
+
+func TestParseLongQuery(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 100; i++ {
+		if i > 0 {
+			sb.WriteString(" and ")
+		}
+		sb.WriteString(`[a` + string(rune('0'+i%10)) + ` = ` + string(rune('0'+i%7)) + `]`)
+	}
+	q := MustParse(sb.String())
+	if !q.IsSimpleConjunction() {
+		t.Error("long conjunction not simple")
+	}
+}

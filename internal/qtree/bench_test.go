@@ -1,0 +1,68 @@
+package qtree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchTree(n int) *Node {
+	rng := rand.New(rand.NewSource(int64(n)))
+	return genTree(rng, n)
+}
+
+func BenchmarkNormalize(b *testing.B) {
+	for _, depth := range []int{3, 5, 7} {
+		q := benchTree(depth)
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q.Normalize()
+			}
+		})
+	}
+}
+
+func BenchmarkToDNF(b *testing.B) {
+	for _, k := range []int{4, 8} {
+		kids := make([]*Node, k)
+		for i := range kids {
+			kids[i] = Or(leaf(fmt.Sprintf("a%d", 2*i), "0"), leaf(fmt.Sprintf("a%d", 2*i+1), "1"))
+		}
+		q := And(kids...).Normalize()
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ToDNF(q)
+			}
+		})
+	}
+}
+
+func BenchmarkDisjunctivize(b *testing.B) {
+	conj := []*Node{
+		Or(leaf("a", "0"), leaf("b", "0"), leaf("c", "0")),
+		Or(leaf("d", "0"), leaf("e", "0")),
+		leaf("f", "0"),
+	}
+	for i := 0; i < b.N; i++ {
+		Disjunctivize(conj)
+	}
+}
+
+func BenchmarkSimplify(b *testing.B) {
+	q := Or(
+		And(leaf("a", "0"), leaf("b", "0")),
+		And(leaf("a", "0"), leaf("b", "0"), leaf("c", "0")),
+		leaf("d", "0"),
+		And(leaf("d", "0"), leaf("e", "0")),
+	)
+	for i := 0; i < b.N; i++ {
+		Simplify(q)
+	}
+}
+
+func BenchmarkCanonicalKey(b *testing.B) {
+	q := benchTree(6)
+	for i := 0; i < b.N; i++ {
+		q.CanonicalKey()
+	}
+}

@@ -1,0 +1,154 @@
+package qtree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Operator names used across the library. Rules and targets may introduce
+// additional operators; these are the ones the paper's examples use.
+const (
+	OpEq       = "="
+	OpNe       = "!="
+	OpLt       = "<"
+	OpLe       = "<="
+	OpGt       = ">"
+	OpGe       = ">="
+	OpContains = "contains"
+	OpStarts   = "starts"
+	OpDuring   = "during"
+)
+
+// InverseOp returns the operator op2 such that [a op b] ≡ [b op2 a], and
+// whether such an inverse exists. Symmetric operators are their own inverse.
+func InverseOp(op string) (string, bool) {
+	switch op {
+	case OpEq, OpNe:
+		return op, true
+	case OpLt:
+		return OpGt, true
+	case OpLe:
+		return OpGe, true
+	case OpGt:
+		return OpLt, true
+	case OpGe:
+		return OpLe, true
+	default:
+		return "", false
+	}
+}
+
+// Constraint is a single selection condition [attr op value] or join
+// condition [attr1 op attr2] (Section 2). Exactly one of Val and RAttr is
+// set: Val for selections, RAttr for joins.
+type Constraint struct {
+	Attr  Attr
+	Op    string
+	Val   Value // selection constant; nil for join constraints
+	RAttr *Attr // right-hand attribute; nil for selection constraints
+}
+
+// Sel constructs a selection constraint [attr op val].
+func Sel(attr Attr, op string, val Value) *Constraint {
+	return &Constraint{Attr: attr, Op: op, Val: val}
+}
+
+// Join constructs a join constraint [left op right].
+func Join(left Attr, op string, right Attr) *Constraint {
+	r := right
+	return &Constraint{Attr: left, Op: op, RAttr: &r}
+}
+
+// IsJoin reports whether c is a join constraint.
+func (c *Constraint) IsJoin() bool { return c.RAttr != nil }
+
+// String renders the constraint in the paper's bracketed syntax,
+// e.g. [ln = "Clancy"] or [fac.ln = pub.ln].
+func (c *Constraint) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	b.WriteString(c.Attr.String())
+	b.WriteByte(' ')
+	b.WriteString(c.Op)
+	b.WriteByte(' ')
+	if c.IsJoin() {
+		b.WriteString(c.RAttr.String())
+	} else if c.Val != nil {
+		b.WriteString(c.Val.String())
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Key returns a canonical identity string. Two constraints with equal keys
+// are treated as the same constraint by the matching machinery (matchings
+// are sets of constraints, Section 4.1). Join constraints are normalized so
+// that [a op b] and [b inv(op) a] share a key.
+func (c *Constraint) Key() string {
+	if !c.IsJoin() {
+		return fmt.Sprintf("[%s %s %s]", c.Attr.Key(), c.Op, valueKey(c.Val))
+	}
+	n := c.Normalize()
+	return fmt.Sprintf("[%s %s %s]", n.Attr.Key(), n.Op, n.RAttr.Key())
+}
+
+func valueKey(v Value) string {
+	if v == nil {
+		return "<nil>"
+	}
+	kind := v.Kind()
+	// Integers and floats share one numeric identity (3 ≡ 3.0), matching
+	// Value.Equal and the engine's comparison semantics.
+	if kind == "int" || kind == "float" {
+		kind = "num"
+	}
+	return kind + ":" + v.String()
+}
+
+// Equal reports whether two constraints are identical under normalization.
+func (c *Constraint) Equal(d *Constraint) bool {
+	if c == nil || d == nil {
+		return c == d
+	}
+	return c.Key() == d.Key()
+}
+
+// Normalize returns a canonical form of the constraint (Section 4.2): join
+// constraints written with the preferred operator direction, and symmetric
+// operators with attributes in lexicographic order. Selection constraints
+// are returned unchanged.
+func (c *Constraint) Normalize() *Constraint {
+	if !c.IsJoin() {
+		return c
+	}
+	l, r, op := c.Attr, *c.RAttr, c.Op
+	flip := false
+	switch op {
+	case OpLt: // prefer ">"
+		op, flip = OpGt, true
+	case OpLe: // prefer ">="
+		op, flip = OpGe, true
+	case OpEq, OpNe:
+		if l.Key() > r.Key() {
+			flip = true
+		}
+	}
+	if flip {
+		l, r = r, l
+	}
+	if l == c.Attr && op == c.Op {
+		return c
+	}
+	return Join(l, op, r)
+}
+
+// Clone returns a deep copy of the constraint. Values are immutable and
+// shared.
+func (c *Constraint) Clone() *Constraint {
+	cp := *c
+	if c.RAttr != nil {
+		r := *c.RAttr
+		cp.RAttr = &r
+	}
+	return &cp
+}

@@ -1,0 +1,121 @@
+package qtree
+
+// This file implements the structural rewritings the mapping algorithms use:
+// the one-level Disjunctivize of Algorithm TDQM (Figure 8, bottom) and full
+// DNF conversion for the baseline Algorithm DNF (Figure 6).
+
+// Disjunctivize rewrites the conjunction of the given conjuncts into a
+// disjunctive query by distributing the ∧ at the root over the ∨ at the next
+// level (Figure 8, function Disjunctivize). With a single conjunct the
+// conjunct itself is returned. The result is normalized.
+//
+// For example ∧{(D11 ∨ D12), (D21 ∨ D22)} becomes
+// ∨{D11·D21, D11·D22, D12·D21, D12·D22}.
+func Disjunctivize(conjuncts []*Node) *Node {
+	if len(conjuncts) == 0 {
+		return True()
+	}
+	if len(conjuncts) == 1 {
+		return conjuncts[0].Normalize()
+	}
+	// Cartesian product of each conjunct's disjunct lists.
+	terms := [][]*Node{nil} // each element: the ∧-operands of one product term
+	for _, c := range conjuncts {
+		ds := c.Normalize().Disjuncts()
+		next := make([][]*Node, 0, len(terms)*len(ds))
+		for _, t := range terms {
+			for _, d := range ds {
+				nt := make([]*Node, len(t), len(t)+1)
+				copy(nt, t)
+				nt = append(nt, d)
+				next = append(next, nt)
+			}
+		}
+		terms = next
+	}
+	kids := make([]*Node, len(terms))
+	for i, t := range terms {
+		kids[i] = And(t...)
+	}
+	return Or(kids...).Normalize()
+}
+
+// ToDNF converts q into full disjunctive normal form: a disjunction of
+// simple conjunctions (Algorithm DNF, step 1). Duplicate disjuncts and
+// duplicate constraints within a disjunct are removed; disjuncts that are a
+// superset of another disjunct are NOT absorbed (the paper's DNF conversion
+// is purely structural).
+func ToDNF(q *Node) *Node {
+	q = q.Normalize()
+	switch q.Kind {
+	case KindTrue, KindLeaf:
+		return q
+	case KindOr:
+		kids := make([]*Node, len(q.Kids))
+		for i, k := range q.Kids {
+			kids[i] = ToDNF(k)
+		}
+		return Or(kids...).Normalize()
+	case KindAnd:
+		kids := make([]*Node, len(q.Kids))
+		for i, k := range q.Kids {
+			kids[i] = ToDNF(k)
+		}
+		return Disjunctivize(kids) // children are DNF ⇒ one distribution suffices
+	default:
+		panic("qtree: invalid node kind in ToDNF")
+	}
+}
+
+// DNFDisjuncts returns the disjuncts of ToDNF(q) as constraint sets, in
+// canonical order. True yields a single empty set.
+func DNFDisjuncts(q *Node) []*ConstraintSet {
+	d := ToDNF(q)
+	var out []*ConstraintSet
+	for _, k := range d.Disjuncts() {
+		out = append(out, SetOfConstraints(k))
+	}
+	return out
+}
+
+// ToCNF converts q into conjunctive normal form: a conjunction of clauses,
+// each a disjunction of constraints. It is the dual of ToDNF, provided for
+// the Garlic-style CNF baseline (the paper's related work notes Garlic
+// "processes complex queries in CNF and is not aware of dependencies").
+func ToCNF(q *Node) *Node {
+	q = q.Normalize()
+	switch q.Kind {
+	case KindTrue, KindLeaf:
+		return q
+	case KindAnd:
+		kids := make([]*Node, len(q.Kids))
+		for i, k := range q.Kids {
+			kids[i] = ToCNF(k)
+		}
+		return And(kids...).Normalize()
+	case KindOr:
+		// Distribute ∨ over the children's clauses: the clauses of
+		// (A ∨ B) are the pairwise disjunctions of A's and B's clauses.
+		clauses := []*Node{nil} // nil means the empty (always-false) clause so far
+		grow := func(existing []*Node, kid *Node) []*Node {
+			kidClauses := ToCNF(kid).Conjuncts()
+			next := make([]*Node, 0, len(existing)*len(kidClauses))
+			for _, e := range existing {
+				for _, c := range kidClauses {
+					if e == nil {
+						next = append(next, c)
+					} else {
+						next = append(next, Or(e, c))
+					}
+				}
+			}
+			return next
+		}
+		for _, k := range q.Kids {
+			clauses = grow(clauses, k)
+		}
+		return And(clauses...).Normalize()
+	default:
+		panic("qtree: invalid node kind in ToCNF")
+	}
+}

@@ -1,0 +1,57 @@
+package qtree
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// The JSON representation of a query tree, used by the HTTP mediation
+// service so that clients get structure rather than only surface text:
+//
+//	{"op":"and","kids":[
+//	  {"constraint":{"attr":"ln","cmp":"=","value":{"kind":"string","text":"\"Clancy\""}}},
+//	  {"op":"or","kids":[...]}]}
+//
+// Values are serialized by kind and surface text: the textual query
+// language is the round-trip format (see internal/qparse), so JSON decoding
+// of values is intentionally not provided — parse the "text" field.
+
+type jsonNode struct {
+	Op         string          `json:"op,omitempty"` // "and", "or", "true"
+	Kids       []*Node         `json:"kids,omitempty"`
+	Constraint *jsonConstraint `json:"constraint,omitempty"`
+}
+
+type jsonConstraint struct {
+	Attr  string     `json:"attr"`
+	Cmp   string     `json:"cmp"`
+	Value *jsonValue `json:"value,omitempty"`
+	RAttr string     `json:"rattr,omitempty"`
+}
+
+type jsonValue struct {
+	Kind string `json:"kind"`
+	Text string `json:"text"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (n *Node) MarshalJSON() ([]byte, error) {
+	switch n.Kind {
+	case KindTrue:
+		return json.Marshal(jsonNode{Op: "true"})
+	case KindAnd:
+		return json.Marshal(jsonNode{Op: "and", Kids: n.Kids})
+	case KindOr:
+		return json.Marshal(jsonNode{Op: "or", Kids: n.Kids})
+	case KindLeaf:
+		jc := &jsonConstraint{Attr: n.C.Attr.String(), Cmp: n.C.Op}
+		if n.C.IsJoin() {
+			jc.RAttr = n.C.RAttr.String()
+		} else if n.C.Val != nil {
+			jc.Value = &jsonValue{Kind: n.C.Val.Kind(), Text: n.C.Val.String()}
+		}
+		return json.Marshal(jsonNode{Constraint: jc})
+	default:
+		return nil, fmt.Errorf("qtree: cannot marshal node kind %v", n.Kind)
+	}
+}

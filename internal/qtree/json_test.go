@@ -1,0 +1,55 @@
+package qtree
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestMarshalJSONLeaf(t *testing.T) {
+	q := leaf("ln", "Clancy")
+	b, err := json.Marshal(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	for _, want := range []string{`"attr":"ln"`, `"cmp":"="`, `"kind":"test"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON %s missing %s", s, want)
+		}
+	}
+}
+
+func TestMarshalJSONTree(t *testing.T) {
+	q := And(leaf("a", "1"), Or(leaf("b", "1"), leaf("c", "1"))).Normalize()
+	b, err := json.Marshal(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded["op"] != "and" {
+		t.Errorf("root op = %v", decoded["op"])
+	}
+	kids, ok := decoded["kids"].([]any)
+	if !ok || len(kids) != 2 {
+		t.Fatalf("kids = %v", decoded["kids"])
+	}
+}
+
+func TestMarshalJSONJoinAndTrue(t *testing.T) {
+	j := Leaf(Join(VA("fac", "ln"), OpEq, VA("pub", "ln")))
+	b, err := json.Marshal(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"rattr":"pub.ln"`) {
+		t.Errorf("join JSON = %s", b)
+	}
+	b, err = json.Marshal(True())
+	if err != nil || !strings.Contains(string(b), `"op":"true"`) {
+		t.Errorf("TRUE JSON = %s (%v)", b, err)
+	}
+}

@@ -1,0 +1,314 @@
+package qtree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeKind discriminates query-tree nodes.
+type NodeKind int
+
+const (
+	// KindLeaf is a single constraint.
+	KindLeaf NodeKind = iota
+	// KindAnd is an n-ary conjunction.
+	KindAnd
+	// KindOr is an n-ary disjunction.
+	KindOr
+	// KindTrue is the trivial query True — "no constraint". It arises when
+	// a constraint has no mapping in the target context (Section 2).
+	KindTrue
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case KindLeaf:
+		return "leaf"
+	case KindAnd:
+		return "and"
+	case KindOr:
+		return "or"
+	case KindTrue:
+		return "true"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// Node is a query-tree node. Interior nodes alternate between ∧ and ∨ after
+// Normalize; leaves carry a single constraint. The zero value is not a valid
+// node: use the constructors.
+type Node struct {
+	Kind NodeKind
+	Kids []*Node     // children of And/Or nodes
+	C    *Constraint // constraint of a Leaf node
+}
+
+// Leaf returns a leaf node wrapping constraint c.
+func Leaf(c *Constraint) *Node { return &Node{Kind: KindLeaf, C: c} }
+
+// True returns the trivial query True.
+func True() *Node { return &Node{Kind: KindTrue} }
+
+// And returns the conjunction of the given subqueries (un-normalized).
+func And(kids ...*Node) *Node { return &Node{Kind: KindAnd, Kids: kids} }
+
+// Or returns the disjunction of the given subqueries (un-normalized).
+func Or(kids ...*Node) *Node { return &Node{Kind: KindOr, Kids: kids} }
+
+// AndOf normalizes on construction: collapses nested conjunctions, drops
+// True conjuncts, and unwraps single-child conjunctions.
+func AndOf(kids ...*Node) *Node { return And(kids...).Normalize() }
+
+// OrOf normalizes on construction: collapses nested disjunctions, absorbs
+// True (True ∨ X = True), and unwraps single-child disjunctions.
+func OrOf(kids ...*Node) *Node { return Or(kids...).Normalize() }
+
+// IsTrue reports whether the node is the trivial query.
+func (n *Node) IsTrue() bool { return n != nil && n.Kind == KindTrue }
+
+// Clone returns a deep copy of the tree. Constraints are cloned; Values are
+// shared (immutable).
+func (n *Node) Clone() *Node {
+	if n == nil {
+		return nil
+	}
+	cp := &Node{Kind: n.Kind}
+	if n.C != nil {
+		cp.C = n.C.Clone()
+	}
+	if n.Kids != nil {
+		cp.Kids = make([]*Node, len(n.Kids))
+		for i, k := range n.Kids {
+			cp.Kids[i] = k.Clone()
+		}
+	}
+	return cp
+}
+
+// Normalize returns an equivalent tree in canonical form:
+//
+//   - nested operators of the same kind are collapsed (∧{a, ∧{b,c}} = ∧{a,b,c}),
+//     so ∧ and ∨ alternate along every path (Section 6);
+//   - True is the identity of ∧ and absorbs ∨;
+//   - single-child interior nodes are unwrapped;
+//   - structurally duplicate children are deduplicated (x∧x = x, x∨x = x).
+//
+// The result shares no structure with the receiver's interior nodes but may
+// share leaves' constraints.
+func (n *Node) Normalize() *Node {
+	switch n.Kind {
+	case KindLeaf, KindTrue:
+		return n
+	case KindAnd, KindOr:
+		var flat []*Node
+		seen := make(map[string]bool)
+		sawTrue := false
+		var add func(k *Node)
+		add = func(k *Node) {
+			k = k.Normalize()
+			switch {
+			case k.Kind == KindTrue:
+				sawTrue = true
+			case k.Kind == n.Kind:
+				for _, kk := range k.Kids {
+					add(kk)
+				}
+			default:
+				key := k.canonKey()
+				if !seen[key] {
+					seen[key] = true
+					flat = append(flat, k)
+				}
+			}
+		}
+		for _, k := range n.Kids {
+			add(k)
+		}
+		if n.Kind == KindOr && sawTrue {
+			return True() // True ∨ X = True
+		}
+		if len(flat) == 0 {
+			return True() // empty conjunction, or Or consisting only of True
+		}
+		if len(flat) == 1 {
+			return flat[0]
+		}
+		return &Node{Kind: n.Kind, Kids: flat}
+	default:
+		panic("qtree: invalid node kind " + n.Kind.String())
+	}
+}
+
+// canonKey returns a canonical string for structural deduplication. Child
+// order is ignored for interior nodes.
+func (n *Node) canonKey() string {
+	switch n.Kind {
+	case KindTrue:
+		return "T"
+	case KindLeaf:
+		return n.C.Key()
+	default:
+		keys := make([]string, len(n.Kids))
+		for i, k := range n.Kids {
+			keys[i] = k.canonKey()
+		}
+		sort.Strings(keys)
+		op := "&"
+		if n.Kind == KindOr {
+			op = "|"
+		}
+		return op + "(" + strings.Join(keys, ",") + ")"
+	}
+}
+
+// EqualCanonical reports whether two trees are structurally identical up to
+// child reordering and duplicate children.
+func (n *Node) EqualCanonical(m *Node) bool {
+	return n.Normalize().canonKey() == m.Normalize().canonKey()
+}
+
+// CanonicalKey returns a canonical identity string for the normalized tree:
+// child order, duplicate children, and join-constraint orientation are all
+// abstracted away.
+func (n *Node) CanonicalKey() string { return n.Normalize().canonKey() }
+
+// Size returns the number of nodes in the parse tree — the paper's
+// compactness measure (Section 8).
+func (n *Node) Size() int {
+	if n == nil {
+		return 0
+	}
+	s := 1
+	for _, k := range n.Kids {
+		s += k.Size()
+	}
+	return s
+}
+
+// Depth returns the height of the tree (a leaf has depth 1).
+func (n *Node) Depth() int {
+	if n == nil {
+		return 0
+	}
+	d := 0
+	for _, k := range n.Kids {
+		if kd := k.Depth(); kd > d {
+			d = kd
+		}
+	}
+	return d + 1
+}
+
+// Constraints returns the distinct constraints at the leaves, keyed and
+// ordered canonically.
+func (n *Node) Constraints() []*Constraint {
+	set := NewConstraintSet()
+	n.walkLeaves(func(c *Constraint) { set.Add(c) })
+	return set.Slice()
+}
+
+func (n *Node) walkLeaves(f func(*Constraint)) {
+	if n == nil {
+		return
+	}
+	if n.Kind == KindLeaf {
+		f(n.C)
+		return
+	}
+	for _, k := range n.Kids {
+		k.walkLeaves(f)
+	}
+}
+
+// IsSimpleConjunction reports whether the (normalized) query is a simple
+// conjunction of constraints: a True node, a single leaf, or an ∧-node with
+// only leaf children (Section 4).
+func (n *Node) IsSimpleConjunction() bool {
+	switch n.Kind {
+	case KindTrue, KindLeaf:
+		return true
+	case KindAnd:
+		for _, k := range n.Kids {
+			if k.Kind != KindLeaf {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// SimpleConjuncts returns the constraints of a simple conjunction. It panics
+// if the query is not a simple conjunction; callers check first. A True node
+// yields nil.
+func (n *Node) SimpleConjuncts() []*Constraint {
+	switch n.Kind {
+	case KindTrue:
+		return nil
+	case KindLeaf:
+		return []*Constraint{n.C}
+	case KindAnd:
+		cs := make([]*Constraint, 0, len(n.Kids))
+		for _, k := range n.Kids {
+			if k.Kind != KindLeaf {
+				panic("qtree: SimpleConjuncts on non-simple conjunction")
+			}
+			cs = append(cs, k.C)
+		}
+		return cs
+	default:
+		panic("qtree: SimpleConjuncts on disjunction")
+	}
+}
+
+// Conjuncts returns the children of an ∧-node, or the node itself as a
+// single conjunct otherwise.
+func (n *Node) Conjuncts() []*Node {
+	if n.Kind == KindAnd {
+		return n.Kids
+	}
+	return []*Node{n}
+}
+
+// Disjuncts returns the children of an ∨-node, or the node itself as a
+// single disjunct otherwise.
+func (n *Node) Disjuncts() []*Node {
+	if n.Kind == KindOr {
+		return n.Kids
+	}
+	return []*Node{n}
+}
+
+// String renders the query with infix ∧/∨ in ASCII ("and"/"or"), fully
+// parenthesized except at the top level.
+func (n *Node) String() string {
+	return n.render(false)
+}
+
+func (n *Node) render(paren bool) string {
+	switch n.Kind {
+	case KindTrue:
+		return "TRUE"
+	case KindLeaf:
+		return n.C.String()
+	case KindAnd, KindOr:
+		op := " and "
+		if n.Kind == KindOr {
+			op = " or "
+		}
+		parts := make([]string, len(n.Kids))
+		for i, k := range n.Kids {
+			parts[i] = k.render(true)
+		}
+		s := strings.Join(parts, op)
+		if paren {
+			return "(" + s + ")"
+		}
+		return s
+	default:
+		return "<invalid>"
+	}
+}

@@ -1,0 +1,40 @@
+package qtree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TreeString renders the query as an indented tree, one node per line —
+// the presentation style of the paper's Figure 7.
+func (n *Node) TreeString() string {
+	var b strings.Builder
+	var rec func(n *Node, prefix, connector, childPrefix string)
+	rec = func(n *Node, prefix, connector, childPrefix string) {
+		fmt.Fprintf(&b, "%s%s%s\n", prefix, connector, nodeLabel(n))
+		for i, k := range n.Kids {
+			if i == len(n.Kids)-1 {
+				rec(k, childPrefix, "└─ ", childPrefix+"   ")
+			} else {
+				rec(k, childPrefix, "├─ ", childPrefix+"│  ")
+			}
+		}
+	}
+	rec(n, "", "", "")
+	return b.String()
+}
+
+func nodeLabel(n *Node) string {
+	switch n.Kind {
+	case KindTrue:
+		return "TRUE"
+	case KindLeaf:
+		return n.C.String()
+	case KindAnd:
+		return "AND"
+	case KindOr:
+		return "OR"
+	default:
+		return "<invalid>"
+	}
+}

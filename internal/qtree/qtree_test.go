@@ -1,0 +1,324 @@
+package qtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// testValue is a minimal Value for qtree-local tests.
+type testValue string
+
+func (testValue) Kind() string          { return "test" }
+func (v testValue) String() string      { return string(v) }
+func (v testValue) Equal(o Value) bool  { t, ok := o.(testValue); return ok && v == t }
+func tv(s string) Value                 { return testValue(s) }
+func leaf(attr, val string) *Node       { return Leaf(Sel(A(attr), OpEq, tv(val))) }
+func cstr(attr, val string) *Constraint { return Sel(A(attr), OpEq, tv(val)) }
+
+func TestAttrString(t *testing.T) {
+	cases := []struct {
+		a    Attr
+		want string
+	}{
+		{A("ln"), "ln"},
+		{VA("fac", "ln"), "fac.ln"},
+		{VIA("fac", 2, "ln"), "fac[2].ln"},
+		{RA("fac", "aubib", "name"), "fac.aubib.name"},
+		{Attr{View: "fac", Index: 1, Rel: "prof", Name: "dept"}, "fac[1].prof.dept"},
+	}
+	for _, c := range cases {
+		if got := c.a.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.a, got, c.want)
+		}
+	}
+}
+
+func TestConstraintNormalizeJoin(t *testing.T) {
+	a, b := VA("v", "x"), VA("w", "y")
+	lt := Join(b, OpLt, a)
+	n := lt.Normalize()
+	if n.Op != OpGt || n.Attr != a || *n.RAttr != b {
+		t.Errorf("normalize [w.y < v.x] = %s, want [v.x > w.y]", n)
+	}
+	// Symmetric operators order attributes lexicographically.
+	eq1 := Join(a, OpEq, b)
+	eq2 := Join(b, OpEq, a)
+	if eq1.Key() != eq2.Key() {
+		t.Errorf("symmetric join keys differ: %q vs %q", eq1.Key(), eq2.Key())
+	}
+	// Selection constraints are untouched.
+	sel := cstr("x", "1")
+	if sel.Normalize() != sel {
+		t.Error("selection constraint was rewritten by Normalize")
+	}
+}
+
+func TestNormalizeCollapsesAndDedupes(t *testing.T) {
+	q := And(leaf("a", "1"), And(leaf("b", "2"), leaf("c", "3")), leaf("a", "1"))
+	n := q.Normalize()
+	if n.Kind != KindAnd || len(n.Kids) != 3 {
+		t.Fatalf("normalize = %s, want flat 3-way conjunction", n)
+	}
+	for _, k := range n.Kids {
+		if k.Kind != KindLeaf {
+			t.Fatalf("child %s not a leaf", k)
+		}
+	}
+}
+
+func TestNormalizeTrueIdentities(t *testing.T) {
+	if got := And(True(), leaf("a", "1")).Normalize(); got.Kind != KindLeaf {
+		t.Errorf("True ∧ a = %s, want leaf", got)
+	}
+	if got := Or(True(), leaf("a", "1")).Normalize(); !got.IsTrue() {
+		t.Errorf("True ∨ a = %s, want TRUE", got)
+	}
+	if got := And().Normalize(); !got.IsTrue() {
+		t.Errorf("empty ∧ = %s, want TRUE", got)
+	}
+	if got := And(leaf("a", "1")).Normalize(); got.Kind != KindLeaf {
+		t.Errorf("singleton ∧ = %s, want unwrapped leaf", got)
+	}
+}
+
+func TestNormalizeAlternation(t *testing.T) {
+	q := Or(leaf("a", "1"), Or(leaf("b", "1"), Or(leaf("c", "1"), And(leaf("d", "1")))))
+	n := q.Normalize()
+	if n.Kind != KindOr || len(n.Kids) != 4 {
+		t.Fatalf("normalize = %s, want flat 4-way disjunction", n)
+	}
+	var check func(n *Node, parent NodeKind)
+	check = func(n *Node, parent NodeKind) {
+		if n.Kind == parent && (n.Kind == KindAnd || n.Kind == KindOr) {
+			t.Fatalf("adjacent %v nodes survive normalization", n.Kind)
+		}
+		for _, k := range n.Kids {
+			check(k, n.Kind)
+		}
+	}
+	check(n, KindLeaf)
+}
+
+func TestSizeAndDepth(t *testing.T) {
+	q := And(leaf("a", "1"), Or(leaf("b", "1"), leaf("c", "1")))
+	if got := q.Size(); got != 5 {
+		t.Errorf("Size = %d, want 5", got)
+	}
+	if got := q.Depth(); got != 3 {
+		t.Errorf("Depth = %d, want 3", got)
+	}
+}
+
+func TestSimpleConjunction(t *testing.T) {
+	sc := And(leaf("a", "1"), leaf("b", "2")).Normalize()
+	if !sc.IsSimpleConjunction() {
+		t.Error("flat conjunction of leaves not recognized")
+	}
+	if got := len(sc.SimpleConjuncts()); got != 2 {
+		t.Errorf("SimpleConjuncts len = %d, want 2", got)
+	}
+	complexQ := And(leaf("a", "1"), Or(leaf("b", "1"), leaf("c", "1"))).Normalize()
+	if complexQ.IsSimpleConjunction() {
+		t.Error("complex conjunction misrecognized as simple")
+	}
+	if !True().IsSimpleConjunction() || True().SimpleConjuncts() != nil {
+		t.Error("True should be an empty simple conjunction")
+	}
+}
+
+func TestDisjunctivize(t *testing.T) {
+	q := Disjunctivize([]*Node{
+		Or(leaf("a", "1"), leaf("b", "1")),
+		Or(leaf("c", "1"), leaf("d", "1")),
+	})
+	if q.Kind != KindOr || len(q.Kids) != 4 {
+		t.Fatalf("Disjunctivize = %s, want 4 disjuncts", q)
+	}
+	for _, d := range q.Kids {
+		if !d.IsSimpleConjunction() || len(d.SimpleConjuncts()) != 2 {
+			t.Fatalf("disjunct %s should be a 2-constraint conjunction", d)
+		}
+	}
+	// Single conjunct: returned unchanged.
+	single := Or(leaf("a", "1"), leaf("b", "1"))
+	if got := Disjunctivize([]*Node{single}); !got.EqualCanonical(single) {
+		t.Errorf("Disjunctivize single = %s, want %s", got, single)
+	}
+}
+
+func TestToDNFShape(t *testing.T) {
+	// (a ∨ b) ∧ (c ∨ d) ∧ e → 4 disjuncts of 3 constraints.
+	q := And(
+		Or(leaf("a", "1"), leaf("b", "1")),
+		Or(leaf("c", "1"), leaf("d", "1")),
+		leaf("e", "1"),
+	)
+	d := ToDNF(q)
+	if d.Kind != KindOr || len(d.Kids) != 4 {
+		t.Fatalf("DNF = %s, want 4 disjuncts", d)
+	}
+	for _, k := range d.Kids {
+		if !k.IsSimpleConjunction() || len(k.SimpleConjuncts()) != 3 {
+			t.Fatalf("disjunct %s should have 3 constraints", k)
+		}
+	}
+}
+
+// genTree builds a random tree for property tests, with constraints drawn
+// from a small pool so that duplicates and absorption cases occur.
+func genTree(rng *rand.Rand, depth int) *Node {
+	if depth == 0 || rng.Intn(3) == 0 {
+		return leaf(string(rune('a'+rng.Intn(5))), string(rune('0'+rng.Intn(3))))
+	}
+	n := 2 + rng.Intn(2)
+	kids := make([]*Node, n)
+	for i := range kids {
+		kids[i] = genTree(rng, depth-1)
+	}
+	if rng.Intn(2) == 0 {
+		return And(kids...)
+	}
+	return Or(kids...)
+}
+
+// evalBool evaluates a tree under an assignment keyed by constraint key.
+func evalBool(n *Node, asg map[string]bool) bool {
+	switch n.Kind {
+	case KindTrue:
+		return true
+	case KindLeaf:
+		return asg[n.C.Key()]
+	case KindAnd:
+		for _, k := range n.Kids {
+			if !evalBool(k, asg) {
+				return false
+			}
+		}
+		return true
+	default:
+		for _, k := range n.Kids {
+			if evalBool(k, asg) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// equivUnderRandomAssignments probes logical equivalence with random
+// assignments over the union of constraint keys.
+func equivUnderRandomAssignments(rng *rand.Rand, p, q *Node, probes int) bool {
+	keys := map[string]bool{}
+	for _, c := range p.Constraints() {
+		keys[c.Key()] = true
+	}
+	for _, c := range q.Constraints() {
+		keys[c.Key()] = true
+	}
+	for i := 0; i < probes; i++ {
+		asg := map[string]bool{}
+		for k := range keys {
+			asg[k] = rng.Intn(2) == 0
+		}
+		if evalBool(p, asg) != evalBool(q, asg) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuickNormalizePreservesSemantics: Normalize is a logical no-op.
+func TestQuickNormalizePreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := genTree(r, 4)
+		return equivUnderRandomAssignments(rng, q, q.Normalize(), 40)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickToDNFPreservesSemantics: DNF conversion is a logical no-op.
+func TestQuickToDNFPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := genTree(r, 4)
+		return equivUnderRandomAssignments(rng, q, ToDNF(q), 40)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNormalizeIdempotent: Normalize(Normalize(q)) ≡ Normalize(q)
+// structurally.
+func TestQuickNormalizeIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := genTree(r, 4)
+		n1 := q.Normalize()
+		n2 := n1.Normalize()
+		return n1.CanonicalKey() == n2.CanonicalKey()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDisjunctivizeEquivalence: Disjunctivize of a conjunction's
+// conjuncts preserves logic.
+func TestQuickDisjunctivizeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(3)
+		conj := make([]*Node, n)
+		for i := range conj {
+			conj[i] = genTree(r, 2)
+		}
+		return equivUnderRandomAssignments(rng, And(conj...), Disjunctivize(conj), 40)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstraintSetOps(t *testing.T) {
+	a, b, c := cstr("a", "1"), cstr("b", "1"), cstr("c", "1")
+	s := NewConstraintSet(a, b)
+	u := NewConstraintSet(b, c)
+	if !s.Intersects(u) || s.Equal(u) {
+		t.Error("Intersects/Equal misbehave")
+	}
+	if got := s.Union(u).Len(); got != 3 {
+		t.Errorf("union len = %d, want 3", got)
+	}
+	if got := s.Minus(u).Len(); got != 1 {
+		t.Errorf("minus len = %d, want 1", got)
+	}
+	if !NewConstraintSet(a).ProperSubsetOf(s) || s.ProperSubsetOf(s) {
+		t.Error("ProperSubsetOf misbehaves")
+	}
+	if s.ID() == u.ID() {
+		t.Error("distinct sets share ID")
+	}
+	if got := NewConstraintSet().Conjunction(); !got.IsTrue() {
+		t.Errorf("empty conjunction = %s, want TRUE", got)
+	}
+	if got := s.Conjunction(); got.Kind != KindAnd || len(got.Kids) != 2 {
+		t.Errorf("conjunction = %s, want 2-way ∧", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	q := And(leaf("a", "1"), Or(leaf("b", "1"), leaf("c", "1")))
+	cp := q.Clone()
+	cp.Kids[0].C.Op = OpNe
+	if q.Kids[0].C.Op != OpEq {
+		t.Error("Clone shares constraint storage")
+	}
+}

@@ -1,0 +1,172 @@
+package qtree
+
+import (
+	"sort"
+	"strings"
+)
+
+// ConstraintSet is a set of constraints identified by canonical key. It is
+// the representation of a rule matching (Section 4.1) and of DNF disjuncts
+// inside the EDNF machinery. The zero value is not usable; call
+// NewConstraintSet.
+type ConstraintSet struct {
+	m map[string]*Constraint
+}
+
+// NewConstraintSet returns an empty set, optionally seeded with constraints.
+func NewConstraintSet(cs ...*Constraint) *ConstraintSet {
+	s := &ConstraintSet{m: make(map[string]*Constraint, len(cs))}
+	for _, c := range cs {
+		s.Add(c)
+	}
+	return s
+}
+
+// Add inserts c into the set.
+func (s *ConstraintSet) Add(c *Constraint) { s.m[c.Key()] = c }
+
+// AddAll inserts every constraint of t into s.
+func (s *ConstraintSet) AddAll(t *ConstraintSet) {
+	for k, c := range t.m {
+		s.m[k] = c
+	}
+}
+
+// Has reports whether c is in the set.
+func (s *ConstraintSet) Has(c *Constraint) bool { _, ok := s.m[c.Key()]; return ok }
+
+// HasKey reports whether a constraint with canonical key k is in the set.
+func (s *ConstraintSet) HasKey(k string) bool { _, ok := s.m[k]; return ok }
+
+// Len returns the number of constraints in the set.
+func (s *ConstraintSet) Len() int { return len(s.m) }
+
+// IsEmpty reports whether the set has no constraints. An empty set plays the
+// role of the ε placeholder in Procedure EDNF.
+func (s *ConstraintSet) IsEmpty() bool { return len(s.m) == 0 }
+
+// Slice returns the constraints ordered by canonical key.
+func (s *ConstraintSet) Slice() []*Constraint {
+	keys := s.Keys()
+	out := make([]*Constraint, len(keys))
+	for i, k := range keys {
+		out[i] = s.m[k]
+	}
+	return out
+}
+
+// Keys returns the sorted canonical keys.
+func (s *ConstraintSet) Keys() []string {
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ID returns a canonical identity string for the whole set, usable as a map
+// key for set-of-sets bookkeeping.
+func (s *ConstraintSet) ID() string { return strings.Join(s.Keys(), ";") }
+
+// Equal reports set equality.
+func (s *ConstraintSet) Equal(t *ConstraintSet) bool {
+	if s.Len() != t.Len() {
+		return false
+	}
+	for k := range s.m {
+		if !t.HasKey(k) {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether s ⊆ t.
+func (s *ConstraintSet) SubsetOf(t *ConstraintSet) bool {
+	if s.Len() > t.Len() {
+		return false
+	}
+	for k := range s.m {
+		if !t.HasKey(k) {
+			return false
+		}
+	}
+	return true
+}
+
+// ProperSubsetOf reports whether s ⊂ t.
+func (s *ConstraintSet) ProperSubsetOf(t *ConstraintSet) bool {
+	return s.Len() < t.Len() && s.SubsetOf(t)
+}
+
+// Intersects reports whether s ∩ t ≠ ∅.
+func (s *ConstraintSet) Intersects(t *ConstraintSet) bool {
+	small, big := s, t
+	if big.Len() < small.Len() {
+		small, big = big, small
+	}
+	for k := range small.m {
+		if big.HasKey(k) {
+			return true
+		}
+	}
+	return false
+}
+
+// Union returns s ∪ t as a new set.
+func (s *ConstraintSet) Union(t *ConstraintSet) *ConstraintSet {
+	u := NewConstraintSet()
+	u.AddAll(s)
+	u.AddAll(t)
+	return u
+}
+
+// Minus returns s − t as a new set.
+func (s *ConstraintSet) Minus(t *ConstraintSet) *ConstraintSet {
+	u := NewConstraintSet()
+	for k, c := range s.m {
+		if !t.HasKey(k) {
+			u.m[k] = c
+		}
+	}
+	return u
+}
+
+// Clone returns a copy of the set.
+func (s *ConstraintSet) Clone() *ConstraintSet {
+	u := NewConstraintSet()
+	u.AddAll(s)
+	return u
+}
+
+// Conjunction returns the set as a simple-conjunction query ∧(m). An empty
+// set yields True.
+func (s *ConstraintSet) Conjunction() *Node {
+	cs := s.Slice()
+	if len(cs) == 0 {
+		return True()
+	}
+	kids := make([]*Node, len(cs))
+	for i, c := range cs {
+		kids[i] = Leaf(c)
+	}
+	return And(kids...).Normalize()
+}
+
+// String renders the set as {c1, c2, ...} in canonical order.
+func (s *ConstraintSet) String() string {
+	cs := s.Slice()
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = c.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// SetOfConstraints collects the leaves of q into a set — the paper's C(Q).
+func SetOfConstraints(q *Node) *ConstraintSet {
+	s := NewConstraintSet()
+	q.walkLeaves(func(c *Constraint) { s.Add(c) })
+	return s
+}

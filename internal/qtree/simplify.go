@@ -1,0 +1,131 @@
+package qtree
+
+// This file implements structural Boolean simplification of query trees:
+// idempotency (handled by Normalize), absorption (a ∨ (a ∧ b) = a,
+// a ∧ (a ∨ b) = a) and elimination of implied children. The paper notes
+// (Section 8) that term minimization is possible on top of the mapping
+// algorithms; Simplify is the practical subset of it — sound, linearithmic,
+// and sufficient to collapse the redundancies that arise when suppressed or
+// masked emissions survive in disjunctive output (e.g. the Section 7.1.2
+// anomaly).
+
+// Implies reports y ⇒ x by structural analysis. It is sound but incomplete:
+// a true result guarantees the implication; a false result is inconclusive.
+// Constraints are compared by canonical key only (no semantic reasoning
+// about operators).
+func Implies(y, x *Node) bool {
+	if x.Kind == KindTrue {
+		return true
+	}
+	switch x.Kind {
+	case KindLeaf:
+		return impliesLeaf(y, x.C.Key())
+	case KindOr:
+		// y ⇒ x if y implies some disjunct... or, when y is itself a
+		// disjunction, if every disjunct of y implies x.
+		if y.Kind == KindOr {
+			for _, d := range y.Kids {
+				if !Implies(d, x) {
+					return false
+				}
+			}
+			return true
+		}
+		for _, d := range x.Kids {
+			if Implies(y, d) {
+				return true
+			}
+		}
+		return false
+	case KindAnd:
+		for _, c := range x.Kids {
+			if !Implies(y, c) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// impliesLeaf reports y ⇒ the constraint with canonical key k.
+func impliesLeaf(y *Node, k string) bool {
+	switch y.Kind {
+	case KindTrue:
+		return false
+	case KindLeaf:
+		return y.C.Key() == k
+	case KindAnd:
+		for _, c := range y.Kids {
+			if impliesLeaf(c, k) {
+				return true
+			}
+		}
+		return false
+	case KindOr:
+		for _, d := range y.Kids {
+			if !impliesLeaf(d, k) {
+				return false
+			}
+		}
+		return len(y.Kids) > 0
+	default:
+		return false
+	}
+}
+
+// Simplify returns a logically equivalent query with absorbed and implied
+// children removed, bottom-up to a fixpoint. The result is normalized and
+// never larger than Normalize's output.
+func Simplify(q *Node) *Node {
+	q = q.Normalize()
+	for {
+		next := simplifyOnce(q).Normalize()
+		if next.Size() >= q.Size() {
+			return q
+		}
+		q = next
+	}
+}
+
+func simplifyOnce(q *Node) *Node {
+	switch q.Kind {
+	case KindTrue, KindLeaf:
+		return q
+	}
+	kids := make([]*Node, len(q.Kids))
+	for i, k := range q.Kids {
+		kids[i] = simplifyOnce(k)
+	}
+	keep := make([]bool, len(kids))
+	for i := range keep {
+		keep[i] = true
+	}
+	for i, x := range kids {
+		for j, y := range kids {
+			if i == j || !keep[j] {
+				continue
+			}
+			var redundant bool
+			if q.Kind == KindOr {
+				// x is absorbed when it implies a surviving sibling.
+				redundant = Implies(x, y) && (!Implies(y, x) || j < i)
+			} else {
+				// x is implied by a stricter surviving sibling.
+				redundant = Implies(y, x) && (!Implies(x, y) || j < i)
+			}
+			if redundant {
+				keep[i] = false
+				break
+			}
+		}
+	}
+	var out []*Node
+	for i, k := range kids {
+		if keep[i] {
+			out = append(out, k)
+		}
+	}
+	return &Node{Kind: q.Kind, Kids: out}
+}

@@ -1,0 +1,121 @@
+package qtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestImpliesBasics(t *testing.T) {
+	a, b := leaf("a", "1"), leaf("b", "1")
+	ab := And(a, b).Normalize()
+	aOrB := Or(a, b).Normalize()
+
+	cases := []struct {
+		y, x *Node
+		want bool
+	}{
+		{a, a, true},
+		{a, b, false},
+		{ab, a, true},                    // a∧b ⇒ a
+		{a, ab, false},                   // a ⇏ a∧b
+		{a, aOrB, true},                  // a ⇒ a∨b
+		{aOrB, a, false},                 // a∨b ⇏ a
+		{ab, aOrB, true},                 // a∧b ⇒ a∨b
+		{aOrB, ab, false},                //
+		{a, True(), true},                // anything ⇒ TRUE
+		{True(), a, false},               // TRUE ⇏ a
+		{aOrB, aOrB, true},               // reflexive on disjunctions
+		{Or(a, ab).Normalize(), a, true}, // (a ∨ a∧b) ⇒ a
+	}
+	for _, c := range cases {
+		if got := Implies(c.y, c.x); got != c.want {
+			t.Errorf("Implies(%s, %s) = %v, want %v", c.y, c.x, got, c.want)
+		}
+	}
+}
+
+func TestSimplifyAbsorption(t *testing.T) {
+	a, b, c := leaf("a", "1"), leaf("b", "1"), leaf("c", "1")
+
+	// a ∨ (a ∧ b) = a
+	got := Simplify(Or(a, And(a, b)))
+	if !got.EqualCanonical(a) {
+		t.Errorf("a ∨ (a∧b) simplified to %s, want a", got)
+	}
+	// a ∧ (a ∨ b) = a
+	got = Simplify(And(a, Or(a, b)))
+	if !got.EqualCanonical(a) {
+		t.Errorf("a ∧ (a∨b) simplified to %s, want a", got)
+	}
+	// (a∧b) ∨ (a∧b∧c) = a∧b
+	got = Simplify(Or(And(a, b), And(a, b, c)))
+	if !got.EqualCanonical(And(a, b).Normalize()) {
+		t.Errorf("(a∧b) ∨ (a∧b∧c) simplified to %s", got)
+	}
+	// No false simplification: a ∨ (b ∧ c) unchanged.
+	q := Or(a, And(b, c)).Normalize()
+	if got := Simplify(q); !got.EqualCanonical(q) {
+		t.Errorf("a ∨ (b∧c) wrongly simplified to %s", got)
+	}
+}
+
+func TestSimplifyAnomalyShape(t *testing.T) {
+	// The Section 7.1.2 anomaly output: tz ∨ (tyz ∧ tz) collapses to tz.
+	tz, tyz := leaf("tz", "1"), leaf("tyz", "1")
+	got := Simplify(Or(tz, And(tyz, tz)))
+	if !got.EqualCanonical(tz) {
+		t.Errorf("tz ∨ (tyz∧tz) simplified to %s, want tz", got)
+	}
+}
+
+// TestQuickSimplifyEquivalent: Simplify is a logical no-op and never grows
+// the tree.
+func TestQuickSimplifyEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := genTree(r, 4)
+		s := Simplify(q)
+		if s.Size() > q.Normalize().Size() {
+			return false
+		}
+		return equivUnderRandomAssignments(rng, q, s, 50)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickImpliesSound: whenever Implies reports true, every satisfying
+// assignment of y satisfies x.
+func TestQuickImpliesSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		y, x := genTree(r, 3), genTree(r, 3)
+		if !Implies(y, x) {
+			return true // inconclusive is fine
+		}
+		keys := map[string]bool{}
+		for _, c := range y.Constraints() {
+			keys[c.Key()] = true
+		}
+		for _, c := range x.Constraints() {
+			keys[c.Key()] = true
+		}
+		for i := 0; i < 60; i++ {
+			asg := map[string]bool{}
+			for k := range keys {
+				asg[k] = rng.Intn(2) == 0
+			}
+			if evalBool(y, asg) && !evalBool(x, asg) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

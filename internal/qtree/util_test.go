@@ -1,0 +1,182 @@
+package qtree
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAttrHelpers(t *testing.T) {
+	a := VA("fac", "ln")
+	if !a.Equal(VA("fac", "ln")) || a.Equal(VA("pub", "ln")) {
+		t.Error("Attr.Equal misbehaves")
+	}
+	if !a.SameColumn(VIA("fac", 2, "ln")) {
+		t.Error("SameColumn should ignore the instance index")
+	}
+	if a.SameColumn(VA("fac", "fn")) {
+		t.Error("SameColumn should compare names")
+	}
+	if got := a.WithRel("aubib"); got.Rel != "aubib" || a.Rel != "" {
+		t.Error("WithRel should return a modified copy")
+	}
+	if !(Attr{}).IsZero() || a.IsZero() {
+		t.Error("IsZero misbehaves")
+	}
+	if a.Key() != "fac.ln" {
+		t.Errorf("Key = %q", a.Key())
+	}
+}
+
+func TestInverseOp(t *testing.T) {
+	cases := map[string]string{
+		OpEq: OpEq, OpNe: OpNe, OpLt: OpGt, OpLe: OpGe, OpGt: OpLt, OpGe: OpLe,
+	}
+	for op, want := range cases {
+		got, ok := InverseOp(op)
+		if !ok || got != want {
+			t.Errorf("InverseOp(%s) = %s,%v want %s", op, got, ok, want)
+		}
+	}
+	if _, ok := InverseOp(OpContains); ok {
+		t.Error("contains should have no inverse")
+	}
+}
+
+func TestConstraintStringAndEqual(t *testing.T) {
+	sel := cstr("ln", "Clancy")
+	if got := sel.String(); got != "[ln = Clancy]" {
+		t.Errorf("String = %q", got)
+	}
+	join := Join(VA("fac", "ln"), OpEq, VA("pub", "ln"))
+	if got := join.String(); got != "[fac.ln = pub.ln]" {
+		t.Errorf("join String = %q", got)
+	}
+	flipped := Join(VA("pub", "ln"), OpEq, VA("fac", "ln"))
+	if !join.Equal(flipped) {
+		t.Error("symmetric joins should be Equal under normalization")
+	}
+	if join.Equal(sel) || sel.Equal(nil) {
+		t.Error("Equal misbehaves on mixed/nil")
+	}
+	var nilC *Constraint
+	if !nilC.Equal(nil) {
+		t.Error("nil constraints should be Equal")
+	}
+}
+
+func TestConstraintCloneJoin(t *testing.T) {
+	join := Join(VA("fac", "ln"), OpEq, VA("pub", "ln"))
+	cp := join.Clone()
+	cp.RAttr.Name = "fn"
+	if join.RAttr.Name != "ln" {
+		t.Error("Clone shares RAttr storage")
+	}
+}
+
+func TestAndOfOrOf(t *testing.T) {
+	a, b := leaf("a", "1"), leaf("b", "1")
+	if got := AndOf(a, AndOf(b)); got.Kind != KindAnd || len(got.Kids) != 2 {
+		t.Errorf("AndOf = %s", got)
+	}
+	if got := OrOf(a, True()); !got.IsTrue() {
+		t.Errorf("OrOf with TRUE = %s", got)
+	}
+}
+
+func TestConjunctsDisjuncts(t *testing.T) {
+	a, b := leaf("a", "1"), leaf("b", "1")
+	and := And(a, b).Normalize()
+	if got := and.Conjuncts(); len(got) != 2 {
+		t.Errorf("Conjuncts = %d", len(got))
+	}
+	if got := a.Conjuncts(); len(got) != 1 || got[0] != a {
+		t.Error("Conjuncts of a leaf should be itself")
+	}
+	or := Or(a, b).Normalize()
+	if got := or.Disjuncts(); len(got) != 2 {
+		t.Errorf("Disjuncts = %d", len(got))
+	}
+	if got := and.Disjuncts(); len(got) != 1 {
+		t.Error("Disjuncts of a conjunction should be itself")
+	}
+}
+
+func TestNodeString(t *testing.T) {
+	q := And(leaf("a", "1"), Or(leaf("b", "1"), leaf("c", "1"))).Normalize()
+	s := q.String()
+	if !strings.Contains(s, " and ") || !strings.Contains(s, "(") {
+		t.Errorf("String = %q", s)
+	}
+	if got := True().String(); got != "TRUE" {
+		t.Errorf("TRUE String = %q", got)
+	}
+}
+
+func TestTreeString(t *testing.T) {
+	q := And(leaf("a", "1"), Or(leaf("b", "1"), leaf("c", "1"))).Normalize()
+	ts := q.TreeString()
+	lines := strings.Split(strings.TrimRight(ts, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("TreeString has %d lines:\n%s", len(lines), ts)
+	}
+	if lines[0] != "AND" {
+		t.Errorf("root line = %q", lines[0])
+	}
+	if !strings.Contains(ts, "└─") || !strings.Contains(ts, "├─") {
+		t.Errorf("TreeString missing connectors:\n%s", ts)
+	}
+	if got := True().TreeString(); !strings.Contains(got, "TRUE") {
+		t.Errorf("TRUE TreeString = %q", got)
+	}
+}
+
+func TestDNFDisjuncts(t *testing.T) {
+	q := And(Or(leaf("a", "1"), leaf("b", "1")), leaf("c", "1"))
+	ds := DNFDisjuncts(q)
+	if len(ds) != 2 {
+		t.Fatalf("DNFDisjuncts = %d", len(ds))
+	}
+	for _, d := range ds {
+		if d.Len() != 2 {
+			t.Errorf("disjunct %s should have 2 constraints", d)
+		}
+	}
+	if ds := DNFDisjuncts(True()); len(ds) != 1 || !ds[0].IsEmpty() {
+		t.Errorf("DNFDisjuncts(TRUE) = %v", ds)
+	}
+}
+
+func TestConstraintSetHasAndString(t *testing.T) {
+	a, b := cstr("a", "1"), cstr("b", "1")
+	s := NewConstraintSet(a)
+	if !s.Has(a) || s.Has(b) {
+		t.Error("Has misbehaves")
+	}
+	if got := s.String(); got != "{[a = 1]}" {
+		t.Errorf("String = %q", got)
+	}
+	cl := s.Clone()
+	cl.Add(b)
+	if s.Has(b) {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestDepthEdge(t *testing.T) {
+	var nilNode *Node
+	if nilNode.Depth() != 0 || nilNode.Size() != 0 {
+		t.Error("nil node should have zero depth/size")
+	}
+	if leaf("a", "1").Depth() != 1 {
+		t.Error("leaf depth should be 1")
+	}
+}
+
+func TestSimpleConjunctsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SimpleConjuncts on a disjunction should panic")
+		}
+	}()
+	Or(leaf("a", "1"), leaf("b", "1")).Normalize().SimpleConjuncts()
+}

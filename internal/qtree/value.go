@@ -1,0 +1,17 @@
+package qtree
+
+// Value is a typed constant that may appear on the right-hand side of a
+// selection constraint. Concrete implementations live in internal/values
+// (strings, ints, dates, text patterns, ranges, points, ...); qtree only
+// needs identity and printing, so the interface is deliberately small.
+type Value interface {
+	// Kind returns a short type tag such as "string", "int", "date",
+	// "pattern", "range", "point". Capability checks use it to validate
+	// value formats against a target context.
+	Kind() string
+	// String renders the value in the paper's surface syntax, e.g.
+	// "Clancy", 1997, May/97, java(near)jdk.
+	String() string
+	// Equal reports semantic equality with another value.
+	Equal(Value) bool
+}

@@ -1,0 +1,84 @@
+package rules
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/qtree"
+	"repro/internal/values"
+)
+
+// benchSpec builds a spec with one 1-, 2-, and 3-pattern rule over distinct
+// attributes.
+func benchSpec(b *testing.B) *Spec {
+	b.Helper()
+	rs := MustParseRules(`
+rule One {
+  match [a0 = V];
+  where Value(V);
+  emit exact [t0 = V];
+}
+rule Two {
+  match [a1 = V], [a2 = W];
+  where Value(V), Value(W);
+  emit exact [t1 = V];
+}
+rule Three {
+  match [a3 = V], [a4 = W], [a5 = X];
+  where Value(V), Value(W), Value(X);
+  emit exact [t2 = V];
+}
+`)
+	target := NewTarget("bench",
+		Capability{Attr: "t0", Op: qtree.OpEq},
+		Capability{Attr: "t1", Op: qtree.OpEq},
+		Capability{Attr: "t2", Op: qtree.OpEq},
+	)
+	return MustSpec("K_bench", target, NewRegistry(), rs...)
+}
+
+func benchConstraints(n int) []*qtree.Constraint {
+	cs := make([]*qtree.Constraint, n)
+	for i := range cs {
+		cs[i] = qtree.Sel(qtree.A(fmt.Sprintf("a%d", i%8)), qtree.OpEq,
+			values.String(fmt.Sprintf("v%d", i)))
+	}
+	return cs
+}
+
+func BenchmarkMatchings(b *testing.B) {
+	s := benchSpec(b)
+	for _, n := range []int{8, 32, 128} {
+		cs := benchConstraints(n)
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Matchings(cs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSuppressSubmatchings(b *testing.B) {
+	s := benchSpec(b)
+	cs := benchConstraints(64)
+	ms, err := s.Matchings(cs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SuppressSubmatchings(ms)
+	}
+}
+
+func BenchmarkParseRulesDSL(b *testing.B) {
+	text := FormatSpec(benchSpec(&testing.B{}))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseRules(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

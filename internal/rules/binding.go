@@ -1,0 +1,149 @@
+// Package rules implements the paper's rule-based mapping framework
+// (Section 4): constraint patterns with variables, match conditions,
+// value-transformation actions, emissions, mapping specifications, and the
+// matching machinery M(Q̂, K) that the translation algorithms build on.
+// A text DSL for writing rule files is provided in dsl.go, and a capability
+// model for target contexts in capability.go.
+package rules
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/qtree"
+)
+
+// BoundKind discriminates what a rule variable is bound to.
+type BoundKind int
+
+const (
+	// BindValue binds a constant value (the usual case, e.g. L in [ln = L]).
+	BindValue BoundKind = iota
+	// BindAttr binds an attribute (e.g. A1 in [A1 = N], or N itself when the
+	// pattern matched a join constraint).
+	BindAttr
+	// BindIndex binds a view-instance index (e.g. i in fac[i].A).
+	BindIndex
+	// BindName binds a bare identifier such as an attribute name matched by
+	// a name variable (e.g. A in [fac[i].A = fac[j].A]).
+	BindName
+)
+
+// BoundVal is the value of a rule variable in a binding.
+type BoundVal struct {
+	Kind BoundKind
+	Val  qtree.Value // BindValue
+	Attr qtree.Attr  // BindAttr
+	Idx  int         // BindIndex
+	Name string      // BindName
+}
+
+// ValueOf wraps a constant value.
+func ValueOf(v qtree.Value) BoundVal { return BoundVal{Kind: BindValue, Val: v} }
+
+// AttrOf wraps an attribute.
+func AttrOf(a qtree.Attr) BoundVal { return BoundVal{Kind: BindAttr, Attr: a} }
+
+// IndexOf wraps an instance index.
+func IndexOf(i int) BoundVal { return BoundVal{Kind: BindIndex, Idx: i} }
+
+// NameOf wraps a bare identifier.
+func NameOf(s string) BoundVal { return BoundVal{Kind: BindName, Name: s} }
+
+// Equal reports whether two bound values are identical.
+func (b BoundVal) Equal(c BoundVal) bool {
+	if b.Kind != c.Kind {
+		return false
+	}
+	switch b.Kind {
+	case BindValue:
+		return b.Val.Equal(c.Val)
+	case BindAttr:
+		return b.Attr == c.Attr
+	case BindIndex:
+		return b.Idx == c.Idx
+	case BindName:
+		return b.Name == c.Name
+	default:
+		return false
+	}
+}
+
+// String renders the bound value for diagnostics.
+func (b BoundVal) String() string {
+	switch b.Kind {
+	case BindValue:
+		return b.Val.String()
+	case BindAttr:
+		return b.Attr.String()
+	case BindIndex:
+		return fmt.Sprintf("#%d", b.Idx)
+	case BindName:
+		return b.Name
+	default:
+		return "<unbound>"
+	}
+}
+
+// Binding maps rule-variable names to bound values.
+type Binding map[string]BoundVal
+
+// Bind unifies var name with v: it fails (returns false) if name is already
+// bound to a different value.
+func (b Binding) Bind(name string, v BoundVal) bool {
+	if old, ok := b[name]; ok {
+		return old.Equal(v)
+	}
+	b[name] = v
+	return true
+}
+
+// Clone copies the binding.
+func (b Binding) Clone() Binding {
+	c := make(Binding, len(b))
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}
+
+// Value returns the constant bound to name, or an error if name is unbound
+// or bound to a non-value.
+func (b Binding) Value(name string) (qtree.Value, error) {
+	v, ok := b[name]
+	if !ok {
+		return nil, fmt.Errorf("rules: variable %s unbound", name)
+	}
+	if v.Kind != BindValue {
+		return nil, fmt.Errorf("rules: variable %s is not bound to a value", name)
+	}
+	return v.Val, nil
+}
+
+// AttrVal returns the attribute bound to name.
+func (b Binding) AttrVal(name string) (qtree.Attr, error) {
+	v, ok := b[name]
+	if !ok {
+		return qtree.Attr{}, fmt.Errorf("rules: variable %s unbound", name)
+	}
+	if v.Kind != BindAttr {
+		return qtree.Attr{}, fmt.Errorf("rules: variable %s is not bound to an attribute", name)
+	}
+	return v.Attr, nil
+}
+
+// ID returns a canonical string for deduplicating matchings that differ only
+// in internal enumeration order.
+func (b Binding) ID() string {
+	keys := make([]string, 0, len(b))
+	for k := range b {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + b[k].String()
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,81 @@
+package rules
+
+import (
+	"fmt"
+
+	"repro/internal/qtree"
+)
+
+// Capability describes one class of constraint a target supports: an
+// attribute name (or "*" for any), an operator, and optionally the value
+// kinds accepted. Join support is expressed with Join=true and the two
+// attribute names (RAttr "*" for any).
+type Capability struct {
+	Attr       string
+	Op         string
+	ValueKinds []string // empty = any kind
+	Join       bool
+	RAttr      string
+}
+
+// Target models a target context's native vocabulary (Section 2's
+// "expressible in T" requirement): the set of constraints the source
+// understands. Definition 1 condition (1) is checked against it.
+type Target struct {
+	Name string
+	Caps []Capability
+}
+
+// NewTarget constructs a target context.
+func NewTarget(name string, caps ...Capability) *Target {
+	return &Target{Name: name, Caps: caps}
+}
+
+// Supports reports whether the target can evaluate constraint c natively.
+func (t *Target) Supports(c *qtree.Constraint) bool {
+	for _, cap := range t.Caps {
+		if cap.Op != c.Op {
+			continue
+		}
+		if cap.Attr != "*" && cap.Attr != c.Attr.Name {
+			continue
+		}
+		if c.IsJoin() {
+			if !cap.Join {
+				continue
+			}
+			if cap.RAttr != "*" && cap.RAttr != c.RAttr.Name {
+				continue
+			}
+			return true
+		}
+		if cap.Join {
+			continue
+		}
+		if len(cap.ValueKinds) > 0 {
+			ok := false
+			for _, k := range cap.ValueKinds {
+				if c.Val != nil && c.Val.Kind() == k {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Expressible checks that every constraint of q is supported by the target
+// (Definition 1, condition 1). True is always expressible.
+func (t *Target) Expressible(q *qtree.Node) error {
+	for _, c := range q.Constraints() {
+		if !t.Supports(c) {
+			return fmt.Errorf("rules: constraint %s not expressible in target %s", c, t.Name)
+		}
+	}
+	return nil
+}

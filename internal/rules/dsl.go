@@ -1,0 +1,567 @@
+package rules
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"repro/internal/qparse"
+	"repro/internal/values"
+)
+
+// This file implements the textual rule DSL. A rule file is a sequence of
+// rule blocks; '#' starts a line comment. Following the paper's notational
+// convention, capitalized symbols are variables and lowercase identifiers
+// are literal view/attribute names. Example (rule R6 of Figure 3):
+//
+//	rule R6 {
+//	  match [pyear = Y], [pmonth = M];
+//	  where Value(Y), Value(M);
+//	  let D = MonthYearToDate(M, Y);
+//	  emit exact [pdate during D];
+//	}
+//
+// An emission may be a complex template: `emit [a = X] or [b = Y];`.
+
+// ParseRules parses all rule blocks in src.
+func ParseRules(src string) ([]*Rule, error) {
+	p := &dslParser{toks: dslLex(src)}
+	var out []*Rule
+	for !p.at(dEOF) {
+		r, err := p.rule()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("rules: no rules in input")
+	}
+	return out, nil
+}
+
+// MustParseRules is ParseRules that panics on error; for fixtures.
+func MustParseRules(src string) []*Rule {
+	rs, err := ParseRules(src)
+	if err != nil {
+		panic(err)
+	}
+	return rs
+}
+
+type dKind int
+
+const (
+	dEOF dKind = iota
+	dIdent
+	dLBrace
+	dRBrace
+	dLParen
+	dRParen
+	dComma
+	dSemi
+	dEq
+	dConstraint // raw bracketed constraint text
+	dString
+	dNumber
+)
+
+type dTok struct {
+	kind dKind
+	text string
+}
+
+func dslLex(src string) []dTok {
+	var toks []dTok
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsSpace(rune(c)):
+			i++
+		case c == '{':
+			toks = append(toks, dTok{dLBrace, "{"})
+			i++
+		case c == '}':
+			toks = append(toks, dTok{dRBrace, "}"})
+			i++
+		case c == '(':
+			toks = append(toks, dTok{dLParen, "("})
+			i++
+		case c == ')':
+			toks = append(toks, dTok{dRParen, ")"})
+			i++
+		case c == ',':
+			toks = append(toks, dTok{dComma, ","})
+			i++
+		case c == ';':
+			toks = append(toks, dTok{dSemi, ";"})
+			i++
+		case c == '=':
+			toks = append(toks, dTok{dEq, "="})
+			i++
+		case c == '[':
+			depth, j, inStr := 1, i+1, false
+			for ; j < len(src); j++ {
+				ch := src[j]
+				if inStr {
+					if ch == '"' {
+						inStr = false
+					}
+					continue
+				}
+				switch ch {
+				case '"':
+					inStr = true
+				case '[':
+					depth++
+				case ']':
+					depth--
+				}
+				if depth == 0 {
+					break
+				}
+			}
+			toks = append(toks, dTok{dConstraint, src[i+1 : min(j, len(src))]})
+			i = j + 1
+		case c == '"':
+			j := i + 1
+			for j < len(src) && src[j] != '"' {
+				j++
+			}
+			toks = append(toks, dTok{dString, src[i:min(j+1, len(src))]})
+			i = j + 1
+		case c >= '0' && c <= '9' || c == '-':
+			j := i + 1
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.') {
+				j++
+			}
+			toks = append(toks, dTok{dNumber, src[i:j]})
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i + 1
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_' || src[j] == '-') {
+				j++
+			}
+			toks = append(toks, dTok{dIdent, src[i:j]})
+			i = j
+		default:
+			toks = append(toks, dTok{dIdent, string(c)})
+			i++
+		}
+	}
+	toks = append(toks, dTok{dEOF, ""})
+	return toks
+}
+
+type dslParser struct {
+	toks []dTok
+	pos  int
+}
+
+func (p *dslParser) peek() dTok { return p.toks[p.pos] }
+
+func (p *dslParser) next() dTok {
+	t := p.toks[p.pos]
+	if t.kind != dEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *dslParser) at(k dKind) bool { return p.peek().kind == k }
+
+func (p *dslParser) expect(k dKind, what string) (dTok, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, fmt.Errorf("rules: expected %s, got %q", what, t.text)
+	}
+	return t, nil
+}
+
+func (p *dslParser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != dIdent || t.text != kw {
+		return fmt.Errorf("rules: expected %q, got %q", kw, t.text)
+	}
+	return nil
+}
+
+// rule parses one rule block.
+func (p *dslParser) rule() (*Rule, error) {
+	if err := p.expectKeyword("rule"); err != nil {
+		return nil, err
+	}
+	nameTok, err := p.expect(dIdent, "rule name")
+	if err != nil {
+		return nil, err
+	}
+	r := &Rule{Name: nameTok.text}
+	if _, err := p.expect(dLBrace, "{"); err != nil {
+		return nil, err
+	}
+	for !p.at(dRBrace) {
+		kw, err := p.expect(dIdent, "clause keyword")
+		if err != nil {
+			return nil, fmt.Errorf("rules: in rule %s: %w", r.Name, err)
+		}
+		switch kw.text {
+		case "match":
+			if err := p.matchClause(r); err != nil {
+				return nil, fmt.Errorf("rules: in rule %s: %w", r.Name, err)
+			}
+		case "where":
+			if err := p.whereClause(r); err != nil {
+				return nil, fmt.Errorf("rules: in rule %s: %w", r.Name, err)
+			}
+		case "let":
+			if err := p.letClause(r); err != nil {
+				return nil, fmt.Errorf("rules: in rule %s: %w", r.Name, err)
+			}
+		case "emit":
+			if err := p.emitClause(r); err != nil {
+				return nil, fmt.Errorf("rules: in rule %s: %w", r.Name, err)
+			}
+		default:
+			return nil, fmt.Errorf("rules: in rule %s: unknown clause %q", r.Name, kw.text)
+		}
+	}
+	p.next() // consume }
+	if r.Emit == nil {
+		return nil, fmt.Errorf("rules: rule %s has no emit clause", r.Name)
+	}
+	if len(r.Patterns) == 0 {
+		return nil, fmt.Errorf("rules: rule %s has no match clause", r.Name)
+	}
+	return r, nil
+}
+
+func (p *dslParser) matchClause(r *Rule) error {
+	for {
+		t, err := p.expect(dConstraint, "constraint pattern")
+		if err != nil {
+			return err
+		}
+		pat, err := parseConstraintPat(t.text)
+		if err != nil {
+			return err
+		}
+		r.Patterns = append(r.Patterns, pat)
+		if p.at(dComma) {
+			p.next()
+			continue
+		}
+		break
+	}
+	_, err := p.expect(dSemi, ";")
+	return err
+}
+
+func (p *dslParser) whereClause(r *Rule) error {
+	for {
+		name, err := p.expect(dIdent, "condition name")
+		if err != nil {
+			return err
+		}
+		args, err := p.argList()
+		if err != nil {
+			return err
+		}
+		r.Conds = append(r.Conds, CondRef{Name: name.text, Args: args})
+		if p.at(dComma) {
+			p.next()
+			continue
+		}
+		break
+	}
+	_, err := p.expect(dSemi, ";")
+	return err
+}
+
+func (p *dslParser) letClause(r *Rule) error {
+	v, err := p.expect(dIdent, "let variable")
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(dEq, "="); err != nil {
+		return err
+	}
+	fn, err := p.expect(dIdent, "function name")
+	if err != nil {
+		return err
+	}
+	args, err := p.argList()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(dSemi, ";"); err != nil {
+		return err
+	}
+	r.Lets = append(r.Lets, LetClause{Var: v.text, Func: fn.text, Args: args})
+	return nil
+}
+
+func (p *dslParser) argList() ([]string, error) {
+	if _, err := p.expect(dLParen, "("); err != nil {
+		return nil, err
+	}
+	var args []string
+	for !p.at(dRParen) {
+		t := p.next()
+		switch t.kind {
+		case dIdent, dString, dNumber:
+			args = append(args, t.text)
+		default:
+			return nil, fmt.Errorf("rules: unexpected %q in argument list", t.text)
+		}
+		if p.at(dComma) {
+			p.next()
+		}
+	}
+	p.next() // consume )
+	return args, nil
+}
+
+func (p *dslParser) emitClause(r *Rule) error {
+	if p.at(dIdent) && p.peek().text == "exact" {
+		p.next()
+		r.Exact = true
+	}
+	e, err := p.emitOr()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(dSemi, ";"); err != nil {
+		return err
+	}
+	r.Emit = e
+	return nil
+}
+
+func (p *dslParser) emitOr() (*EmitNode, error) {
+	left, err := p.emitAnd()
+	if err != nil {
+		return nil, err
+	}
+	kids := []*EmitNode{left}
+	for p.at(dIdent) && p.peek().text == "or" {
+		p.next()
+		k, err := p.emitAnd()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, k)
+	}
+	if len(kids) == 1 {
+		return kids[0], nil
+	}
+	return EmitOr(kids...), nil
+}
+
+func (p *dslParser) emitAnd() (*EmitNode, error) {
+	left, err := p.emitUnary()
+	if err != nil {
+		return nil, err
+	}
+	kids := []*EmitNode{left}
+	for p.at(dIdent) && p.peek().text == "and" {
+		p.next()
+		k, err := p.emitUnary()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, k)
+	}
+	if len(kids) == 1 {
+		return kids[0], nil
+	}
+	return EmitAnd(kids...), nil
+}
+
+func (p *dslParser) emitUnary() (*EmitNode, error) {
+	switch t := p.peek(); {
+	case t.kind == dLParen:
+		p.next()
+		e, err := p.emitOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(dRParen, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == dIdent && (t.text == "TRUE" || t.text == "true"):
+		p.next()
+		return EmitTrue(), nil
+	case t.kind == dConstraint:
+		p.next()
+		pat, err := parseConstraintPat(t.text)
+		if err != nil {
+			return nil, err
+		}
+		return EmitLeaf(pat), nil
+	default:
+		return nil, fmt.Errorf("rules: expected emission constraint, got %q", t.text)
+	}
+}
+
+// parseConstraintPat parses a bracketed pattern/template body such as
+// "fac[i].A = fac[j].A" or "ti contains P1". An operator variable —
+// a capitalized identifier in operator position, e.g. "length OP L" —
+// makes the pattern match any operator and binds its name.
+func parseConstraintPat(body string) (ConstraintPat, error) {
+	lhs, op, rhs, err := qparse.SplitConstraint(body)
+	if err != nil {
+		// Operator-variable form: "lhs OPVAR rhs".
+		fields := strings.Fields(strings.TrimSpace(body))
+		if len(fields) >= 3 && isVarName(fields[1]) && !strings.ContainsAny(fields[1], ".([") {
+			attr, aerr := parseAttrPat(fields[0])
+			if aerr != nil {
+				return ConstraintPat{}, aerr
+			}
+			term, terr := parseTerm(strings.Join(fields[2:], " "), "")
+			if terr != nil {
+				return ConstraintPat{}, terr
+			}
+			return ConstraintPat{Attr: attr, OpVar: fields[1], RHS: term}, nil
+		}
+		return ConstraintPat{}, err
+	}
+	attr, err := parseAttrPat(lhs)
+	if err != nil {
+		return ConstraintPat{}, err
+	}
+	term, err := parseTerm(rhs, op)
+	if err != nil {
+		return ConstraintPat{}, err
+	}
+	return ConstraintPat{Attr: attr, Op: op, RHS: term}, nil
+}
+
+// isVarName reports the paper's convention: capitalized symbols are
+// variables.
+func isVarName(s string) bool {
+	return s != "" && unicode.IsUpper(rune(s[0]))
+}
+
+// parseAttrPat parses an attribute pattern: a dotted path whose components
+// are literals (lowercase) or variables (capitalized), with an optional
+// [index-variable] on the first component.
+func parseAttrPat(s string) (AttrPat, error) {
+	parts := strings.Split(s, ".")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+		if parts[i] == "" {
+			return AttrPat{}, fmt.Errorf("rules: empty component in attribute pattern %q", s)
+		}
+	}
+	var pat AttrPat
+	head := parts[0]
+	if i := strings.Index(head, "["); i >= 0 {
+		if !strings.HasSuffix(head, "]") {
+			return AttrPat{}, fmt.Errorf("rules: malformed index in pattern %q", s)
+		}
+		pat.IndexVar = head[i+1 : len(head)-1]
+		head = head[:i]
+		if pat.IndexVar == "" {
+			return AttrPat{}, fmt.Errorf("rules: empty index variable in pattern %q", s)
+		}
+	}
+	switch len(parts) {
+	case 1:
+		if pat.IndexVar != "" {
+			return AttrPat{}, fmt.Errorf("rules: index without attribute in pattern %q", s)
+		}
+		if isVarName(head) {
+			return AttrPat{WholeVar: head}, nil
+		}
+		pat.Name = head
+	case 2:
+		if isVarName(head) {
+			pat.ViewVar = head
+		} else {
+			pat.View = head
+		}
+		if isVarName(parts[1]) {
+			pat.NameVar = parts[1]
+		} else {
+			pat.Name = parts[1]
+		}
+	case 3:
+		if isVarName(head) {
+			pat.ViewVar = head
+		} else {
+			pat.View = head
+		}
+		if isVarName(parts[1]) {
+			return AttrPat{}, fmt.Errorf("rules: relation component must be literal in pattern %q", s)
+		}
+		pat.Rel = parts[1]
+		if isVarName(parts[2]) {
+			pat.NameVar = parts[2]
+		} else {
+			pat.Name = parts[2]
+		}
+	default:
+		return AttrPat{}, fmt.Errorf("rules: too many components in attribute pattern %q", s)
+	}
+	return pat, nil
+}
+
+// parseTerm parses a right-hand-side term: a variable, a literal value, or
+// an attribute pattern.
+func parseTerm(s, op string) (Term, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "":
+		return Term{}, fmt.Errorf("rules: empty term")
+	case strings.HasPrefix(s, "\""):
+		us, err := strconv.Unquote(s)
+		if err != nil {
+			return Term{}, fmt.Errorf("rules: bad string literal %s: %v", s, err)
+		}
+		return LitTerm(values.String(us)), nil
+	case isVarName(s) && !strings.ContainsAny(s, ".(["):
+		return VarTerm(s), nil
+	case strings.Contains(s, ".") || strings.Contains(s, "["):
+		if looksLikePatternValue(s) {
+			break
+		}
+		ap, err := parseAttrPat(s)
+		if err == nil {
+			return AttrTerm(ap), nil
+		}
+	}
+	v, err := qparse.ParseValue(s, op)
+	if err != nil {
+		return Term{}, err
+	}
+	return LitTerm(v), nil
+}
+
+func looksLikePatternValue(s string) bool {
+	return strings.Contains(s, "(near)") || strings.Contains(s, "(^)") || strings.Contains(s, "(v)")
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// FormatSpec renders a whole specification back to DSL text.
+func FormatSpec(s *Spec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# mapping specification %s (target %s)\n", s.Name, s.Target.Name)
+	for _, r := range s.Rules {
+		b.WriteString(r.String())
+		b.WriteString("\n\n")
+	}
+	return b.String()
+}

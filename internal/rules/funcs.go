@@ -1,0 +1,148 @@
+package rules
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CondFunc is a rule-head condition (predicate function, Section 4.1): it
+// inspects bound variables and reports whether the matching is acceptable.
+// args are the variable names from the rule text.
+type CondFunc func(b Binding, args []string) (bool, error)
+
+// ActionFunc is a rule-tail conversion function ("let X = F(args)"): it
+// computes a new bound value from bound variables. A returned error means
+// the conversion is inapplicable (e.g. an unknown department code); the
+// matching then produces no emission and is dropped.
+type ActionFunc func(b Binding, args []string) (BoundVal, error)
+
+// Registry resolves the externally supplied condition and action functions
+// a mapping specification refers to by name. A Registry is immutable after
+// construction from the caller's perspective: register everything up front.
+type Registry struct {
+	conds   map[string]CondFunc
+	actions map[string]ActionFunc
+}
+
+// NewRegistry returns an empty registry pre-loaded with the built-in
+// conditions (Value, IsAttr, OneOf).
+func NewRegistry() *Registry {
+	r := &Registry{
+		conds:   make(map[string]CondFunc),
+		actions: make(map[string]ActionFunc),
+	}
+	r.RegisterCond("Value", condValue)
+	r.RegisterCond("IsAttr", condIsAttr)
+	r.RegisterCond("OneOf", condOneOf)
+	r.RegisterCond("DistinctIndex", condDistinctIndex)
+	return r
+}
+
+// RegisterCond installs a condition function under name.
+func (r *Registry) RegisterCond(name string, fn CondFunc) { r.conds[name] = fn }
+
+// RegisterAction installs an action function under name.
+func (r *Registry) RegisterAction(name string, fn ActionFunc) { r.actions[name] = fn }
+
+// Cond resolves a condition function.
+func (r *Registry) Cond(name string) (CondFunc, error) {
+	fn, ok := r.conds[name]
+	if !ok {
+		return nil, fmt.Errorf("rules: unknown condition %q (known: %v)", name, keys(r.conds))
+	}
+	return fn, nil
+}
+
+// Action resolves an action function.
+func (r *Registry) Action(name string) (ActionFunc, error) {
+	fn, ok := r.actions[name]
+	if !ok {
+		return nil, fmt.Errorf("rules: unknown function %q (known: %v)", name, keys(r.actions))
+	}
+	return fn, nil
+}
+
+func keys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// condValue implements Value(X): X is bound to a constant, not an attribute
+// (restricts a pattern to selection constraints, Section 4.2).
+func condValue(b Binding, args []string) (bool, error) {
+	if len(args) != 1 {
+		return false, fmt.Errorf("rules: Value takes 1 argument, got %d", len(args))
+	}
+	v, ok := b[args[0]]
+	if !ok {
+		return false, fmt.Errorf("rules: Value(%s): variable unbound", args[0])
+	}
+	return v.Kind == BindValue, nil
+}
+
+// condIsAttr implements IsAttr(X): X is bound to an attribute (restricts a
+// pattern to join constraints).
+func condIsAttr(b Binding, args []string) (bool, error) {
+	if len(args) != 1 {
+		return false, fmt.Errorf("rules: IsAttr takes 1 argument, got %d", len(args))
+	}
+	v, ok := b[args[0]]
+	if !ok {
+		return false, fmt.Errorf("rules: IsAttr(%s): variable unbound", args[0])
+	}
+	return v.Kind == BindAttr, nil
+}
+
+// condOneOf implements OneOf(X, n1, n2, ...): the attribute, name, or
+// operator bound to X is one of the listed names. It is the generic
+// building block behind paper conditions like LnOrFn(A1), and restricts
+// operator variables ("OneOf(OP, \"<\", \"<=\")"). Quoted list entries are
+// unquoted before comparison.
+func condOneOf(b Binding, args []string) (bool, error) {
+	if len(args) < 2 {
+		return false, fmt.Errorf("rules: OneOf takes a variable and at least one name")
+	}
+	v, ok := b[args[0]]
+	if !ok {
+		return false, fmt.Errorf("rules: OneOf(%s, ...): variable unbound", args[0])
+	}
+	var name string
+	switch v.Kind {
+	case BindAttr:
+		name = v.Attr.Name
+	case BindName:
+		name = v.Name
+	default:
+		return false, nil
+	}
+	for _, n := range args[1:] {
+		if len(n) >= 2 && n[0] == '"' && n[len(n)-1] == '"' {
+			n = n[1 : len(n)-1]
+		}
+		if n == name {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// condDistinctIndex implements DistinctIndex(i, j): two index variables are
+// bound to different view instances (for self-join rules like R8).
+func condDistinctIndex(b Binding, args []string) (bool, error) {
+	if len(args) != 2 {
+		return false, fmt.Errorf("rules: DistinctIndex takes 2 arguments, got %d", len(args))
+	}
+	x, ok1 := b[args[0]]
+	y, ok2 := b[args[1]]
+	if !ok1 || !ok2 {
+		return false, fmt.Errorf("rules: DistinctIndex: variable unbound")
+	}
+	if x.Kind != BindIndex || y.Kind != BindIndex {
+		return false, nil
+	}
+	return x.Idx != y.Idx, nil
+}

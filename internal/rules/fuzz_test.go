@@ -1,0 +1,37 @@
+package rules
+
+import (
+	"testing"
+)
+
+// FuzzParseRules checks the DSL parser never panics, and that successfully
+// parsed rules print back to parseable text.
+func FuzzParseRules(f *testing.F) {
+	seeds := []string{
+		`rule R { match [a = V]; emit exact [b = V]; }`,
+		`rule R { match [a = V], [b = W]; where Value(V); let X = F(V, W); emit [c = X] or TRUE; }`,
+		`rule R { match [fac[i].A = fac[j].A]; emit [fac[i].prof.A = fac[j].prof.A]; }`,
+		"# comment\nrule R { match [x contains P]; emit [y contains P]; }",
+		`rule Broken {`,
+		`rule R { emit TRUE; }`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		rs, err := ParseRules(src)
+		if err != nil {
+			return
+		}
+		for _, r := range rs {
+			text := r.String()
+			back, err := ParseRules(text)
+			if err != nil {
+				t.Fatalf("re-parse of printed rule failed: %v\n%s", err, text)
+			}
+			if len(back) != 1 || back[0].Name != r.Name {
+				t.Fatalf("round trip changed rule identity: %s", text)
+			}
+		}
+	})
+}

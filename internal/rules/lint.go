@@ -1,0 +1,220 @@
+package rules
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/qtree"
+)
+
+// LintLevel grades lint findings.
+type LintLevel int
+
+const (
+	// LintWarning marks suspicious but possibly intentional constructs.
+	LintWarning LintLevel = iota
+	// LintError marks constructs that will misbehave at translation time.
+	LintError
+)
+
+func (l LintLevel) String() string {
+	if l == LintError {
+		return "error"
+	}
+	return "warning"
+}
+
+// Problem is one lint finding.
+type Problem struct {
+	Rule    string
+	Level   LintLevel
+	Message string
+}
+
+func (p Problem) String() string {
+	return fmt.Sprintf("%s: rule %s: %s", p.Level, p.Rule, p.Message)
+}
+
+// Lint statically checks a specification for common rule-authoring
+// mistakes beyond what NewSpec validates:
+//
+//   - pattern variables bound but never used (likely a typo);
+//   - let variables shadowing pattern variables (the binding will fail to
+//     unify at match time unless the values coincide);
+//   - emissions whose literal attribute/operator combination the target
+//     does not support (the translated query would be inexpressible,
+//     violating Definition 1 condition 1);
+//   - two rules with identical heads (the second is either redundant or a
+//     conflicting opinion about the same matching);
+//   - a trivial TRUE emission marked exact (TRUE is only equivalent to the
+//     matched conjunction if that conjunction is itself trivial).
+func Lint(s *Spec) []Problem {
+	var out []Problem
+	heads := make(map[string]string)
+	for _, r := range s.Rules {
+		out = append(out, lintRule(s, r)...)
+		key := headKey(r)
+		if prev, ok := heads[key]; ok {
+			out = append(out, Problem{
+				Rule:  r.Name,
+				Level: LintWarning,
+				Message: fmt.Sprintf("head is identical to rule %s's (same patterns and conditions)",
+					prev),
+			})
+		} else {
+			heads[key] = r.Name
+		}
+	}
+	return out
+}
+
+func headKey(r *Rule) string {
+	pats := make([]string, len(r.Patterns))
+	for i, p := range r.Patterns {
+		pats[i] = p.String()
+	}
+	sort.Strings(pats)
+	conds := make([]string, len(r.Conds))
+	for i, c := range r.Conds {
+		conds[i] = c.String()
+	}
+	sort.Strings(conds)
+	return strings.Join(pats, ";") + "|" + strings.Join(conds, ";")
+}
+
+func lintRule(s *Spec, r *Rule) []Problem {
+	var out []Problem
+
+	bound := make(map[string]bool)
+	addAttrVars := func(a AttrPat) {
+		for _, v := range []string{a.WholeVar, a.ViewVar, a.IndexVar, a.NameVar} {
+			if v != "" {
+				bound[v] = true
+			}
+		}
+	}
+	for _, p := range r.Patterns {
+		addAttrVars(p.Attr)
+		if p.OpVar != "" {
+			bound[p.OpVar] = true
+		}
+		if p.RHS.Var != "" {
+			bound[p.RHS.Var] = true
+		}
+		if p.RHS.Attr != nil {
+			addAttrVars(*p.RHS.Attr)
+		}
+	}
+
+	used := make(map[string]bool)
+	for _, c := range r.Conds {
+		for _, a := range c.Args {
+			used[a] = true
+		}
+	}
+	for _, l := range r.Lets {
+		for _, a := range l.Args {
+			used[a] = true
+		}
+		if bound[l.Var] {
+			out = append(out, Problem{
+				Rule:  r.Name,
+				Level: LintWarning,
+				Message: fmt.Sprintf("let %s shadows a pattern variable; the binding must unify or the matching is dropped",
+					l.Var),
+			})
+		}
+	}
+	markEmitVars(r.Emit, used)
+
+	var unused []string
+	for v := range bound {
+		if !used[v] {
+			unused = append(unused, v)
+		}
+	}
+	sort.Strings(unused)
+	for _, v := range unused {
+		out = append(out, Problem{
+			Rule:    r.Name,
+			Level:   LintWarning,
+			Message: fmt.Sprintf("pattern variable %s is never used", v),
+		})
+	}
+
+	out = append(out, lintEmissionCaps(s, r, r.Emit)...)
+
+	if r.Exact && r.Emit.Kind == qtree.KindTrue {
+		out = append(out, Problem{
+			Rule:    r.Name,
+			Level:   LintWarning,
+			Message: "TRUE emission marked exact; the matched constraints would be silently dropped from the filter",
+		})
+	}
+	return out
+}
+
+func markEmitVars(e *EmitNode, used map[string]bool) {
+	switch e.Kind {
+	case qtree.KindLeaf:
+		for _, v := range []string{e.Pat.Attr.WholeVar, e.Pat.Attr.ViewVar, e.Pat.Attr.IndexVar,
+			e.Pat.Attr.NameVar, e.Pat.OpVar, e.Pat.RHS.Var} {
+			if v != "" {
+				used[v] = true
+			}
+		}
+		if e.Pat.RHS.Attr != nil {
+			for _, v := range []string{e.Pat.RHS.Attr.WholeVar, e.Pat.RHS.Attr.ViewVar,
+				e.Pat.RHS.Attr.IndexVar, e.Pat.RHS.Attr.NameVar} {
+				if v != "" {
+					used[v] = true
+				}
+			}
+		}
+	case qtree.KindAnd, qtree.KindOr:
+		for _, k := range e.Kids {
+			markEmitVars(k, used)
+		}
+	}
+}
+
+// lintEmissionCaps flags emission leaves with fully literal attributes whose
+// attribute/operator pair the target does not support. Variable attributes
+// cannot be checked statically.
+func lintEmissionCaps(s *Spec, r *Rule, e *EmitNode) []Problem {
+	if s.Target == nil || len(s.Target.Caps) == 0 {
+		return nil
+	}
+	var out []Problem
+	switch e.Kind {
+	case qtree.KindLeaf:
+		a := e.Pat.Attr
+		if a.WholeVar != "" || a.ViewVar != "" || a.NameVar != "" || e.Pat.OpVar != "" {
+			return nil
+		}
+		supported := false
+		for _, cap := range s.Target.Caps {
+			if cap.Op != e.Pat.Op {
+				continue
+			}
+			if cap.Attr == "*" || cap.Attr == a.Name {
+				supported = true
+				break
+			}
+		}
+		if !supported {
+			out = append(out, Problem{
+				Rule:  r.Name,
+				Level: LintError,
+				Message: fmt.Sprintf("emission [%s %s ...] is not supported by target %s",
+					a.String(), e.Pat.Op, s.Target.Name),
+			})
+		}
+	case qtree.KindAnd, qtree.KindOr:
+		for _, k := range e.Kids {
+			out = append(out, lintEmissionCaps(s, r, k)...)
+		}
+	}
+	return out
+}

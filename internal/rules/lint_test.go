@@ -1,0 +1,134 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/qtree"
+)
+
+func lintOf(t *testing.T, ruleText string, caps ...Capability) []Problem {
+	t.Helper()
+	rs := MustParseRules(ruleText)
+	target := NewTarget("t", caps...)
+	s := MustSpec("K", target, NewRegistry(), rs...)
+	return Lint(s)
+}
+
+func hasProblem(ps []Problem, level LintLevel, substr string) bool {
+	for _, p := range ps {
+		if p.Level == level && strings.Contains(p.Message, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLintCleanSpec(t *testing.T) {
+	ps := lintOf(t, `
+rule R {
+  match [a = V];
+  where Value(V);
+  emit exact [b = V];
+}
+`, Capability{Attr: "b", Op: qtree.OpEq})
+	if len(ps) != 0 {
+		t.Errorf("clean spec produced findings: %v", ps)
+	}
+}
+
+func TestLintUnusedVariable(t *testing.T) {
+	ps := lintOf(t, `
+rule R {
+  match [a = V], [c = W];
+  emit exact [b = V];
+}
+`, Capability{Attr: "b", Op: qtree.OpEq})
+	if !hasProblem(ps, LintWarning, "variable W is never used") {
+		t.Errorf("unused variable not reported: %v", ps)
+	}
+}
+
+func TestLintUnsupportedEmission(t *testing.T) {
+	ps := lintOf(t, `
+rule R {
+  match [a = V];
+  emit exact [b starts V];
+}
+`, Capability{Attr: "b", Op: qtree.OpEq})
+	if !hasProblem(ps, LintError, "not supported by target") {
+		t.Errorf("unsupported emission not reported: %v", ps)
+	}
+}
+
+func TestLintDuplicateHeads(t *testing.T) {
+	ps := lintOf(t, `
+rule R1 {
+  match [a = V];
+  emit exact [b = V];
+}
+rule R2 {
+  match [a = V];
+  emit [c = V];
+}
+`, Capability{Attr: "b", Op: qtree.OpEq}, Capability{Attr: "c", Op: qtree.OpEq})
+	if !hasProblem(ps, LintWarning, "identical to rule R1") {
+		t.Errorf("duplicate heads not reported: %v", ps)
+	}
+}
+
+func TestLintExactTrue(t *testing.T) {
+	ps := lintOf(t, `
+rule R {
+  match [a = V];
+  where Value(V);
+  emit exact TRUE;
+}
+`)
+	if !hasProblem(ps, LintWarning, "TRUE emission marked exact") {
+		t.Errorf("exact TRUE not reported: %v", ps)
+	}
+}
+
+func TestLintShadowingLet(t *testing.T) {
+	reg := NewRegistry()
+	reg.RegisterAction("Id", func(b Binding, args []string) (BoundVal, error) {
+		return b[args[0]], nil
+	})
+	rs := MustParseRules(`
+rule R {
+  match [a = V];
+  let V = Id(V);
+  emit exact [b = V];
+}
+`)
+	s := MustSpec("K", NewTarget("t", Capability{Attr: "b", Op: qtree.OpEq}), reg, rs...)
+	ps := Lint(s)
+	if !hasProblem(ps, LintWarning, "shadows a pattern variable") {
+		t.Errorf("shadowing let not reported: %v", ps)
+	}
+}
+
+func TestLintBuiltinSpecsMostlyClean(t *testing.T) {
+	// The shipped specifications should produce no lint errors (warnings
+	// are tolerated — e.g. intentionally duplicated heads).
+	// This is exercised thoroughly in the sources package tests; here we
+	// just confirm Lint runs on a multi-rule spec.
+	ps := lintOf(t, `
+rule A {
+  match [x = V], [y = W];
+  where Value(V), Value(W);
+  emit exact [t = V];
+}
+rule B {
+  match [x = V];
+  where Value(V);
+  emit [t = V];
+}
+`, Capability{Attr: "t", Op: qtree.OpEq})
+	for _, p := range ps {
+		if p.Level == LintError {
+			t.Errorf("unexpected lint error: %v", p)
+		}
+	}
+}

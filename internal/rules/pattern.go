@@ -1,0 +1,221 @@
+package rules
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/qtree"
+)
+
+// AttrPat is a pattern over an attribute reference. It doubles as a template
+// in emissions: Instantiate fills variables from a binding. The zero value
+// matches nothing; construct the fields explicitly or via the DSL.
+//
+// Variable fields follow the paper's conventions: capitalized symbols are
+// variables. Examples:
+//
+//	[A1 = N]               → AttrPat{WholeVar: "A1"}
+//	[fac.A1 = N]           → AttrPat{View: "fac", NameVar: "A1"}
+//	[ti contains P1]       → AttrPat{Name: "ti"}
+//	[V1.ln = ...]          → AttrPat{ViewVar: "V1", Name: "ln"}
+//	[fac[i].A = fac[j].A]  → AttrPat{View: "fac", IndexVar: "i", NameVar: "A"}
+type AttrPat struct {
+	// WholeVar binds the entire attribute; all other fields must be empty.
+	WholeVar string
+	// View is a literal view name; ViewVar binds the view name instead.
+	View    string
+	ViewVar string
+	// IndexVar binds the instance index. When empty, any index matches and
+	// nothing is bound (fac.bib abbreviates fac[i].bib for any i).
+	IndexVar string
+	// Rel is a literal source-relation qualifier (used in emissions).
+	Rel string
+	// Name is a literal attribute name; NameVar binds the name instead.
+	Name    string
+	NameVar string
+}
+
+// WholeAttr returns a pattern binding the entire attribute to var.
+func WholeAttr(v string) AttrPat { return AttrPat{WholeVar: v} }
+
+// LitAttr returns a pattern/template for a literal attribute.
+func LitAttr(a qtree.Attr) AttrPat {
+	return AttrPat{View: a.View, Rel: a.Rel, Name: a.Name}
+}
+
+// Match attempts to match the pattern against attribute a, extending b.
+// It reports success; on failure b may be partially extended (callers clone).
+func (p AttrPat) Match(a qtree.Attr, b Binding) bool {
+	if p.WholeVar != "" {
+		return b.Bind(p.WholeVar, AttrOf(a))
+	}
+	switch {
+	case p.ViewVar != "":
+		if !b.Bind(p.ViewVar, NameOf(a.View)) {
+			return false
+		}
+	case p.View != a.View:
+		return false
+	}
+	if p.IndexVar != "" && !b.Bind(p.IndexVar, IndexOf(a.Index)) {
+		return false
+	}
+	if p.Rel != "" && p.Rel != a.Rel {
+		return false
+	}
+	switch {
+	case p.NameVar != "":
+		if !b.Bind(p.NameVar, NameOf(a.Name)) {
+			return false
+		}
+	case p.Name != a.Name:
+		return false
+	}
+	return true
+}
+
+// Instantiate builds a concrete attribute from the template and binding.
+func (p AttrPat) Instantiate(b Binding) (qtree.Attr, error) {
+	if p.WholeVar != "" {
+		return b.AttrVal(p.WholeVar)
+	}
+	a := qtree.Attr{View: p.View, Rel: p.Rel, Name: p.Name}
+	if p.ViewVar != "" {
+		v, ok := b[p.ViewVar]
+		if !ok || v.Kind != BindName {
+			return qtree.Attr{}, fmt.Errorf("rules: view variable %s unbound", p.ViewVar)
+		}
+		a.View = v.Name
+	}
+	if p.IndexVar != "" {
+		v, ok := b[p.IndexVar]
+		if !ok || v.Kind != BindIndex {
+			return qtree.Attr{}, fmt.Errorf("rules: index variable %s unbound", p.IndexVar)
+		}
+		a.Index = v.Idx
+	}
+	if p.NameVar != "" {
+		v, ok := b[p.NameVar]
+		switch {
+		case !ok:
+			return qtree.Attr{}, fmt.Errorf("rules: name variable %s unbound", p.NameVar)
+		case v.Kind == BindName:
+			a.Name = v.Name
+		case v.Kind == BindAttr:
+			a.Name = v.Attr.Name
+		default:
+			return qtree.Attr{}, fmt.Errorf("rules: name variable %s has kind %d", p.NameVar, v.Kind)
+		}
+	}
+	return a, nil
+}
+
+// String renders the pattern in DSL syntax.
+func (p AttrPat) String() string {
+	if p.WholeVar != "" {
+		return p.WholeVar
+	}
+	var b strings.Builder
+	switch {
+	case p.ViewVar != "":
+		b.WriteString(p.ViewVar)
+	case p.View != "":
+		b.WriteString(p.View)
+	}
+	if p.IndexVar != "" {
+		fmt.Fprintf(&b, "[%s]", p.IndexVar)
+	}
+	if b.Len() > 0 {
+		b.WriteByte('.')
+	}
+	if p.Rel != "" {
+		b.WriteString(p.Rel)
+		b.WriteByte('.')
+	}
+	if p.NameVar != "" {
+		b.WriteString(p.NameVar)
+	} else {
+		b.WriteString(p.Name)
+	}
+	return b.String()
+}
+
+// Term is the right-hand side of a constraint pattern or template: a
+// variable, a literal value, or an attribute pattern (for joins).
+type Term struct {
+	Var  string
+	Lit  qtree.Value
+	Attr *AttrPat
+}
+
+// VarTerm returns a variable term.
+func VarTerm(v string) Term { return Term{Var: v} }
+
+// LitTerm returns a literal-value term.
+func LitTerm(v qtree.Value) Term { return Term{Lit: v} }
+
+// AttrTerm returns an attribute-pattern term.
+func AttrTerm(p AttrPat) Term { return Term{Attr: &p} }
+
+// String renders the term in DSL syntax.
+func (t Term) String() string {
+	switch {
+	case t.Var != "":
+		return t.Var
+	case t.Attr != nil:
+		return t.Attr.String()
+	case t.Lit != nil:
+		return t.Lit.String()
+	default:
+		return "<empty term>"
+	}
+}
+
+// ConstraintPat matches one constraint: an attribute pattern, an operator
+// (literal, or a variable binding the operator name — an extension that
+// lets one rule cover a family like =, <, <=, >, >=), and a right-hand-side
+// term. A variable RHS binds the selection constant or, when the constraint
+// is a join, the right attribute — rule conditions such as Value(N) /
+// IsAttr(N) narrow this (Section 4.2).
+type ConstraintPat struct {
+	Attr  AttrPat
+	Op    string
+	OpVar string // binds the operator name; mutually exclusive with Op
+	RHS   Term
+}
+
+// Match attempts to match the pattern against constraint c, extending b.
+func (p ConstraintPat) Match(c *qtree.Constraint, b Binding) bool {
+	if p.OpVar != "" {
+		if !b.Bind(p.OpVar, NameOf(c.Op)) {
+			return false
+		}
+	} else if p.Op != c.Op {
+		return false
+	}
+	if !p.Attr.Match(c.Attr, b) {
+		return false
+	}
+	switch {
+	case p.RHS.Var != "":
+		if c.IsJoin() {
+			return b.Bind(p.RHS.Var, AttrOf(*c.RAttr))
+		}
+		return b.Bind(p.RHS.Var, ValueOf(c.Val))
+	case p.RHS.Attr != nil:
+		return c.IsJoin() && p.RHS.Attr.Match(*c.RAttr, b)
+	case p.RHS.Lit != nil:
+		return !c.IsJoin() && c.Val != nil && p.RHS.Lit.Equal(c.Val)
+	default:
+		return false
+	}
+}
+
+// String renders the constraint pattern in DSL syntax.
+func (p ConstraintPat) String() string {
+	op := p.Op
+	if p.OpVar != "" {
+		op = p.OpVar
+	}
+	return fmt.Sprintf("[%s %s %s]", p.Attr.String(), op, p.RHS.String())
+}

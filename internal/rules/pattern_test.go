@@ -1,0 +1,204 @@
+package rules
+
+import (
+	"testing"
+
+	"repro/internal/qtree"
+	"repro/internal/values"
+)
+
+func TestAttrPatMatchForms(t *testing.T) {
+	cases := []struct {
+		pat  AttrPat
+		attr qtree.Attr
+		want bool
+		// binding expectations (var → rendered value), checked when non-nil
+		binds map[string]string
+	}{
+		{WholeAttr("A1"), qtree.A("ln"), true, map[string]string{"A1": "ln"}},
+		{AttrPat{Name: "ln"}, qtree.A("ln"), true, nil},
+		{AttrPat{Name: "ln"}, qtree.A("fn"), false, nil},
+		{AttrPat{View: "fac", NameVar: "A"}, qtree.VA("fac", "ln"), true, map[string]string{"A": "ln"}},
+		{AttrPat{View: "fac", NameVar: "A"}, qtree.VA("pub", "ln"), false, nil},
+		{AttrPat{ViewVar: "V", Name: "ln"}, qtree.VA("fac", "ln"), true, map[string]string{"V": "fac"}},
+		{AttrPat{View: "fac", IndexVar: "i", NameVar: "A"}, qtree.VIA("fac", 2, "ln"), true,
+			map[string]string{"i": "#2", "A": "ln"}},
+		// Unindexed literal view matches any instance (fac.bib ≡ fac[i].bib).
+		{AttrPat{View: "fac", Name: "bib"}, qtree.VIA("fac", 3, "bib"), true, nil},
+		// Relation qualifier must match when present.
+		{AttrPat{View: "fac", Rel: "aubib", Name: "name"}, qtree.RA("fac", "aubib", "name"), true, nil},
+		{AttrPat{View: "fac", Rel: "prof", Name: "name"}, qtree.RA("fac", "aubib", "name"), false, nil},
+	}
+	for _, c := range cases {
+		b := make(Binding)
+		got := c.pat.Match(c.attr, b)
+		if got != c.want {
+			t.Errorf("pattern %s vs %s = %v, want %v", c.pat, c.attr, got, c.want)
+			continue
+		}
+		for v, want := range c.binds {
+			if b[v].String() != want {
+				t.Errorf("pattern %s: binding %s = %s, want %s", c.pat, v, b[v], want)
+			}
+		}
+	}
+}
+
+func TestAttrPatUnification(t *testing.T) {
+	// Same name variable across two patterns must unify.
+	p := AttrPat{View: "fac", IndexVar: "i", NameVar: "A"}
+	q := AttrPat{View: "fac", IndexVar: "j", NameVar: "A"}
+	b := make(Binding)
+	if !p.Match(qtree.VIA("fac", 1, "ln"), b) {
+		t.Fatal("first match failed")
+	}
+	if q.Match(qtree.VIA("fac", 2, "fn"), b) {
+		t.Error("name variable unified with a different name")
+	}
+	if !q.Match(qtree.VIA("fac", 2, "ln"), b) {
+		t.Error("consistent second match failed")
+	}
+}
+
+func TestAttrPatInstantiate(t *testing.T) {
+	b := Binding{
+		"A": AttrOf(qtree.RA("fac", "aubib", "name")),
+		"N": NameOf("ln"),
+		"i": IndexOf(2),
+	}
+	got, err := (AttrPat{WholeVar: "A"}).Instantiate(b)
+	if err != nil || !got.Equal(qtree.RA("fac", "aubib", "name")) {
+		t.Errorf("whole-var instantiate = %v, %v", got, err)
+	}
+	got, err = (AttrPat{View: "fac", IndexVar: "i", Rel: "prof", NameVar: "N"}).Instantiate(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := qtree.Attr{View: "fac", Index: 2, Rel: "prof", Name: "ln"}
+	if got != want {
+		t.Errorf("instantiate = %v, want %v", got, want)
+	}
+	// Unbound variables error.
+	if _, err := (AttrPat{NameVar: "Missing"}).Instantiate(b); err == nil {
+		t.Error("unbound name variable accepted")
+	}
+	if _, err := (AttrPat{WholeVar: "Missing"}).Instantiate(b); err == nil {
+		t.Error("unbound whole variable accepted")
+	}
+	if _, err := (AttrPat{IndexVar: "Missing", Name: "x"}).Instantiate(b); err == nil {
+		t.Error("unbound index variable accepted")
+	}
+	// A name variable bound to an attribute contributes its Name.
+	got, err = (AttrPat{View: "x", NameVar: "A"}).Instantiate(b)
+	if err != nil || got.Name != "name" {
+		t.Errorf("attr-bound name variable = %v, %v", got, err)
+	}
+}
+
+func TestConstraintPatLiteralRHS(t *testing.T) {
+	pat := ConstraintPat{Attr: AttrPat{Name: "dept"}, Op: qtree.OpEq,
+		RHS: LitTerm(values.String("cs"))}
+	b := make(Binding)
+	if !pat.Match(qtree.Sel(qtree.A("dept"), qtree.OpEq, values.String("cs")), b) {
+		t.Error("literal RHS should match equal value")
+	}
+	if pat.Match(qtree.Sel(qtree.A("dept"), qtree.OpEq, values.String("ee")), b) {
+		t.Error("literal RHS matched different value")
+	}
+	if pat.Match(qtree.Join(qtree.A("dept"), qtree.OpEq, qtree.A("other")), b) {
+		t.Error("literal RHS matched a join")
+	}
+}
+
+func TestBoundValEqualAndString(t *testing.T) {
+	cases := []struct {
+		a, b  BoundVal
+		equal bool
+	}{
+		{ValueOf(values.Int(1)), ValueOf(values.Int(1)), true},
+		{ValueOf(values.Int(1)), ValueOf(values.Int(2)), false},
+		{AttrOf(qtree.A("x")), AttrOf(qtree.A("x")), true},
+		{AttrOf(qtree.A("x")), AttrOf(qtree.A("y")), false},
+		{IndexOf(1), IndexOf(1), true},
+		{NameOf("a"), NameOf("a"), true},
+		{NameOf("a"), IndexOf(1), false},
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.equal {
+			t.Errorf("Equal(%s, %s) = %v, want %v", c.a, c.b, got, c.equal)
+		}
+	}
+	if IndexOf(3).String() != "#3" || NameOf("x").String() != "x" {
+		t.Error("BoundVal.String misbehaves")
+	}
+}
+
+func TestBindingAccessors(t *testing.T) {
+	b := Binding{"V": ValueOf(values.Int(1)), "A": AttrOf(qtree.A("ln"))}
+	if _, err := b.Value("A"); err == nil {
+		t.Error("Value on attr binding accepted")
+	}
+	if _, err := b.Value("Missing"); err == nil {
+		t.Error("Value on missing binding accepted")
+	}
+	if a, err := b.AttrVal("A"); err != nil || a != qtree.A("ln") {
+		t.Errorf("AttrVal = %v, %v", a, err)
+	}
+	if _, err := b.AttrVal("V"); err == nil {
+		t.Error("AttrVal on value binding accepted")
+	}
+	if b.ID() == "" || b.Clone().ID() != b.ID() {
+		t.Error("ID/Clone misbehave")
+	}
+}
+
+func TestMatchingString(t *testing.T) {
+	s := testSpec(t)
+	ms, err := s.Matchings(parseConstraints(t, `[ln = "Clancy"] and [fn = "Tom"]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ms {
+		if m.String() == "" || m.ID() == "" {
+			t.Error("Matching String/ID empty")
+		}
+	}
+}
+
+func TestMatchingsOfSet(t *testing.T) {
+	s := testSpec(t)
+	set := qtree.NewConstraintSet(parseConstraints(t, `[ln = "Clancy"] and [fn = "Tom"]`)...)
+	ms, err := s.MatchingsOfSet(set)
+	if err != nil || len(ms) == 0 {
+		t.Errorf("MatchingsOfSet = %d matchings, %v", len(ms), err)
+	}
+}
+
+func TestEmitComplexTemplates(t *testing.T) {
+	rs := MustParseRules(`
+rule X {
+  match [a = V], [b = W];
+  where Value(V), Value(W);
+  emit ([p = V] and [q = W]) or TRUE;
+}
+`)
+	b := Binding{"V": ValueOf(values.Int(1)), "W": ValueOf(values.Int(2))}
+	got, err := rs[0].Emit.Instantiate(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (p ∧ q) ∨ TRUE normalizes to TRUE.
+	if !got.IsTrue() {
+		t.Errorf("instantiated emission = %s, want TRUE", got)
+	}
+	if s := rs[0].Emit.String(); s == "" {
+		t.Error("EmitNode.String empty")
+	}
+}
+
+func TestLintProblemString(t *testing.T) {
+	p := Problem{Rule: "R", Level: LintError, Message: "boom"}
+	if p.String() != "error: rule R: boom" {
+		t.Errorf("Problem.String = %q", p.String())
+	}
+}

@@ -1,0 +1,281 @@
+package rules
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/qtree"
+)
+
+// CondRef is a named condition application in a rule head, e.g.
+// LnOrFn(A1) or Value(N).
+type CondRef struct {
+	Name string
+	Args []string
+}
+
+func (c CondRef) String() string {
+	return c.Name + "(" + strings.Join(c.Args, ", ") + ")"
+}
+
+// LetClause is a rule-tail action: Var = Func(Args...).
+type LetClause struct {
+	Var  string
+	Func string
+	Args []string
+}
+
+func (l LetClause) String() string {
+	return l.Var + " = " + l.Func + "(" + strings.Join(l.Args, ", ") + ")"
+}
+
+// EmitNode is a template query tree for rule emissions: leaves are
+// constraint templates, interior nodes are ∧/∨. (An emission can be a
+// complex query — rule R8 of Figure 3 emits a disjunction.)
+type EmitNode struct {
+	Kind qtree.NodeKind // KindAnd, KindOr, KindLeaf, KindTrue
+	Kids []*EmitNode
+	Pat  *ConstraintPat // for KindLeaf: attr/op/rhs template
+}
+
+// EmitLeaf returns a leaf emission template.
+func EmitLeaf(p ConstraintPat) *EmitNode { return &EmitNode{Kind: qtree.KindLeaf, Pat: &p} }
+
+// EmitAnd returns a conjunction emission template.
+func EmitAnd(kids ...*EmitNode) *EmitNode { return &EmitNode{Kind: qtree.KindAnd, Kids: kids} }
+
+// EmitOr returns a disjunction emission template.
+func EmitOr(kids ...*EmitNode) *EmitNode { return &EmitNode{Kind: qtree.KindOr, Kids: kids} }
+
+// EmitTrue returns the trivial emission (the rule maps its matching to True;
+// useful to state explicitly that a constraint is understood but
+// unsupported).
+func EmitTrue() *EmitNode { return &EmitNode{Kind: qtree.KindTrue} }
+
+// Instantiate builds the concrete emitted query from the template and a
+// binding.
+func (e *EmitNode) Instantiate(b Binding) (*qtree.Node, error) {
+	switch e.Kind {
+	case qtree.KindTrue:
+		return qtree.True(), nil
+	case qtree.KindLeaf:
+		c, err := e.Pat.InstantiateConstraint(b)
+		if err != nil {
+			return nil, err
+		}
+		return qtree.Leaf(c), nil
+	case qtree.KindAnd, qtree.KindOr:
+		kids := make([]*qtree.Node, len(e.Kids))
+		for i, k := range e.Kids {
+			n, err := k.Instantiate(b)
+			if err != nil {
+				return nil, err
+			}
+			kids[i] = n
+		}
+		if e.Kind == qtree.KindAnd {
+			return qtree.And(kids...).Normalize(), nil
+		}
+		return qtree.Or(kids...).Normalize(), nil
+	default:
+		return nil, fmt.Errorf("rules: invalid emission node kind %v", e.Kind)
+	}
+}
+
+func (e *EmitNode) String() string {
+	switch e.Kind {
+	case qtree.KindTrue:
+		return "TRUE"
+	case qtree.KindLeaf:
+		return e.Pat.String()
+	case qtree.KindAnd, qtree.KindOr:
+		op := " and "
+		if e.Kind == qtree.KindOr {
+			op = " or "
+		}
+		parts := make([]string, len(e.Kids))
+		for i, k := range e.Kids {
+			parts[i] = k.String()
+		}
+		return "(" + strings.Join(parts, op) + ")"
+	default:
+		return "<invalid>"
+	}
+}
+
+// InstantiateConstraint builds a concrete constraint from a template.
+func (p *ConstraintPat) InstantiateConstraint(b Binding) (*qtree.Constraint, error) {
+	attr, err := p.Attr.Instantiate(b)
+	if err != nil {
+		return nil, err
+	}
+	op := p.Op
+	if p.OpVar != "" {
+		v, ok := b[p.OpVar]
+		if !ok || v.Kind != BindName {
+			return nil, fmt.Errorf("rules: operator variable %s unbound", p.OpVar)
+		}
+		op = v.Name
+	}
+	p = &ConstraintPat{Attr: p.Attr, Op: op, RHS: p.RHS}
+	switch {
+	case p.RHS.Var != "":
+		bv, ok := b[p.RHS.Var]
+		if !ok {
+			return nil, fmt.Errorf("rules: emission variable %s unbound", p.RHS.Var)
+		}
+		switch bv.Kind {
+		case BindValue:
+			return qtree.Sel(attr, p.Op, bv.Val), nil
+		case BindAttr:
+			return qtree.Join(attr, p.Op, bv.Attr), nil
+		default:
+			return nil, fmt.Errorf("rules: emission variable %s has no value", p.RHS.Var)
+		}
+	case p.RHS.Attr != nil:
+		rattr, err := p.RHS.Attr.Instantiate(b)
+		if err != nil {
+			return nil, err
+		}
+		return qtree.Join(attr, p.Op, rattr), nil
+	case p.RHS.Lit != nil:
+		return qtree.Sel(attr, p.Op, p.RHS.Lit), nil
+	default:
+		return nil, fmt.Errorf("rules: emission constraint %s has no right-hand side", p)
+	}
+}
+
+// Rule is a mapping rule (Figure 3): patterns and conditions in the head,
+// lets (value conversions) and an emission in the tail.
+type Rule struct {
+	// Name identifies the rule in diagnostics (R1, R2, ...).
+	Name string
+	// Patterns are the constraint patterns of the head. A matching assigns
+	// each pattern to a distinct constraint of the query.
+	Patterns []ConstraintPat
+	// Conds are the head conditions restricting matchings.
+	Conds []CondRef
+	// Lets are the tail conversions, applied in order.
+	Lets []LetClause
+	// Emit is the emission template. By rule soundness (Definition 3) the
+	// instantiated emission is the minimal subsuming mapping of the matched
+	// conjunction.
+	Emit *EmitNode
+	// Exact records whether the emission is logically *equivalent* to the
+	// matched conjunction (not merely minimally subsuming). Inexact rules —
+	// semantic relaxations like near→∧ — leave a residue for the filter
+	// query (Section 2); exact ones do not.
+	Exact bool
+}
+
+// String renders the rule in DSL syntax.
+func (r *Rule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rule %s {\n", r.Name)
+	pats := make([]string, len(r.Patterns))
+	for i, p := range r.Patterns {
+		pats[i] = p.String()
+	}
+	fmt.Fprintf(&b, "  match %s;\n", strings.Join(pats, ", "))
+	if len(r.Conds) > 0 {
+		conds := make([]string, len(r.Conds))
+		for i, c := range r.Conds {
+			conds[i] = c.String()
+		}
+		fmt.Fprintf(&b, "  where %s;\n", strings.Join(conds, ", "))
+	}
+	for _, l := range r.Lets {
+		fmt.Fprintf(&b, "  let %s;\n", l.String())
+	}
+	kw := "emit"
+	if r.Exact {
+		kw = "emit exact"
+	}
+	fmt.Fprintf(&b, "  %s %s;\n}", kw, r.Emit.String())
+	return b.String()
+}
+
+// Vars returns the set of variables introduced by the rule's patterns.
+func (r *Rule) patternVars() map[string]bool {
+	vars := make(map[string]bool)
+	addAttr := func(a AttrPat) {
+		for _, v := range []string{a.WholeVar, a.ViewVar, a.IndexVar, a.NameVar} {
+			if v != "" {
+				vars[v] = true
+			}
+		}
+	}
+	for _, p := range r.Patterns {
+		addAttr(p.Attr)
+		if p.OpVar != "" {
+			vars[p.OpVar] = true
+		}
+		if p.RHS.Var != "" {
+			vars[p.RHS.Var] = true
+		}
+		if p.RHS.Attr != nil {
+			addAttr(*p.RHS.Attr)
+		}
+	}
+	return vars
+}
+
+// Validate performs static checks: patterns present, conditions and
+// functions resolvable, emission variables defined by patterns or lets.
+func (r *Rule) Validate(reg *Registry) error {
+	if r.Name == "" {
+		return fmt.Errorf("rules: rule with empty name")
+	}
+	if len(r.Patterns) == 0 {
+		return fmt.Errorf("rules: rule %s has no patterns", r.Name)
+	}
+	if r.Emit == nil {
+		return fmt.Errorf("rules: rule %s has no emission", r.Name)
+	}
+	defined := r.patternVars()
+	for _, c := range r.Conds {
+		if _, err := reg.Cond(c.Name); err != nil {
+			return fmt.Errorf("rules: rule %s: %w", r.Name, err)
+		}
+	}
+	for _, l := range r.Lets {
+		if _, err := reg.Action(l.Func); err != nil {
+			return fmt.Errorf("rules: rule %s: %w", r.Name, err)
+		}
+		for _, a := range l.Args {
+			if !defined[a] && !isLiteralArg(a) {
+				return fmt.Errorf("rules: rule %s: let %s uses undefined variable %s", r.Name, l.Var, a)
+			}
+		}
+		defined[l.Var] = true
+	}
+	return validateEmitVars(r.Name, r.Emit, defined)
+}
+
+func validateEmitVars(rule string, e *EmitNode, defined map[string]bool) error {
+	switch e.Kind {
+	case qtree.KindLeaf:
+		for _, v := range []string{e.Pat.Attr.WholeVar, e.Pat.Attr.ViewVar, e.Pat.Attr.IndexVar, e.Pat.Attr.NameVar, e.Pat.OpVar, e.Pat.RHS.Var} {
+			if v != "" && !defined[v] {
+				return fmt.Errorf("rules: rule %s: emission uses undefined variable %s", rule, v)
+			}
+		}
+	case qtree.KindAnd, qtree.KindOr:
+		for _, k := range e.Kids {
+			if err := validateEmitVars(rule, k, defined); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// isLiteralArg reports whether a let/cond argument is a literal (quoted
+// string or number) rather than a variable reference.
+func isLiteralArg(s string) bool {
+	if s == "" {
+		return false
+	}
+	c := s[0]
+	return c == '"' || c >= '0' && c <= '9' || c == '-'
+}

@@ -1,0 +1,459 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/qparse"
+	"repro/internal/qtree"
+	"repro/internal/values"
+)
+
+func parseConstraints(t *testing.T, src string) []*qtree.Constraint {
+	t.Helper()
+	return qparse.MustParse(src).SimpleConjuncts()
+}
+
+// testSpec builds a small spec: a pair rule (ln+fn → author), a singleton
+// rule (ln → author), and a simple attr rename rule.
+func testSpec(t *testing.T) *Spec {
+	t.Helper()
+	reg := NewRegistry()
+	reg.RegisterAction("Combine", func(b Binding, args []string) (BoundVal, error) {
+		l, err := b.Value(args[0])
+		if err != nil {
+			return BoundVal{}, err
+		}
+		f, err := b.Value(args[1])
+		if err != nil {
+			return BoundVal{}, err
+		}
+		ls, _ := l.(values.String)
+		fs, _ := f.(values.String)
+		return ValueOf(values.String(values.LnFnToName(ls.Raw(), fs.Raw()))), nil
+	})
+	rs := MustParseRules(`
+# pair rule
+rule P {
+  match [ln = L], [fn = F];
+  where Value(L), Value(F);
+  let A = Combine(L, F);
+  emit exact [author = A];
+}
+rule S {
+  match [ln = L];
+  where Value(L);
+  emit exact [author = L];
+}
+rule T {
+  match [id = N];
+  where Value(N);
+  emit exact [isbn = N];
+}
+`)
+	target := NewTarget("test",
+		Capability{Attr: "author", Op: qtree.OpEq},
+		Capability{Attr: "isbn", Op: qtree.OpEq},
+	)
+	return MustSpec("K_test", target, reg, rs...)
+}
+
+func TestDSLParsesClauses(t *testing.T) {
+	s := testSpec(t)
+	if len(s.Rules) != 3 {
+		t.Fatalf("parsed %d rules, want 3", len(s.Rules))
+	}
+	p := s.RuleByName("P")
+	if p == nil || len(p.Patterns) != 2 || len(p.Conds) != 2 || len(p.Lets) != 1 || !p.Exact {
+		t.Fatalf("rule P misparsed: %+v", p)
+	}
+	if p.Emit.Kind != qtree.KindLeaf {
+		t.Errorf("rule P emission kind = %v", p.Emit.Kind)
+	}
+}
+
+func TestDSLVariableConvention(t *testing.T) {
+	rs := MustParseRules(`
+rule V {
+  match [V1.ln = V2.ln];
+  emit exact [V1.ln = V2.ln];
+}
+`)
+	pat := rs[0].Patterns[0]
+	if pat.Attr.ViewVar != "V1" || pat.Attr.Name != "ln" {
+		t.Errorf("lhs pattern = %+v", pat.Attr)
+	}
+	if pat.RHS.Attr == nil || pat.RHS.Attr.ViewVar != "V2" {
+		t.Errorf("rhs pattern = %+v", pat.RHS)
+	}
+}
+
+func TestDSLIndexVariables(t *testing.T) {
+	rs := MustParseRules(`
+rule I {
+  match [fac[i].A = fac[j].A];
+  emit exact [fac[i].prof.A = fac[j].prof.A];
+}
+`)
+	pat := rs[0].Patterns[0]
+	if pat.Attr.View != "fac" || pat.Attr.IndexVar != "i" || pat.Attr.NameVar != "A" {
+		t.Errorf("pattern attr = %+v", pat.Attr)
+	}
+	em := rs[0].Emit.Pat
+	if em.Attr.Rel != "prof" || em.Attr.IndexVar != "i" {
+		t.Errorf("emission attr = %+v", em.Attr)
+	}
+}
+
+func TestDSLErrors(t *testing.T) {
+	bad := []string{
+		``,                                      // no rules
+		`rule X { }`,                            // no emit
+		`rule X { match [a = V]; }`,             // still no emit
+		`rule X { emit [a = V]; }`,              // V undefined (no pattern)
+		`bogus Y { match [a = V]; emit TRUE; }`, // bad keyword
+		`rule X { match [a = V]; emit [b = W]; }`, // W undefined
+	}
+	for _, src := range bad {
+		rs, err := ParseRules(src)
+		if err != nil {
+			continue
+		}
+		// Some errors surface at validation time.
+		reg := NewRegistry()
+		ok := true
+		for _, r := range rs {
+			if err := r.Validate(reg); err != nil {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			t.Errorf("rule text %q accepted, want error", src)
+		}
+	}
+}
+
+func TestMatchingPairAndSuppression(t *testing.T) {
+	s := testSpec(t)
+	cs := parseConstraints(t, `[ln = "Clancy"] and [fn = "Tom"] and [id = "X1"]`)
+	ms, err := s.Matchings(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect: P{ln,fn}, S{ln}, T{id}.
+	if len(ms) != 3 {
+		for _, m := range ms {
+			t.Logf("%s", m)
+		}
+		t.Fatalf("got %d matchings, want 3", len(ms))
+	}
+	kept := SuppressSubmatchings(ms)
+	if len(kept) != 2 {
+		t.Fatalf("after suppression %d matchings, want 2", len(kept))
+	}
+	for _, m := range kept {
+		if m.Rule.Name == "S" {
+			t.Error("submatching {ln} of S not suppressed")
+		}
+	}
+}
+
+func TestMatchingEmission(t *testing.T) {
+	s := testSpec(t)
+	ms, err := s.Matchings(parseConstraints(t, `[ln = "Clancy"] and [fn = "Tom"]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ms {
+		if m.Rule.Name != "P" {
+			continue
+		}
+		want := qparse.MustParse(`[author = "Clancy, Tom"]`)
+		if !m.Emission.EqualCanonical(want) {
+			t.Errorf("P emission = %s, want %s", m.Emission, want)
+		}
+	}
+}
+
+func TestMatchingMultipleBindings(t *testing.T) {
+	// Two ln constraints: the pair rule P fires once per (ln, fn) combo.
+	s := testSpec(t)
+	ms, err := s.Matchings(parseConstraints(t, `[ln = "A"] and [ln = "B"] and [fn = "C"]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pCount, sCount int
+	for _, m := range ms {
+		switch m.Rule.Name {
+		case "P":
+			pCount++
+		case "S":
+			sCount++
+		}
+	}
+	if pCount != 2 || sCount != 2 {
+		t.Errorf("P fired %d times (want 2), S fired %d times (want 2)", pCount, sCount)
+	}
+}
+
+func TestConditionRestrictsJoin(t *testing.T) {
+	// Value(L) must prevent rule S from matching a join constraint.
+	s := testSpec(t)
+	join := qtree.Join(qtree.A("ln"), qtree.OpEq, qtree.A("other"))
+	ms, err := s.Matchings([]*qtree.Constraint{join})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 0 {
+		t.Errorf("join constraint matched %d rules, want 0 (Value cond)", len(ms))
+	}
+}
+
+func TestFailedLetDropsMatching(t *testing.T) {
+	reg := NewRegistry()
+	reg.RegisterAction("AlwaysFails", func(b Binding, args []string) (BoundVal, error) {
+		return BoundVal{}, errTest
+	})
+	rs := MustParseRules(`
+rule F {
+  match [a = V];
+  let X = AlwaysFails(V);
+  emit [b = X];
+}
+`)
+	s := MustSpec("K", NewTarget("t"), reg, rs...)
+	ms, err := s.Matchings(parseConstraints(t, `[a = 1]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 0 {
+		t.Errorf("matching with failing let survived: %v", ms)
+	}
+}
+
+var errTest = errTestType{}
+
+type errTestType struct{}
+
+func (errTestType) Error() string { return "test failure" }
+
+func TestBindingUnification(t *testing.T) {
+	b := make(Binding)
+	if !b.Bind("X", ValueOf(values.Int(1))) {
+		t.Fatal("first bind failed")
+	}
+	if !b.Bind("X", ValueOf(values.Int(1))) {
+		t.Error("re-bind with equal value failed")
+	}
+	if b.Bind("X", ValueOf(values.Int(2))) {
+		t.Error("re-bind with different value succeeded")
+	}
+}
+
+// TestSharedVariableAcrossPatterns checks unification across patterns: the
+// rule matches only constraints sharing the same value.
+func TestSharedVariableAcrossPatterns(t *testing.T) {
+	rs := MustParseRules(`
+rule EQ {
+  match [a = V], [b = V];
+  where Value(V);
+  emit exact [ab = V];
+}
+`)
+	s := MustSpec("K", NewTarget("t", Capability{Attr: "ab", Op: qtree.OpEq}), NewRegistry(), rs...)
+	ms, err := s.Matchings(parseConstraints(t, `[a = 1] and [b = 1]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 {
+		t.Fatalf("equal values: %d matchings, want 1", len(ms))
+	}
+	ms, err = s.Matchings(parseConstraints(t, `[a = 1] and [b = 2]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 0 {
+		t.Fatalf("unequal values: %d matchings, want 0", len(ms))
+	}
+}
+
+func TestCapabilityChecks(t *testing.T) {
+	target := NewTarget("t",
+		Capability{Attr: "author", Op: qtree.OpEq, ValueKinds: []string{"string"}},
+		Capability{Attr: "*", Op: qtree.OpContains},
+		Capability{Attr: "name", Op: qtree.OpEq, Join: true, RAttr: "au"},
+	)
+	ok := []*qtree.Constraint{
+		qtree.Sel(qtree.A("author"), qtree.OpEq, values.String("x")),
+		qtree.Sel(qtree.A("anything"), qtree.OpContains, values.Word("w")),
+		qtree.Join(qtree.A("name"), qtree.OpEq, qtree.A("au")),
+	}
+	for _, c := range ok {
+		if !target.Supports(c) {
+			t.Errorf("%s unsupported, want supported", c)
+		}
+	}
+	bad := []*qtree.Constraint{
+		qtree.Sel(qtree.A("author"), qtree.OpEq, values.Int(5)), // wrong kind
+		qtree.Sel(qtree.A("author"), qtree.OpStarts, values.String("x")),
+		qtree.Join(qtree.A("author"), qtree.OpEq, qtree.A("au")),
+	}
+	for _, c := range bad {
+		if target.Supports(c) {
+			t.Errorf("%s supported, want unsupported", c)
+		}
+	}
+	if err := target.Expressible(qparse.MustParse(`[author = "x"] and [other contains w]`)); err != nil {
+		t.Errorf("Expressible: %v", err)
+	}
+	if err := target.Expressible(qparse.MustParse(`[other = "x"]`)); err == nil {
+		t.Error("inexpressible query accepted")
+	}
+}
+
+func TestBuiltinConds(t *testing.T) {
+	b := Binding{
+		"V": ValueOf(values.Int(1)),
+		"A": AttrOf(qtree.A("ln")),
+		"N": NameOf("fn"),
+		"I": IndexOf(1),
+		"J": IndexOf(2),
+	}
+	reg := NewRegistry()
+	check := func(name string, args []string, want bool) {
+		t.Helper()
+		fn, err := reg.Cond(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := fn(b, args)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got != want {
+			t.Errorf("%s(%v) = %v, want %v", name, args, got, want)
+		}
+	}
+	check("Value", []string{"V"}, true)
+	check("Value", []string{"A"}, false)
+	check("IsAttr", []string{"A"}, true)
+	check("IsAttr", []string{"V"}, false)
+	check("OneOf", []string{"A", "ln", "fn"}, true)
+	check("OneOf", []string{"A", "ti"}, false)
+	check("OneOf", []string{"N", "fn"}, true)
+	check("DistinctIndex", []string{"I", "J"}, true)
+	check("DistinctIndex", []string{"I", "I"}, false)
+}
+
+func TestSpecValidation(t *testing.T) {
+	reg := NewRegistry()
+	r := &Rule{
+		Name:     "X",
+		Patterns: []ConstraintPat{{Attr: AttrPat{Name: "a"}, Op: qtree.OpEq, RHS: VarTerm("V")}},
+		Conds:    []CondRef{{Name: "NoSuchCond", Args: []string{"V"}}},
+		Emit:     EmitLeaf(ConstraintPat{Attr: AttrPat{Name: "b"}, Op: qtree.OpEq, RHS: VarTerm("V")}),
+	}
+	if _, err := NewSpec("K", NewTarget("t"), reg, r); err == nil {
+		t.Error("unknown condition accepted")
+	}
+	dup := &Rule{Name: "D", Patterns: r.Patterns, Emit: r.Emit}
+	if _, err := NewSpec("K", NewTarget("t"), reg, dup, dup); err == nil {
+		t.Error("duplicate rule names accepted")
+	}
+}
+
+func TestFormatSpecRoundTrips(t *testing.T) {
+	s := testSpec(t)
+	text := FormatSpec(s)
+	if !strings.Contains(text, "rule P") || !strings.Contains(text, "emit exact") {
+		t.Errorf("FormatSpec output incomplete:\n%s", text)
+	}
+	// Reparse the formatted rules; they must validate against the registry.
+	rs, err := ParseRules(text)
+	if err != nil {
+		t.Fatalf("reparsing formatted spec: %v", err)
+	}
+	if len(rs) != len(s.Rules) {
+		t.Errorf("reparsed %d rules, want %d", len(rs), len(s.Rules))
+	}
+}
+
+// TestOperatorVariables: a pattern with an operator variable matches the
+// whole comparison family, binds the operator, and re-emits it.
+func TestOperatorVariables(t *testing.T) {
+	rs := MustParseRules(`
+rule Fam {
+  match [len OP V];
+  where OneOf(OP, "=", "<", "<="), Value(V);
+  emit exact [len-cm OP V];
+}
+`)
+	if rs[0].Patterns[0].OpVar != "OP" {
+		t.Fatalf("pattern = %+v, want operator variable OP", rs[0].Patterns[0])
+	}
+	target := NewTarget("t",
+		Capability{Attr: "len-cm", Op: qtree.OpEq},
+		Capability{Attr: "len-cm", Op: qtree.OpLt},
+		Capability{Attr: "len-cm", Op: qtree.OpLe},
+	)
+	s := MustSpec("K", target, NewRegistry(), rs...)
+
+	for _, op := range []string{"=", "<", "<="} {
+		cs := parseConstraints(t, `[len `+op+` 5]`)
+		ms, err := s.Matchings(cs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ms) != 1 {
+			t.Fatalf("op %s: %d matchings, want 1", op, len(ms))
+		}
+		if got := ms[0].Emission.C.Op; got != op {
+			t.Errorf("op %s: emission op = %s", op, got)
+		}
+	}
+	// Excluded operator: no matching.
+	ms, err := s.Matchings(parseConstraints(t, `[len > 5]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 0 {
+		t.Errorf("excluded operator matched: %v", ms)
+	}
+
+	// Round trip through FormatSpec.
+	back, err := ParseRules(FormatSpec(s))
+	if err != nil {
+		t.Fatalf("op-var spec does not reparse: %v", err)
+	}
+	if back[0].Patterns[0].OpVar != "OP" {
+		t.Error("operator variable lost in round trip")
+	}
+}
+
+// TestOperatorVariableUnification: the same operator variable across two
+// patterns requires the same operator.
+func TestOperatorVariableUnification(t *testing.T) {
+	rs := MustParseRules(`
+rule Pair {
+  match [a OP V], [b OP W];
+  where Value(V), Value(W);
+  emit exact [ab OP V];
+}
+`)
+	s := MustSpec("K", NewTarget("t", Capability{Attr: "ab", Op: "*"}), NewRegistry(), rs...)
+	ms, err := s.Matchings(parseConstraints(t, `[a < 1] and [b < 2]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 {
+		t.Fatalf("same-op pair: %d matchings, want 1", len(ms))
+	}
+	ms, err = s.Matchings(parseConstraints(t, `[a < 1] and [b > 2]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 0 {
+		t.Fatalf("mixed-op pair matched: %v", ms)
+	}
+}

@@ -1,0 +1,114 @@
+package rules
+
+import (
+	"fmt"
+
+	"repro/internal/qtree"
+)
+
+// Spec is a mapping specification K for one target context: the rule set,
+// the function registry resolving its conditions and actions, and the
+// target's capability description. Rules are required to be sound and the
+// specification complete (Definitions 3 and 4) — properties of the human
+// author that the library's targets uphold and the test suite verifies
+// empirically.
+type Spec struct {
+	Name   string
+	Target *Target
+	Rules  []*Rule
+	Reg    *Registry
+}
+
+// NewSpec assembles and validates a specification.
+func NewSpec(name string, target *Target, reg *Registry, rs ...*Rule) (*Spec, error) {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	s := &Spec{Name: name, Target: target, Rules: rs, Reg: reg}
+	names := make(map[string]bool, len(rs))
+	for _, r := range rs {
+		if names[r.Name] {
+			return nil, fmt.Errorf("rules: duplicate rule name %s in spec %s", r.Name, name)
+		}
+		names[r.Name] = true
+		if err := r.Validate(reg); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// MustSpec is NewSpec that panics on error; for fixtures.
+func MustSpec(name string, target *Target, reg *Registry, rs ...*Rule) *Spec {
+	s, err := NewSpec(name, target, reg, rs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Matchings computes M(Q̂, K): all matchings of any rule against the given
+// constraints (Algorithm SCM, step 1). The result is deterministic: rules
+// are evaluated in specification order and matchings deduplicated.
+func (s *Spec) Matchings(cs []*qtree.Constraint) ([]*Matching, error) {
+	var out []*Matching
+	for _, r := range s.Rules {
+		ms, err := matchRule(r, cs, s.Reg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ms...)
+	}
+	return out, nil
+}
+
+// MatchingsOfSet is Matchings over a constraint set.
+func (s *Spec) MatchingsOfSet(set *qtree.ConstraintSet) ([]*Matching, error) {
+	return s.Matchings(set.Slice())
+}
+
+// SuppressSubmatchings removes every matching whose constraint set is a
+// proper subset of another matching's set (Algorithm SCM, step 2): the
+// larger matching yields a stricter mapping (Lemma 1), so the submatching is
+// redundant. Matchings over the *same* set are all kept — distinct rules may
+// each contribute to the mapping.
+//
+// Only matchings sharing a constraint can be in a subset relation, so the
+// comparison is restricted to the candidates indexed under each matching's
+// first constraint, keeping the pass near-linear for the moderate
+// dependency degrees the paper anticipates (Section 4.4).
+func SuppressSubmatchings(ms []*Matching) []*Matching {
+	byConstraint := make(map[string][]*Matching)
+	for _, m := range ms {
+		for _, k := range m.Set.Keys() {
+			byConstraint[k] = append(byConstraint[k], m)
+		}
+	}
+	out := ms[:0:0]
+	for _, m := range ms {
+		redundant := false
+		keys := m.Set.Keys()
+		if len(keys) > 0 {
+			for _, n := range byConstraint[keys[0]] {
+				if n != m && m.Set.ProperSubsetOf(n.Set) {
+					redundant = true
+					break
+				}
+			}
+		}
+		if !redundant {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// RuleByName returns the named rule, or nil.
+func (s *Spec) RuleByName(name string) *Rule {
+	for _, r := range s.Rules {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package sources
+
+import (
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/qtree"
+	"repro/internal/rules"
+	"repro/internal/values"
+)
+
+// amazonRules is the mapping specification K_Amazon of Figure 3, written in
+// the rule DSL. Rule numbering follows the paper. R4 is split into an exact
+// variant (no proximity in the pattern) and a relaxing variant (near → ∧),
+// which lets the residue computation know when a filter is needed.
+const amazonRules = `
+# K_Amazon — mapping rules for target Amazon (Figure 3).
+
+rule R1 {
+  match [A1 = N];
+  where SimpleMapping(A1), Value(N);
+  let A2 = AttrNameMapping(A1);
+  emit exact [A2 = N];
+}
+
+rule R2 {
+  match [ln = L], [fn = F];
+  where Value(L), Value(F);
+  let A = LnFnToName(L, F);
+  emit exact [author = A];
+}
+
+rule R3 {
+  match [ln = L];
+  where Value(L);
+  emit exact [author = L];
+}
+
+rule R4 {
+  match [ti contains P1];
+  where NoNear(P1);
+  emit exact [ti-word contains P1];
+}
+
+rule R4n {
+  match [ti contains P1];
+  where HasNear(P1);
+  let P2 = RewriteTextPat(P1);
+  emit [ti-word contains P2];
+}
+
+rule R5 {
+  match [ti = T];
+  where Value(T);
+  emit [title starts T];
+}
+
+rule R6 {
+  match [pyear = Y], [pmonth = M];
+  where Value(Y), Value(M);
+  let D = MonthYearToDate(M, Y);
+  emit exact [pdate during D];
+}
+
+rule R7 {
+  match [pyear = Y];
+  where Value(Y);
+  let D = YearToDate(Y);
+  emit exact [pdate during D];
+}
+
+rule R8 {
+  match [kwd contains P1];
+  let P2 = RewriteTextPat(P1);
+  emit [ti-word contains P2] or [subject-word contains P2];
+}
+
+rule R9 {
+  match [category = C];
+  where Value(C);
+  let S = SubjectForCategory(C);
+  emit [subject = S];
+}
+`
+
+// amazonSimpleAttrs are the attributes rule R1's SimpleMapping condition
+// accepts, with their native names.
+var amazonSimpleAttrs = map[string]string{
+	"publisher": "publisher",
+	"id-no":     "isbn",
+}
+
+// NewAmazon constructs the Amazon source: specification K_Amazon, the
+// target's capability description, and the native evaluator (structured
+// author matching).
+func NewAmazon() *Source {
+	reg := baseRegistry()
+	reg.RegisterCond("SimpleMapping", func(b rules.Binding, args []string) (bool, error) {
+		a, err := b.AttrVal(args[0])
+		if err != nil {
+			return false, nil
+		}
+		_, ok := amazonSimpleAttrs[a.Name]
+		return ok, nil
+	})
+	reg.RegisterAction("AttrNameMapping", func(b rules.Binding, args []string) (rules.BoundVal, error) {
+		a, err := b.AttrVal(args[0])
+		if err != nil {
+			return rules.BoundVal{}, err
+		}
+		native, ok := amazonSimpleAttrs[a.Name]
+		if !ok {
+			return rules.BoundVal{}, errInapplicable("no simple mapping for " + a.Name)
+		}
+		return rules.AttrOf(qtree.A(native)), nil
+	})
+
+	target := rules.NewTarget("amazon",
+		rules.Capability{Attr: "author", Op: qtree.OpEq, ValueKinds: []string{"string"}},
+		rules.Capability{Attr: "ti-word", Op: qtree.OpContains},
+		rules.Capability{Attr: "subject-word", Op: qtree.OpContains},
+		rules.Capability{Attr: "title", Op: qtree.OpStarts, ValueKinds: []string{"string"}},
+		rules.Capability{Attr: "pdate", Op: qtree.OpDuring, ValueKinds: []string{"date"}},
+		rules.Capability{Attr: "subject", Op: qtree.OpEq, ValueKinds: []string{"string"}},
+		rules.Capability{Attr: "publisher", Op: qtree.OpEq, ValueKinds: []string{"string"}},
+		rules.Capability{Attr: "isbn", Op: qtree.OpEq, ValueKinds: []string{"string"}},
+	)
+
+	spec := rules.MustSpec("K_Amazon", target, reg, rules.MustParseRules(amazonRules)...)
+
+	ev := engine.NewEvaluator()
+	ev.Override("author", qtree.OpEq, authorMatch)
+
+	return &Source{Name: "amazon", Spec: spec, Eval: ev}
+}
+
+// authorMatch implements Amazon's structured author equality: the query
+// name "Last" or "Last, First" matches a stored "Last, First" when the last
+// names agree and, if the query gives a first name, the first names agree
+// too (Example 1/2: Amazon requires the last name, the first is optional).
+func authorMatch(tv, cv qtree.Value) (bool, error) {
+	stored, ok1 := tv.(values.String)
+	queried, ok2 := cv.(values.String)
+	if !ok1 || !ok2 {
+		return false, errInapplicable("author comparison needs strings")
+	}
+	sLn, sFn := values.NameToLnFn(stored.Raw())
+	qLn, qFn := values.NameToLnFn(queried.Raw())
+	if !strings.EqualFold(sLn, qLn) {
+		return false, nil
+	}
+	return qFn == "" || strings.EqualFold(sFn, qFn), nil
+}

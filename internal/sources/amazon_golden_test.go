@@ -1,0 +1,152 @@
+package sources
+
+import (
+	"testing"
+
+	"repro/internal/boolex"
+	"repro/internal/core"
+	"repro/internal/qparse"
+)
+
+// TestAmazonGoldenTranslations pins the translation of a broad range of
+// query shapes against K_Amazon under Algorithm TDQM. Each case exercises a
+// distinct interaction: submatching suppression, partial mappings, dropped
+// constraints, dependency-aware restructuring, relaxations, and their
+// combinations. "TRUE" means the whole query is unsupported at the target.
+func TestAmazonGoldenTranslations(t *testing.T) {
+	cases := []struct{ name, q, want string }{
+		{
+			"name pair",
+			`[ln = "Clancy"] and [fn = "Tom"]`,
+			`[author = "Clancy, Tom"]`,
+		},
+		{
+			"last name alone",
+			`[ln = "Clancy"]`,
+			`[author = "Clancy"]`,
+		},
+		{
+			"first name alone drops",
+			`[fn = "Tom"]`,
+			`TRUE`,
+		},
+		{
+			"year and month combine",
+			`[pyear = 1997] and [pmonth = 5]`,
+			`[pdate during May/97]`,
+		},
+		{
+			"year alone, partial date",
+			`[pyear = 1997]`,
+			`[pdate during 97]`,
+		},
+		{
+			"month alone drops",
+			`[pmonth = 5]`,
+			`TRUE`,
+		},
+		{
+			"title proximity relaxes",
+			`[ti contains java(near)jdk]`,
+			`[ti-word contains java(^)jdk]`,
+		},
+		{
+			"title conjunction passes through",
+			`[ti contains java(^)jdk]`,
+			`[ti-word contains java(^)jdk]`,
+		},
+		{
+			"exact title becomes prefix",
+			`[ti = "jdkforjava"]`,
+			`[title starts "jdkforjava"]`,
+		},
+		{
+			"keyword fans out",
+			`[kwd contains www]`,
+			`[ti-word contains www] or [subject-word contains www]`,
+		},
+		{
+			"category to subject",
+			`[category = "D.3"]`,
+			`[subject = "programming"]`,
+		},
+		{
+			"unknown category drops",
+			`[category = "Z.99"]`,
+			`TRUE`,
+		},
+		{
+			"simple renames",
+			`[publisher = "oreilly"] and [id-no = "081815181Y"]`,
+			`[publisher = "oreilly"] and [isbn = "081815181Y"]`,
+		},
+		{
+			"dependency across disjunction (Example 2)",
+			`([ln = "Clancy"] or [ln = "Klancy"]) and [fn = "Tom"]`,
+			`[author = "Clancy, Tom"] or [author = "Klancy, Tom"]`,
+		},
+		{
+			"date dependency across disjunction",
+			`[pyear = 1997] and ([pmonth = 5] or [pmonth = 6])`,
+			`[pdate during May/97] or [pdate during Jun/97]`,
+		},
+		{
+			"independent disjunction stays in place",
+			`[publisher = "oreilly"] and ([category = "D.3"] or [category = "H.2"])`,
+			`[publisher = "oreilly"] and ([subject = "programming"] or [subject = "databases"])`,
+		},
+		{
+			"unsupported disjunct broadens to TRUE",
+			`[ln = "Clancy"] or [fn = "Tom"]`,
+			`TRUE`,
+		},
+		{
+			"dropped branch inside conjunction",
+			`[fn = "Tom"] and [publisher = "oreilly"]`,
+			`[publisher = "oreilly"]`,
+		},
+		{
+			"deep nesting",
+			`[publisher = "oreilly"] and ([category = "D.3"] or ([pyear = 1997] and ([pmonth = 5] or [pmonth = 6])))`,
+			`[publisher = "oreilly"] and ([subject = "programming"] or [pdate during May/97] or [pdate during Jun/97])`,
+		},
+		{
+			"two independent dependencies in one query",
+			`[ln = "Chang"] and [fn = "Kevin"] and [pyear = 1999] and [pmonth = 6]`,
+			`[author = "Chang, Kevin"] and [pdate during Jun/99]`,
+		},
+		{
+			// Four implicit disjuncts: ln·fn → combined author; ln·pmonth →
+			// author alone (a month without a year has no date mapping);
+			// pyear·fn → partial date; pyear·pmonth → full month date.
+			"pair split across disjunction both ways",
+			`([ln = "A"] or [pyear = 1997]) and ([fn = "B"] or [pmonth = 5])`,
+			`[author = "A, B"] or [author = "A"] or [pdate during 97] or [pdate during May/97]`,
+		},
+		{
+			"repeated constraint",
+			`[ln = "Clancy"] and ([ln = "Clancy"] or [ln = "Klancy"])`,
+			`[author = "Clancy"]`,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tr := core.NewTranslator(NewAmazon().Spec)
+			q := qparse.MustParse(c.q)
+			got, err := tr.TDQM(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := qparse.MustParse(c.want)
+			if got.EqualCanonical(want) {
+				return
+			}
+			// Allow logically equivalent alternatives (tree shapes may
+			// differ when structure conversion interleaves).
+			eq, err := boolex.Equivalent(got, want)
+			if err != nil || !eq {
+				t.Errorf("query %s\n got: %s\nwant: %s", c.q, got, want)
+			}
+		})
+	}
+}

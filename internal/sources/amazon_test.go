@@ -1,0 +1,180 @@
+package sources
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/qparse"
+	"repro/internal/qtree"
+)
+
+// TestFigure2Q1 reproduces the first row of Figure 2 (via Example 4):
+// Algorithm SCM maps Q̂1 = fl ∧ ft1 ∧ fy ∧ fm ∧ fk to
+// S1 = aa ∧ at1 ∧ ad ∧ (at2 ∨ as1).
+func TestFigure2Q1(t *testing.T) {
+	az := NewAmazon()
+	tr := core.NewTranslator(az.Spec)
+
+	q1 := qparse.MustParse(`[ln = "Smith"] and [ti contains java(near)jdk] and ` +
+		`[pyear = 1997] and [pmonth = 5] and [kwd contains www]`)
+	got, err := tr.Translate(q1, core.AlgSCM)
+	if err != nil {
+		t.Fatalf("SCM(Q1): %v", err)
+	}
+	want := qparse.MustParse(`[author = "Smith"] and [ti-word contains java(^)jdk] and ` +
+		`[pdate during May/97] and ([ti-word contains www] or [subject-word contains www])`)
+	if !got.EqualCanonical(want) {
+		t.Errorf("SCM(Q1)\n got: %s\nwant: %s", got, want)
+	}
+	if err := az.Target().Expressible(got); err != nil {
+		t.Errorf("S1 not expressible: %v", err)
+	}
+}
+
+// TestFigure2Q2 reproduces the second row of Figure 2: Q̂2 = fp ∧ ft2 ∧ fc ∧ fi
+// maps to S2 = ap ∧ at3 ∧ as2 ∧ ai.
+func TestFigure2Q2(t *testing.T) {
+	az := NewAmazon()
+	tr := core.NewTranslator(az.Spec)
+
+	q2 := qparse.MustParse(`[publisher = "oreilly"] and [ti = "jdkforjava"] and ` +
+		`[category = "D.3"] and [id-no = "081815181Y"]`)
+	got, err := tr.Translate(q2, core.AlgSCM)
+	if err != nil {
+		t.Fatalf("SCM(Q2): %v", err)
+	}
+	want := qparse.MustParse(`[publisher = "oreilly"] and [title starts "jdkforjava"] and ` +
+		`[subject = "programming"] and [isbn = "081815181Y"]`)
+	if !got.EqualCanonical(want) {
+		t.Errorf("SCM(Q2)\n got: %s\nwant: %s", got, want)
+	}
+	if err := az.Target().Expressible(got); err != nil {
+		t.Errorf("S2 not expressible: %v", err)
+	}
+}
+
+// TestExample4Matchings verifies the matching bookkeeping of Example 4:
+// the submatching {fy} of R7 is suppressed in favor of {fy, fm} of R6.
+func TestExample4Matchings(t *testing.T) {
+	az := NewAmazon()
+	tr := core.NewTranslator(az.Spec)
+
+	q1 := qparse.MustParse(`[ln = "Smith"] and [ti contains java(near)jdk] and ` +
+		`[pyear = 1997] and [pmonth = 5] and [kwd contains www]`)
+	res, err := tr.SCMQuery(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matchings) != 4 {
+		for _, m := range res.Matchings {
+			t.Logf("retained: %s", m)
+		}
+		t.Fatalf("retained %d matchings, want 4 (R3, R4n, R6, R8)", len(res.Matchings))
+	}
+	rulesSeen := make(map[string]bool)
+	for _, m := range res.Matchings {
+		rulesSeen[m.Rule.Name] = true
+	}
+	for _, name := range []string{"R3", "R4n", "R6", "R8"} {
+		if !rulesSeen[name] {
+			t.Errorf("rule %s did not fire", name)
+		}
+	}
+	if rulesSeen["R7"] {
+		t.Errorf("submatching of R7 was not suppressed")
+	}
+	if len(res.Unmatched) != 0 {
+		t.Errorf("unexpected unmatched constraints: %v", res.Unmatched)
+	}
+}
+
+// TestExample2 reproduces Example 2: translating
+// Q = (f1 ∨ f2) ∧ f3 with f1=[ln="Clancy"], f2=[ln="Klancy"], f3=[fn="Tom"].
+// Separating conjuncts yields the suboptimal Qa; Algorithm TDQM must produce
+// the minimal mapping Qb = [author="Clancy, Tom"] ∨ [author="Klancy, Tom"].
+func TestExample2(t *testing.T) {
+	az := NewAmazon()
+	tr := core.NewTranslator(az.Spec)
+
+	q := qparse.MustParse(`([ln = "Clancy"] or [ln = "Klancy"]) and [fn = "Tom"]`)
+	want := qparse.MustParse(`[author = "Clancy, Tom"] or [author = "Klancy, Tom"]`)
+
+	for _, alg := range []string{core.AlgTDQM, core.AlgDNF} {
+		got, err := tr.Translate(q, alg)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if !got.EqualCanonical(want) {
+			t.Errorf("%s\n got: %s\nwant: %s", alg, got, want)
+		}
+	}
+
+	// fn alone has no mapping at Amazon: S(f3) = True.
+	res, err := tr.SCMQuery(qparse.MustParse(`[fn = "Tom"]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Query.IsTrue() {
+		t.Errorf("S(fn alone) = %s, want TRUE", res.Query)
+	}
+}
+
+// TestQBookTDQM reproduces Example 6 / Figure 7: TDQM on Q_book produces
+// (S(flff) ∨ S(fk1) ∨ S(fk2)) ∧ (S(fy fm1) ∨ S(fy fm2)) — structure
+// preserved where separable, Disjunctivize only for the {Č2, Č3} block.
+func TestQBookTDQM(t *testing.T) {
+	az := NewAmazon()
+	tr := core.NewTranslator(az.Spec)
+
+	qbook := qparse.MustParse(
+		`(([ln = "Smith"] and [fn = "John"]) or [kwd contains web] or [kwd contains java]) ` +
+			`and [pyear = 1997] and ([pmonth = 5] or [pmonth = 6])`)
+
+	got, err := tr.TDQM(qbook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := qparse.MustParse(
+		`([author = "Smith, John"] or ` +
+			` [ti-word contains web] or [subject-word contains web] or ` +
+			` [ti-word contains java] or [subject-word contains java]) and ` +
+			`([pdate during May/97] or [pdate during Jun/97])`)
+	if !got.EqualCanonical(want) {
+		t.Errorf("TDQM(Q_book)\n got: %s\nwant: %s", got, want)
+	}
+
+	// The DNF baseline must be logically equivalent but larger.
+	dnfTr := core.NewTranslator(az.Spec)
+	viaDNF, err := dnfTr.DNFMap(qbook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() >= viaDNF.Size() {
+		t.Errorf("TDQM output (size %d) not more compact than DNF output (size %d)",
+			got.Size(), viaDNF.Size())
+	}
+}
+
+// TestQBookPartition verifies the PSafe partition of Example 6:
+// blocks {Č1} and {Č2, Č3}.
+func TestQBookPartition(t *testing.T) {
+	az := NewAmazon()
+	tr := core.NewTranslator(az.Spec)
+
+	qbook := qparse.MustParse(
+		`(([ln = "Smith"] and [fn = "John"]) or [kwd contains web] or [kwd contains java]) ` +
+			`and [pyear = 1997] and ([pmonth = 5] or [pmonth = 6])`).Normalize()
+	if qbook.Kind != qtree.KindAnd || len(qbook.Kids) != 3 {
+		t.Fatalf("unexpected query shape: %s", qbook)
+	}
+	p, err := tr.PSafe(qbook.Kids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != "{{0}, {1,2}}" {
+		t.Errorf("partition = %s, want {{0}, {1,2}}", p)
+	}
+	if p.Separable {
+		t.Errorf("Q_book conjunction reported separable")
+	}
+}

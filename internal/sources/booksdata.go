@@ -1,0 +1,112 @@
+package sources
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/qtree"
+	"repro/internal/values"
+)
+
+// Book is a synthetic catalog record carrying the mediator vocabulary
+// (title, ln, fn, pyear, pmonth, kwd, category, publisher, id-no) from which
+// the source vocabularies derive.
+type Book struct {
+	Title     string
+	Ln, Fn    string
+	Year      int
+	Month     int
+	Day       int
+	Keywords  []string
+	Category  string
+	Publisher string
+	IDNo      string
+}
+
+// Tuple renders the book as an engine tuple carrying both the mediator
+// attributes and the derived Amazon/Clbooks native attributes — the
+// conceptual-relation view of Section 2 (one tuple relates all
+// vocabularies, so original and translated queries are evaluated on the
+// same data).
+//
+// Soundness invariant: every keyword of a book occurs in its title or its
+// subject heading. This is the domain property rule R8 of K_Amazon relies
+// on when it relaxes [kwd contains P] into title-word/subject-word search;
+// the generator maintains it by construction.
+func (bk Book) Tuple() engine.Tuple {
+	t := make(engine.Tuple)
+	subject, _ := values.SubjectForCategory(bk.Category)
+	t.Set(qtree.A("ti"), values.String(bk.Title))
+	t.Set(qtree.A("ln"), values.String(bk.Ln))
+	t.Set(qtree.A("fn"), values.String(bk.Fn))
+	t.Set(qtree.A("pyear"), values.Int(bk.Year))
+	t.Set(qtree.A("pmonth"), values.Int(bk.Month))
+	t.Set(qtree.A("kwd"), values.String(strings.Join(bk.Keywords, " ")))
+	t.Set(qtree.A("category"), values.String(bk.Category))
+	t.Set(qtree.A("publisher"), values.String(bk.Publisher))
+	t.Set(qtree.A("id-no"), values.String(bk.IDNo))
+	// Derived native attributes.
+	t.Set(qtree.A("author"), values.String(values.LnFnToName(bk.Ln, bk.Fn)))
+	t.Set(qtree.A("title"), values.String(bk.Title))
+	t.Set(qtree.A("ti-word"), values.String(bk.Title))
+	t.Set(qtree.A("pdate"), values.Date{Year: bk.Year, Month: bk.Month, Day: bk.Day})
+	t.Set(qtree.A("subject"), values.String(subject))
+	t.Set(qtree.A("subject-word"), values.String(subject))
+	t.Set(qtree.A("isbn"), values.String(bk.IDNo))
+	return t
+}
+
+var (
+	bookLastNames  = []string{"Smith", "Clancy", "Klancy", "Ullman", "Garcia", "Chang", "Jones", "Widom", "Knuth", "Date"}
+	bookFirstNames = []string{"Tom", "John", "Joe Tom", "Hector", "Kevin", "Jennifer", "Mary", "Ann"}
+	bookTitleWords = []string{"java", "jdk", "www", "data", "mining", "query", "systems", "web", "internet", "database", "networks", "compilers", "programming"}
+	bookPublishers = []string{"oreilly", "addison-wesley", "prentice-hall", "mit-press", "morgan-kaufmann"}
+	bookCategories = []string{"D.3", "D.4", "H.2", "H.3", "I.2", "C.2"}
+)
+
+// GenBooks deterministically generates n synthetic books from seed.
+func GenBooks(seed int64, n int) []Book {
+	rng := rand.New(rand.NewSource(seed))
+	books := make([]Book, n)
+	for i := range books {
+		nw := 2 + rng.Intn(3)
+		tw := make([]string, nw)
+		for j := range tw {
+			tw[j] = bookTitleWords[rng.Intn(len(bookTitleWords))]
+		}
+		bk := Book{
+			Title:     strings.Join(tw, " "),
+			Ln:        bookLastNames[rng.Intn(len(bookLastNames))],
+			Year:      1994 + rng.Intn(5),
+			Month:     1 + rng.Intn(12),
+			Day:       1 + rng.Intn(28),
+			Category:  bookCategories[rng.Intn(len(bookCategories))],
+			Publisher: bookPublishers[rng.Intn(len(bookPublishers))],
+			IDNo:      fmt.Sprintf("%09d%c", rng.Intn(1e9), 'A'+rune(rng.Intn(26))),
+		}
+		if rng.Intn(10) > 0 { // some authors have no recorded first name
+			bk.Fn = bookFirstNames[rng.Intn(len(bookFirstNames))]
+		}
+		// Keywords drawn from the title, plus possibly a subject word —
+		// maintaining the kwd ⊆ title ∪ subject invariant (see Tuple).
+		bk.Keywords = append(bk.Keywords, tw[rng.Intn(len(tw))])
+		if rng.Intn(2) == 0 {
+			subject, _ := values.SubjectForCategory(bk.Category)
+			sw := values.Tokenize(subject)
+			bk.Keywords = append(bk.Keywords, sw[rng.Intn(len(sw))])
+		}
+		books[i] = bk
+	}
+	return books
+}
+
+// BookRelation renders books as an engine relation.
+func BookRelation(name string, books []Book) *engine.Relation {
+	r := engine.NewRelation(name)
+	for _, b := range books {
+		r.Tuples = append(r.Tuples, b.Tuple())
+	}
+	return r
+}

@@ -1,0 +1,147 @@
+package sources
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/qtree"
+	"repro/internal/rules"
+	"repro/internal/values"
+)
+
+// The car-dealer scenario of Section 1: the mediator describes cars with a
+// combined car-type attribute and a year, the source with separate make and
+// model attributes whose model values embed the year —
+//
+//	[car-type = "ford-taurus"] ∧ [year = 1994]
+//	  ↦ [make = "ford"] ∧ [model = "taurus-94"]
+//
+// a genuinely many-to-many constraint mapping: two original constraints map
+// together to two target constraints, and neither pair decomposes.
+const carsRules = `
+# K_Cars — mapping rules for the car-dealer source (Section 1).
+
+rule CR1 {
+  match [car-type = C], [year = Y];
+  where Value(C), Value(Y);
+  let MK = CarMake(C);
+  let MD = CarModel(C, Y);
+  emit exact [make = MK] and [model = MD];
+}
+
+rule CR2 {
+  match [car-type = C];
+  where Value(C);
+  let MK = CarMake(C);
+  let MP = CarModelPrefix(C);
+  emit exact [make = MK] and [model starts MP];
+}
+`
+
+// NewCars constructs the car-dealer source.
+func NewCars() *Source {
+	reg := baseRegistry()
+	carArgs := func(b rules.Binding, args []string) (carType string, err error) {
+		return stringArg(b, args, 0)
+	}
+	reg.RegisterAction("CarMake", func(b rules.Binding, args []string) (rules.BoundVal, error) {
+		c, err := carArgs(b, args)
+		if err != nil {
+			return rules.BoundVal{}, err
+		}
+		mk, _, err := values.CarTypeSplit(c, 0)
+		if err != nil {
+			return rules.BoundVal{}, err
+		}
+		return rules.ValueOf(values.String(mk)), nil
+	})
+	reg.RegisterAction("CarModel", func(b rules.Binding, args []string) (rules.BoundVal, error) {
+		c, err := carArgs(b, args)
+		if err != nil {
+			return rules.BoundVal{}, err
+		}
+		y, err := intArg(b, args, 1)
+		if err != nil {
+			return rules.BoundVal{}, err
+		}
+		_, md, err := values.CarTypeSplit(c, y)
+		if err != nil {
+			return rules.BoundVal{}, err
+		}
+		return rules.ValueOf(values.String(md)), nil
+	})
+	reg.RegisterAction("CarModelPrefix", func(b rules.Binding, args []string) (rules.BoundVal, error) {
+		c, err := carArgs(b, args)
+		if err != nil {
+			return rules.BoundVal{}, err
+		}
+		i := strings.Index(c, "-")
+		if i <= 0 {
+			return rules.BoundVal{}, errInapplicable("car type not in make-model form")
+		}
+		return rules.ValueOf(values.String(c[i+1:] + "-")), nil
+	})
+
+	target := rules.NewTarget("cars",
+		rules.Capability{Attr: "make", Op: qtree.OpEq, ValueKinds: []string{"string"}},
+		rules.Capability{Attr: "model", Op: qtree.OpEq, ValueKinds: []string{"string"}},
+		rules.Capability{Attr: "model", Op: qtree.OpStarts, ValueKinds: []string{"string"}},
+	)
+	spec := rules.MustSpec("K_Cars", target, reg, rules.MustParseRules(carsRules)...)
+	return &Source{Name: "cars", Spec: spec, Eval: engine.NewEvaluator()}
+}
+
+// Car is a synthetic dealer listing.
+type Car struct {
+	Make  string
+	Model string // bare model name, without the year suffix
+	Year  int
+}
+
+// Tuple renders the car carrying both vocabularies: the mediator's
+// car-type/year and the source's make/model (with embedded year).
+func (c Car) Tuple() engine.Tuple {
+	t := make(engine.Tuple)
+	t.Set(qtree.A("car-type"), values.String(c.Make+"-"+c.Model))
+	t.Set(qtree.A("year"), values.Int(c.Year))
+	t.Set(qtree.A("make"), values.String(c.Make))
+	t.Set(qtree.A("model"), values.String(fmt.Sprintf("%s-%02d", c.Model, c.Year%100)))
+	return t
+}
+
+var (
+	carMakes  = []string{"ford", "honda", "toyota", "vw"}
+	carModels = map[string][]string{
+		"ford":   {"taurus", "escort", "mustang"},
+		"honda":  {"civic", "accord"},
+		"toyota": {"corolla", "camry"},
+		"vw":     {"golf", "passat"},
+	}
+)
+
+// GenCars deterministically generates n synthetic listings.
+func GenCars(seed int64, n int) []Car {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Car, n)
+	for i := range out {
+		mk := carMakes[rng.Intn(len(carMakes))]
+		mds := carModels[mk]
+		out[i] = Car{
+			Make:  mk,
+			Model: mds[rng.Intn(len(mds))],
+			Year:  1990 + rng.Intn(10),
+		}
+	}
+	return out
+}
+
+// CarRelation renders listings as an engine relation.
+func CarRelation(name string, cars []Car) *engine.Relation {
+	r := engine.NewRelation(name)
+	for _, c := range cars {
+		r.Tuples = append(r.Tuples, c.Tuple())
+	}
+	return r
+}

@@ -1,0 +1,162 @@
+package sources
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/qparse"
+)
+
+// TestSection1CarMapping reproduces the many-to-many mapping of Section 1:
+// [car-type = "ford-taurus"] ∧ [year = 1994] ↦ [make = "ford"] ∧
+// [model = "taurus-94"].
+func TestSection1CarMapping(t *testing.T) {
+	cars := NewCars()
+	tr := core.NewTranslator(cars.Spec)
+
+	q := qparse.MustParse(`[car-type = "ford-taurus"] and [year = 1994]`)
+	got, err := tr.Translate(q, core.AlgSCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := qparse.MustParse(`[make = "ford"] and [model = "taurus-94"]`)
+	if !got.EqualCanonical(want) {
+		t.Errorf("got %s, want %s", got, want)
+	}
+}
+
+// TestCarTypeAloneMapping checks the partial mapping: car-type without a
+// year maps to make plus a model prefix (rule CR2), and CR2's submatching is
+// suppressed when the year is present.
+func TestCarTypeAloneMapping(t *testing.T) {
+	cars := NewCars()
+	tr := core.NewTranslator(cars.Spec)
+
+	got, err := tr.Translate(qparse.MustParse(`[car-type = "ford-taurus"]`), core.AlgSCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := qparse.MustParse(`[make = "ford"] and [model starts "taurus-"]`)
+	if !got.EqualCanonical(want) {
+		t.Errorf("got %s, want %s", got, want)
+	}
+
+	res, err := tr.SCMQuery(qparse.MustParse(`[car-type = "ford-taurus"] and [year = 1994]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.Matchings {
+		if m.Rule.Name == "CR2" {
+			t.Error("CR2 submatching not suppressed when year is present")
+		}
+	}
+}
+
+// TestYearAloneHasNoMapping: like pmonth at Amazon, a year alone cannot be
+// expressed at the dealer.
+func TestYearAloneHasNoMapping(t *testing.T) {
+	tr := core.NewTranslator(NewCars().Spec)
+	got, err := tr.Translate(qparse.MustParse(`[year = 1994]`), core.AlgSCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsTrue() {
+		t.Errorf("S([year = 1994]) = %s, want TRUE", got)
+	}
+}
+
+// TestCarMappingOnData checks exactness on data: the translated query
+// selects exactly the listings Q selects.
+func TestCarMappingOnData(t *testing.T) {
+	cars := NewCars()
+	tr := core.NewTranslator(cars.Spec)
+	rel := CarRelation("lot", GenCars(5, 300))
+
+	for _, qs := range []string{
+		`[car-type = "ford-taurus"] and [year = 1994]`,
+		`[car-type = "honda-civic"]`,
+		`([car-type = "ford-taurus"] or [car-type = "vw-golf"]) and [year = 1995]`,
+	} {
+		q := qparse.MustParse(qs)
+		mapped, filter, err := tr.TranslateWithFilter(q, core.AlgTDQM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := rel.Select(q, cars.Eval)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaSource, err := rel.Select(mapped, cars.Eval)
+		if err != nil {
+			t.Fatal(err)
+		}
+		filtered, err := viaSource.Select(filter, cars.Eval)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if filtered.Len() != direct.Len() {
+			t.Errorf("%s: mediated %d, direct %d", qs, filtered.Len(), direct.Len())
+		}
+		if viaSource.Len() < direct.Len() {
+			t.Errorf("%s: translation missed answers (%d < %d)", qs, viaSource.Len(), direct.Len())
+		}
+	}
+}
+
+// TestMetricConversions checks unit conversion across every comparison
+// operator, including Section 1's 3in = 7.62cm example.
+func TestMetricConversions(t *testing.T) {
+	m := NewMetric()
+	tr := core.NewTranslator(m.Spec)
+
+	cases := []struct{ q, want string }{
+		{`[length = 3]`, `[length-cm = 7.62]`},
+		{`[length <= 10]`, `[length-cm <= 25.4]`},
+		{`[length > 2]`, `[length-cm > 5.08]`},
+		{`[cost = 100]`, `[price-cents = 10000]`},
+		{`[cost <= 99]`, `[price-cents <= 9900]`},
+		{`[cost >= 10] and [length < 4]`, `[price-cents >= 1000] and [length-cm < 10.16]`},
+	}
+	for _, c := range cases {
+		got, err := tr.Translate(qparse.MustParse(c.q), core.AlgSCM)
+		if err != nil {
+			t.Errorf("%s: %v", c.q, err)
+			continue
+		}
+		if !got.EqualCanonical(qparse.MustParse(c.want)) {
+			t.Errorf("%s -> %s, want %s", c.q, got, c.want)
+		}
+	}
+}
+
+// TestMetricOnData checks the conversions are exact on data.
+func TestMetricOnData(t *testing.T) {
+	m := NewMetric()
+	tr := core.NewTranslator(m.Spec)
+	var tuples []engine.Tuple
+	for l := 1.0; l <= 12; l++ {
+		for d := 10.0; d <= 200; d += 37 {
+			tuples = append(tuples, MetricTuple(l, d))
+		}
+	}
+
+	q := qparse.MustParse(`[length <= 3] and [cost < 100]`)
+	mapped, err := tr.Translate(q, core.AlgSCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tup := range tuples {
+		inQ, err := m.Eval.EvalQuery(q, tup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inS, err := m.Eval.EvalQuery(mapped, tup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inQ != inS {
+			t.Fatalf("exact conversion differs on %s: Q=%v S=%v", tup, inQ, inS)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package sources
+
+import (
+	"repro/internal/engine"
+	"repro/internal/qtree"
+	"repro/internal/rules"
+)
+
+// clbooksRules is the mapping specification for Computer Literacy
+// (Example 1): the source supports only the contains operator over author
+// name words, so both name components relax to word containment. The two
+// constraints are independent here (unlike at Amazon): S(ln ∧ fn) =
+// S(ln) ∧ S(fn), so no pair rule is needed — completeness (Definition 4)
+// only demands rules for indecomposable combinations.
+const clbooksRules = `
+# K_Clbooks — mapping rules for target Clbooks (Example 1).
+
+rule C1 {
+  match [ln = L];
+  where Value(L);
+  emit [author contains L];
+}
+
+rule C2 {
+  match [fn = F];
+  where Value(F);
+  emit [author contains F];
+}
+
+rule C3 {
+  match [ti contains P1];
+  let P2 = RewriteWordsOnly(P1);
+  emit [ti-word contains P2];
+}
+
+rule C4 {
+  match [ti = T];
+  where Value(T);
+  let P = TitleWords(T);
+  emit [ti-word contains P];
+}
+`
+
+// NewClbooks constructs the Clbooks source of Example 1.
+func NewClbooks() *Source {
+	reg := baseRegistry()
+	reg.RegisterAction("TitleWords", func(b rules.Binding, args []string) (rules.BoundVal, error) {
+		s, err := stringArg(b, args, 0)
+		if err != nil {
+			return rules.BoundVal{}, err
+		}
+		p, err := wordsPattern(s)
+		if err != nil {
+			return rules.BoundVal{}, err
+		}
+		return rules.ValueOf(p), nil
+	})
+
+	target := rules.NewTarget("clbooks",
+		rules.Capability{Attr: "author", Op: qtree.OpContains},
+		rules.Capability{Attr: "ti-word", Op: qtree.OpContains},
+	)
+
+	spec := rules.MustSpec("K_Clbooks", target, reg, rules.MustParseRules(clbooksRules)...)
+	return &Source{Name: "clbooks", Spec: spec, Eval: engine.NewEvaluator()}
+}

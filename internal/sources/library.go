@@ -1,0 +1,194 @@
+package sources
+
+import (
+	"repro/internal/engine"
+	"repro/internal/qtree"
+	"repro/internal/rules"
+)
+
+// The digital-library scenario of Example 3 and Figure 5: a mediator exports
+// views fac(ln, fn, bib, dept) and pub(ti, ln, fn). Source T1 contributes
+// paper(ti, au) and aubib(name, bib); source T2 contributes
+// prof(ln, fn, dept) with coded departments.
+
+// t1Rules is K1 of Figure 5.
+const t1Rules = `
+# K1 — mapping rules for source T1 (Figure 5).
+
+rule R1 {
+  match [fac.bib contains P1];
+  let P2 = RewriteTextPat(P1);
+  emit [fac.aubib.bib contains P2];
+}
+
+rule R2 {
+  match [pub.ti = T];
+  where Value(T);
+  emit exact [pub.paper.ti = T];
+}
+
+rule R3 {
+  match [A1 = N];
+  where LnOrFn(A1), Value(N);
+  let A2 = AttrNameMapping(A1);
+  emit [A2 contains N];
+}
+
+rule R4 {
+  match [AL = L], [AF = F];
+  where LnFnAttrs(AL, AF), Value(L), Value(F);
+  let A = CombinedNameAttr(AL);
+  let N = LnFnToName(L, F);
+  emit exact [A = N];
+}
+
+rule R5 {
+  match [V1.ln = V2.ln], [V1.fn = V2.fn];
+  let A1 = NameAttrForView(V1);
+  let A2 = NameAttrForView(V2);
+  emit exact [A1 = A2];
+}
+`
+
+// t2Rules is K2 of Figure 5.
+const t2Rules = `
+# K2 — mapping rules for source T2 (Figure 5).
+
+rule R6 {
+  match [fac.A1 = N];
+  where LnOrFnName(A1), Value(N);
+  let A2 = ProfAttr(A1);
+  emit exact [A2 = N];
+}
+
+rule R7 {
+  match [fac.dept = D];
+  where Value(D);
+  let C = DeptCode(D);
+  emit exact [fac.prof.dept = C];
+}
+
+rule R8 {
+  match [fac[i].A = fac[j].A];
+  where LnOrFnName(A);
+  emit exact [fac[i].prof.A = fac[j].prof.A];
+}
+`
+
+// nameAttrByView maps a view to the source-T1 attribute holding the
+// combined author/person name: fac expands to aubib.name, pub to paper.au.
+var nameAttrByView = map[string]qtree.Attr{
+	"fac": qtree.RA("fac", "aubib", "name"),
+	"pub": qtree.RA("pub", "paper", "au"),
+}
+
+// NewT1 constructs source T1 of Example 3 (relations paper and aubib).
+func NewT1() *Source {
+	reg := baseRegistry()
+
+	// LnOrFn(A1): A1 is bound to a whole attribute named ln or fn.
+	reg.RegisterCond("LnOrFn", func(b rules.Binding, args []string) (bool, error) {
+		a, err := b.AttrVal(args[0])
+		if err != nil {
+			return false, nil
+		}
+		return a.Name == "ln" || a.Name == "fn", nil
+	})
+	// LnFnAttrs(AL, AF): AL and AF are the ln and fn attributes of the same
+	// view instance.
+	reg.RegisterCond("LnFnAttrs", func(b rules.Binding, args []string) (bool, error) {
+		al, err1 := b.AttrVal(args[0])
+		af, err2 := b.AttrVal(args[1])
+		if err1 != nil || err2 != nil {
+			return false, nil
+		}
+		return al.Name == "ln" && af.Name == "fn" &&
+			al.View == af.View && al.Index == af.Index, nil
+	})
+	// AttrNameMapping(A1): the combined-name attribute for A1's view.
+	reg.RegisterAction("AttrNameMapping", func(b rules.Binding, args []string) (rules.BoundVal, error) {
+		a, err := b.AttrVal(args[0])
+		if err != nil {
+			return rules.BoundVal{}, err
+		}
+		na, ok := nameAttrByView[a.View]
+		if !ok {
+			return rules.BoundVal{}, errInapplicable("no name attribute for view " + a.View)
+		}
+		na.Index = a.Index
+		return rules.AttrOf(na), nil
+	})
+	// CombinedNameAttr(AL): same mapping given the ln attribute.
+	reg.RegisterAction("CombinedNameAttr", func(b rules.Binding, args []string) (rules.BoundVal, error) {
+		a, err := b.AttrVal(args[0])
+		if err != nil {
+			return rules.BoundVal{}, err
+		}
+		na, ok := nameAttrByView[a.View]
+		if !ok {
+			return rules.BoundVal{}, errInapplicable("no name attribute for view " + a.View)
+		}
+		na.Index = a.Index
+		return rules.AttrOf(na), nil
+	})
+	// NameAttrForView(V1): the combined-name attribute for a view bound by
+	// name.
+	reg.RegisterAction("NameAttrForView", func(b rules.Binding, args []string) (rules.BoundVal, error) {
+		v, ok := b[args[0]]
+		if !ok || v.Kind != rules.BindName {
+			return rules.BoundVal{}, errInapplicable("view variable unbound")
+		}
+		na, ok := nameAttrByView[v.Name]
+		if !ok {
+			return rules.BoundVal{}, errInapplicable("no name attribute for view " + v.Name)
+		}
+		return rules.AttrOf(na), nil
+	})
+
+	target := rules.NewTarget("t1",
+		rules.Capability{Attr: "bib", Op: qtree.OpContains},
+		rules.Capability{Attr: "ti", Op: qtree.OpEq, ValueKinds: []string{"string"}},
+		rules.Capability{Attr: "name", Op: qtree.OpEq, ValueKinds: []string{"string"}},
+		rules.Capability{Attr: "name", Op: qtree.OpContains},
+		rules.Capability{Attr: "au", Op: qtree.OpEq, ValueKinds: []string{"string"}},
+		rules.Capability{Attr: "au", Op: qtree.OpContains},
+		rules.Capability{Attr: "name", Op: qtree.OpEq, Join: true, RAttr: "*"},
+		rules.Capability{Attr: "au", Op: qtree.OpEq, Join: true, RAttr: "*"},
+	)
+
+	spec := rules.MustSpec("K1", target, reg, rules.MustParseRules(t1Rules)...)
+	return &Source{Name: "t1", Spec: spec, Eval: engine.NewEvaluator()}
+}
+
+// NewT2 constructs source T2 of Example 3 (relation prof with coded
+// departments).
+func NewT2() *Source {
+	reg := baseRegistry()
+	// LnOrFnName(A): A is an attribute-name variable equal to ln or fn.
+	reg.RegisterCond("LnOrFnName", func(b rules.Binding, args []string) (bool, error) {
+		v, ok := b[args[0]]
+		if !ok || v.Kind != rules.BindName {
+			return false, nil
+		}
+		return v.Name == "ln" || v.Name == "fn", nil
+	})
+	// ProfAttr(A1): the prof-relation attribute with the same name.
+	reg.RegisterAction("ProfAttr", func(b rules.Binding, args []string) (rules.BoundVal, error) {
+		v, ok := b[args[0]]
+		if !ok || v.Kind != rules.BindName {
+			return rules.BoundVal{}, errInapplicable("attribute name unbound")
+		}
+		return rules.AttrOf(qtree.RA("fac", "prof", v.Name)), nil
+	})
+
+	target := rules.NewTarget("t2",
+		rules.Capability{Attr: "ln", Op: qtree.OpEq, ValueKinds: []string{"string"}},
+		rules.Capability{Attr: "fn", Op: qtree.OpEq, ValueKinds: []string{"string"}},
+		rules.Capability{Attr: "dept", Op: qtree.OpEq, ValueKinds: []string{"int"}},
+		rules.Capability{Attr: "ln", Op: qtree.OpEq, Join: true, RAttr: "ln"},
+		rules.Capability{Attr: "fn", Op: qtree.OpEq, Join: true, RAttr: "fn"},
+	)
+
+	spec := rules.MustSpec("K2", target, reg, rules.MustParseRules(t2Rules)...)
+	return &Source{Name: "t2", Spec: spec, Eval: engine.NewEvaluator()}
+}

@@ -1,0 +1,122 @@
+package sources
+
+import (
+	"math/rand"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/qtree"
+	"repro/internal/values"
+)
+
+// The synthetic data for the digital-library scenario of Example 3.
+//
+// Source T1 holds paper(ti, au) and aubib(name, bib); source T2 holds
+// prof(ln, fn, dept). The universe tuples carry both the mediator view
+// attributes (fac.ln, fac.fn, fac.bib, fac.dept, pub.ti, pub.ln, pub.fn)
+// and the native relation attributes they expand to.
+
+// Person is a synthetic researcher.
+type Person struct {
+	Ln, Fn string
+	Dept   string
+	Bib    string // bibliography text searched by fac.bib contains
+}
+
+// Paper is a synthetic publication.
+type Paper struct {
+	Title  string
+	Ln, Fn string // author
+}
+
+var (
+	libLastNames  = []string{"Ullman", "Garcia", "Chang", "Widom", "Motwani", "Aiken", "Smith"}
+	libFirstNames = []string{"Jeff", "Hector", "Kevin", "Jennifer", "Rajeev", "Alex", "Ann"}
+	libTopics     = []string{"data mining", "query optimization", "web search", "data integration", "stream processing", "information retrieval"}
+	libDepts      = []string{"cs", "ee", "math"}
+)
+
+// GenLibrary deterministically generates people and their papers.
+func GenLibrary(seed int64, nPeople, nPapers int) ([]Person, []Paper) {
+	rng := rand.New(rand.NewSource(seed))
+	people := make([]Person, nPeople)
+	for i := range people {
+		topics := make([]string, 1+rng.Intn(3))
+		for j := range topics {
+			topics[j] = libTopics[rng.Intn(len(libTopics))]
+		}
+		people[i] = Person{
+			Ln:   libLastNames[rng.Intn(len(libLastNames))],
+			Fn:   libFirstNames[rng.Intn(len(libFirstNames))],
+			Dept: libDepts[rng.Intn(len(libDepts))],
+			Bib:  "research on " + strings.Join(topics, " and "),
+		}
+	}
+	papers := make([]Paper, nPapers)
+	for i := range papers {
+		p := people[rng.Intn(len(people))]
+		papers[i] = Paper{
+			Title: "a study of " + libTopics[rng.Intn(len(libTopics))],
+			Ln:    p.Ln,
+			Fn:    p.Fn,
+		}
+	}
+	return people, papers
+}
+
+// T1Relation builds source T1's universe relation: the cross product of
+// aubib (via fac) and paper (via pub), with both the native and the derived
+// mediator attributes. realistic mediation would enumerate aubib × paper;
+// the generator does the same, bounded by the input sizes.
+func T1Relation(people []Person, papers []Paper) *engine.Relation {
+	r := engine.NewRelation("t1")
+	for _, pe := range people {
+		for _, pa := range papers {
+			t := make(engine.Tuple)
+			// fac expands to aubib at T1.
+			name := values.LnFnToName(pe.Ln, pe.Fn)
+			t.Set(qtree.RA("fac", "aubib", "name"), values.String(name))
+			t.Set(qtree.RA("fac", "aubib", "bib"), values.String(pe.Bib))
+			t.Set(qtree.VA("fac", "ln"), values.String(pe.Ln))
+			t.Set(qtree.VA("fac", "fn"), values.String(pe.Fn))
+			t.Set(qtree.VA("fac", "bib"), values.String(pe.Bib))
+			// pub expands to paper at T1.
+			au := values.LnFnToName(pa.Ln, pa.Fn)
+			t.Set(qtree.RA("pub", "paper", "ti"), values.String(pa.Title))
+			t.Set(qtree.RA("pub", "paper", "au"), values.String(au))
+			t.Set(qtree.VA("pub", "ti"), values.String(pa.Title))
+			t.Set(qtree.VA("pub", "ln"), values.String(pa.Ln))
+			t.Set(qtree.VA("pub", "fn"), values.String(pa.Fn))
+			r.Tuples = append(r.Tuples, t)
+		}
+	}
+	return r
+}
+
+// T2Relation builds source T2's universe relation from prof rows.
+func T2Relation(people []Person) *engine.Relation {
+	r := engine.NewRelation("t2")
+	for _, pe := range people {
+		t := make(engine.Tuple)
+		code, err := values.DeptCode(pe.Dept)
+		if err != nil {
+			continue
+		}
+		t.Set(qtree.RA("fac", "prof", "ln"), values.String(pe.Ln))
+		t.Set(qtree.RA("fac", "prof", "fn"), values.String(pe.Fn))
+		t.Set(qtree.RA("fac", "prof", "dept"), values.Int(code))
+		t.Set(qtree.VA("fac", "dept"), values.String(pe.Dept))
+		r.Tuples = append(r.Tuples, t)
+	}
+	return r
+}
+
+// LibraryGlue returns the view-definition constraints tying T1's person
+// identity (via fac.aubib.name) to T2's prof row: the fac view joins aubib
+// and prof on last and first name.
+func LibraryGlue() *qtree.Node {
+	return qtree.AndOf(
+		qtree.Leaf(qtree.Join(qtree.VA("fac", "ln"), qtree.OpEq, qtree.RA("fac", "prof", "ln"))),
+		qtree.Leaf(qtree.Join(qtree.VA("fac", "fn"), qtree.OpEq, qtree.RA("fac", "prof", "fn"))),
+	)
+}

@@ -1,0 +1,23 @@
+package sources
+
+import (
+	"testing"
+
+	"repro/internal/rules"
+)
+
+// TestBuiltinSpecsLintClean: every shipped specification must be free of
+// lint errors (warnings are reported for visibility).
+func TestBuiltinSpecsLintClean(t *testing.T) {
+	for _, src := range []*Source{
+		NewAmazon(), NewClbooks(), NewT1(), NewT2(), NewMapSource(), NewCars(), NewMetric(),
+	} {
+		for _, p := range rules.Lint(src.Spec) {
+			if p.Level == rules.LintError {
+				t.Errorf("%s: %v", src.Name, p)
+			} else {
+				t.Logf("%s: %v", src.Name, p)
+			}
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package sources
+
+import (
+	"repro/internal/engine"
+	"repro/internal/qtree"
+	"repro/internal/rules"
+	"repro/internal/values"
+)
+
+// The map scenario of Example 8 / Figure 9. The mediator F speaks in the
+// four bound attributes xmin, xmax, ymin, ymax; the target G speaks in
+// xrange, yrange (coordinate ranges) and cll, cur (lower-left / upper-right
+// corners, selecting open regions). G's attribute pairs are interdependent —
+// a pair of ranges describes the same rectangle as a pair of corners — which
+// is precisely the situation where redundant cross-matchings arise and the
+// safety test of Definition 5 is conservative (the precise Theorem 3 test
+// recognizes the separability).
+//
+// Native tuple semantics: a map object is a point (x, y). The mediator
+// attributes xmin/xmax/ymin/ymax denote half-plane bounds, evaluated as
+// x ≥ v, x ≤ v, y ≥ v, y ≤ v. G's [xrange = (lo:hi)] means lo ≤ x ≤ hi;
+// [cll = (a,b)] means x ≥ a ∧ y ≥ b; [cur = (a,b)] means x ≤ a ∧ y ≤ b.
+const mapRules = `
+# K_G — mapping rules for the map target G (Example 8).
+
+rule G1 {
+  match [xmin = A], [xmax = B];
+  where Value(A), Value(B);
+  let R = MakeRange(A, B);
+  emit exact [xrange = R];
+}
+
+rule G2 {
+  match [ymin = A], [ymax = B];
+  where Value(A), Value(B);
+  let R = MakeRange(A, B);
+  emit exact [yrange = R];
+}
+
+rule G3 {
+  match [xmin = A], [ymin = B];
+  where Value(A), Value(B);
+  let P = MakePoint(A, B);
+  emit exact [cll = P];
+}
+
+rule G4 {
+  match [xmax = A], [ymax = B];
+  where Value(A), Value(B);
+  let P = MakePoint(A, B);
+  emit exact [cur = P];
+}
+`
+
+// NewMapSource constructs Example 8's map source G.
+func NewMapSource() *Source {
+	reg := baseRegistry()
+	reg.RegisterAction("MakeRange", func(b rules.Binding, args []string) (rules.BoundVal, error) {
+		lo, err := floatArg(b, args, 0)
+		if err != nil {
+			return rules.BoundVal{}, err
+		}
+		hi, err := floatArg(b, args, 1)
+		if err != nil {
+			return rules.BoundVal{}, err
+		}
+		return rules.ValueOf(values.Range{Lo: lo, Hi: hi}), nil
+	})
+	reg.RegisterAction("MakePoint", func(b rules.Binding, args []string) (rules.BoundVal, error) {
+		x, err := floatArg(b, args, 0)
+		if err != nil {
+			return rules.BoundVal{}, err
+		}
+		y, err := floatArg(b, args, 1)
+		if err != nil {
+			return rules.BoundVal{}, err
+		}
+		return rules.ValueOf(values.Point{X: x, Y: y}), nil
+	})
+
+	target := rules.NewTarget("mapsource",
+		rules.Capability{Attr: "xrange", Op: qtree.OpEq, ValueKinds: []string{"range"}},
+		rules.Capability{Attr: "yrange", Op: qtree.OpEq, ValueKinds: []string{"range"}},
+		rules.Capability{Attr: "cll", Op: qtree.OpEq, ValueKinds: []string{"point"}},
+		rules.Capability{Attr: "cur", Op: qtree.OpEq, ValueKinds: []string{"point"}},
+	)
+
+	spec := rules.MustSpec("K_G", target, reg, rules.MustParseRules(mapRules)...)
+	return &Source{Name: "mapsource", Spec: spec, Eval: NewMapEvaluator()}
+}
+
+// NewMapEvaluator returns an evaluator implementing both the mediator-F and
+// target-G attribute semantics over point tuples (see package comment).
+func NewMapEvaluator() *engine.Evaluator {
+	ev := engine.NewEvaluator()
+	geq := func(tv, cv qtree.Value) (bool, error) {
+		x, _ := values.Numeric(tv)
+		v, _ := values.Numeric(cv)
+		return x >= v, nil
+	}
+	leq := func(tv, cv qtree.Value) (bool, error) {
+		x, _ := values.Numeric(tv)
+		v, _ := values.Numeric(cv)
+		return x <= v, nil
+	}
+	ev.Override("xmin", qtree.OpEq, geq)
+	ev.Override("ymin", qtree.OpEq, geq)
+	ev.Override("xmax", qtree.OpEq, leq)
+	ev.Override("ymax", qtree.OpEq, leq)
+	ev.Override("xrange", qtree.OpEq, rangeContains)
+	ev.Override("yrange", qtree.OpEq, rangeContains)
+	ev.Override("cll", qtree.OpEq, func(tv, cv qtree.Value) (bool, error) {
+		p, ok1 := tv.(values.Point)
+		c, ok2 := cv.(values.Point)
+		if !ok1 || !ok2 {
+			return false, errInapplicable("cll comparison needs points")
+		}
+		return p.X >= c.X && p.Y >= c.Y, nil
+	})
+	ev.Override("cur", qtree.OpEq, func(tv, cv qtree.Value) (bool, error) {
+		p, ok1 := tv.(values.Point)
+		c, ok2 := cv.(values.Point)
+		if !ok1 || !ok2 {
+			return false, errInapplicable("cur comparison needs points")
+		}
+		return p.X <= c.X && p.Y <= c.Y, nil
+	})
+	return ev
+}
+
+func rangeContains(tv, cv qtree.Value) (bool, error) {
+	x, ok1 := values.Numeric(tv)
+	r, ok2 := cv.(values.Range)
+	if !ok1 || !ok2 {
+		return false, errInapplicable("range comparison needs number and range")
+	}
+	return r.Contains(x), nil
+}
+
+// MapTuple builds a point tuple carrying both vocabularies: the mediator's
+// bound attributes and G's range/corner attributes all derive from (x, y).
+func MapTuple(x, y float64) engine.Tuple {
+	t := make(engine.Tuple)
+	t.Set(qtree.A("xmin"), values.Float(x))
+	t.Set(qtree.A("xmax"), values.Float(x))
+	t.Set(qtree.A("ymin"), values.Float(y))
+	t.Set(qtree.A("ymax"), values.Float(y))
+	t.Set(qtree.A("xrange"), values.Float(x))
+	t.Set(qtree.A("yrange"), values.Float(y))
+	t.Set(qtree.A("cll"), values.Point{X: x, Y: y})
+	t.Set(qtree.A("cur"), values.Point{X: x, Y: y})
+	return t
+}
+
+func floatArg(b rules.Binding, args []string, i int) (float64, error) {
+	v, err := argValue(b, args, i)
+	if err != nil {
+		return 0, err
+	}
+	f, ok := values.Numeric(v)
+	if !ok {
+		return 0, errInapplicable("expected numeric argument")
+	}
+	return f, nil
+}

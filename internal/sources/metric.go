@@ -1,0 +1,79 @@
+package sources
+
+import (
+	"repro/internal/engine"
+	"repro/internal/qtree"
+	"repro/internal/rules"
+	"repro/internal/values"
+)
+
+// The metric-catalog scenario generalizes Section 1's unit-conversion
+// example ("3 inches to 7.62 centimeters") and the cost → price attribute
+// mapping: the mediator speaks in inches and whole dollars; the source
+// stores lengths in centimeters and prices in cents. Every comparison
+// operator must be carried through the conversion — constraint mapping is
+// not mere data conversion precisely because inexact, non-equality
+// constraints like [cost <= 100] must translate too (Section 3).
+// Operator variables (OP below) let one rule cover the whole comparison
+// family: the pattern binds the constraint's operator, OneOf restricts it
+// to order comparisons, and the emission re-uses it — monotone unit
+// conversions preserve every comparison exactly.
+const metricRules = `
+# K_Metric — unit/scale conversion rules for the metric catalog.
+
+rule M1 {
+  match [length OP L];
+  where OneOf(OP, "=", "<", "<=", ">", ">="), Value(L);
+  let C = InchesToCm(L);
+  emit exact [length-cm OP C];
+}
+
+rule M2 {
+  match [cost OP D];
+  where OneOf(OP, "=", "<", "<=", ">", ">="), Value(D);
+  let C = DollarsToCents(D);
+  emit exact [price-cents OP C];
+}
+`
+
+// NewMetric constructs the metric-catalog source.
+func NewMetric() *Source {
+	reg := baseRegistry()
+	reg.RegisterAction("InchesToCm", func(b rules.Binding, args []string) (rules.BoundVal, error) {
+		in, err := floatArg(b, args, 0)
+		if err != nil {
+			return rules.BoundVal{}, err
+		}
+		return rules.ValueOf(values.Float(values.InchesToCentimeters(in))), nil
+	})
+	reg.RegisterAction("DollarsToCents", func(b rules.Binding, args []string) (rules.BoundVal, error) {
+		d, err := floatArg(b, args, 0)
+		if err != nil {
+			return rules.BoundVal{}, err
+		}
+		return rules.ValueOf(values.Int(int64(d*100 + 0.5))), nil
+	})
+
+	numOps := []string{qtree.OpEq, qtree.OpLe, qtree.OpGe, qtree.OpLt, qtree.OpGt}
+	var caps []rules.Capability
+	for _, op := range numOps {
+		caps = append(caps,
+			rules.Capability{Attr: "length-cm", Op: op},
+			rules.Capability{Attr: "price-cents", Op: op},
+		)
+	}
+	target := rules.NewTarget("metric", caps...)
+	spec := rules.MustSpec("K_Metric", target, reg, rules.MustParseRules(metricRules)...)
+	return &Source{Name: "metric", Spec: spec, Eval: engine.NewEvaluator()}
+}
+
+// MetricTuple builds a catalog tuple from a length in inches and a cost in
+// dollars, carrying both vocabularies.
+func MetricTuple(lengthInches, costDollars float64) engine.Tuple {
+	t := make(engine.Tuple)
+	t.Set(qtree.A("length"), values.Float(lengthInches))
+	t.Set(qtree.A("cost"), values.Float(costDollars))
+	t.Set(qtree.A("length-cm"), values.Float(values.InchesToCentimeters(lengthInches)))
+	t.Set(qtree.A("price-cents"), values.Int(int64(costDollars*100+0.5)))
+	return t
+}

@@ -1,0 +1,223 @@
+// Package sources provides the simulated heterogeneous information sources
+// the reproduction translates against, each with the schema, operators and
+// capability restrictions the paper describes:
+//
+//   - Amazon — the "power search" bookstore of Figure 3/Figure 2: structured
+//     author names, ti-word / subject-word keyword search without proximity,
+//     pdate periods, title prefix search, subjects, ISBNs.
+//   - Clbooks — Computer Literacy (Example 1): author search restricted to
+//     the contains operator over name words.
+//   - T1 / T2 — the digital-library sources of Example 3 and Figure 5:
+//     paper(ti, au) and aubib(name, bib) at T1, prof(ln, fn, dept) at T2.
+//   - MapSource G — Example 8's map server with interdependent rectangle
+//     attributes (Xrange/Yrange vs Cll/Cur).
+//
+// The paper evaluated against live web services; these in-memory equivalents
+// preserve the behaviours that matter — vocabulary differences, capability
+// limits, observable false positives — while making every experiment
+// deterministic (see DESIGN.md, "Substitutions").
+package sources
+
+import (
+	"repro/internal/engine"
+	"repro/internal/qtree"
+	"repro/internal/rules"
+	"repro/internal/values"
+)
+
+// Source bundles everything the mediator needs to talk to one simulated
+// source: its mapping specification (rules + target capabilities), and an
+// evaluator implementing the native semantics of its vocabulary.
+type Source struct {
+	Name string
+	Spec *rules.Spec
+	Eval *engine.Evaluator
+}
+
+// Target returns the source's capability description.
+func (s *Source) Target() *rules.Target { return s.Spec.Target }
+
+// BaseRegistry returns a registry pre-loaded with the generic conversion
+// functions and conditions the built-in specifications share
+// (LnFnToName, RewriteTextPat, RewriteWordsOnly, MonthYearToDate,
+// YearToDate, SubjectForCategory, DeptCode, HasNear, NoNear, plus the rules
+// package's built-ins). User rule files loaded with cmd/qmap resolve
+// against it.
+func BaseRegistry() *rules.Registry { return baseRegistry() }
+
+// baseRegistry returns a registry pre-loaded with the conversion functions
+// shared by several sources.
+func baseRegistry() *rules.Registry {
+	reg := rules.NewRegistry()
+
+	reg.RegisterAction("LnFnToName", func(b rules.Binding, args []string) (rules.BoundVal, error) {
+		ln, err := stringArg(b, args, 0)
+		if err != nil {
+			return rules.BoundVal{}, err
+		}
+		fn, err := stringArg(b, args, 1)
+		if err != nil {
+			return rules.BoundVal{}, err
+		}
+		return rules.ValueOf(values.String(values.LnFnToName(ln, fn))), nil
+	})
+
+	reg.RegisterAction("RewriteTextPat", func(b rules.Binding, args []string) (rules.BoundVal, error) {
+		p, err := patternArg(b, args, 0)
+		if err != nil {
+			return rules.BoundVal{}, err
+		}
+		return rules.ValueOf(p.RewriteNoNear()), nil
+	})
+
+	reg.RegisterAction("RewriteWordsOnly", func(b rules.Binding, args []string) (rules.BoundVal, error) {
+		p, err := patternArg(b, args, 0)
+		if err != nil {
+			return rules.BoundVal{}, err
+		}
+		ws := p.RewriteWordsOnly()
+		if len(ws) == 0 {
+			return rules.BoundVal{}, errInapplicable("pattern has no required words")
+		}
+		return rules.ValueOf(values.PatternAnd(ws...)), nil
+	})
+
+	reg.RegisterAction("MonthYearToDate", func(b rules.Binding, args []string) (rules.BoundVal, error) {
+		m, err := intArg(b, args, 0)
+		if err != nil {
+			return rules.BoundVal{}, err
+		}
+		y, err := intArg(b, args, 1)
+		if err != nil {
+			return rules.BoundVal{}, err
+		}
+		d, err := values.MonthYearToDate(m, y)
+		if err != nil {
+			return rules.BoundVal{}, err
+		}
+		return rules.ValueOf(d), nil
+	})
+
+	reg.RegisterAction("YearToDate", func(b rules.Binding, args []string) (rules.BoundVal, error) {
+		y, err := intArg(b, args, 0)
+		if err != nil {
+			return rules.BoundVal{}, err
+		}
+		d, err := values.YearToDate(y)
+		if err != nil {
+			return rules.BoundVal{}, err
+		}
+		return rules.ValueOf(d), nil
+	})
+
+	reg.RegisterAction("SubjectForCategory", func(b rules.Binding, args []string) (rules.BoundVal, error) {
+		c, err := stringArg(b, args, 0)
+		if err != nil {
+			return rules.BoundVal{}, err
+		}
+		s, err := values.SubjectForCategory(c)
+		if err != nil {
+			return rules.BoundVal{}, err
+		}
+		return rules.ValueOf(values.String(s)), nil
+	})
+
+	reg.RegisterAction("DeptCode", func(b rules.Binding, args []string) (rules.BoundVal, error) {
+		d, err := stringArg(b, args, 0)
+		if err != nil {
+			return rules.BoundVal{}, err
+		}
+		c, err := values.DeptCode(d)
+		if err != nil {
+			return rules.BoundVal{}, err
+		}
+		return rules.ValueOf(values.Int(c)), nil
+	})
+
+	reg.RegisterCond("HasNear", func(b rules.Binding, args []string) (bool, error) {
+		p, err := patternArg(b, args, 0)
+		if err != nil {
+			return false, err
+		}
+		return p.HasNear(), nil
+	})
+
+	reg.RegisterCond("NoNear", func(b rules.Binding, args []string) (bool, error) {
+		p, err := patternArg(b, args, 0)
+		if err != nil {
+			return false, err
+		}
+		return !p.HasNear(), nil
+	})
+
+	return reg
+}
+
+type inapplicableError string
+
+func errInapplicable(msg string) error { return inapplicableError(msg) }
+
+func (e inapplicableError) Error() string { return "sources: conversion inapplicable: " + string(e) }
+
+func stringArg(b rules.Binding, args []string, i int) (string, error) {
+	v, err := argValue(b, args, i)
+	if err != nil {
+		return "", err
+	}
+	s, ok := v.(values.String)
+	if !ok {
+		return "", errInapplicable("expected string argument")
+	}
+	return s.Raw(), nil
+}
+
+func intArg(b rules.Binding, args []string, i int) (int, error) {
+	v, err := argValue(b, args, i)
+	if err != nil {
+		return 0, err
+	}
+	n, ok := v.(values.Int)
+	if !ok {
+		return 0, errInapplicable("expected integer argument")
+	}
+	return int(n), nil
+}
+
+func patternArg(b rules.Binding, args []string, i int) (*values.Pattern, error) {
+	v, err := argValue(b, args, i)
+	if err != nil {
+		return nil, err
+	}
+	switch p := v.(type) {
+	case *values.Pattern:
+		return p, nil
+	case values.String:
+		return values.Word(p.Raw()), nil
+	default:
+		return nil, errInapplicable("expected pattern argument")
+	}
+}
+
+func argValue(b rules.Binding, args []string, i int) (qtree.Value, error) {
+	if i >= len(args) {
+		return nil, errInapplicable("missing argument")
+	}
+	return b.Value(args[i])
+}
+
+// wordsPattern converts free text into the conjunction of its word tokens —
+// the weakest containment relaxation of an exact-match string.
+func wordsPattern(s string) (*values.Pattern, error) {
+	toks := values.Tokenize(s)
+	if len(toks) == 0 {
+		return nil, errInapplicable("no words in text")
+	}
+	ws := make([]*values.Pattern, len(toks))
+	for i, t := range toks {
+		ws[i] = values.Word(t)
+	}
+	if len(ws) == 1 {
+		return ws[0], nil
+	}
+	return values.PatternAnd(ws...), nil
+}

@@ -1,0 +1,200 @@
+package sources
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/qparse"
+	"repro/internal/qtree"
+	"repro/internal/rules"
+	"repro/internal/values"
+)
+
+// TestAuthorMatchSemantics pins Amazon's structured author equality.
+func TestAuthorMatchSemantics(t *testing.T) {
+	cases := []struct {
+		stored, queried string
+		want            bool
+	}{
+		{"Clancy, Tom", "Clancy, Tom", true},
+		{"Clancy, Tom", "Clancy", true}, // last name alone matches
+		{"Clancy, Tom", "clancy", true}, // case-insensitive
+		{"Clancy, Tom", "Clancy, Joe", false},
+		{"Tom, Clancy", "Clancy, Tom", false}, // reversed names differ
+		{"Clancy, Joe Tom", "Clancy, Tom", false},
+		{"Clancy", "Clancy, Tom", false}, // queried first name unmatched
+		{"Clancy", "Clancy", true},
+	}
+	for _, c := range cases {
+		got, err := authorMatch(values.String(c.stored), values.String(c.queried))
+		if err != nil {
+			t.Fatalf("%q vs %q: %v", c.stored, c.queried, err)
+		}
+		if got != c.want {
+			t.Errorf("authorMatch(%q, %q) = %v, want %v", c.stored, c.queried, got, c.want)
+		}
+	}
+	if _, err := authorMatch(values.Int(1), values.String("x")); err == nil {
+		t.Error("non-string author accepted")
+	}
+}
+
+// TestBooksKeywordInvariant: every generated book's keywords occur in its
+// title or subject — the soundness precondition of rule R8.
+func TestBooksKeywordInvariant(t *testing.T) {
+	for _, bk := range GenBooks(123, 500) {
+		subject, _ := values.SubjectForCategory(bk.Category)
+		hay := strings.ToLower(bk.Title + " " + subject)
+		for _, kw := range bk.Keywords {
+			if !strings.Contains(hay, strings.ToLower(kw)) {
+				t.Fatalf("book %+v: keyword %q not in title or subject", bk, kw)
+			}
+		}
+	}
+}
+
+// TestBookTupleCarriesBothVocabularies: the derived native attributes agree
+// with the mediator attributes on every generated book.
+func TestBookTupleCarriesBothVocabularies(t *testing.T) {
+	for _, bk := range GenBooks(5, 100) {
+		tup := bk.Tuple()
+		author, _ := tup.Get(qtree.A("author"))
+		if want := values.LnFnToName(bk.Ln, bk.Fn); author.String() != values.String(want).String() {
+			t.Fatalf("author = %s, want %q", author, want)
+		}
+		pdate, _ := tup.Get(qtree.A("pdate"))
+		d := pdate.(values.Date)
+		if d.Year != bk.Year || d.Month != bk.Month || d.Day != bk.Day {
+			t.Fatalf("pdate = %v, want %d-%d-%d", d, bk.Year, bk.Month, bk.Day)
+		}
+		isbn, _ := tup.Get(qtree.A("isbn"))
+		idno, _ := tup.Get(qtree.A("id-no"))
+		if !isbn.Equal(idno) {
+			t.Fatalf("isbn %s != id-no %s", isbn, idno)
+		}
+	}
+}
+
+// TestClbooksWordsOnlyTitle: rule C3 flattens a near pattern into required
+// words; an OR pattern cannot be relaxed to required words and maps to True.
+func TestClbooksWordsOnlyTitle(t *testing.T) {
+	cl := NewClbooks()
+	tr := core.NewTranslator(cl.Spec)
+
+	got, err := tr.Translate(qparse.MustParse(`[ti contains java(near)jdk]`), core.AlgSCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := qparse.MustParse(`[ti-word contains java(^)jdk]`)
+	if !got.EqualCanonical(want) {
+		t.Errorf("got %s, want %s", got, want)
+	}
+
+	got, err = tr.Translate(qparse.MustParse(`[ti contains java(v)python]`), core.AlgSCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsTrue() {
+		t.Errorf("OR pattern mapped to %s, want TRUE (no required words)", got)
+	}
+
+	// Rule C4: exact title becomes word containment of all title words.
+	got, err = tr.Translate(qparse.MustParse(`[ti = "the jdk handbook"]`), core.AlgSCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = qparse.MustParse(`[ti-word contains the(^)jdk(^)handbook]`)
+	if !got.EqualCanonical(want) {
+		t.Errorf("got %s, want %s", got, want)
+	}
+}
+
+// TestT1NameWordRelaxation: rule R3 relaxes a bare ln/fn equality into word
+// containment on the combined name attribute.
+func TestT1NameWordRelaxation(t *testing.T) {
+	tr := core.NewTranslator(NewT1().Spec)
+	got, err := tr.Translate(qparse.MustParse(`[fac.ln = "Ullman"]`), core.AlgSCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := qparse.MustParse(`[fac.aubib.name contains "Ullman"]`)
+	if !got.EqualCanonical(want) {
+		t.Errorf("got %s, want %s", got, want)
+	}
+	// With both components, rule R4 produces the exact combined name and
+	// suppresses the per-component relaxations.
+	got, err = tr.Translate(qparse.MustParse(`[pub.ln = "Ullman"] and [pub.fn = "Jeff"]`), core.AlgSCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = qparse.MustParse(`[pub.paper.au = "Ullman, Jeff"]`)
+	if !got.EqualCanonical(want) {
+		t.Errorf("got %s, want %s", got, want)
+	}
+}
+
+// TestT2UnknownDeptDropsRule: an unknown department makes rule R7's
+// conversion inapplicable; the constraint maps to True and must be filtered.
+func TestT2UnknownDeptDropsRule(t *testing.T) {
+	tr := core.NewTranslator(NewT2().Spec)
+	mapped, filter, err := tr.TranslateWithFilter(
+		qparse.MustParse(`[fac.dept = astrology]`), core.AlgTDQM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mapped.IsTrue() {
+		t.Errorf("unknown dept mapped to %s, want TRUE", mapped)
+	}
+	if filter.IsTrue() {
+		t.Error("unknown dept must stay in the filter")
+	}
+}
+
+// TestGenLibraryDeterminism and relation shapes.
+func TestGenLibraryShapes(t *testing.T) {
+	people, papers := GenLibrary(9, 6, 10)
+	if len(people) != 6 || len(papers) != 10 {
+		t.Fatalf("generated %d people, %d papers", len(people), len(papers))
+	}
+	t1 := T1Relation(people, papers)
+	if t1.Len() != 60 {
+		t.Errorf("T1 universe = %d tuples, want people×papers = 60", t1.Len())
+	}
+	t2 := T2Relation(people)
+	if t2.Len() != 6 {
+		t.Errorf("T2 universe = %d tuples, want 6", t2.Len())
+	}
+	// Same seed reproduces.
+	p2, q2 := GenLibrary(9, 6, 10)
+	if p2[0] != people[0] || q2[0] != papers[0] {
+		t.Error("GenLibrary not deterministic")
+	}
+}
+
+// TestBaseRegistryArgErrors: conversion functions reject wrong-kind and
+// missing arguments rather than panicking.
+func TestBaseRegistryArgErrors(t *testing.T) {
+	reg := BaseRegistry()
+	for _, name := range []string{"MonthYearToDate", "YearToDate", "LnFnToName",
+		"RewriteTextPat", "RewriteWordsOnly", "SubjectForCategory", "DeptCode"} {
+		fn, err := reg.Action(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Unbound variables must error, not panic.
+		if _, err := fn(make(rules.Binding), []string{"M", "Y"}); err == nil {
+			t.Errorf("%s accepted unbound arguments", name)
+		}
+		// Missing arguments must error, not panic.
+		if _, err := fn(make(rules.Binding), nil); err == nil {
+			t.Errorf("%s accepted missing arguments", name)
+		}
+	}
+	// Wrong-kind argument.
+	fn, _ := reg.Action("MonthYearToDate")
+	b := rules.Binding{"M": rules.ValueOf(values.String("may")), "Y": rules.ValueOf(values.Int(1997))}
+	if _, err := fn(b, []string{"M", "Y"}); err == nil {
+		t.Error("MonthYearToDate accepted a string month")
+	}
+}

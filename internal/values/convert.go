@@ -1,0 +1,113 @@
+package values
+
+// This file collects the human-written value-conversion functions that the
+// paper's mapping rules call in their tails (Section 4.1): name composition,
+// date assembly, department-code translation, and unit conversions. They are
+// ordinary Go functions; the rule system exposes them through a function
+// registry (internal/rules).
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LnFnToName combines a last and first name into the "Last, First" format
+// required by Amazon's author attribute (rule R2 of Figure 3).
+func LnFnToName(ln, fn string) string {
+	if fn == "" {
+		return ln
+	}
+	return ln + ", " + fn
+}
+
+// NameToLnFn splits an author name in "Last, First" (or bare "Last") format
+// back into components — the inverse conversion used in view definitions
+// (the paper's NameLnFn conceptual relation).
+func NameToLnFn(name string) (ln, fn string) {
+	if i := strings.Index(name, ","); i >= 0 {
+		return strings.TrimSpace(name[:i]), strings.TrimSpace(name[i+1:])
+	}
+	return strings.TrimSpace(name), ""
+}
+
+// MonthYearToDate assembles a month/year pair into a partial Date — the
+// conversion of rule R6 (pyear ∧ pmonth ↦ pdate during May/97).
+func MonthYearToDate(month, year int) (Date, error) {
+	if month < 1 || month > 12 {
+		return Date{}, fmt.Errorf("values: month %d out of range", month)
+	}
+	if year < 0 {
+		return Date{}, fmt.Errorf("values: negative year %d", year)
+	}
+	return Date{Year: year, Month: month}, nil
+}
+
+// YearToDate assembles a year-only partial Date — the conversion of rule R7
+// (pyear alone ↦ pdate during 97).
+func YearToDate(year int) (Date, error) {
+	if year < 0 {
+		return Date{}, fmt.Errorf("values: negative year %d", year)
+	}
+	return Date{Year: year}, nil
+}
+
+// DeptCodes is the department-name → native-code table of Example 3's
+// source T2 (CS is code 230).
+var DeptCodes = map[string]int{
+	"cs":   230,
+	"ee":   231,
+	"me":   232,
+	"math": 240,
+	"phys": 241,
+	"chem": 242,
+	"bio":  250,
+}
+
+// DeptCode translates a mediator department name to the native code of
+// source T2 (rule R7 of Figure 5). Unknown departments are an error: the
+// rule then does not fire and the constraint is handled by the filter.
+func DeptCode(dept string) (int, error) {
+	if c, ok := DeptCodes[strings.ToLower(dept)]; ok {
+		return c, nil
+	}
+	return 0, fmt.Errorf("values: unknown department %q", dept)
+}
+
+// InchesToCentimeters converts a length — the unit-conversion example from
+// Section 1 (3 inches to 7.62 centimeters).
+func InchesToCentimeters(in float64) float64 { return in * 2.54 }
+
+// CentimetersToInches is the inverse of InchesToCentimeters.
+func CentimetersToInches(cm float64) float64 { return cm / 2.54 }
+
+// CategoryToSubject maps ACM-style category codes to bookstore subject
+// headings — the conversion behind rule R9 of Figure 3 ([category = "D.3"]
+// ↦ [subject = "programming"]).
+var CategoryToSubject = map[string]string{
+	"D.3": "programming",
+	"D.4": "operating systems",
+	"H.2": "databases",
+	"H.3": "information retrieval",
+	"I.2": "artificial intelligence",
+	"C.2": "networking",
+}
+
+// SubjectForCategory performs the category → subject lookup.
+func SubjectForCategory(cat string) (string, error) {
+	if s, ok := CategoryToSubject[strings.ToUpper(strings.TrimSpace(cat))]; ok {
+		return s, nil
+	}
+	return "", fmt.Errorf("values: unknown category %q", cat)
+}
+
+// CarTypeSplit splits a combined car-type value like "ford-taurus" into
+// make and model — the many-to-many mapping example from Section 1
+// ([car-type = "ford-taurus"] ∧ [year = 1994] ↦ [make = "ford"] ∧
+// [model = "taurus-94"]).
+func CarTypeSplit(carType string, year int) (make, model string, err error) {
+	i := strings.Index(carType, "-")
+	if i <= 0 || i == len(carType)-1 {
+		return "", "", fmt.Errorf("values: car type %q not in make-model form", carType)
+	}
+	return carType[:i], fmt.Sprintf("%s-%02d", carType[i+1:], year%100), nil
+}

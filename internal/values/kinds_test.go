@@ -1,0 +1,131 @@
+package values
+
+import (
+	"testing"
+
+	"repro/internal/qtree"
+)
+
+// TestKindsAndStrings pins every value type's Kind tag and rendering.
+func TestKindsAndStrings(t *testing.T) {
+	cases := []struct {
+		v    qtree.Value
+		kind string
+		str  string
+	}{
+		{String("x"), "string", `"x"`},
+		{Int(42), "int", "42"},
+		{Float(2.5), "float", "2.5"},
+		{Float(3), "float", "3"},
+		{Date{Year: 1997, Month: 5}, "date", "May/97"},
+		{Range{10, 30}, "range", "(10:30)"},
+		{Point{10, 20}, "point", "(10,20)"},
+		{Word("www"), "pattern", "www"},
+		{PatternAnd(Word("a"), Word("b")), "pattern", "a(^)b"},
+		{PatternOr(Word("a"), Word("b")), "pattern", "a(v)b"},
+		{PatternNear(Word("a"), Word("b")), "pattern", "a(near)b"},
+		{Tuple{String("a"), Int(1)}, "tuple", `<"a", 1>`},
+	}
+	for _, c := range cases {
+		if got := c.v.Kind(); got != c.kind {
+			t.Errorf("%v Kind = %q, want %q", c.v, got, c.kind)
+		}
+		if got := c.v.String(); got != c.str {
+			t.Errorf("Kind %s String = %q, want %q", c.kind, got, c.str)
+		}
+	}
+}
+
+func TestStringRaw(t *testing.T) {
+	if String("abc").Raw() != "abc" {
+		t.Error("Raw misbehaves")
+	}
+}
+
+func TestNumericCrossKind(t *testing.T) {
+	if !Int(3).Equal(Float(3)) || !Float(3).Equal(Int(3)) {
+		t.Error("3 and 3.0 should be equal across kinds")
+	}
+	if Int(3).Equal(Float(3.5)) {
+		t.Error("3 != 3.5")
+	}
+	if Int(3).Equal(String("3")) {
+		t.Error("numbers should not equal strings")
+	}
+	if _, ok := Numeric(String("3")); ok {
+		t.Error("Numeric should reject strings")
+	}
+	if f, ok := Numeric(Float(2.5)); !ok || f != 2.5 {
+		t.Error("Numeric(Float) misbehaves")
+	}
+}
+
+func TestRangeAndPoint(t *testing.T) {
+	r := Range{10, 30}
+	if !r.Contains(10) || !r.Contains(30) || !r.Contains(20) {
+		t.Error("Range.Contains should be inclusive")
+	}
+	if r.Contains(9.999) || r.Contains(30.001) {
+		t.Error("Range.Contains out of bounds")
+	}
+	if !r.Equal(Range{10, 30}) || r.Equal(Range{10, 31}) || r.Equal(Int(1)) {
+		t.Error("Range.Equal misbehaves")
+	}
+	p := Point{1, 2}
+	if !p.Equal(Point{1, 2}) || p.Equal(Point{2, 1}) || p.Equal(Int(1)) {
+		t.Error("Point.Equal misbehaves")
+	}
+}
+
+func TestPatternEqualAndWords(t *testing.T) {
+	p := PatternNear(Word("data"), Word("mining"))
+	if !p.Equal(PatternNear(Word("data"), Word("mining"))) {
+		t.Error("identical patterns unequal")
+	}
+	if p.Equal(PatternAnd(Word("data"), Word("mining"))) {
+		t.Error("different connectives equal")
+	}
+	if p.Equal(Word("data")) || p.Equal(String("data")) {
+		t.Error("pattern equality across shapes/kinds")
+	}
+	ws := p.Words()
+	if len(ws) != 2 || ws[0] != "data" || ws[1] != "mining" {
+		t.Errorf("Words = %v", ws)
+	}
+	if !p.HasNear() || PatternAnd(Word("a"), Word("b")).HasNear() {
+		t.Error("HasNear misbehaves")
+	}
+	nested := PatternAnd(Word("x"), PatternNear(Word("a"), Word("b")))
+	if !nested.HasNear() {
+		t.Error("nested near not detected")
+	}
+}
+
+func TestRewriteNoNearDeep(t *testing.T) {
+	p := PatternOr(PatternNear(Word("a"), Word("b")), Word("c"))
+	r := p.RewriteNoNear()
+	if r.HasNear() {
+		t.Error("RewriteNoNear left a near connective")
+	}
+	if r.Op != PatOr || r.Subs[0].Op != PatAnd {
+		t.Errorf("rewritten structure wrong: %s", r)
+	}
+	// Word passthrough.
+	if Word("x").RewriteNoNear().Word != "x" {
+		t.Error("word rewriting misbehaves")
+	}
+}
+
+func TestYearToDateValid(t *testing.T) {
+	d, err := YearToDate(1997)
+	if err != nil || d.Year != 1997 || d.Month != 0 {
+		t.Errorf("YearToDate = %v, %v", d, err)
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	tup := Tuple{String("v1"), String("v2")}
+	if got := tup.String(); got != `<"v1", "v2">` {
+		t.Errorf("Tuple String = %q", got)
+	}
+}

@@ -1,0 +1,215 @@
+// Package values provides the concrete value types appearing in constraint
+// queries — strings, integers, floats, dates, text patterns, numeric ranges,
+// coordinate points, and generic tuples — together with the human-written
+// conversion functions the paper's mapping rules call (Section 4.1):
+// name composition (LnFnToName), text-pattern rewriting (RewriteTextPat),
+// date assembly (MonthYearToDate), department-code lookup, and unit
+// conversions.
+package values
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/qtree"
+)
+
+// String is a string constant.
+type String string
+
+// Kind implements qtree.Value.
+func (String) Kind() string { return "string" }
+
+// String implements qtree.Value; it renders with surrounding quotes.
+func (s String) String() string { return strconv.Quote(string(s)) }
+
+// Raw returns the unquoted string.
+func (s String) Raw() string { return string(s) }
+
+// Equal implements qtree.Value.
+func (s String) Equal(v qtree.Value) bool {
+	t, ok := v.(String)
+	return ok && s == t
+}
+
+// Int is an integer constant.
+type Int int64
+
+// Kind implements qtree.Value.
+func (Int) Kind() string { return "int" }
+
+// String implements qtree.Value.
+func (i Int) String() string { return strconv.FormatInt(int64(i), 10) }
+
+// Equal implements qtree.Value. Integers and floats compare numerically
+// across kinds (3 equals 3.0), matching the engine's comparison semantics.
+func (i Int) Equal(v qtree.Value) bool {
+	f, ok := Numeric(v)
+	return ok && float64(i) == f
+}
+
+// Float is a floating-point constant.
+type Float float64
+
+// Kind implements qtree.Value.
+func (Float) Kind() string { return "float" }
+
+// String implements qtree.Value.
+func (f Float) String() string { return strconv.FormatFloat(float64(f), 'g', -1, 64) }
+
+// Equal implements qtree.Value. Floats and integers compare numerically
+// across kinds (3.0 equals 3), matching the engine's comparison semantics.
+func (f Float) Equal(v qtree.Value) bool {
+	g, ok := Numeric(v)
+	return ok && float64(f) == g
+}
+
+// Numeric extracts a float64 from Int or Float values.
+func Numeric(v qtree.Value) (float64, bool) {
+	switch t := v.(type) {
+	case Int:
+		return float64(t), true
+	case Float:
+		return float64(t), true
+	default:
+		return 0, false
+	}
+}
+
+// Date is a (possibly partial) calendar date: Year is required; Month and
+// Day may be zero, meaning "unspecified" — a partial date denotes the whole
+// period (the paper's [pdate during 97] vs [pdate during May/97]).
+type Date struct {
+	Year, Month, Day int
+}
+
+// Kind implements qtree.Value.
+func (Date) Kind() string { return "date" }
+
+var monthNames = [...]string{"", "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+	"Jul", "Aug", "Sep", "Oct", "Nov", "Dec"}
+
+// String renders in the paper's style: 97, May/97, or 12/May/97.
+func (d Date) String() string {
+	yy := d.Year % 100
+	switch {
+	case d.Month == 0:
+		return fmt.Sprintf("%02d", yy)
+	case d.Day == 0:
+		return fmt.Sprintf("%s/%02d", monthNames[d.Month], yy)
+	default:
+		return fmt.Sprintf("%d/%s/%02d", d.Day, monthNames[d.Month], yy)
+	}
+}
+
+// Equal implements qtree.Value.
+func (d Date) Equal(v qtree.Value) bool {
+	t, ok := v.(Date)
+	return ok && d == t
+}
+
+// Contains reports whether the period denoted by d contains the period
+// denoted by e. A partial date denotes its whole year or month.
+func (d Date) Contains(e Date) bool {
+	if d.Year != e.Year {
+		return false
+	}
+	if d.Month == 0 {
+		return true
+	}
+	if d.Month != e.Month {
+		return false
+	}
+	if d.Day == 0 {
+		return true
+	}
+	return d.Day == e.Day
+}
+
+// ParseMonth resolves a month name (full or 3-letter, any case) or number.
+func ParseMonth(s string) (int, bool) {
+	if n, err := strconv.Atoi(s); err == nil && n >= 1 && n <= 12 {
+		return n, true
+	}
+	p := strings.ToLower(s)
+	if len(p) > 3 {
+		p = p[:3]
+	}
+	for i := 1; i <= 12; i++ {
+		if strings.ToLower(monthNames[i]) == p {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Range is a closed numeric interval lo:hi (Example 8's Xrange/Yrange).
+type Range struct {
+	Lo, Hi float64
+}
+
+// Kind implements qtree.Value.
+func (Range) Kind() string { return "range" }
+
+// String renders as (lo:hi).
+func (r Range) String() string {
+	return fmt.Sprintf("(%g:%g)", r.Lo, r.Hi)
+}
+
+// Equal implements qtree.Value.
+func (r Range) Equal(v qtree.Value) bool {
+	t, ok := v.(Range)
+	return ok && r == t
+}
+
+// Contains reports lo ≤ x ≤ hi.
+func (r Range) Contains(x float64) bool { return r.Lo <= x && x <= r.Hi }
+
+// Point is a 2-D coordinate (Example 8's Cll/Cur corner values).
+type Point struct {
+	X, Y float64
+}
+
+// Kind implements qtree.Value.
+func (Point) Kind() string { return "point" }
+
+// String renders as (x,y).
+func (p Point) String() string { return fmt.Sprintf("(%g,%g)", p.X, p.Y) }
+
+// Equal implements qtree.Value.
+func (p Point) Equal(v qtree.Value) bool {
+	t, ok := v.(Point)
+	return ok && p == t
+}
+
+// Tuple is a generic composite value: an ordered list of component values.
+// The synthetic workload generator uses tuples as the target-side "combined"
+// attribute values (mirroring how author combines ln and fn).
+type Tuple []qtree.Value
+
+// Kind implements qtree.Value.
+func (Tuple) Kind() string { return "tuple" }
+
+// String renders as <v1, v2, ...>.
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "<" + strings.Join(parts, ", ") + ">"
+}
+
+// Equal implements qtree.Value.
+func (t Tuple) Equal(v qtree.Value) bool {
+	u, ok := v.(Tuple)
+	if !ok || len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(u[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,278 @@
+package values
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDateString(t *testing.T) {
+	cases := []struct {
+		d    Date
+		want string
+	}{
+		{Date{Year: 1997}, "97"},
+		{Date{Year: 1997, Month: 5}, "May/97"},
+		{Date{Year: 1997, Month: 5, Day: 12}, "12/May/97"},
+		{Date{Year: 2003, Month: 12}, "Dec/03"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("%+v.String() = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+func TestDateContains(t *testing.T) {
+	full := Date{Year: 1997, Month: 5, Day: 12}
+	if !(Date{Year: 1997}).Contains(full) {
+		t.Error("year period should contain the date")
+	}
+	if !(Date{Year: 1997, Month: 5}).Contains(full) {
+		t.Error("month period should contain the date")
+	}
+	if (Date{Year: 1997, Month: 6}).Contains(full) {
+		t.Error("wrong month should not contain")
+	}
+	if (Date{Year: 1996}).Contains(full) {
+		t.Error("wrong year should not contain")
+	}
+	if !full.Contains(full) {
+		t.Error("a date contains itself")
+	}
+	if full.Contains(Date{Year: 1997, Month: 5, Day: 13}) {
+		t.Error("a full date should not contain a different day")
+	}
+}
+
+func TestQuickDateContainmentIsOrdered(t *testing.T) {
+	// Containment is monotone in specificity: if the month period contains
+	// a date, so does the year period.
+	f := func(y, m, d uint8) bool {
+		date := Date{Year: 1990 + int(y%20), Month: 1 + int(m%12), Day: 1 + int(d%28)}
+		monthPeriod := Date{Year: date.Year, Month: date.Month}
+		yearPeriod := Date{Year: date.Year}
+		return monthPeriod.Contains(date) && yearPeriod.Contains(date) &&
+			yearPeriod.Contains(monthPeriod)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseMonth(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want int
+		ok   bool
+	}{
+		{"May", 5, true}, {"may", 5, true}, {"MAY", 5, true},
+		{"December", 12, true}, {"5", 5, true}, {"13", 0, false},
+		{"0", 0, false}, {"xyz", 0, false},
+	} {
+		got, ok := ParseMonth(c.in)
+		if ok != c.ok || got != c.want {
+			t.Errorf("ParseMonth(%q) = %d,%v want %d,%v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestNameConversions(t *testing.T) {
+	if got := LnFnToName("Clancy", "Tom"); got != "Clancy, Tom" {
+		t.Errorf("LnFnToName = %q", got)
+	}
+	if got := LnFnToName("Clancy", ""); got != "Clancy" {
+		t.Errorf("LnFnToName no fn = %q", got)
+	}
+	ln, fn := NameToLnFn("Clancy, Tom")
+	if ln != "Clancy" || fn != "Tom" {
+		t.Errorf("NameToLnFn = %q,%q", ln, fn)
+	}
+	ln, fn = NameToLnFn("Clancy")
+	if ln != "Clancy" || fn != "" {
+		t.Errorf("NameToLnFn bare = %q,%q", ln, fn)
+	}
+}
+
+func TestQuickNameRoundTrip(t *testing.T) {
+	names := [][2]string{{"Clancy", "Tom"}, {"Smith", "Joe Tom"}, {"Garcia", ""}, {"Chang", "Kevin"}}
+	f := func(i uint) bool {
+		p := names[i%uint(len(names))]
+		ln, fn := NameToLnFn(LnFnToName(p[0], p[1]))
+		return ln == p[0] && fn == p[1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPatternParseAndString(t *testing.T) {
+	p, err := ParsePattern("java(near)jdk")
+	if err != nil || p.Op != PatNear || len(p.Subs) != 2 {
+		t.Fatalf("ParsePattern: %v %+v", err, p)
+	}
+	if got := p.String(); got != "java(near)jdk" {
+		t.Errorf("String = %q", got)
+	}
+	p, err = ParsePattern("data(^)mining")
+	if err != nil || p.Op != PatAnd {
+		t.Fatalf("ParsePattern and: %v", err)
+	}
+	p, err = ParsePattern("www")
+	if err != nil || p.Op != PatWord {
+		t.Fatalf("ParsePattern word: %v", err)
+	}
+	if _, err := ParsePattern(""); err == nil {
+		t.Error("empty pattern accepted")
+	}
+	if _, err := ParsePattern("a(near)"); err == nil {
+		t.Error("trailing connective accepted")
+	}
+}
+
+func TestPatternMatch(t *testing.T) {
+	near := PatternNear(Word("data"), Word("mining"))
+	if !near.Match("a study of data mining techniques") {
+		t.Error("adjacent words should match near")
+	}
+	if !near.Match("data on coal mining") {
+		t.Error("words 2 apart should match near (window 5)")
+	}
+	if near.Match("data is great. one two three four five six seven mining") {
+		t.Error("words 9 apart should not match near")
+	}
+	if near.Match("data everywhere") {
+		t.Error("missing word should not match")
+	}
+
+	and := PatternAnd(Word("data"), Word("mining"))
+	if !and.Match("mining first, data later, far far away apart") {
+		t.Error("co-occurrence should match (^) regardless of distance")
+	}
+
+	or := PatternOr(Word("cat"), Word("dog"))
+	if !or.Match("a dog barks") || or.Match("a bird sings") {
+		t.Error("or-pattern misbehaves")
+	}
+}
+
+func TestQuickNearImpliesAnd(t *testing.T) {
+	// Relaxation soundness: whenever (near) matches, the (∧) rewriting
+	// matches too — the basis of rule R4n / Example 3.
+	texts := []string{
+		"data mining systems",
+		"data on coal mining",
+		"mining data",
+		"data one two three four five mining",
+		"nothing relevant here",
+		"data without the other word",
+	}
+	f := func(i uint) bool {
+		text := texts[i%uint(len(texts))]
+		near := PatternNear(Word("data"), Word("mining"))
+		relaxed := near.RewriteNoNear()
+		return !near.Match(text) || relaxed.Match(text)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRewriteWordsOnly(t *testing.T) {
+	p := PatternNear(Word("a"), PatternAnd(Word("b"), Word("c")))
+	ws := p.RewriteWordsOnly()
+	if len(ws) != 3 {
+		t.Fatalf("got %d words, want 3", len(ws))
+	}
+	// OR patterns yield no required words.
+	if got := PatternOr(Word("a"), Word("b")).RewriteWordsOnly(); got != nil {
+		t.Errorf("or-pattern words = %v, want nil", got)
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Hello, World! data-mining 42")
+	want := []string{"hello", "world", "data", "mining", "42"}
+	if len(got) != len(want) {
+		t.Fatalf("Tokenize = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDeptCode(t *testing.T) {
+	if c, err := DeptCode("cs"); err != nil || c != 230 {
+		t.Errorf("DeptCode(cs) = %d, %v", c, err)
+	}
+	if c, err := DeptCode("CS"); err != nil || c != 230 {
+		t.Errorf("DeptCode(CS) = %d, %v (case-insensitive)", c, err)
+	}
+	if _, err := DeptCode("underwater-basket-weaving"); err == nil {
+		t.Error("unknown department accepted")
+	}
+}
+
+func TestUnitConversion(t *testing.T) {
+	if got := InchesToCentimeters(3); got != 7.62 {
+		t.Errorf("3in = %gcm, want 7.62 (Section 1's example)", got)
+	}
+	if got := CentimetersToInches(7.62); got != 3 {
+		t.Errorf("7.62cm = %gin, want 3", got)
+	}
+}
+
+func TestCarTypeSplit(t *testing.T) {
+	mk, md, err := CarTypeSplit("ford-taurus", 1994)
+	if err != nil || mk != "ford" || md != "taurus-94" {
+		t.Errorf("CarTypeSplit = %q,%q,%v (Section 1's example)", mk, md, err)
+	}
+	if _, _, err := CarTypeSplit("nodash", 1994); err == nil {
+		t.Error("malformed car type accepted")
+	}
+}
+
+func TestMonthYearToDate(t *testing.T) {
+	d, err := MonthYearToDate(5, 1997)
+	if err != nil || d.String() != "May/97" {
+		t.Errorf("MonthYearToDate = %s, %v", d, err)
+	}
+	if _, err := MonthYearToDate(13, 1997); err == nil {
+		t.Error("month 13 accepted")
+	}
+	if _, err := YearToDate(-5); err == nil {
+		t.Error("negative year accepted")
+	}
+}
+
+func TestValueEquality(t *testing.T) {
+	if !String("a").Equal(String("a")) || String("a").Equal(String("b")) {
+		t.Error("String.Equal misbehaves")
+	}
+	if String("1").Equal(Int(1)) {
+		t.Error("cross-kind equality should be false")
+	}
+	if !(Range{1, 2}).Equal(Range{1, 2}) || (Range{1, 2}).Equal(Range{1, 3}) {
+		t.Error("Range.Equal misbehaves")
+	}
+	if !(Tuple{String("a"), Int(1)}).Equal(Tuple{String("a"), Int(1)}) {
+		t.Error("Tuple.Equal misbehaves")
+	}
+	if (Tuple{String("a")}).Equal(Tuple{String("a"), Int(1)}) {
+		t.Error("Tuple length mismatch should be unequal")
+	}
+}
+
+func TestSubjectForCategory(t *testing.T) {
+	s, err := SubjectForCategory("D.3")
+	if err != nil || s != "programming" {
+		t.Errorf("SubjectForCategory(D.3) = %q, %v", s, err)
+	}
+	if s, err := SubjectForCategory(" d.3 "); err != nil || s != "programming" {
+		t.Errorf("SubjectForCategory normalization: %q, %v", s, err)
+	}
+	if _, err := SubjectForCategory("Z.9"); err == nil {
+		t.Error("unknown category accepted")
+	}
+}

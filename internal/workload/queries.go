@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/qtree"
+)
+
+// QueryConfig controls random query-tree generation.
+type QueryConfig struct {
+	// MaxDepth bounds the alternation depth (a leaf has depth 1).
+	MaxDepth int
+	// MaxFanout bounds the children per interior node (at least 2 are used).
+	MaxFanout int
+	// LeafProb is the probability of cutting a branch short with a leaf.
+	LeafProb float64
+}
+
+// DefaultQueryConfig is a moderate tree shape for property tests.
+func DefaultQueryConfig() QueryConfig {
+	return QueryConfig{MaxDepth: 4, MaxFanout: 3, LeafProb: 0.4}
+}
+
+// RandomQuery draws a random ∧/∨ query tree whose leaves constrain the
+// scenario's base attributes with random constants. The root is a
+// conjunction; operators alternate by level.
+func (s *Scenario) RandomQuery(rng *rand.Rand, cfg QueryConfig) *qtree.Node {
+	q := s.randomNode(rng, cfg, cfg.MaxDepth, qtree.KindAnd)
+	return q.Normalize()
+}
+
+func (s *Scenario) randomNode(rng *rand.Rand, cfg QueryConfig, depth int, kind qtree.NodeKind) *qtree.Node {
+	if depth <= 1 || rng.Float64() < cfg.LeafProb {
+		return s.randomLeaf(rng)
+	}
+	n := 2 + rng.Intn(cfg.MaxFanout-1)
+	kids := make([]*qtree.Node, n)
+	next := qtree.KindOr
+	if kind == qtree.KindOr {
+		next = qtree.KindAnd
+	}
+	for i := range kids {
+		kids[i] = s.randomNode(rng, cfg, depth-1, next)
+	}
+	if kind == qtree.KindAnd {
+		return qtree.And(kids...)
+	}
+	return qtree.Or(kids...)
+}
+
+func (s *Scenario) randomLeaf(rng *rand.Rand) *qtree.Node {
+	attr := s.BaseAttrs[rng.Intn(len(s.BaseAttrs))]
+	return qtree.Leaf(s.Constraint(attr, rng.Intn(s.ValueDomain)))
+}
+
+// SimpleConjunction draws a random simple conjunction of n constraints over
+// distinct attributes (cycling if n exceeds the attribute count).
+func (s *Scenario) SimpleConjunction(rng *rand.Rand, n int) *qtree.Node {
+	kids := make([]*qtree.Node, n)
+	perm := rng.Perm(len(s.BaseAttrs))
+	for i := 0; i < n; i++ {
+		attr := s.BaseAttrs[perm[i%len(perm)]]
+		kids[i] = qtree.Leaf(s.Constraint(attr, rng.Intn(s.ValueDomain)))
+	}
+	return qtree.And(kids...).Normalize()
+}
+
+// WorstCaseCompactness builds the Section 8 compactness family: a scenario
+// of 2k independent attributes and the query
+//
+//	Q = ∧_{i=1..k} ( [a_{2i} = v] ∨ [a_{2i+1} = v] )
+//
+// whose DNF has 2^k disjuncts of k constraints each, while the original
+// (and TDQM-preserved) tree has ~3k nodes.
+func WorstCaseCompactness(k int) (*Scenario, *qtree.Node) {
+	s := New(Config{Indep: 2 * k})
+	kids := make([]*qtree.Node, k)
+	for i := 0; i < k; i++ {
+		kids[i] = qtree.Or(
+			qtree.Leaf(s.Constraint(s.BaseAttrs[2*i], 0)),
+			qtree.Leaf(s.Constraint(s.BaseAttrs[2*i+1], 1)),
+		)
+	}
+	return s, qtree.And(kids...).Normalize()
+}
+
+// DependencyConjunction builds the Section 8 EDNF-cost family: a conjunction
+// of n conjuncts, each a disjunction of k leaf constraints, where e of the
+// pair groups span conjunct boundaries (degree-of-dependency e); the
+// remaining constraints are independent. With e = 0 every conjunct's EDNF
+// collapses to ε; each increment of e adds dependent constraints that
+// survive into the EDNF product.
+func DependencyConjunction(n, k, e int) (*Scenario, *qtree.Node) {
+	if k < 2 {
+		k = 2
+	}
+	if e > n-1 {
+		e = n - 1
+	}
+	s := New(Config{Indep: n * k, Pairs: e})
+	kids := make([]*qtree.Node, n)
+	indep := 0
+	for i := 0; i < n; i++ {
+		leaves := make([]*qtree.Node, k)
+		for j := 0; j < k; j++ {
+			leaves[j] = qtree.Leaf(s.Constraint(s.BaseAttrs[indep], 0))
+			indep++
+		}
+		kids[i] = qtree.Or(leaves...)
+	}
+	// Thread e dependent pairs across consecutive conjuncts: the pair
+	// group's first attribute replaces a leaf of conjunct i, its second a
+	// leaf of conjunct i+1.
+	for p := 0; p < e; p++ {
+		g := s.Groups[n*k+p] // pair groups follow the independents
+		kids[p].Kids[0] = qtree.Leaf(s.Constraint(g.Attrs[0], 0))
+		kids[p+1].Kids[k-1] = qtree.Leaf(s.Constraint(g.Attrs[1], 0))
+	}
+	return s, qtree.And(kids...).Normalize()
+}
+
+// IndependentTree builds a query of n independent constraints arranged as a
+// conjunction of ⌈n/2⌉ two-way disjunctions — the "no dependencies" case of
+// Section 8 where TDQM pays virtually no extra cost while DNF conversion
+// still explodes.
+func IndependentTree(n int) (*Scenario, *qtree.Node) {
+	if n < 2 {
+		n = 2
+	}
+	s := New(Config{Indep: n})
+	var kids []*qtree.Node
+	for i := 0; i+1 < n; i += 2 {
+		kids = append(kids, qtree.Or(
+			qtree.Leaf(s.Constraint(s.BaseAttrs[i], 0)),
+			qtree.Leaf(s.Constraint(s.BaseAttrs[i+1], 1)),
+		))
+	}
+	if n%2 == 1 {
+		kids = append(kids, qtree.Leaf(s.Constraint(s.BaseAttrs[n-1], 0)))
+	}
+	return s, qtree.And(kids...).Normalize()
+}

@@ -1,0 +1,342 @@
+// Package workload generates synthetic translation scenarios — mapping
+// specifications with controlled constraint-dependency structure, random
+// query trees, and random data tuples — for the property-based tests and
+// the benchmark harness that reproduce the paper's complexity and
+// compactness claims (Sections 4.4 and 8).
+//
+// A scenario partitions a base-attribute universe into dependency groups
+// mirroring the paper's examples:
+//
+//   - independent attributes (like publisher): one exact rule each;
+//   - pair groups (like pyear/pmonth → pdate): an exact rule for the pair
+//     and an exact prefix rule for the leading attribute alone, the second
+//     attribute having no mapping by itself;
+//   - inexact pair groups (like ln/fn → author at Clbooks): an exact rule
+//     for the pair and *relaxing* containment rules for each attribute
+//     alone;
+//   - triple groups: exact rules for the full triple, the leading pair, and
+//     the leading attribute.
+//
+// The specifications are sound and complete by construction (Definitions
+// 3–4): every rule emits the minimal subsuming mapping of an indecomposable
+// constraint combination under the scenario's data semantics, and every
+// indecomposable combination with a non-trivial mapping has a rule.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/qtree"
+	"repro/internal/rules"
+	"repro/internal/values"
+)
+
+// GroupKind classifies a dependency group.
+type GroupKind int
+
+const (
+	// KindIndep is a single independent attribute.
+	KindIndep GroupKind = iota
+	// KindPair is a pyear/pmonth-style pair: only the first attribute has a
+	// (prefix) mapping alone.
+	KindPair
+	// KindInexactPair is an ln/fn-style pair whose individual attributes
+	// relax to word containment.
+	KindInexactPair
+	// KindTriple is a three-attribute group with nested prefix mappings.
+	KindTriple
+)
+
+func (k GroupKind) String() string {
+	switch k {
+	case KindIndep:
+		return "indep"
+	case KindPair:
+		return "pair"
+	case KindInexactPair:
+		return "inexact-pair"
+	case KindTriple:
+		return "triple"
+	default:
+		return fmt.Sprintf("GroupKind(%d)", int(k))
+	}
+}
+
+// Group is one dependency group: its base attributes and the target
+// attribute their combination maps to.
+type Group struct {
+	Kind   GroupKind
+	Attrs  []string
+	Target string
+}
+
+// Config sizes a scenario.
+type Config struct {
+	Indep        int // independent attributes
+	Pairs        int // pyear/pmonth-style groups
+	InexactPairs int // ln/fn-style groups
+	Triples      int // triple groups
+}
+
+// Scenario is a generated translation scenario.
+type Scenario struct {
+	Spec   *rules.Spec
+	Groups []Group
+	// BaseAttrs lists every mediator-side attribute.
+	BaseAttrs []string
+	// Eval evaluates both vocabularies over scenario tuples.
+	Eval *engine.Evaluator
+	// ValueDomain is the number of distinct constants ("v0".."v<n-1>").
+	ValueDomain int
+}
+
+// New builds a scenario for the given configuration.
+func New(cfg Config) *Scenario {
+	s := &Scenario{Eval: engine.NewEvaluator(), ValueDomain: 4}
+	reg := rules.NewRegistry()
+	registerWorkloadActions(reg)
+
+	var rs []*rules.Rule
+	var caps []rules.Capability
+	attrIdx, groupIdx := 0, 0
+
+	nextAttr := func() string {
+		a := fmt.Sprintf("a%d", attrIdx)
+		attrIdx++
+		s.BaseAttrs = append(s.BaseAttrs, a)
+		return a
+	}
+
+	addGroup := func(kind GroupKind, n int) {
+		g := Group{Kind: kind, Target: fmt.Sprintf("t%d", groupIdx)}
+		groupIdx++
+		for i := 0; i < n; i++ {
+			g.Attrs = append(g.Attrs, nextAttr())
+		}
+		s.Groups = append(s.Groups, g)
+		rs = append(rs, groupRules(g)...)
+		caps = append(caps, groupCaps(g)...)
+	}
+
+	for i := 0; i < cfg.Indep; i++ {
+		addGroup(KindIndep, 1)
+	}
+	for i := 0; i < cfg.Pairs; i++ {
+		addGroup(KindPair, 2)
+	}
+	for i := 0; i < cfg.InexactPairs; i++ {
+		addGroup(KindInexactPair, 2)
+	}
+	for i := 0; i < cfg.Triples; i++ {
+		addGroup(KindTriple, 3)
+	}
+
+	target := rules.NewTarget("workload", caps...)
+	s.Spec = rules.MustSpec("K_workload", target, reg, rs...)
+	return s
+}
+
+// groupRules builds the mapping rules for one group.
+func groupRules(g Group) []*rules.Rule {
+	lit := func(name string) rules.AttrPat { return rules.AttrPat{Name: name} }
+	tgt := func() rules.AttrPat { return rules.AttrPat{Name: g.Target} }
+	valueConds := func(vars ...string) []rules.CondRef {
+		out := make([]rules.CondRef, len(vars))
+		for i, v := range vars {
+			out[i] = rules.CondRef{Name: "Value", Args: []string{v}}
+		}
+		return out
+	}
+	name := func(suffix string) string { return "R_" + g.Target + "_" + suffix }
+
+	switch g.Kind {
+	case KindIndep:
+		return []*rules.Rule{{
+			Name:     name("full"),
+			Patterns: []rules.ConstraintPat{{Attr: lit(g.Attrs[0]), Op: qtree.OpEq, RHS: rules.VarTerm("A")}},
+			Conds:    valueConds("A"),
+			Emit:     rules.EmitLeaf(rules.ConstraintPat{Attr: tgt(), Op: qtree.OpEq, RHS: rules.VarTerm("A")}),
+			Exact:    true,
+		}}
+	case KindPair:
+		return []*rules.Rule{
+			{
+				Name: name("full"),
+				Patterns: []rules.ConstraintPat{
+					{Attr: lit(g.Attrs[0]), Op: qtree.OpEq, RHS: rules.VarTerm("A")},
+					{Attr: lit(g.Attrs[1]), Op: qtree.OpEq, RHS: rules.VarTerm("B")},
+				},
+				Conds: valueConds("A", "B"),
+				Lets:  []rules.LetClause{{Var: "K", Func: "JoinBar", Args: []string{"A", "B"}}},
+				Emit:  rules.EmitLeaf(rules.ConstraintPat{Attr: tgt(), Op: qtree.OpEq, RHS: rules.VarTerm("K")}),
+				Exact: true,
+			},
+			{
+				Name:     name("p1"),
+				Patterns: []rules.ConstraintPat{{Attr: lit(g.Attrs[0]), Op: qtree.OpEq, RHS: rules.VarTerm("A")}},
+				Conds:    valueConds("A"),
+				Lets:     []rules.LetClause{{Var: "K", Func: "PrefixBar", Args: []string{"A"}}},
+				Emit:     rules.EmitLeaf(rules.ConstraintPat{Attr: tgt(), Op: qtree.OpStarts, RHS: rules.VarTerm("K")}),
+				Exact:    true,
+			},
+		}
+	case KindInexactPair:
+		mk := func(i int) *rules.Rule {
+			return &rules.Rule{
+				Name:     name(fmt.Sprintf("w%d", i)),
+				Patterns: []rules.ConstraintPat{{Attr: lit(g.Attrs[i]), Op: qtree.OpEq, RHS: rules.VarTerm("A")}},
+				Conds:    valueConds("A"),
+				Lets:     []rules.LetClause{{Var: "W", Func: "WordOf", Args: []string{"A"}}},
+				Emit:     rules.EmitLeaf(rules.ConstraintPat{Attr: tgt(), Op: qtree.OpContains, RHS: rules.VarTerm("W")}),
+			}
+		}
+		return []*rules.Rule{
+			{
+				Name: name("full"),
+				Patterns: []rules.ConstraintPat{
+					{Attr: lit(g.Attrs[0]), Op: qtree.OpEq, RHS: rules.VarTerm("A")},
+					{Attr: lit(g.Attrs[1]), Op: qtree.OpEq, RHS: rules.VarTerm("B")},
+				},
+				Conds: valueConds("A", "B"),
+				Lets:  []rules.LetClause{{Var: "K", Func: "JoinSpace", Args: []string{"A", "B"}}},
+				Emit:  rules.EmitLeaf(rules.ConstraintPat{Attr: tgt(), Op: qtree.OpEq, RHS: rules.VarTerm("K")}),
+				Exact: true,
+			},
+			mk(0), mk(1),
+		}
+	case KindTriple:
+		return []*rules.Rule{
+			{
+				Name: name("full"),
+				Patterns: []rules.ConstraintPat{
+					{Attr: lit(g.Attrs[0]), Op: qtree.OpEq, RHS: rules.VarTerm("A")},
+					{Attr: lit(g.Attrs[1]), Op: qtree.OpEq, RHS: rules.VarTerm("B")},
+					{Attr: lit(g.Attrs[2]), Op: qtree.OpEq, RHS: rules.VarTerm("C")},
+				},
+				Conds: valueConds("A", "B", "C"),
+				Lets:  []rules.LetClause{{Var: "K", Func: "JoinBar3", Args: []string{"A", "B", "C"}}},
+				Emit:  rules.EmitLeaf(rules.ConstraintPat{Attr: tgt(), Op: qtree.OpEq, RHS: rules.VarTerm("K")}),
+				Exact: true,
+			},
+			{
+				Name: name("p12"),
+				Patterns: []rules.ConstraintPat{
+					{Attr: lit(g.Attrs[0]), Op: qtree.OpEq, RHS: rules.VarTerm("A")},
+					{Attr: lit(g.Attrs[1]), Op: qtree.OpEq, RHS: rules.VarTerm("B")},
+				},
+				Conds: valueConds("A", "B"),
+				Lets:  []rules.LetClause{{Var: "K", Func: "PrefixBar2", Args: []string{"A", "B"}}},
+				Emit:  rules.EmitLeaf(rules.ConstraintPat{Attr: tgt(), Op: qtree.OpStarts, RHS: rules.VarTerm("K")}),
+				Exact: true,
+			},
+			{
+				Name:     name("p1"),
+				Patterns: []rules.ConstraintPat{{Attr: lit(g.Attrs[0]), Op: qtree.OpEq, RHS: rules.VarTerm("A")}},
+				Conds:    valueConds("A"),
+				Lets:     []rules.LetClause{{Var: "K", Func: "PrefixBar", Args: []string{"A"}}},
+				Emit:     rules.EmitLeaf(rules.ConstraintPat{Attr: tgt(), Op: qtree.OpStarts, RHS: rules.VarTerm("K")}),
+				Exact:    true,
+			},
+		}
+	default:
+		panic("workload: unknown group kind")
+	}
+}
+
+func groupCaps(g Group) []rules.Capability {
+	switch g.Kind {
+	case KindIndep:
+		return []rules.Capability{{Attr: g.Target, Op: qtree.OpEq}}
+	case KindPair, KindTriple:
+		return []rules.Capability{
+			{Attr: g.Target, Op: qtree.OpEq},
+			{Attr: g.Target, Op: qtree.OpStarts},
+		}
+	case KindInexactPair:
+		return []rules.Capability{
+			{Attr: g.Target, Op: qtree.OpEq},
+			{Attr: g.Target, Op: qtree.OpContains},
+		}
+	default:
+		return nil
+	}
+}
+
+// registerWorkloadActions installs the value-composition functions the
+// generated rules call.
+func registerWorkloadActions(reg *rules.Registry) {
+	str := func(b rules.Binding, arg string) (string, error) {
+		v, err := b.Value(arg)
+		if err != nil {
+			return "", err
+		}
+		s, ok := v.(values.String)
+		if !ok {
+			return "", fmt.Errorf("workload: argument %s is not a string", arg)
+		}
+		return s.Raw(), nil
+	}
+	join := func(sep, suffix string, n int) rules.ActionFunc {
+		return func(b rules.Binding, args []string) (rules.BoundVal, error) {
+			parts := make([]string, n)
+			for i := 0; i < n; i++ {
+				p, err := str(b, args[i])
+				if err != nil {
+					return rules.BoundVal{}, err
+				}
+				parts[i] = p
+			}
+			return rules.ValueOf(values.String(strings.Join(parts, sep) + suffix)), nil
+		}
+	}
+	reg.RegisterAction("JoinBar", join("|", "", 2))
+	reg.RegisterAction("JoinBar3", join("|", "", 3))
+	reg.RegisterAction("JoinSpace", join(" ", "", 2))
+	reg.RegisterAction("PrefixBar", join("|", "|", 1))
+	reg.RegisterAction("PrefixBar2", join("|", "|", 2))
+	reg.RegisterAction("WordOf", func(b rules.Binding, args []string) (rules.BoundVal, error) {
+		w, err := str(b, args[0])
+		if err != nil {
+			return rules.BoundVal{}, err
+		}
+		return rules.ValueOf(values.Word(w)), nil
+	})
+}
+
+// Value returns the i-th constant of the value domain.
+func (s *Scenario) Value(i int) values.String {
+	return values.String(fmt.Sprintf("v%d", i%s.ValueDomain))
+}
+
+// Constraint builds [attr = v<i>].
+func (s *Scenario) Constraint(attr string, i int) *qtree.Constraint {
+	return qtree.Sel(qtree.A(attr), qtree.OpEq, s.Value(i))
+}
+
+// RandomTuple draws a tuple assigning every base attribute a random value
+// and deriving every group's target attribute, so that original and
+// translated queries are evaluable on the same tuple.
+func (s *Scenario) RandomTuple(rng *rand.Rand) engine.Tuple {
+	t := make(engine.Tuple)
+	vals := make(map[string]string, len(s.BaseAttrs))
+	for _, a := range s.BaseAttrs {
+		v := fmt.Sprintf("v%d", rng.Intn(s.ValueDomain))
+		vals[a] = v
+		t.Set(qtree.A(a), values.String(v))
+	}
+	for _, g := range s.Groups {
+		parts := make([]string, len(g.Attrs))
+		for i, a := range g.Attrs {
+			parts[i] = vals[a]
+		}
+		sep := "|"
+		if g.Kind == KindInexactPair {
+			sep = " "
+		}
+		t.Set(qtree.A(g.Target), values.String(strings.Join(parts, sep)))
+	}
+	return t
+}

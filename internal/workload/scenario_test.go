@@ -1,0 +1,257 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/qtree"
+	"repro/internal/rules"
+)
+
+// TestScenarioShape sanity-checks generator bookkeeping.
+func TestScenarioShape(t *testing.T) {
+	s := New(Config{Indep: 3, Pairs: 2, InexactPairs: 1, Triples: 1})
+	if got := len(s.BaseAttrs); got != 3+4+2+3 {
+		t.Errorf("base attrs = %d, want 12", got)
+	}
+	if got := len(s.Groups); got != 7 {
+		t.Errorf("groups = %d, want 7", got)
+	}
+	// Rules: 3 indep + 2×2 pair + 3 inexact-pair + 3 triple.
+	if got := len(s.Spec.Rules); got != 3+4+3+3 {
+		t.Errorf("rules = %d, want 13", got)
+	}
+}
+
+// TestGroupRuleSoundness verifies, per group kind, that every rule's
+// emission is (a) subsuming and (b) exact exactly when marked so — on
+// exhaustively enumerated tuples over the group's attributes.
+func TestGroupRuleSoundness(t *testing.T) {
+	s := New(Config{Pairs: 1, InexactPairs: 1, Triples: 1, Indep: 1})
+	rng := rand.New(rand.NewSource(1))
+	tr := core.NewTranslator(s.Spec)
+
+	for _, g := range s.Groups {
+		// Build the full-group query with fixed values v0, v1, v2.
+		var kids []*qtree.Node
+		for i, a := range g.Attrs {
+			kids = append(kids, qtree.Leaf(s.Constraint(a, i)))
+		}
+		q := qtree.AndOf(kids...)
+		res, err := tr.SCMQuery(q)
+		if err != nil {
+			t.Fatalf("group %s: %v", g.Target, err)
+		}
+		if res.Query.IsTrue() {
+			t.Fatalf("group %s: full conjunction has trivial mapping", g.Target)
+		}
+		// Probe: subsumption and exactness on random tuples.
+		for j := 0; j < 400; j++ {
+			tup := s.RandomTuple(rng)
+			inQ, err := s.Eval.EvalQuery(q, tup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inS, err := s.Eval.EvalQuery(res.Query, tup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if inQ && !inS {
+				t.Fatalf("group %s (%v): emission not subsuming on %s", g.Target, g.Kind, tup)
+			}
+			// Full-group rules are exact by design.
+			if inS && !inQ {
+				t.Fatalf("group %s (%v): full-group mapping admits false positive %s",
+					g.Target, g.Kind, tup)
+			}
+		}
+	}
+}
+
+// TestPartialRulesRelax verifies the designed asymmetries: a pair group's
+// second attribute has no mapping alone; an inexact pair's components map
+// to containment that genuinely admits false positives.
+func TestPartialRulesRelax(t *testing.T) {
+	s := New(Config{Pairs: 1, InexactPairs: 1})
+	tr := core.NewTranslator(s.Spec)
+	rng := rand.New(rand.NewSource(2))
+
+	pair := s.Groups[0]
+	res, err := tr.SCMQuery(qtree.NewConstraintSet(s.Constraint(pair.Attrs[1], 0)).Conjunction())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Query.IsTrue() {
+		t.Errorf("pair second attribute mapped to %s, want TRUE", res.Query)
+	}
+
+	inexact := s.Groups[1]
+	q := qtree.NewConstraintSet(s.Constraint(inexact.Attrs[1], 0)).Conjunction()
+	res, err = tr.SCMQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Query.IsTrue() {
+		t.Fatal("inexact-pair component should have a containment mapping")
+	}
+	// The relaxation must admit at least one false positive across many
+	// random tuples (a tuple whose *other* component carries the value).
+	fp := false
+	for j := 0; j < 2000 && !fp; j++ {
+		tup := s.RandomTuple(rng)
+		inQ, _ := s.Eval.EvalQuery(q, tup)
+		inS, _ := s.Eval.EvalQuery(res.Query, tup)
+		if inS && !inQ {
+			fp = true
+		}
+	}
+	if !fp {
+		t.Error("containment relaxation admitted no false positives in 2000 tuples; generator broken?")
+	}
+}
+
+// TestSpecCompleteness empirically probes Definition 4: for random
+// cross-group constraint combinations, the mapping synthesized from
+// per-group rules equals the mapping of the whole conjunction — i.e. no
+// indecomposable combination lacks a rule.
+func TestSpecCompleteness(t *testing.T) {
+	s := New(Config{Indep: 2, Pairs: 2, InexactPairs: 1, Triples: 1})
+	tr := core.NewTranslator(s.Spec)
+	rng := rand.New(rand.NewSource(3))
+
+	for i := 0; i < 150; i++ {
+		q := s.SimpleConjunction(rng, 2+rng.Intn(5))
+		res, err := tr.SCMQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 80; j++ {
+			tup := s.RandomTuple(rng)
+			inQ, _ := s.Eval.EvalQuery(q, tup)
+			inS, _ := s.Eval.EvalQuery(res.Query, tup)
+			if inQ && !inS {
+				t.Fatalf("case %d: mapping not subsuming\nq = %s\nS = %s\ntuple %s",
+					i, q, res.Query, tup)
+			}
+		}
+	}
+}
+
+// TestWorstCaseCompactnessFamily checks the E10 family's advertised shape.
+func TestWorstCaseCompactnessFamily(t *testing.T) {
+	s, q := WorstCaseCompactness(5)
+	if q.Kind != qtree.KindAnd || len(q.Kids) != 5 {
+		t.Fatalf("family shape: %s", q)
+	}
+	tr := core.NewTranslator(s.Spec)
+	viaTDQM, err := tr.TDQM(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaDNF, err := tr.DNFMap(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaTDQM.Size() != q.Size() {
+		t.Errorf("TDQM size %d != input size %d (structure should be preserved)",
+			viaTDQM.Size(), q.Size())
+	}
+	wantDNF := 1 + 32*(5+1) // Or node + 2^5 disjuncts of (And + 5 leaves)
+	if viaDNF.Size() != wantDNF {
+		t.Errorf("DNF size %d, want %d", viaDNF.Size(), wantDNF)
+	}
+}
+
+// TestDependencyConjunctionFamily checks the E11 family: with e = 0 all
+// EDNF collapse to ε; each increment multiplies the product terms.
+func TestDependencyConjunctionFamily(t *testing.T) {
+	var prevTerms int
+	for e := 0; e <= 3; e++ {
+		s, q := DependencyConjunction(4, 3, e)
+		tr := core.NewTranslator(s.Spec)
+		p, err := tr.PSafe(q.Kids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e == 0 {
+			if !p.Separable {
+				t.Errorf("e=0: conjunction should be separable, got %s", p)
+			}
+			if tr.Stats.ProductTerms != 1 {
+				t.Errorf("e=0: %d product terms, want 1 (all ε)", tr.Stats.ProductTerms)
+			}
+		} else {
+			if p.Separable {
+				t.Errorf("e=%d: conjunction should not be fully separable", e)
+			}
+			if tr.Stats.ProductTerms <= prevTerms {
+				t.Errorf("e=%d: product terms %d did not grow from %d",
+					e, tr.Stats.ProductTerms, prevTerms)
+			}
+		}
+		prevTerms = tr.Stats.ProductTerms
+	}
+}
+
+// TestIndependentTreeFamily checks the E9 family.
+func TestIndependentTreeFamily(t *testing.T) {
+	s, q := IndependentTree(8)
+	tr := core.NewTranslator(s.Spec)
+	p, err := tr.PSafe(q.Kids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Separable {
+		t.Errorf("independent tree not separable: %s", p)
+	}
+	// Odd n appends a lone leaf conjunct.
+	_, qOdd := IndependentTree(9)
+	if got := len(qOdd.Conjuncts()); got != 5 {
+		t.Errorf("odd-n conjunct count = %d, want 5", got)
+	}
+}
+
+// TestRandomQueryDeterminism: the same seed yields the same query.
+func TestRandomQueryDeterminism(t *testing.T) {
+	s := New(Config{Indep: 4, Pairs: 2})
+	q1 := s.RandomQuery(rand.New(rand.NewSource(77)), DefaultQueryConfig())
+	q2 := s.RandomQuery(rand.New(rand.NewSource(77)), DefaultQueryConfig())
+	if q1.String() != q2.String() {
+		t.Error("random query generation is not reproducible for a fixed seed")
+	}
+}
+
+// TestDSLRoundTripEquivalence: the generator builds its rules
+// programmatically; formatting them to DSL text, reparsing, and rebuilding
+// the spec against the same registry must yield identical translations —
+// the DSL can express everything the Go API can.
+func TestDSLRoundTripEquivalence(t *testing.T) {
+	s := New(Config{Indep: 2, Pairs: 2, InexactPairs: 1, Triples: 1})
+	text := rules.FormatSpec(s.Spec)
+	back, err := rules.ParseRules(text)
+	if err != nil {
+		t.Fatalf("formatted spec does not reparse: %v\n%s", err, text)
+	}
+	spec2, err := rules.NewSpec(s.Spec.Name+"_rt", s.Spec.Target, s.Spec.Reg, back...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	cfg := DefaultQueryConfig()
+	for i := 0; i < 60; i++ {
+		q := s.RandomQuery(rng, cfg)
+		a, err := core.NewTranslator(s.Spec).TDQM(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := core.NewTranslator(spec2).TDQM(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.EqualCanonical(b) {
+			t.Fatalf("case %d: translations differ after DSL round trip\nq = %s\noriginal: %s\nreparsed: %s",
+				i, q, a, b)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package querymap_test
+
+import (
+	"fmt"
+
+	"repro/querymap"
+)
+
+// ExampleTranslator demonstrates the paper's Example 1: translating a
+// name query into Amazon's combined-author vocabulary.
+func ExampleTranslator() {
+	src := querymap.Amazon()
+	tr := querymap.NewTranslator(src.Spec)
+
+	q := querymap.MustParse(`[ln = "Clancy"] and [fn = "Tom"]`)
+	s, err := tr.Translate(q, querymap.AlgTDQM)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(s)
+	// Output: [author = "Clancy, Tom"]
+}
+
+// ExampleTranslator_dependencies demonstrates Example 2: constraint
+// dependencies across a disjunction are respected, producing the minimal
+// mapping rather than the naive per-conjunct translation.
+func ExampleTranslator_dependencies() {
+	tr := querymap.NewTranslator(querymap.Amazon().Spec)
+
+	q := querymap.MustParse(`([ln = "Clancy"] or [ln = "Klancy"]) and [fn = "Tom"]`)
+	s, err := tr.Translate(q, querymap.AlgTDQM)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(s)
+	// Output: [author = "Clancy, Tom"] or [author = "Klancy, Tom"]
+}
+
+// ExampleTranslator_filter demonstrates semantic relaxation with a filter
+// query: the target lacks the proximity operator, so (near) relaxes to (^)
+// and the original constraint is kept as the filter (Eq. 3).
+func ExampleTranslator_filter() {
+	tr := querymap.NewTranslator(querymap.Amazon().Spec)
+
+	q := querymap.MustParse(`[ti contains java(near)jdk]`)
+	mapped, filter, err := tr.TranslateWithFilter(q, querymap.AlgTDQM)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("S(Q) =", mapped)
+	fmt.Println("F    =", filter)
+	// Output:
+	// S(Q) = [ti-word contains java(^)jdk]
+	// F    = [ti contains java(near)jdk]
+}
+
+// ExampleNewSpec demonstrates building a mapping specification from rule
+// DSL text with a custom conversion function.
+func ExampleNewSpec() {
+	reg := querymap.NewRegistry()
+	reg.RegisterAction("Upper", func(b querymap.Binding, args []string) (querymap.BoundVal, error) {
+		v, err := b.Value(args[0])
+		if err != nil {
+			return querymap.BoundVal{}, err
+		}
+		s := v.(interface{ Raw() string }).Raw()
+		up := ""
+		for _, r := range s {
+			if r >= 'a' && r <= 'z' {
+				r -= 32
+			}
+			up += string(r)
+		}
+		return querymap.ValueOfString(up), nil
+	})
+
+	rs := querymap.MustParseRules(`
+rule U {
+  match [code = C];
+  where Value(C);
+  let UC = Upper(C);
+  emit exact [shout-code = UC];
+}
+`)
+	target := querymap.NewTarget("shouty", querymap.Capability{Attr: "shout-code", Op: "="})
+	spec, err := querymap.NewSpec("K_shouty", target, reg, rs...)
+	if err != nil {
+		panic(err)
+	}
+
+	tr := querymap.NewTranslator(spec)
+	s, err := tr.Translate(querymap.MustParse(`[code = "ab12"]`), querymap.AlgSCM)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(s)
+	// Output: [shout-code = "AB12"]
+}
+
+// ExampleMediator demonstrates multi-source translation with the global
+// filter of Example 3.
+func ExampleMediator() {
+	med := querymap.NewMediator(querymap.LibraryT1(), querymap.LibraryT2())
+	q := querymap.MustParse(`[fac.ln = pub.ln] and [fac.fn = pub.fn] and ` +
+		`[fac.bib contains data(near)mining] and [fac.dept = cs]`)
+	tr, err := med.Translate(q)
+	if err != nil {
+		panic(err)
+	}
+	for _, st := range tr.Sources {
+		fmt.Printf("S_%s(Q) = %s\n", st.Source.Name, st.Query)
+	}
+	fmt.Println("F =", tr.Filter)
+	// Output:
+	// S_t1(Q) = [fac.aubib.bib contains data(^)mining] and [fac.aubib.name = pub.paper.au]
+	// S_t2(Q) = [fac.prof.dept = 230]
+	// F = [fac.bib contains data(near)mining]
+}
