@@ -15,6 +15,7 @@ package repro
 //	disjuncts/op    DNF disjuncts processed by Algorithm DNF
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/mediator"
 	"repro/internal/qparse"
 	"repro/internal/qtree"
+	"repro/internal/serve"
 	"repro/internal/sources"
 	"repro/internal/workload"
 )
@@ -285,6 +287,67 @@ func BenchmarkUnionMediation(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Serving layer: canonical translation cache and concurrent fan-out -----
+
+// BenchmarkServeCachedVsCold compares a cold mediator translation (full
+// TDQM for every source) against a warm canonical-cache hit on the
+// Example 3 library workload. The hit skips TDQM entirely — only the
+// canonical key is recomputed.
+func BenchmarkServeCachedVsCold(b *testing.B) {
+	med := mediator.New(sources.NewT1(), sources.NewT2())
+	q := qparse.MustParse(`([fac.dept = cs] or [fac.dept = ee]) and [fac.bib contains data(near)mining]`)
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := med.Translate(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		ct := serve.NewCachingTranslator(med, 64)
+		if _, err := ct.Translate(q); err != nil { // warm the entry
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ct.Translate(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkServeParallel drives the full serving layer (cached translation
+// + concurrent per-source fan-out + merge) with GOMAXPROCS client
+// goroutines over the bookstore catalog.
+func BenchmarkServeParallel(b *testing.B) {
+	med := mediator.New(sources.NewAmazon(), sources.NewClbooks())
+	catalog := sources.BookRelation("catalog", sources.GenBooks(3, 500))
+	med.Indexes = map[string]engine.IndexSet{
+		"amazon":  engine.BuildIndexes(catalog, "publisher", "isbn", "subject"),
+		"clbooks": engine.BuildIndexes(catalog, "publisher"),
+	}
+	data := map[string]*engine.Relation{"amazon": catalog, "clbooks": catalog}
+	srv := serve.New(med, data, serve.Config{CacheSize: 64})
+	queries := []*qtree.Node{
+		qparse.MustParse(`[ln = "Clancy"] and [fn = "Tom"]`),
+		qparse.MustParse(`[pyear = 1997] and [pmonth = 5]`),
+		qparse.MustParse(`([ln = "Clancy"] and [fn = "Tom"]) or [kwd contains web]`),
+		qparse.MustParse(`[ti contains java(near)jdk]`),
+	}
+	ctx := context.Background()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := srv.Query(ctx, queries[i%len(queries)]); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+	b.ReportMetric(srv.Stats().HitRate()*100, "hit%")
 }
 
 // --- Random complex queries: throughput of the full TDQM pipeline ----------

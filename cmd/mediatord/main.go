@@ -4,11 +4,19 @@
 // executes them against an in-memory catalog, filters false positives, and
 // returns JSON.
 //
+// Requests flow through internal/serve: translations are memoized in a
+// canonical LRU cache (permuted-but-equivalent queries share one entry,
+// concurrent identical misses compute once), per-source execution fans out
+// in parallel under a bounded worker pool with a per-source timeout, and
+// atomic counters are exported at /stats. SIGINT/SIGTERM trigger a
+// graceful shutdown that drains in-flight queries.
+//
 // Endpoints:
 //
 //	GET /translate?q=<query>      per-source translations and the filter
 //	GET /query?q=<query>          mediated answers from the catalog
 //	GET /sources                  the integrated sources and their rules
+//	GET /stats                    serving-layer counters (cache, latency)
 //	GET /healthz                  liveness
 //
 // Example:
@@ -18,11 +26,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/engine"
@@ -30,43 +42,65 @@ import (
 	"repro/internal/qparse"
 	"repro/internal/qtree"
 	"repro/internal/rules"
+	"repro/internal/serve"
 	"repro/internal/sources"
 )
 
 type server struct {
 	med     *mediator.Mediator
+	svc     *serve.Server
 	catalog *engine.Relation
-	data    map[string]*engine.Relation
 }
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	nBooks := flag.Int("books", 500, "synthetic catalog size")
 	seed := flag.Int64("seed", 1999, "catalog generator seed")
+	cacheSize := flag.Int("cache", serve.DefaultCacheSize, "translation cache capacity (entries)")
+	workers := flag.Int("workers", 0, "max concurrent source executions (0 = 2×GOMAXPROCS)")
+	srcTimeout := flag.Duration("source-timeout", 10*time.Second, "per-source execution timeout (0 = none)")
+	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain timeout")
 	flag.Parse()
 
-	s := newServer(*seed, *nBooks)
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /translate", s.handleTranslate)
-	mux.HandleFunc("GET /query", s.handleQuery)
-	mux.HandleFunc("GET /sources", s.handleSources)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
+	s := newServer(*seed, *nBooks, serve.Config{
+		CacheSize:     *cacheSize,
+		Workers:       *workers,
+		SourceTimeout: *srcTimeout,
 	})
-
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           mux,
+		Handler:           s.mux(),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       10 * time.Second,
 		WriteTimeout:      30 * time.Second,
 		IdleTimeout:       60 * time.Second,
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("mediatord: serving %d-book catalog on %s", s.catalog.Len(), *addr)
-	log.Fatal(srv.ListenAndServe())
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills hard
+		log.Printf("mediatord: signal received, draining in-flight queries (max %s)", *drain)
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Printf("mediatord: forced shutdown: %v", err)
+		}
+		st := s.svc.Stats()
+		log.Printf("mediatord: served %d requests (%.0f%% cache hits), bye",
+			st.Requests, 100*st.HitRate())
+	}
 }
 
-func newServer(seed int64, nBooks int) *server {
+func newServer(seed int64, nBooks int, cfg serve.Config) *server {
 	med := mediator.New(sources.NewAmazon(), sources.NewClbooks())
 	catalog := sources.BookRelation("catalog", sources.GenBooks(seed, nBooks))
 	// Equality indexes accelerate the directly-indexable translations;
@@ -75,14 +109,27 @@ func newServer(seed int64, nBooks int) *server {
 		"amazon":  engine.BuildIndexes(catalog, "publisher", "isbn", "subject"),
 		"clbooks": engine.BuildIndexes(catalog, "publisher"),
 	}
+	data := map[string]*engine.Relation{
+		"amazon":  catalog,
+		"clbooks": catalog,
+	}
 	return &server{
 		med:     med,
+		svc:     serve.New(med, data, cfg),
 		catalog: catalog,
-		data: map[string]*engine.Relation{
-			"amazon":  catalog,
-			"clbooks": catalog,
-		},
 	}
+}
+
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /translate", s.handleTranslate)
+	mux.HandleFunc("GET /query", s.handleQuery)
+	mux.HandleFunc("GET /sources", s.handleSources)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
 }
 
 type translationJSON struct {
@@ -104,7 +151,7 @@ func (s *server) handleTranslate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	tr, err := s.med.Translate(q)
+	tr, err := s.svc.Translate(r.Context(), q)
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -133,7 +180,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	result, _, err := s.med.ExecuteUnion(q, s.data)
+	result, err := s.svc.Query(r.Context(), q)
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -162,6 +209,10 @@ func (s *server) handleSources(w http.ResponseWriter, r *http.Request) {
 		out = append(out, sourceInfoJSON{Name: src.Name, Rules: rules.FormatSpec(src.Spec)})
 	}
 	writeJSON(w, out)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.svc.Stats())
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -9,11 +9,12 @@ import (
 
 	"repro/internal/qparse"
 	"repro/internal/qtree"
+	"repro/internal/serve"
 )
 
 func testServer(t *testing.T) *server {
 	t.Helper()
-	return newServer(7, 120)
+	return newServer(7, 120, serve.Config{CacheSize: 64})
 }
 
 func TestHandleTranslate(t *testing.T) {
@@ -88,6 +89,38 @@ func TestHandleSources(t *testing.T) {
 	}
 	if len(out) != 2 || !strings.Contains(out[0].Rules, "rule R2") {
 		t.Errorf("sources = %+v", out)
+	}
+}
+
+func TestHandleStats(t *testing.T) {
+	s := testServer(t)
+	q := "/query?q=" + url.QueryEscape(`[ln = "Clancy"] and [fn = "Tom"]`)
+	for i := 0; i < 3; i++ {
+		rec := httptest.NewRecorder()
+		s.handleQuery(rec, httptest.NewRequest("GET", q, nil))
+		if rec.Code != 200 {
+			t.Fatalf("query status %d: %s", rec.Code, rec.Body)
+		}
+	}
+	rec := httptest.NewRecorder()
+	s.handleStats(rec, httptest.NewRequest("GET", "/stats", nil))
+	if rec.Code != 200 {
+		t.Fatalf("stats status %d: %s", rec.Code, rec.Body)
+	}
+	var st serve.Stats
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 3 {
+		t.Errorf("requests = %d, want 3", st.Requests)
+	}
+	if st.CacheMisses != 1 || st.CacheHits != 2 {
+		t.Errorf("cache misses/hits = %d/%d, want 1/2", st.CacheMisses, st.CacheHits)
+	}
+	for _, name := range []string{"amazon", "clbooks"} {
+		if st.Sources[name].Executions != 3 {
+			t.Errorf("source %s executions = %d, want 3", name, st.Sources[name].Executions)
+		}
 	}
 }
 

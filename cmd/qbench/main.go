@@ -7,6 +7,10 @@
 //	qbench             # run every experiment
 //	qbench -exp E10    # run one experiment
 //	qbench -list       # list experiments
+//	qbench -serve -clients 16 -requests 20000
+//	                   # drive the concurrent serving layer (internal/serve)
+//	                   # over the synthetic workload; reports throughput,
+//	                   # cache hit rate, and per-source latency histograms
 package main
 
 import (
@@ -45,9 +49,26 @@ func main() {
 	var (
 		exp  = flag.String("exp", "", "experiment id to run (default: all)")
 		list = flag.Bool("list", false, "list experiments and exit")
+
+		serveMode = flag.Bool("serve", false, "run the concurrent serve workload instead of experiments")
+		clients   = flag.Int("clients", 8, "serve mode: concurrent client goroutines")
+		requests  = flag.Int("requests", 10000, "serve mode: total requests")
+		distinct  = flag.Int("distinct", 64, "serve mode: distinct queries in rotation")
+		cache     = flag.Int("cache", 256, "serve mode: translation cache capacity")
+		tuples    = flag.Int("tuples", 500, "serve mode: universe tuples per source shard")
 	)
 	flag.Parse()
 
+	if *serveMode {
+		runServe(serveOptions{
+			clients:  *clients,
+			requests: *requests,
+			distinct: *distinct,
+			cache:    *cache,
+			tuples:   *tuples,
+		})
+		return
+	}
 	if *list {
 		for _, e := range experiments {
 			fmt.Printf("%-5s %s\n", e.id, e.title)

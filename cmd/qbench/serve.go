@@ -1,0 +1,119 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/mediator"
+	"repro/internal/qtree"
+	"repro/internal/serve"
+	"repro/internal/sources"
+	"repro/internal/workload"
+)
+
+// serveOptions configures the `-serve` workload mode.
+type serveOptions struct {
+	clients  int // concurrent client goroutines
+	requests int // total requests across all clients
+	distinct int // distinct queries in the rotation (cache working set)
+	cache    int // translation-cache capacity
+	tuples   int // universe tuples per source shard
+}
+
+// runServe drives internal/serve with C concurrent clients over the
+// synthetic workload generator and reports throughput and cache behavior.
+// Two sources share the generated vocabulary but hold independent data
+// shards, so every request fans out across both in parallel.
+func runServe(opt serveOptions) {
+	s := workload.New(workload.Config{Indep: 6, Pairs: 3, InexactPairs: 2, Triples: 1})
+	med := mediator.New(
+		&sources.Source{Name: "w1", Spec: s.Spec, Eval: s.Eval},
+		&sources.Source{Name: "w2", Spec: s.Spec, Eval: s.Eval},
+	)
+	med.Eval = s.Eval
+
+	rng := rand.New(rand.NewSource(1999))
+	data := map[string]*engine.Relation{}
+	for _, name := range []string{"w1", "w2"} {
+		rel := engine.NewRelation(name)
+		for i := 0; i < opt.tuples; i++ {
+			rel.Tuples = append(rel.Tuples, s.RandomTuple(rng))
+		}
+		data[name] = rel
+	}
+
+	// Shallower trees than the property-test default: depth-4 random
+	// queries over a pair/triple-heavy scenario occasionally explode under
+	// translation and would dominate the tail.
+	cfg := workload.QueryConfig{MaxDepth: 3, MaxFanout: 3, LeafProb: 0.4}
+	queries := make([]*qtree.Node, opt.distinct)
+	for i := range queries {
+		queries[i] = s.RandomQuery(rng, cfg)
+	}
+
+	srv := serve.New(med, data, serve.Config{CacheSize: opt.cache})
+	ctx := context.Background()
+
+	var served, answers, failed atomic.Uint64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < opt.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			crng := rand.New(rand.NewSource(int64(7 + c)))
+			n := opt.requests / opt.clients
+			if c < opt.requests%opt.clients {
+				n++
+			}
+			for i := 0; i < n; i++ {
+				rel, err := srv.Query(ctx, queries[crng.Intn(len(queries))])
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				served.Add(1)
+				answers.Add(uint64(rel.Len()))
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	st := srv.Stats()
+	fmt.Printf("serve workload: %d clients, %d distinct queries, %d tuples/source\n\n",
+		opt.clients, opt.distinct, opt.tuples)
+	table(
+		[]string{"metric", "value"},
+		[][]string{
+			{"requests served", fmt.Sprintf("%d", served.Load())},
+			{"requests failed", fmt.Sprintf("%d", failed.Load())},
+			{"answers returned", fmt.Sprintf("%d", answers.Load())},
+			{"elapsed", elapsed.Round(time.Millisecond).String()},
+			{"throughput", fmt.Sprintf("%.0f req/s", float64(served.Load())/elapsed.Seconds())},
+			{"cache hit rate", fmt.Sprintf("%.1f%%", 100*st.HitRate())},
+			{"cache hits/misses/shared", fmt.Sprintf("%d/%d/%d", st.CacheHits, st.CacheMisses, st.CacheShared)},
+			{"cache entries/evictions", fmt.Sprintf("%d/%d", st.CacheEntries, st.CacheEvictions)},
+			{"source timeouts", fmt.Sprintf("%d", st.Timeouts)},
+		},
+	)
+
+	fmt.Println("\nper-source latency (completed executions):")
+	labels := st.LatencyLabels
+	header := append([]string{"source", "executions"}, labels...)
+	var rows [][]string
+	for _, name := range sortedKeys(st.Sources) {
+		sc := st.Sources[name]
+		row := []string{name, fmt.Sprintf("%d", sc.Executions)}
+		for _, n := range sc.LatencyBuckets {
+			row = append(row, fmt.Sprintf("%d", n))
+		}
+		rows = append(rows, row)
+	}
+	table(header, rows)
+}

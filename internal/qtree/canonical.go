@@ -1,0 +1,47 @@
+package qtree
+
+import "sort"
+
+// Canonical returns the canonical representative of the query's equivalence
+// class under ∧/∨ commutativity, associativity, and idempotence: the tree is
+// normalized (nested same-kind operators collapsed, True identities applied,
+// duplicate siblings eliminated) and every interior node's children are
+// sorted by canonical key. Permuted-but-equivalent queries canonicalize to
+// structurally identical trees, so Canonical().String() — and the cheaper
+// CanonicalKey() — are stable cache keys for translation memoization.
+//
+// The result shares no interior nodes with the receiver; leaves' constraints
+// may be shared (they are treated as immutable).
+func (n *Node) Canonical() *Node {
+	return n.Normalize().sortChildren()
+}
+
+// sortChildren recursively orders the children of interior nodes by their
+// canonical keys. The receiver is assumed normalized (so siblings are
+// already deduplicated); leaves and True pass through unchanged.
+func (n *Node) sortChildren() *Node {
+	if len(n.Kids) == 0 {
+		return n
+	}
+	kids := make([]*Node, len(n.Kids))
+	keys := make([]string, len(n.Kids))
+	for i, k := range n.Kids {
+		kids[i] = k.sortChildren()
+		keys[i] = kids[i].canonKey()
+	}
+	sort.Sort(&byKey{kids: kids, keys: keys})
+	return &Node{Kind: n.Kind, Kids: kids}
+}
+
+// byKey sorts kids by their precomputed canonical keys in lockstep.
+type byKey struct {
+	kids []*Node
+	keys []string
+}
+
+func (s *byKey) Len() int           { return len(s.kids) }
+func (s *byKey) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *byKey) Swap(i, j int) {
+	s.kids[i], s.kids[j] = s.kids[j], s.kids[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}

@@ -1,0 +1,102 @@
+package qtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// permute returns a deep copy of q with every interior node's children
+// randomly reordered — an equivalent query under ∧/∨ commutativity.
+func permute(rng *rand.Rand, q *Node) *Node {
+	cp := q.Clone()
+	var shuffle func(n *Node)
+	shuffle = func(n *Node) {
+		rng.Shuffle(len(n.Kids), func(i, j int) { n.Kids[i], n.Kids[j] = n.Kids[j], n.Kids[i] })
+		for _, k := range n.Kids {
+			shuffle(k)
+		}
+	}
+	shuffle(cp)
+	return cp
+}
+
+func TestCanonicalDeterminism(t *testing.T) {
+	q := And(
+		Or(leaf("b", "1"), leaf("a", "1"), And(leaf("c", "1"), leaf("d", "2"))),
+		leaf("a", "2"),
+		Or(leaf("e", "1"), leaf("f", "1")),
+	)
+	want := q.Canonical().String()
+	wantKey := q.CanonicalKey()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		p := permute(rng, q)
+		if got := p.Canonical().String(); got != want {
+			t.Fatalf("permutation %d: Canonical() = %q, want %q\npermuted = %s", i, got, want, p)
+		}
+		if got := p.CanonicalKey(); got != wantKey {
+			t.Fatalf("permutation %d: CanonicalKey = %q, want %q", i, got, wantKey)
+		}
+	}
+}
+
+func TestCanonicalSortsAndDeduplicates(t *testing.T) {
+	// Duplicate siblings collapse: (a ∧ a) ≡ a.
+	dup := And(leaf("a", "1"), leaf("a", "1")).Canonical()
+	if dup.Kind != KindLeaf {
+		t.Errorf("(a and a).Canonical() = %s, want single leaf", dup)
+	}
+	// Nested same-kind operators collapse and the children come out sorted.
+	q := And(leaf("b", "1"), And(leaf("a", "1"), leaf("c", "1"))).Canonical()
+	if q.Kind != KindAnd || len(q.Kids) != 3 {
+		t.Fatalf("Canonical() = %s, want flat 3-way conjunction", q)
+	}
+	for i := 1; i < len(q.Kids); i++ {
+		if q.Kids[i-1].canonKey() >= q.Kids[i].canonKey() {
+			t.Errorf("children not strictly sorted: %s", q)
+		}
+	}
+}
+
+func TestCanonicalDistinguishesInequivalent(t *testing.T) {
+	cases := [][2]*Node{
+		{leaf("a", "1"), leaf("a", "2")},
+		{leaf("a", "1"), leaf("b", "1")},
+		{And(leaf("a", "1"), leaf("b", "1")), Or(leaf("a", "1"), leaf("b", "1"))},
+		// (a ∧ b) ∨ c vs a ∧ (b ∨ c): same leaves, different structure.
+		{
+			Or(And(leaf("a", "1"), leaf("b", "1")), leaf("c", "1")),
+			And(leaf("a", "1"), Or(leaf("b", "1"), leaf("c", "1"))),
+		},
+	}
+	for i, c := range cases {
+		if c[0].CanonicalKey() == c[1].CanonicalKey() {
+			t.Errorf("case %d: inequivalent queries share key %q: %s vs %s",
+				i, c[0].CanonicalKey(), c[0], c[1])
+		}
+	}
+}
+
+func TestCanonicalDoesNotMutateReceiver(t *testing.T) {
+	q := And(leaf("b", "1"), leaf("a", "1"))
+	before := q.String()
+	q.Canonical()
+	if q.String() != before {
+		t.Errorf("Canonical mutated receiver: %s -> %s", before, q)
+	}
+}
+
+func TestCanonicalKeyMatchesCanonicalTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := And(
+		Or(leaf("x", "1"), leaf("y", "2")),
+		Or(leaf("z", "1"), And(leaf("w", "1"), leaf("v", "1"))),
+		leaf("u", "3"),
+	)
+	for i := 0; i < 20; i++ {
+		p := permute(rng, base)
+		if p.CanonicalKey() != p.Canonical().canonKey() {
+			t.Fatalf("CanonicalKey and Canonical().canonKey diverge for %s", p)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/mediator"
+)
+
+// lruCache is a bounded, mutex-guarded LRU map of canonical query key →
+// translation. Values are shared between callers and treated as immutable.
+type lruCache struct {
+	mu        sync.Mutex
+	cap       int
+	ll        *list.List               // front = most recently used
+	items     map[string]*list.Element // key → element whose Value is *lruEntry
+	evictions uint64
+}
+
+type lruEntry struct {
+	key string
+	val *mediator.Translation
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached translation for key, promoting it to most
+// recently used.
+func (c *lruCache) Get(key string) (*mediator.Translation, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Add inserts (or refreshes) key, evicting the least recently used entries
+// beyond capacity.
+func (c *lruCache) Add(key string, v *mediator.Translation) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).val = v
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: v})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+		c.evictions++
+	}
+}
+
+// Len returns the number of resident entries.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Evictions returns the total number of entries evicted for capacity.
+func (c *lruCache) Evictions() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}
+
+// flightCall is one in-flight translation shared by concurrent callers.
+type flightCall struct {
+	done    chan struct{} // closed when val/err are set
+	val     *mediator.Translation
+	err     error
+	waiters int // callers blocked on done; guarded by flightGroup.mu
+}
+
+// flightGroup collapses concurrent computations for the same key into a
+// single execution — the singleflight pattern, hand-rolled because the
+// module is stdlib-only. It suppresses cache stampedes: N concurrent misses
+// for one canonical key run one translation.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+// Do runs fn at most once per key among concurrent callers and hands every
+// caller the same result. shared is true for callers that waited on another
+// caller's execution instead of running fn themselves.
+func (g *flightGroup) Do(key string, fn func() (*mediator.Translation, error)) (v *mediator.Translation, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		c.waiters++
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, false
+}

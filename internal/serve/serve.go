@@ -1,0 +1,405 @@
+// Package serve wraps the mediation pipeline behind a production-shaped
+// serving layer, turning the single-threaded mediator of Section 2 into a
+// concurrent service:
+//
+//   - a canonical translation cache: translations are pure functions of
+//     (canonical query, source specs), so queries that are equivalent under
+//     ∧/∨ commutativity, associativity, and idempotence share one bounded-LRU
+//     entry keyed by qtree's canonical form, and concurrent identical misses
+//     are collapsed singleflight-style into one computation;
+//   - concurrent per-source fan-out: the per-source select+filter phases of
+//     union- and join-style integration run in parallel goroutines under a
+//     bounded worker pool (admission control via semaphore) with an optional
+//     per-source timeout, and results are merged in deterministic source
+//     order so answers are identical to the sequential Execute* paths;
+//   - a stats layer: atomic counters (requests, cache hits/misses/evictions,
+//     singleflight suppressions, timeouts, per-source coarse latency
+//     histograms) exposed as a Stats snapshot.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/mediator"
+	"repro/internal/qtree"
+)
+
+// DefaultCacheSize is the translation-cache capacity used when Config (or
+// NewCachingTranslator) leaves it unset.
+const DefaultCacheSize = 1024
+
+// CachingTranslator memoizes mediator translations keyed by the canonical
+// form of the query (qtree.Node.CanonicalKey): permuted-but-equivalent
+// queries compute once and then hit. Misses for the same key are collapsed
+// singleflight-style, so a stampede of N concurrent identical queries runs
+// one translation. It is safe for concurrent use.
+//
+// Cached *mediator.Translation values are shared between callers and must
+// be treated as immutable.
+type CachingTranslator struct {
+	translate func(*qtree.Node) (*mediator.Translation, error)
+	cache     *lruCache
+	flight    flightGroup
+
+	hits, misses, shared atomic.Uint64
+}
+
+// NewCachingTranslator wraps med.Translate in a canonical LRU cache holding
+// up to capacity translations (DefaultCacheSize if capacity <= 0).
+func NewCachingTranslator(med *mediator.Mediator, capacity int) *CachingTranslator {
+	return newCachingTranslator(med.Translate, capacity)
+}
+
+func newCachingTranslator(fn func(*qtree.Node) (*mediator.Translation, error), capacity int) *CachingTranslator {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	return &CachingTranslator{translate: fn, cache: newLRU(capacity)}
+}
+
+// Translate returns the translation of q, computing it at most once per
+// canonical equivalence class while the entry stays resident. Errors are
+// not cached.
+func (ct *CachingTranslator) Translate(q *qtree.Node) (*mediator.Translation, error) {
+	key := q.CanonicalKey()
+	if tr, ok := ct.cache.Get(key); ok {
+		ct.hits.Add(1)
+		return tr, nil
+	}
+	tr, err, shared := ct.flight.Do(key, func() (*mediator.Translation, error) {
+		tr, err := ct.translate(q)
+		if err != nil {
+			return nil, err
+		}
+		ct.cache.Add(key, tr)
+		return tr, nil
+	})
+	if shared {
+		ct.shared.Add(1)
+	} else {
+		ct.misses.Add(1)
+	}
+	return tr, err
+}
+
+// Hits returns the number of lookups served from the resident cache.
+func (ct *CachingTranslator) Hits() uint64 { return ct.hits.Load() }
+
+// Misses returns the number of translations actually computed.
+func (ct *CachingTranslator) Misses() uint64 { return ct.misses.Load() }
+
+// Shared returns the number of duplicate concurrent misses collapsed onto
+// another caller's in-flight computation.
+func (ct *CachingTranslator) Shared() uint64 { return ct.shared.Load() }
+
+// Len returns the number of resident cache entries.
+func (ct *CachingTranslator) Len() int { return ct.cache.Len() }
+
+// Evictions returns the number of entries evicted for capacity.
+func (ct *CachingTranslator) Evictions() uint64 { return ct.cache.Evictions() }
+
+// Config sizes a Server.
+type Config struct {
+	// CacheSize bounds the translation cache in entries
+	// (DefaultCacheSize if <= 0).
+	CacheSize int
+	// Workers bounds concurrently executing source selections across all
+	// requests (2×GOMAXPROCS if <= 0).
+	Workers int
+	// SourceTimeout bounds each per-source select+filter execution
+	// (no timeout if 0).
+	SourceTimeout time.Duration
+}
+
+// Server serves mediated queries concurrently: cached translation, parallel
+// per-source execution under admission control, deterministic merging, and
+// atomic stats. It is safe for concurrent use; the mediator, its sources,
+// and the data relations must not be mutated while the server is live.
+type Server struct {
+	med     *mediator.Mediator
+	data    map[string]*engine.Relation
+	tr      *CachingTranslator
+	sem     chan struct{}
+	timeout time.Duration
+
+	requests atomic.Uint64
+	inFlight atomic.Int64
+	timeouts atomic.Uint64
+	errors   atomic.Uint64
+	sources  map[string]*sourceCounters
+}
+
+// New returns a server over med and the per-source data relations. data
+// maps source name → that source's universe relation, as in the mediator's
+// Execute* methods.
+func New(med *mediator.Mediator, data map[string]*engine.Relation, cfg Config) *Server {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 2 * runtime.GOMAXPROCS(0)
+	}
+	s := &Server{
+		med:     med,
+		data:    data,
+		tr:      NewCachingTranslator(med, cfg.CacheSize),
+		sem:     make(chan struct{}, workers),
+		timeout: cfg.SourceTimeout,
+		sources: make(map[string]*sourceCounters, len(med.Sources)),
+	}
+	for _, src := range med.Sources {
+		s.sources[src.Name] = &sourceCounters{}
+	}
+	return s
+}
+
+// Translator returns the server's translation cache.
+func (s *Server) Translator() *CachingTranslator { return s.tr }
+
+// Translate returns the (cached) translation of q.
+func (s *Server) Translate(ctx context.Context, q *qtree.Node) (*mediator.Translation, error) {
+	s.requests.Add(1)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	tr, err := s.tr.Translate(q)
+	if err != nil {
+		s.errors.Add(1)
+	}
+	return tr, err
+}
+
+// Query answers q in union-style integration, producing the same relation
+// as mediator.ExecuteUnion: each source's translated query selects its
+// native relation and each branch is post-filtered with the branch residue.
+// Translation comes from the cache; the per-source phases run in parallel
+// under the worker pool; branches are merged (deduplicated) in
+// deterministic source order and sorted.
+func (s *Server) Query(ctx context.Context, q *qtree.Node) (*engine.Relation, error) {
+	s.requests.Add(1)
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+
+	tr, err := s.tr.Translate(q)
+	if err != nil {
+		s.errors.Add(1)
+		return nil, err
+	}
+	rels, err := s.fanOut(ctx, tr, true)
+	if err != nil {
+		s.errors.Add(1)
+		return nil, err
+	}
+	out := engine.NewRelation("result")
+	var keys []string
+	seen := make(map[string]bool)
+	for _, rel := range rels {
+		for _, t := range rel.Tuples {
+			key := t.String()
+			if !seen[key] {
+				seen[key] = true
+				out.Tuples = append(out.Tuples, t)
+				keys = append(keys, key)
+			}
+		}
+	}
+	sortTuplesByKey(out.Tuples, keys)
+	return out, nil
+}
+
+// QueryJoin answers q in join-style integration (Eq. 2), producing the same
+// relation as mediator.ExecuteJoin: the parallel per-source selections are
+// cross-multiplied in source order, the mediator's glue constraint is
+// applied, and the global filter F removes the false positives.
+func (s *Server) QueryJoin(ctx context.Context, q *qtree.Node) (*engine.Relation, error) {
+	s.requests.Add(1)
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+
+	tr, err := s.tr.Translate(q)
+	if err != nil {
+		s.errors.Add(1)
+		return nil, err
+	}
+	rels, err := s.fanOut(ctx, tr, false)
+	if err != nil {
+		s.errors.Add(1)
+		return nil, err
+	}
+	var combined *engine.Relation
+	for _, sel := range rels {
+		if combined == nil {
+			combined = sel
+		} else {
+			combined = engine.Product(combined, sel)
+		}
+	}
+	if combined == nil {
+		return engine.NewRelation("result"), nil
+	}
+	if s.med.Glue != nil {
+		combined, err = combined.Select(s.med.Glue, s.med.Eval)
+		if err != nil {
+			s.errors.Add(1)
+			return nil, err
+		}
+	}
+	out, err := combined.Select(tr.Filter, s.med.Eval)
+	if err != nil {
+		s.errors.Add(1)
+		return nil, err
+	}
+	out.Name = "result"
+	sortRelation(out)
+	return out, nil
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Requests:       s.requests.Load(),
+		InFlight:       s.inFlight.Load(),
+		CacheHits:      s.tr.Hits(),
+		CacheMisses:    s.tr.Misses(),
+		CacheShared:    s.tr.Shared(),
+		CacheEntries:   s.tr.Len(),
+		CacheEvictions: s.tr.Evictions(),
+		Timeouts:       s.timeouts.Load(),
+		Errors:         s.errors.Load(),
+		Sources:        make(map[string]SourceStats, len(s.sources)),
+		LatencyLabels:  LatencyBucketLabels(),
+	}
+	for name, sc := range s.sources {
+		st.Sources[name] = SourceStats{
+			Executions:     sc.executions.Load(),
+			Timeouts:       sc.timeouts.Load(),
+			LatencyBuckets: sc.lat.snapshot(),
+		}
+	}
+	return st
+}
+
+// fanOut executes every source's phase concurrently and returns the
+// per-source relations in tr.Sources order. branchFilter selects the
+// union-style post-filtering (true) or the bare selection of join-style
+// integration (false).
+func (s *Server) fanOut(ctx context.Context, tr *mediator.Translation, branchFilter bool) ([]*engine.Relation, error) {
+	rels := make([]*engine.Relation, len(tr.Sources))
+	errs := make([]error, len(tr.Sources))
+	var wg sync.WaitGroup
+	for i := range tr.Sources {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rels[i], errs[i] = s.runSource(ctx, tr, &tr.Sources[i], branchFilter)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rels, nil
+}
+
+// runSource admits one source execution to the worker pool, runs it in a
+// goroutine, and waits for completion or deadline.
+func (s *Server) runSource(ctx context.Context, tr *mediator.Translation, st *mediator.SourceTranslation, branchFilter bool) (*engine.Relation, error) {
+	name := st.Source.Name
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, fmt.Errorf("serve: source %s: %w", name, ctx.Err())
+	}
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	sc := s.sources[name]
+	start := time.Now()
+	type result struct {
+		rel *engine.Relation
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		defer func() { <-s.sem }()
+		rel, err := s.evalSource(tr, st, branchFilter)
+		ch <- result{rel, err}
+	}()
+	select {
+	case r := <-ch:
+		if sc != nil {
+			sc.executions.Add(1)
+			sc.lat.observe(time.Since(start))
+		}
+		return r.rel, r.err
+	case <-ctx.Done():
+		// The engine has no cancellation points: the worker keeps its pool
+		// slot until the abandoned scan finishes, and its result is
+		// discarded. Admission control stays accurate.
+		s.timeouts.Add(1)
+		if sc != nil {
+			sc.timeouts.Add(1)
+		}
+		return nil, fmt.Errorf("serve: source %s: %w", name, ctx.Err())
+	}
+}
+
+// evalSource is the sequential per-source phase, mirroring the loop bodies
+// of mediator.ExecuteUnion / ExecuteJoin.
+func (s *Server) evalSource(tr *mediator.Translation, st *mediator.SourceTranslation, branchFilter bool) (*engine.Relation, error) {
+	rel, ok := s.data[st.Source.Name]
+	if !ok {
+		return nil, fmt.Errorf("serve: no data for source %s", st.Source.Name)
+	}
+	var native *engine.Relation
+	var err error
+	if ix, ok := s.med.Indexes[st.Source.Name]; ok {
+		native, err = rel.SelectIndexed(st.Query, st.Source.Eval, ix)
+	} else {
+		native, err = rel.Select(st.Query, st.Source.Eval)
+	}
+	if err != nil || !branchFilter {
+		return native, err
+	}
+	filter := st.Residue
+	if !tr.Query.IsSimpleConjunction() && !filter.IsTrue() {
+		filter = tr.Query
+	}
+	return native.Select(filter, s.med.Eval)
+}
+
+func sortRelation(r *engine.Relation) {
+	keys := make([]string, len(r.Tuples))
+	for i, t := range r.Tuples {
+		keys[i] = t.String()
+	}
+	sortTuplesByKey(r.Tuples, keys)
+}
+
+// sortTuplesByKey orders tuples by precomputed render keys — the same order
+// as the mediator's sort-by-String, without re-rendering every tuple
+// O(n log n) times in the comparator.
+func sortTuplesByKey(tuples []engine.Tuple, keys []string) {
+	sort.Sort(&tuplesByKey{tuples: tuples, keys: keys})
+}
+
+type tuplesByKey struct {
+	tuples []engine.Tuple
+	keys   []string
+}
+
+func (s *tuplesByKey) Len() int           { return len(s.tuples) }
+func (s *tuplesByKey) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *tuplesByKey) Swap(i, j int) {
+	s.tuples[i], s.tuples[j] = s.tuples[j], s.tuples[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}

@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// latencyBounds are the upper bounds of the coarse per-source latency
+// histogram; the last bucket is unbounded.
+var latencyBounds = [...]time.Duration{
+	100 * time.Microsecond,
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+}
+
+// NumLatencyBuckets is the number of histogram buckets (len(bounds)+1 for
+// the unbounded tail).
+const NumLatencyBuckets = len(latencyBounds) + 1
+
+// LatencyBucketLabels returns human-readable labels for the histogram
+// buckets, index-aligned with SourceStats.LatencyBuckets.
+func LatencyBucketLabels() []string {
+	return []string{"<100us", "<1ms", "<10ms", "<100ms", "<1s", ">=1s"}
+}
+
+// hist is a lock-free coarse latency histogram.
+type hist struct {
+	counts [NumLatencyBuckets]atomic.Uint64
+}
+
+func (h *hist) observe(d time.Duration) {
+	for i, ub := range latencyBounds {
+		if d < ub {
+			h.counts[i].Add(1)
+			return
+		}
+	}
+	h.counts[NumLatencyBuckets-1].Add(1)
+}
+
+func (h *hist) snapshot() [NumLatencyBuckets]uint64 {
+	var out [NumLatencyBuckets]uint64
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// sourceCounters holds one source's atomic execution counters.
+type sourceCounters struct {
+	executions atomic.Uint64
+	timeouts   atomic.Uint64
+	lat        hist
+}
+
+// SourceStats is a snapshot of one source's execution counters.
+type SourceStats struct {
+	// Executions counts completed select+filter phases (successes and
+	// evaluation errors; not admissions lost to timeouts).
+	Executions uint64 `json:"executions"`
+	// Timeouts counts executions abandoned because the per-source deadline
+	// or the request context fired first.
+	Timeouts uint64 `json:"timeouts"`
+	// LatencyBuckets is the coarse completion-latency histogram,
+	// index-aligned with LatencyBucketLabels.
+	LatencyBuckets [NumLatencyBuckets]uint64 `json:"latency_buckets"`
+}
+
+// Stats is a point-in-time snapshot of a Server's counters. All counters
+// are cumulative since construction.
+type Stats struct {
+	// Requests counts Translate and Query/QueryJoin calls.
+	Requests uint64 `json:"requests"`
+	// InFlight is the number of Query/QueryJoin calls currently executing.
+	InFlight int64 `json:"in_flight"`
+	// CacheHits counts translations served from the resident cache.
+	CacheHits uint64 `json:"cache_hits"`
+	// CacheMisses counts translations actually computed.
+	CacheMisses uint64 `json:"cache_misses"`
+	// CacheShared counts duplicate concurrent misses collapsed onto another
+	// caller's in-flight computation (singleflight suppression).
+	CacheShared uint64 `json:"cache_shared"`
+	// CacheEntries is the number of resident cache entries.
+	CacheEntries int `json:"cache_entries"`
+	// CacheEvictions counts entries evicted for capacity.
+	CacheEvictions uint64 `json:"cache_evictions"`
+	// Timeouts counts per-source executions cut off by a deadline.
+	Timeouts uint64 `json:"timeouts"`
+	// Errors counts requests that returned an error.
+	Errors uint64 `json:"errors"`
+	// Sources holds per-source execution counters by source name.
+	Sources map[string]SourceStats `json:"sources"`
+	// LatencyLabels labels the histogram buckets.
+	LatencyLabels []string `json:"latency_labels"`
+}
+
+// HitRate returns the fraction of translation lookups that skipped a fresh
+// computation (resident hits plus singleflight-shared results).
+func (s Stats) HitRate() float64 {
+	total := s.CacheHits + s.CacheMisses + s.CacheShared
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits+s.CacheShared) / float64(total)
+}

@@ -47,6 +47,7 @@ import (
 	"repro/internal/qparse"
 	"repro/internal/qtree"
 	"repro/internal/rules"
+	"repro/internal/serve"
 	"repro/internal/sources"
 	"repro/internal/values"
 )
@@ -209,6 +210,48 @@ type (
 
 // NewMediator returns a mediator over the given sources using AlgTDQM.
 func NewMediator(srcs ...*Source) *Mediator { return mediator.New(srcs...) }
+
+// Serving layer (package internal/serve): concurrency and caching around
+// the mediation pipeline.
+type (
+	// CachingTranslator memoizes mediator translations in a bounded LRU
+	// keyed by the query's canonical form, with singleflight suppression
+	// of concurrent duplicate misses. Safe for concurrent use.
+	CachingTranslator = serve.CachingTranslator
+	// ServeConfig sizes a serve.Server (cache capacity, worker pool,
+	// per-source timeout).
+	ServeConfig = serve.Config
+	// ServeServer runs cached translation and concurrent per-source
+	// fan-out over a mediator, exposing atomic serving stats.
+	ServeServer = serve.Server
+	// ServeStats is a snapshot of a ServeServer's counters.
+	ServeStats = serve.Stats
+)
+
+// NewCachingTranslator wraps m's Translate in a canonical LRU cache holding
+// up to capacity translations. Queries that are equivalent under ∧/∨
+// commutativity, associativity, and idempotence share one entry, so
+// permuted duplicates translate once; concurrent identical misses are
+// collapsed into a single computation.
+func NewCachingTranslator(m *Mediator, capacity int) *CachingTranslator {
+	return serve.NewCachingTranslator(m, capacity)
+}
+
+// NewServer wraps a mediator and its per-source data in the concurrent
+// serving layer: cached translation, parallel per-source execution under a
+// bounded worker pool, deterministic merging, and stats.
+func NewServer(m *Mediator, data map[string]*Relation, cfg ServeConfig) *ServeServer {
+	return serve.New(m, data, cfg)
+}
+
+// CanonicalKey returns the stable cache-key string of the query's canonical
+// form: ∧/∨ child order, duplicate siblings, and join-constraint
+// orientation are all abstracted away, so equivalent queries share a key.
+func CanonicalKey(q *Query) string { return q.CanonicalKey() }
+
+// Canonicalize returns the canonical representative of the query's
+// equivalence class: normalized, deduplicated, children sorted.
+func Canonicalize(q *Query) *Query { return q.Canonical() }
 
 // Data translation (package internal/datamap): translating a record is the
 // equality special case of constraint mapping.

@@ -126,3 +126,39 @@ func TestConcurrentTranslators(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCanonicalKeyExported(t *testing.T) {
+	a := querymap.MustParse(`[ln = "Clancy"] and ([fn = "Tom"] or [pyear = 1997])`)
+	b := querymap.MustParse(`([pyear = 1997] or [fn = "Tom"]) and [ln = "Clancy"]`)
+	if querymap.CanonicalKey(a) != querymap.CanonicalKey(b) {
+		t.Error("permuted-but-equivalent queries should share a canonical key")
+	}
+	c := querymap.MustParse(`[ln = "Clancy"] or ([fn = "Tom"] and [pyear = 1997])`)
+	if querymap.CanonicalKey(a) == querymap.CanonicalKey(c) {
+		t.Error("inequivalent queries should have distinct canonical keys")
+	}
+	if querymap.Canonicalize(a).String() != querymap.Canonicalize(b).String() {
+		t.Error("canonical trees of equivalent queries should render identically")
+	}
+}
+
+func TestNewCachingTranslatorExported(t *testing.T) {
+	med := querymap.NewMediator(querymap.Amazon(), querymap.Clbooks())
+	ct := querymap.NewCachingTranslator(med, 16)
+	q1 := querymap.MustParse(`[ln = "Clancy"] and [fn = "Tom"]`)
+	q2 := querymap.MustParse(`[fn = "Tom"] and [ln = "Clancy"]`)
+	tr1, err := ct.Translate(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := ct.Translate(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr1 != tr2 {
+		t.Error("permuted query should hit the canonical cache entry")
+	}
+	if ct.Hits() != 1 || ct.Misses() != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", ct.Hits(), ct.Misses())
+	}
+}
