@@ -1,0 +1,91 @@
+// Command qcheck drives the semantic conformance harness of
+// internal/conformance: randomized execute-and-check testing of the
+// translation contract (Definition 1) and of the serving layer's
+// equivalence under concurrency and injected source faults.
+//
+// Every case derives from one seed: a synthetic scenario, a random query,
+// and an adversarially seeded dataset. Four oracles run per case —
+// subsumption, filter-exactness, minimality probing, and serve equivalence
+// (optionally fault-injected). The first failing case is shrunk to a
+// minimal reproducer and printed with a replayable seed string.
+//
+// Usage:
+//
+//	qcheck -n 500                  # check 500 consecutive seeds
+//	qcheck -n 100 -faults         # include the fault-injected serve oracle
+//	qcheck -replay qc1:5k         # re-check one failing seed
+//	qcheck -replay qc1:5k -shrink=false
+//	                              # replay without minimizing
+//	qcheck -n 200 -plant nosuppression
+//	                              # self-test: plant a known bug and watch
+//	                              # the oracles catch it (exit status 0 iff
+//	                              # the plant IS caught)
+//
+// Exit status: 0 when every case conforms (or, with -plant, when the
+// planted bug is caught), 1 on a violation, 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/conformance"
+)
+
+func main() {
+	n := flag.Int("n", 200, "number of consecutive seeds to check")
+	seed := flag.Int64("seed", 1, "first seed")
+	replay := flag.String("replay", "", "replay one case from a qc1:... seed string")
+	shrink := flag.Bool("shrink", true, "shrink failing cases to a minimal reproducer")
+	faults := flag.Bool("faults", false, "enable the fault-injected serve equivalence oracle")
+	plant := flag.String("plant", "", "plant a known bug: nosuppression | dropfilter (self-test)")
+	flag.Parse()
+
+	opts := conformance.Options{Faults: *faults}
+	switch *plant {
+	case "":
+	case string(conformance.PlantNoSuppression):
+		opts.Plant = conformance.PlantNoSuppression
+	case string(conformance.PlantDropFilter):
+		opts.Plant = conformance.PlantDropFilter
+	default:
+		fmt.Fprintf(os.Stderr, "qcheck: unknown -plant %q (want nosuppression or dropfilter)\n", *plant)
+		os.Exit(2)
+	}
+	h := conformance.New(opts)
+
+	start := *seed
+	count := *n
+	if *replay != "" {
+		s, err := conformance.ParseSeedString(*replay)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qcheck: %v\n", err)
+			os.Exit(2)
+		}
+		start, count = s, 1
+	}
+
+	t0 := time.Now()
+	rep := h.Run(start, count, *shrink)
+	elapsed := time.Since(t0).Round(time.Millisecond)
+
+	if len(rep.Failures) == 0 {
+		fmt.Printf("qcheck: %d case(s) passed all oracles in %s (seeds %d..%d, faults=%v)\n",
+			rep.Cases, elapsed, start, start+int64(rep.Cases)-1, *faults)
+		if opts.Plant != conformance.PlantNone {
+			fmt.Fprintf(os.Stderr, "qcheck: planted bug %q was NOT caught — the oracles have a blind spot\n", opts.Plant)
+			os.Exit(1)
+		}
+		return
+	}
+
+	f := rep.Failures[0]
+	fmt.Printf("qcheck: violation after %d case(s) in %s\n\n%s\n", rep.Cases, elapsed, f.Reproducer())
+	if opts.Plant != conformance.PlantNone {
+		fmt.Printf("\nqcheck: planted bug %q caught as intended\n", opts.Plant)
+		return
+	}
+	os.Exit(1)
+}

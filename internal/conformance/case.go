@@ -1,0 +1,162 @@
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/qtree"
+	"repro/internal/values"
+	"repro/internal/workload"
+)
+
+// Case is one conformance check instance: a generated scenario, a random
+// query over its base vocabulary, and a synthetic dataset biased to contain
+// witnesses (tuples satisfying the query) and near misses (tuples one
+// perturbation away). Everything derives deterministically from Seed.
+type Case struct {
+	Seed int64
+	Cfg  workload.Config
+	S    *workload.Scenario
+	// Query is the original mediator-vocabulary query.
+	Query *qtree.Node
+	// Data is the synthetic source dataset the oracles execute against.
+	Data []engine.Tuple
+}
+
+// seedPrefix versions the replay format.
+const seedPrefix = "qc1:"
+
+// NewCase generates the case for a seed.
+func NewCase(seed int64) *Case {
+	rng := rand.New(rand.NewSource(seed))
+	cfg := workload.Config{
+		Indep:        1 + rng.Intn(3),
+		Pairs:        1 + rng.Intn(2),
+		InexactPairs: rng.Intn(2),
+		Triples:      rng.Intn(2),
+	}
+	s := workload.New(cfg)
+	qcfg := workload.QueryConfig{
+		MaxDepth:  2 + rng.Intn(3),
+		MaxFanout: 2 + rng.Intn(2),
+		LeafProb:  0.4,
+	}
+	c := &Case{Seed: seed, Cfg: cfg, S: s, Query: s.RandomQuery(rng, qcfg)}
+	c.Data = c.genData(rng)
+	return c
+}
+
+// SeedString renders the replay handle for this case's seed. Replaying the
+// string regenerates the original (unshrunk) case; checking and shrinking
+// are deterministic, so the same reproducer falls out.
+func (c *Case) SeedString() string {
+	return seedPrefix + strconv.FormatUint(uint64(c.Seed), 36)
+}
+
+// ParseSeedString recovers a case seed from a SeedString.
+func ParseSeedString(s string) (int64, error) {
+	if !strings.HasPrefix(s, seedPrefix) {
+		return 0, fmt.Errorf("conformance: seed string %q lacks %q prefix", s, seedPrefix)
+	}
+	u, err := strconv.ParseUint(strings.TrimPrefix(s, seedPrefix), 36, 64)
+	if err != nil {
+		return 0, fmt.Errorf("conformance: bad seed string %q: %w", s, err)
+	}
+	return int64(u), nil
+}
+
+// genData builds the dataset: background random tuples, one witness tuple
+// per satisfiable DNF disjunct (random fill on unconstrained attributes),
+// and near misses perturbing single attributes of those witnesses.
+func (c *Case) genData(rng *rand.Rand) []engine.Tuple {
+	var out []engine.Tuple
+	n := 30 + rng.Intn(50)
+	for i := 0; i < n; i++ {
+		out = append(out, c.S.RandomTuple(rng))
+	}
+	for _, d := range satisfiableDisjuncts(c.Query, 10) {
+		vals := c.randFill(rng, d.assign)
+		out = append(out, c.S.Tuple(vals))
+		for j := 0; j < 4; j++ {
+			miss := cloneAssign(vals)
+			a := c.S.BaseAttrs[rng.Intn(len(c.S.BaseAttrs))]
+			miss[a] = fmt.Sprintf("v%d", rng.Intn(c.S.ValueDomain))
+			out = append(out, c.S.Tuple(miss))
+		}
+	}
+	return out
+}
+
+// randFill completes a partial assignment with random domain values.
+func (c *Case) randFill(rng *rand.Rand, assign map[string]string) map[string]string {
+	vals := cloneAssign(assign)
+	for _, a := range c.S.BaseAttrs {
+		if _, ok := vals[a]; !ok {
+			vals[a] = fmt.Sprintf("v%d", rng.Intn(c.S.ValueDomain))
+		}
+	}
+	return vals
+}
+
+func cloneAssign(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// withQuery derives a shrinking candidate sharing the scenario and data.
+func (c *Case) withQuery(q *qtree.Node) *Case {
+	return &Case{Seed: c.Seed, Cfg: c.Cfg, S: c.S, Query: q, Data: c.Data}
+}
+
+// withData derives a shrinking candidate sharing the scenario and query.
+func (c *Case) withData(data []engine.Tuple) *Case {
+	return &Case{Seed: c.Seed, Cfg: c.Cfg, S: c.S, Query: c.Query, Data: data}
+}
+
+// disjunct is one satisfiable DNF disjunct of a query with its witnessing
+// base-attribute assignment.
+type disjunct struct {
+	set    *qtree.ConstraintSet
+	assign map[string]string
+}
+
+// satisfiableDisjuncts returns up to max satisfiable disjuncts of q's DNF.
+// Workload queries constrain base attributes with equality over string
+// constants, so a disjunct is satisfiable iff it never binds one attribute
+// to two distinct constants.
+func satisfiableDisjuncts(q *qtree.Node, max int) []disjunct {
+	var out []disjunct
+	for _, cs := range qtree.DNFDisjuncts(q) {
+		if assign, ok := assignment(cs); ok {
+			out = append(out, disjunct{set: cs, assign: assign})
+			if len(out) >= max {
+				break
+			}
+		}
+	}
+	return out
+}
+
+func assignment(cs *qtree.ConstraintSet) (map[string]string, bool) {
+	m := make(map[string]string)
+	for _, c := range cs.Slice() {
+		if c.IsJoin() || c.Op != qtree.OpEq {
+			return nil, false
+		}
+		sv, ok := c.Val.(values.String)
+		if !ok {
+			return nil, false
+		}
+		if prev, bound := m[c.Attr.Name]; bound && prev != sv.Raw() {
+			return nil, false
+		}
+		m[c.Attr.Name] = sv.Raw()
+	}
+	return m, true
+}

@@ -1,0 +1,116 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCleanSlice is the deterministic slice `go test ./...` runs: the real
+// algorithms must pass every dataset-backed oracle on consecutive seeds.
+func TestCleanSlice(t *testing.T) {
+	h := New(Options{})
+	rep := h.Run(1, 40, false)
+	if len(rep.Failures) != 0 {
+		t.Fatalf("clean run violated an oracle:\n%s", rep.Failures[0].Reproducer())
+	}
+	if rep.Cases != 40 {
+		t.Fatalf("ran %d cases, want 40", rep.Cases)
+	}
+}
+
+// TestCleanSliceWithFaults runs a smaller slice through the fault-injected
+// serve oracle (real sleeps are involved, so the slice stays short).
+func TestCleanSliceWithFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault-injected slice sleeps; skipped in -short")
+	}
+	h := New(Options{Faults: true})
+	rep := h.Run(100, 6, false)
+	if len(rep.Failures) != 0 {
+		t.Fatalf("fault-injected run violated an oracle:\n%s", rep.Failures[0].Reproducer())
+	}
+}
+
+// TestPlantedNoSuppressionCaught plants the submatching-suppression ablation
+// as a bug and demands the minimality oracle catches it and the shrinker
+// reduces the reproducer to at most 3 constraints.
+func TestPlantedNoSuppressionCaught(t *testing.T) {
+	h := New(Options{Plant: PlantNoSuppression})
+	rep := h.Run(1, 200, true)
+	if len(rep.Failures) == 0 {
+		t.Fatalf("planted no-suppression bug not caught in %d cases", rep.Cases)
+	}
+	f := rep.Failures[0]
+	if f.Violation.Oracle != "minimality" {
+		t.Fatalf("planted no-suppression bug caught by %q, want minimality:\n%s",
+			f.Violation.Oracle, f.Reproducer())
+	}
+	if f.Shrunk == nil {
+		t.Fatalf("failure was not shrunk")
+	}
+	if f.ShrunkViolation.Oracle != "minimality" {
+		t.Fatalf("shrinking drifted to oracle %q", f.ShrunkViolation.Oracle)
+	}
+	if n := len(f.Shrunk.Query.Constraints()); n > 3 {
+		t.Fatalf("shrunk reproducer has %d constraints, want <= 3:\n%s", n, f.Reproducer())
+	}
+}
+
+// TestPlantedDropFilterCaught plants a discarded filter query and demands
+// the filter-exactness oracle catches the leaked false positives.
+func TestPlantedDropFilterCaught(t *testing.T) {
+	h := New(Options{Plant: PlantDropFilter})
+	rep := h.Run(1, 200, false)
+	if len(rep.Failures) == 0 {
+		t.Fatalf("planted dropped-filter bug not caught in %d cases", rep.Cases)
+	}
+	if o := rep.Failures[0].Violation.Oracle; o != "filter-exactness" {
+		t.Fatalf("planted dropped-filter bug caught by %q, want filter-exactness:\n%s",
+			o, rep.Failures[0].Reproducer())
+	}
+}
+
+// TestReplayDeterminism regenerates a failing case from its seed string and
+// demands the identical violation and identical shrunk reproducer.
+func TestReplayDeterminism(t *testing.T) {
+	h := New(Options{Plant: PlantNoSuppression})
+	rep := h.Run(1, 200, true)
+	if len(rep.Failures) == 0 {
+		t.Fatalf("no planted failure to replay")
+	}
+	f := rep.Failures[0]
+	seed, err := ParseSeedString(f.Case.SeedString())
+	if err != nil {
+		t.Fatalf("round-tripping seed string: %v", err)
+	}
+	if seed != f.Case.Seed {
+		t.Fatalf("seed string round trip: got %d, want %d", seed, f.Case.Seed)
+	}
+	c2 := NewCase(seed)
+	if c2.Query.String() != f.Case.Query.String() {
+		t.Fatalf("replayed query differs:\n%s\nvs\n%s", c2.Query, f.Case.Query)
+	}
+	v2 := h.Check(c2)
+	if v2 == nil || v2.String() != f.Violation.String() {
+		t.Fatalf("replayed violation differs:\n%v\nvs\n%v", v2, f.Violation)
+	}
+	s2, sv2 := h.Shrink(c2, v2)
+	if s2.Query.String() != f.Shrunk.Query.String() || sv2.String() != f.ShrunkViolation.String() {
+		t.Fatalf("replayed shrink differs:\n%s / %s\nvs\n%s / %s",
+			s2.Query, sv2, f.Shrunk.Query, f.ShrunkViolation)
+	}
+}
+
+// TestParseSeedStringRejectsGarbage covers the error paths of the replay
+// format.
+func TestParseSeedStringRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"", "qc2:12", "qc1:", "qc1:!!!", "12"} {
+		if _, err := ParseSeedString(bad); err == nil {
+			t.Errorf("ParseSeedString(%q) accepted garbage", bad)
+		}
+	}
+	c := NewCase(12345)
+	if !strings.HasPrefix(c.SeedString(), "qc1:") {
+		t.Errorf("seed string %q lacks version prefix", c.SeedString())
+	}
+}

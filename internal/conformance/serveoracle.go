@@ -1,0 +1,191 @@
+package conformance
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/mediator"
+	"repro/internal/qtree"
+	"repro/internal/serve"
+	"repro/internal/sources"
+)
+
+// permute returns a deep copy of q with every interior node's children
+// reversed — a structurally different but canonically equivalent query, used
+// to exercise the serving layer's canonical translation cache.
+func permute(q *qtree.Node) *qtree.Node {
+	cp := q.Clone()
+	var rev func(n *qtree.Node)
+	rev = func(n *qtree.Node) {
+		for i, j := 0, len(n.Kids)-1; i < j; i, j = i+1, j-1 {
+			n.Kids[i], n.Kids[j] = n.Kids[j], n.Kids[i]
+		}
+		for _, k := range n.Kids {
+			rev(k)
+		}
+	}
+	rev(cp)
+	return cp
+}
+
+// serveConfig is one point of the serve-equivalence grid.
+type serveConfig struct {
+	name string
+	cfg  serve.Config
+	// fresh rebuilds the server per request — a cold cache every time,
+	// equivalent to serving with the translation cache off.
+	fresh bool
+}
+
+// checkServe stands up the serving stack over the case's scenario — the data
+// split across two sources sharing the scenario's vocabulary — and demands
+// that every grid point (cache on / effectively off × sequential / parallel
+// workers) answers both the original query and a structurally permuted
+// equivalent byte-identically to the sequential mediator baseline
+// (mediator.ExecuteUnion). With Options.Faults set it re-runs the grid under
+// an injected fault mix (transient errors, benign delays, timeout-tripping
+// stalls) and additionally demands that failures carry only typed errors and
+// that retrying reaches the exact baseline answer.
+func (h *Harness) checkServe(c *Case) *Violation {
+	med, data := c.serveStack()
+	want, _, err := med.ExecuteUnion(c.Query, data)
+	if err != nil {
+		return &Violation{Oracle: "harness", Detail: fmt.Sprintf("mediator baseline: %v", err)}
+	}
+	wantS := renderRelation(want)
+	permuted := permute(c.Query)
+
+	grid := []serveConfig{
+		{name: "seq/cache", cfg: serve.Config{Workers: 1, CacheSize: 64}},
+		{name: "par/cache", cfg: serve.Config{Workers: 4, CacheSize: 64}},
+		{name: "par/nocache", cfg: serve.Config{Workers: 4, CacheSize: 64}, fresh: true},
+	}
+	ctx := context.Background()
+
+	for _, gc := range grid {
+		srv := serve.New(med, data, gc.cfg)
+		for qi, q := range []*qtree.Node{c.Query, permuted} {
+			if gc.fresh {
+				srv = serve.New(med, data, gc.cfg)
+			}
+			got, err := srv.Query(ctx, q)
+			if err != nil {
+				return &Violation{Oracle: "serve-equivalence", Variant: gc.name,
+					Detail: fmt.Sprintf("query %d failed without faults: %v", qi, err)}
+			}
+			if g := renderRelation(got); g != wantS {
+				return &Violation{Oracle: "serve-equivalence", Variant: gc.name,
+					Detail: fmt.Sprintf("answer differs from sequential mediator baseline\nq = %s\ngot %d tuples, want %d", q, got.Len(), want.Len())}
+			}
+		}
+		if !gc.fresh {
+			st := srv.Stats()
+			if st.CacheHits+st.CacheMisses+st.CacheShared < 2 {
+				return &Violation{Oracle: "serve-equivalence", Variant: gc.name,
+					Detail: fmt.Sprintf("cache accounting lost lookups: hits=%d misses=%d shared=%d for 2 queries",
+						st.CacheHits, st.CacheMisses, st.CacheShared)}
+			}
+			if st.CacheHits == 0 {
+				return &Violation{Oracle: "serve-equivalence", Variant: gc.name,
+					Detail: "permuted-but-equivalent query missed the canonical translation cache"}
+			}
+		}
+	}
+
+	if h.opts.Faults {
+		return h.checkServeFaults(c, med, data, wantS)
+	}
+	return nil
+}
+
+// faultPlan is the mix the fault-injected grid runs under: frequent typed
+// transient errors, benign sub-timeout delays, and stalls long enough to trip
+// the per-source timeout below.
+var faultPlan = engine.FaultPlan{
+	ErrProb:   0.25,
+	StallProb: 0.15,
+	Stall:     50 * time.Millisecond,
+	DelayProb: 0.25,
+	Delay:     400 * time.Microsecond,
+}
+
+// faultTimeout bounds each per-source execution under faults; it sits far
+// below Stall and far above a real in-memory selection.
+const faultTimeout = 5 * time.Millisecond
+
+// checkServeFaults runs the serving stack under the injector and demands the
+// transient-fault contract: every failed request carries a typed error
+// (engine.ErrInjected or a context deadline), and within Options.ServeTries
+// retries the answer converges to the fault-free baseline, byte-identically.
+func (h *Harness) checkServeFaults(c *Case, med *mediator.Mediator, data map[string]*engine.Relation, wantS string) *Violation {
+	for _, workers := range []int{1, 4} {
+		inj := engine.NewInjector(c.Seed, faultPlan)
+		cfg := serve.Config{
+			Workers:       workers,
+			CacheSize:     64,
+			SourceTimeout: faultTimeout,
+			Executor: func(ctx context.Context, source string, rel *engine.Relation, q *qtree.Node, ev *engine.Evaluator, ix engine.IndexSet) (*engine.Relation, error) {
+				if err := inj.Apply(ctx, source); err != nil {
+					return nil, err
+				}
+				return serve.DefaultExecutor(ctx, source, rel, q, ev, ix)
+			},
+		}
+		srv := serve.New(med, data, cfg)
+		variant := fmt.Sprintf("faults/workers=%d", workers)
+		ok := false
+		for try := 0; try < h.opts.ServeTries; try++ {
+			got, err := srv.Query(context.Background(), c.Query)
+			if err != nil {
+				if !typedFault(err) {
+					return &Violation{Oracle: "serve-equivalence", Variant: variant,
+						Detail: fmt.Sprintf("untyped error under fault injection: %v", err)}
+				}
+				continue
+			}
+			if g := renderRelation(got); g != wantS {
+				return &Violation{Oracle: "serve-equivalence", Variant: variant,
+					Detail: fmt.Sprintf("successful answer under faults differs from fault-free baseline\ngot %d tuples", got.Len())}
+			}
+			ok = true
+			break
+		}
+		if !ok {
+			return &Violation{Oracle: "serve-equivalence", Variant: variant,
+				Detail: fmt.Sprintf("no successful answer in %d tries (injected: %d errors, %d stalls, %d delays)",
+					h.opts.ServeTries, inj.Errors(), inj.Stalls(), inj.Delays())}
+		}
+	}
+	return nil
+}
+
+// typedFault reports whether err is one of the contractually allowed fault
+// shapes: the injector's typed transient error or a context deadline /
+// cancellation surfaced by the per-source timeout.
+func typedFault(err error) bool {
+	return errors.Is(err, engine.ErrInjected) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled)
+}
+
+// serveStack builds the mediation stack the serve oracle runs: two sources
+// sharing the scenario's specification and evaluator (union-style
+// integration of replicas), with the case dataset split between them.
+func (c *Case) serveStack() (*mediator.Mediator, map[string]*engine.Relation) {
+	s1 := &sources.Source{Name: "sA", Spec: c.S.Spec, Eval: c.S.Eval}
+	s2 := &sources.Source{Name: "sB", Spec: c.S.Spec, Eval: c.S.Eval}
+	med := mediator.New(s1, s2)
+	med.Eval = c.S.Eval
+	r1, r2 := engine.NewRelation("sA"), engine.NewRelation("sB")
+	for i, t := range c.Data {
+		if i%2 == 0 {
+			r1.Tuples = append(r1.Tuples, t)
+		} else {
+			r2.Tuples = append(r2.Tuples, t)
+		}
+	}
+	return med, map[string]*engine.Relation{"sA": r1, "sB": r2}
+}

@@ -1,0 +1,100 @@
+package conformance
+
+import (
+	"repro/internal/engine"
+	"repro/internal/qtree"
+	"repro/internal/values"
+)
+
+// shrinkRounds bounds the greedy descent; each accepted reduction strictly
+// shrinks the query or the dataset, so the bound is a safety net, not a
+// tuning knob.
+const shrinkRounds = 200
+
+// Shrink greedily minimizes a failing case: it tries query reductions
+// (dropping a child of an ∧/∨ node, hoisting a subtree over its parent,
+// simplifying constants to "v0") and dataset reductions (halving, then
+// single-tuple removal), accepting a candidate only if it still violates the
+// SAME oracle. Everything is deterministic, so replaying a seed re-derives
+// the identical reproducer.
+func (h *Harness) Shrink(c *Case, v *Violation) (*Case, *Violation) {
+	cur, curV := c, v
+	for round := 0; round < shrinkRounds; round++ {
+		improved := false
+		for _, cand := range h.candidates(cur) {
+			cv := h.Check(cand)
+			if cv != nil && cv.Oracle == curV.Oracle {
+				cur, curV = cand, cv
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return cur, curV
+}
+
+// candidates enumerates one-step reductions of the case, smallest-impact
+// last: structural query shrinks first (they cut the most), then constant
+// simplification (folded into the same enumeration), then dataset shrinks.
+func (h *Harness) candidates(c *Case) []*Case {
+	var out []*Case
+	for _, q := range queryMutations(c.Query) {
+		out = append(out, c.withQuery(q.Normalize()))
+	}
+	n := len(c.Data)
+	if n > 1 {
+		out = append(out, c.withData(c.Data[:n/2]), c.withData(c.Data[n/2:]))
+	}
+	if n > 1 && n <= 24 {
+		for i := 0; i < n; i++ {
+			rest := make([]engine.Tuple, 0, n-1)
+			rest = append(rest, c.Data[:i]...)
+			rest = append(rest, c.Data[i+1:]...)
+			out = append(out, c.withData(rest))
+		}
+	}
+	return out
+}
+
+// queryMutations returns every tree produced by one reduction step anywhere
+// in q: dropping one child of an interior node, replacing an interior node
+// by one of its children, or rewriting a leaf constant to the domain's first
+// value.
+func queryMutations(q *qtree.Node) []*qtree.Node {
+	switch q.Kind {
+	case qtree.KindLeaf:
+		if c := q.C; !c.IsJoin() {
+			if s, ok := c.Val.(values.String); ok && s.Raw() != "v0" {
+				nc := c.Clone()
+				nc.Val = values.String("v0")
+				return []*qtree.Node{qtree.Leaf(nc)}
+			}
+		}
+		return nil
+	case qtree.KindAnd, qtree.KindOr:
+		var out []*qtree.Node
+		if len(q.Kids) > 1 {
+			for i := range q.Kids {
+				kids := make([]*qtree.Node, 0, len(q.Kids)-1)
+				kids = append(kids, q.Kids[:i]...)
+				kids = append(kids, q.Kids[i+1:]...)
+				out = append(out, &qtree.Node{Kind: q.Kind, Kids: kids})
+			}
+		}
+		out = append(out, q.Kids...)
+		for i, k := range q.Kids {
+			for _, mk := range queryMutations(k) {
+				kids := make([]*qtree.Node, len(q.Kids))
+				copy(kids, q.Kids)
+				kids[i] = mk
+				out = append(out, &qtree.Node{Kind: q.Kind, Kids: kids})
+			}
+		}
+		return out
+	default:
+		return nil
+	}
+}

@@ -4,8 +4,9 @@ import (
 	"testing"
 )
 
-// FuzzParse checks the parser never panics and that successfully parsed
-// queries survive a print→reparse round trip canonically.
+// FuzzParse checks the parser never panics, that successfully parsed
+// queries survive a print→reparse round trip canonically, and that printing
+// reaches a fixpoint after two rounds (print(parse(print(q))) == print(q)).
 func FuzzParse(f *testing.F) {
 	seeds := []string{
 		`[ln = "Clancy"] and [fn = "Tom"]`,
@@ -18,6 +19,19 @@ func FuzzParse(f *testing.F) {
 		`[[nested] = 1]`,
 		`[a <= -4.5]`,
 		`((((`,
+		// negative numerics, integer and float, on both comparison sides
+		`[a = -1] and [b > -0.25] or [c < -99999999]`,
+		`[a != -0]`,
+		// deeply nested parenthesization (depth >= 6)
+		`(((((([deep = 1]))))))`,
+		`((((((([a = 1] or [b = 2]) and [c = 3]) or [d = 4]) and [e = 5]) or [f = 6]) and [g = 7])`,
+		// proximity / connective patterns and during periods
+		`[ti contains data(^)mining] and [su contains a(v)b(v)c]`,
+		`[abstract contains one(near)two(near)three]`,
+		`[pdate during May/97] and [rdate during 1997]`,
+		// tuple and time values of Example 8's map source
+		`[Cll = (10,20)] and [Cur = (30,40)]`,
+		`[when = (23:59)] or [when = (0:0)]`,
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -34,6 +48,17 @@ func FuzzParse(f *testing.F) {
 		}
 		if !rt.EqualCanonical(q) {
 			t.Fatalf("round trip changed query:\noriginal: %s\nreparsed: %s", q, rt)
+		}
+		// Two-round fixpoint: printing is stable once a query has been
+		// through parse→print→parse, so reproducers and cache keys derived
+		// from printed form never drift.
+		printed2 := rt.String()
+		rt2, err := Parse(printed2)
+		if err != nil {
+			t.Fatalf("re-parse of second printing %q failed: %v", printed2, err)
+		}
+		if got := rt2.String(); got != printed2 {
+			t.Fatalf("printing not a fixpoint after two rounds:\nfirst:  %s\nsecond: %s", printed2, got)
 		}
 	})
 }

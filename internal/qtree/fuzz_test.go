@@ -1,0 +1,134 @@
+package qtree
+
+import (
+	"testing"
+)
+
+// fuzzVal is a tiny Value for fuzz-built constraints; the canonical key only
+// consults Kind and String, so a plain string value suffices.
+type fuzzVal string
+
+func (v fuzzVal) Kind() string       { return "string" }
+func (v fuzzVal) String() string     { return string(v) }
+func (v fuzzVal) Equal(o Value) bool { w, ok := o.(fuzzVal); return ok && v == w }
+
+// buildTree interprets program bytes as a post-order tree builder over a
+// small constraint vocabulary: low opcodes push leaves, high opcodes fold
+// the top of the stack into ∧/∨ nodes. Every byte string yields a valid
+// tree, so the fuzzer explores shapes, not parse errors.
+func buildTree(prog []byte) *Node {
+	ops := []string{OpEq, OpStarts, OpContains, OpLt}
+	var stack []*Node
+	for _, b := range prog {
+		switch {
+		case b < 128:
+			attr := A([]string{"a", "b", "c", "d"}[int(b)%4])
+			op := ops[int(b>>2)%len(ops)]
+			val := fuzzVal([]string{"x", "y", "z"}[int(b>>4)%3])
+			stack = append(stack, Leaf(Sel(attr, op, val)))
+		default:
+			take := 2 + int(b)%3
+			if take > len(stack) {
+				take = len(stack)
+			}
+			if take < 2 {
+				continue
+			}
+			kids := make([]*Node, take)
+			copy(kids, stack[len(stack)-take:])
+			stack = stack[:len(stack)-take]
+			kind := KindAnd
+			if b%2 == 1 {
+				kind = KindOr
+			}
+			stack = append(stack, &Node{Kind: kind, Kids: kids})
+		}
+	}
+	switch len(stack) {
+	case 0:
+		return True()
+	case 1:
+		return stack[0]
+	default:
+		return &Node{Kind: KindAnd, Kids: stack}
+	}
+}
+
+// reverseKids returns a deep copy with every interior node's children
+// reversed (∧/∨ commutativity).
+func reverseKids(n *Node) *Node {
+	cp := n.Clone()
+	var rev func(*Node)
+	rev = func(m *Node) {
+		for i, j := 0, len(m.Kids)-1; i < j; i, j = i+1, j-1 {
+			m.Kids[i], m.Kids[j] = m.Kids[j], m.Kids[i]
+		}
+		for _, k := range m.Kids {
+			rev(k)
+		}
+	}
+	rev(cp)
+	return cp
+}
+
+// regroup returns a deep copy in which every interior node with three or
+// more children has its first two grouped into a nested node of the same
+// kind (associativity).
+func regroup(n *Node) *Node {
+	if n == nil || n.Kind == KindLeaf || n.Kind == KindTrue {
+		return n.Clone()
+	}
+	kids := make([]*Node, len(n.Kids))
+	for i, k := range n.Kids {
+		kids[i] = regroup(k)
+	}
+	if len(kids) >= 3 {
+		nested := &Node{Kind: n.Kind, Kids: []*Node{kids[0], kids[1]}}
+		kids = append([]*Node{nested}, kids[2:]...)
+	}
+	return &Node{Kind: n.Kind, Kids: kids}
+}
+
+// duplicateFirst returns a deep copy with every interior node's first child
+// appended again (idempotence: x ∧ x = x, x ∨ x = x).
+func duplicateFirst(n *Node) *Node {
+	if n == nil || n.Kind == KindLeaf || n.Kind == KindTrue {
+		return n.Clone()
+	}
+	kids := make([]*Node, 0, len(n.Kids)+1)
+	for _, k := range n.Kids {
+		kids = append(kids, duplicateFirst(k))
+	}
+	kids = append(kids, kids[0].Clone())
+	return &Node{Kind: n.Kind, Kids: kids}
+}
+
+// FuzzCanonicalKey checks that CanonicalKey is invariant under the
+// equivalences it abstracts: child commutation, associative regrouping of
+// same-kind nodes, and duplicate-branch insertion. It also pins down that
+// normalization is stable (normalizing twice changes nothing).
+func FuzzCanonicalKey(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Add([]byte{0, 5, 200})
+	f.Add([]byte{0, 5, 9, 201})
+	f.Add([]byte{0, 5, 200, 17, 33, 201, 131})
+	f.Add([]byte{7, 7, 7, 7, 202, 42, 203, 130})
+	f.Fuzz(func(t *testing.T, prog []byte) {
+		q := buildTree(prog)
+		key := q.CanonicalKey()
+		if got := reverseKids(q).CanonicalKey(); got != key {
+			t.Fatalf("CanonicalKey not commutation-invariant:\nq = %s\nkey %q vs %q", q, key, got)
+		}
+		if got := regroup(q).CanonicalKey(); got != key {
+			t.Fatalf("CanonicalKey not associativity-invariant:\nq = %s\nkey %q vs %q", q, key, got)
+		}
+		if got := duplicateFirst(q).CanonicalKey(); got != key {
+			t.Fatalf("CanonicalKey not idempotence-invariant:\nq = %s\nkey %q vs %q", q, key, got)
+		}
+		n1 := q.Normalize()
+		if n2 := n1.Normalize(); n1.canonKey() != n2.canonKey() {
+			t.Fatalf("Normalize not stable:\n%s\nvs\n%s", n1, n2)
+		}
+	})
+}

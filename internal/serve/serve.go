@@ -105,6 +105,23 @@ func (ct *CachingTranslator) Len() int { return ct.cache.Len() }
 // Evictions returns the number of entries evicted for capacity.
 func (ct *CachingTranslator) Evictions() uint64 { return ct.cache.Evictions() }
 
+// SourceExecutor runs one source's native selection phase: evaluate the
+// translated query q over the source's relation rel with the source's
+// evaluator ev, using ix (may be nil) to accelerate equality probes. Custom
+// executors wrap DefaultExecutor to add fault injection, tracing, or remote
+// transports; they must honor ctx, whose deadline carries the server's
+// per-source timeout.
+type SourceExecutor func(ctx context.Context, source string, rel *engine.Relation, q *qtree.Node, ev *engine.Evaluator, ix engine.IndexSet) (*engine.Relation, error)
+
+// DefaultExecutor is the in-memory selection phase: an indexed select when
+// the source has indexes, a scan otherwise.
+func DefaultExecutor(_ context.Context, _ string, rel *engine.Relation, q *qtree.Node, ev *engine.Evaluator, ix engine.IndexSet) (*engine.Relation, error) {
+	if ix != nil {
+		return rel.SelectIndexed(q, ev, ix)
+	}
+	return rel.Select(q, ev)
+}
+
 // Config sizes a Server.
 type Config struct {
 	// CacheSize bounds the translation cache in entries
@@ -116,6 +133,9 @@ type Config struct {
 	// SourceTimeout bounds each per-source select+filter execution
 	// (no timeout if 0).
 	SourceTimeout time.Duration
+	// Executor overrides the per-source selection phase
+	// (DefaultExecutor if nil).
+	Executor SourceExecutor
 }
 
 // Server serves mediated queries concurrently: cached translation, parallel
@@ -128,6 +148,7 @@ type Server struct {
 	tr      *CachingTranslator
 	sem     chan struct{}
 	timeout time.Duration
+	exec    SourceExecutor
 
 	requests atomic.Uint64
 	inFlight atomic.Int64
@@ -144,12 +165,17 @@ func New(med *mediator.Mediator, data map[string]*engine.Relation, cfg Config) *
 	if workers <= 0 {
 		workers = 2 * runtime.GOMAXPROCS(0)
 	}
+	exec := cfg.Executor
+	if exec == nil {
+		exec = DefaultExecutor
+	}
 	s := &Server{
 		med:     med,
 		data:    data,
 		tr:      NewCachingTranslator(med, cfg.CacheSize),
 		sem:     make(chan struct{}, workers),
 		timeout: cfg.SourceTimeout,
+		exec:    exec,
 		sources: make(map[string]*sourceCounters, len(med.Sources)),
 	}
 	for _, src := range med.Sources {
@@ -331,7 +357,7 @@ func (s *Server) runSource(ctx context.Context, tr *mediator.Translation, st *me
 	ch := make(chan result, 1)
 	go func() {
 		defer func() { <-s.sem }()
-		rel, err := s.evalSource(tr, st, branchFilter)
+		rel, err := s.evalSource(ctx, tr, st, branchFilter)
 		ch <- result{rel, err}
 	}()
 	select {
@@ -355,18 +381,12 @@ func (s *Server) runSource(ctx context.Context, tr *mediator.Translation, st *me
 
 // evalSource is the sequential per-source phase, mirroring the loop bodies
 // of mediator.ExecuteUnion / ExecuteJoin.
-func (s *Server) evalSource(tr *mediator.Translation, st *mediator.SourceTranslation, branchFilter bool) (*engine.Relation, error) {
+func (s *Server) evalSource(ctx context.Context, tr *mediator.Translation, st *mediator.SourceTranslation, branchFilter bool) (*engine.Relation, error) {
 	rel, ok := s.data[st.Source.Name]
 	if !ok {
 		return nil, fmt.Errorf("serve: no data for source %s", st.Source.Name)
 	}
-	var native *engine.Relation
-	var err error
-	if ix, ok := s.med.Indexes[st.Source.Name]; ok {
-		native, err = rel.SelectIndexed(st.Query, st.Source.Eval, ix)
-	} else {
-		native, err = rel.Select(st.Query, st.Source.Eval)
-	}
+	native, err := s.exec(ctx, st.Source.Name, rel, st.Query, st.Source.Eval, s.med.Indexes[st.Source.Name])
 	if err != nil || !branchFilter {
 		return native, err
 	}

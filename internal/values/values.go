@@ -55,8 +55,16 @@ type Float float64
 // Kind implements qtree.Value.
 func (Float) Kind() string { return "float" }
 
-// String implements qtree.Value.
-func (f Float) String() string { return strconv.FormatFloat(float64(f), 'g', -1, 64) }
+// String implements qtree.Value. Negative zero prints as "0": the two
+// zeros are Equal, so they must render identically for print→reparse and
+// canonical keys to agree with value equality.
+func (f Float) String() string {
+	v := float64(f)
+	if v == 0 {
+		v = 0
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
 
 // Equal implements qtree.Value. Floats and integers compare numerically
 // across kinds (3.0 equals 3), matching the engine's comparison semantics.

@@ -320,17 +320,35 @@ func (s *Scenario) Constraint(attr string, i int) *qtree.Constraint {
 // and deriving every group's target attribute, so that original and
 // translated queries are evaluable on the same tuple.
 func (s *Scenario) RandomTuple(rng *rand.Rand) engine.Tuple {
-	t := make(engine.Tuple)
 	vals := make(map[string]string, len(s.BaseAttrs))
 	for _, a := range s.BaseAttrs {
-		v := fmt.Sprintf("v%d", rng.Intn(s.ValueDomain))
-		vals[a] = v
-		t.Set(qtree.A(a), values.String(v))
+		vals[a] = fmt.Sprintf("v%d", rng.Intn(s.ValueDomain))
+	}
+	return s.Tuple(vals)
+}
+
+// Tuple materializes the universe tuple of a full base-attribute assignment
+// (attribute name → raw value string): every base attribute carries its
+// assigned value and every group's target attribute is derived from it under
+// the scenario's data semantics, so original and translated queries are
+// evaluable on the same tuple. Attributes missing from vals default to "v0".
+// This is the data-generation primitive the conformance harness uses to
+// craft adversarial witness tuples for specific assignments.
+func (s *Scenario) Tuple(vals map[string]string) engine.Tuple {
+	t := make(engine.Tuple)
+	get := func(a string) string {
+		if v, ok := vals[a]; ok {
+			return v
+		}
+		return "v0"
+	}
+	for _, a := range s.BaseAttrs {
+		t.Set(qtree.A(a), values.String(get(a)))
 	}
 	for _, g := range s.Groups {
 		parts := make([]string, len(g.Attrs))
 		for i, a := range g.Attrs {
-			parts[i] = vals[a]
+			parts[i] = get(a)
 		}
 		sep := "|"
 		if g.Kind == KindInexactPair {
@@ -339,4 +357,26 @@ func (s *Scenario) RandomTuple(rng *rand.Rand) engine.Tuple {
 		t.Set(qtree.A(g.Target), values.String(strings.Join(parts, sep)))
 	}
 	return t
+}
+
+// Relation draws n random universe tuples as a named engine relation — the
+// synthetic dataset generator behind the conformance harness's executable
+// oracles.
+func (s *Scenario) Relation(name string, rng *rand.Rand, n int) *engine.Relation {
+	r := engine.NewRelation(name)
+	for i := 0; i < n; i++ {
+		r.Tuples = append(r.Tuples, s.RandomTuple(rng))
+	}
+	return r
+}
+
+// GroupFor returns the dependency group whose target attribute is named
+// target, if any.
+func (s *Scenario) GroupFor(target string) (Group, bool) {
+	for _, g := range s.Groups {
+		if g.Target == target {
+			return g, true
+		}
+	}
+	return Group{}, false
 }
