@@ -15,8 +15,11 @@
 //
 //	GET /translate?q=<query>      per-source translations and the filter
 //	GET /query?q=<query>          mediated answers from the catalog
+//	GET /trace?q=<query>          span tree of a fresh (uncached) translation
 //	GET /sources                  the integrated sources and their rules
 //	GET /stats                    serving-layer counters (cache, latency)
+//	GET /metrics                  Prometheus text exposition of all counters
+//	GET /debug/pprof/             runtime profiling (net/http/pprof)
 //	GET /healthz                  liveness
 //
 // Example:
@@ -32,6 +35,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -39,6 +43,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/mediator"
+	"repro/internal/obs"
 	"repro/internal/qparse"
 	"repro/internal/qtree"
 	"repro/internal/rules"
@@ -50,6 +55,7 @@ type server struct {
 	med     *mediator.Mediator
 	svc     *serve.Server
 	catalog *engine.Relation
+	reg     *obs.Registry
 }
 
 func main() {
@@ -113,10 +119,18 @@ func newServer(seed int64, nBooks int, cfg serve.Config) *server {
 		"amazon":  catalog,
 		"clbooks": catalog,
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+		cfg.Metrics = reg
+	}
+	obs.RegisterGoRuntime(reg)
+	med.Metrics = obs.NewTranslationMetrics(reg)
 	return &server{
 		med:     med,
 		svc:     serve.New(med, data, cfg),
 		catalog: catalog,
+		reg:     reg,
 	}
 }
 
@@ -124,8 +138,15 @@ func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /translate", s.handleTranslate)
 	mux.HandleFunc("GET /query", s.handleQuery)
+	mux.HandleFunc("GET /trace", s.handleTrace)
 	mux.HandleFunc("GET /sources", s.handleSources)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -213,6 +234,31 @@ func (s *server) handleSources(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.svc.Stats())
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		log.Printf("mediatord: writing metrics: %v", err)
+	}
+}
+
+// handleTrace translates q afresh — bypassing the cache, since a cached
+// translation performs no algorithm work to observe — under a tracer and
+// returns the resulting span tree as JSON.
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	q, err := qparse.Parse(r.URL.Query().Get("q"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	tracer := obs.NewTracer()
+	ctx := obs.WithTracer(r.Context(), tracer)
+	if _, err := s.med.TranslateContext(ctx, q); err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, tracer.Root())
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

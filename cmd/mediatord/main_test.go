@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/qparse"
 	"repro/internal/qtree"
 	"repro/internal/serve"
@@ -121,6 +122,107 @@ func TestHandleStats(t *testing.T) {
 		if st.Sources[name].Executions != 3 {
 			t.Errorf("source %s executions = %d, want 3", name, st.Sources[name].Executions)
 		}
+	}
+}
+
+func TestHandleMetrics(t *testing.T) {
+	s := testServer(t)
+	q := "/query?q=" + url.QueryEscape(`[ln = "Clancy"] and [fn = "Tom"]`)
+	for i := 0; i < 2; i++ {
+		rec := httptest.NewRecorder()
+		s.handleQuery(rec, httptest.NewRequest("GET", q, nil))
+		if rec.Code != 200 {
+			t.Fatalf("query status %d: %s", rec.Code, rec.Body)
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	s.mux().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("metrics status %d: %s", rec.Code, rec.Body)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	samples, err := obs.ParseExposition(rec.Body)
+	if err != nil {
+		t.Fatalf("scrape does not parse: %v", err)
+	}
+	find := func(name string, labels ...string) (float64, bool) {
+		for _, sm := range samples {
+			if sm.Name != name {
+				continue
+			}
+			ok := true
+			for i := 0; i+1 < len(labels); i += 2 {
+				if sm.Label(labels[i]) != labels[i+1] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return sm.Value, true
+			}
+		}
+		return 0, false
+	}
+	if v, ok := find("qmap_serve_requests_total"); !ok || v != 2 {
+		t.Errorf("qmap_serve_requests_total = %v (present %v), want 2", v, ok)
+	}
+	if v, ok := find("qmap_cache_hits_total"); !ok || v != 1 {
+		t.Errorf("qmap_cache_hits_total = %v (present %v), want 1", v, ok)
+	}
+	if v, ok := find("qmap_source_latency_seconds_bucket", "source", "amazon", "le", "+Inf"); !ok || v != 2 {
+		t.Errorf("amazon +Inf latency bucket = %v (present %v), want 2", v, ok)
+	}
+	if v, ok := find("qmap_rule_fires_total", "spec", "K_Amazon", "rule", "R2"); !ok || v < 1 {
+		t.Errorf("qmap_rule_fires_total{spec=K_Amazon,rule=R2} = %v (present %v), want >= 1", v, ok)
+	}
+	if _, ok := find("go_goroutines"); !ok {
+		t.Error("go_goroutines runtime gauge missing from scrape")
+	}
+}
+
+func TestHandleTrace(t *testing.T) {
+	s := testServer(t)
+	req := httptest.NewRequest("GET", "/trace?q="+url.QueryEscape(`[ln = "Clancy"] and [fn = "Tom"]`), nil)
+	rec := httptest.NewRecorder()
+	s.handleTrace(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var root obs.Span
+	if err := json.Unmarshal(rec.Body.Bytes(), &root); err != nil {
+		t.Fatal(err)
+	}
+	if root.Kind != obs.KindTranslate {
+		t.Fatalf("root kind = %q, want %q", root.Kind, obs.KindTranslate)
+	}
+	if n := len(root.FindAll(obs.KindSource)); n != 2 {
+		t.Errorf("%d source spans, want 2", n)
+	}
+	if n := len(root.FindAll(obs.KindSCM)); n == 0 {
+		t.Error("no scm spans in trace")
+	}
+	if err := obs.Verify(&root); err != nil {
+		t.Errorf("trace fails invariants: %v", err)
+	}
+
+	// /trace bypasses the translation cache, so the same query traces the
+	// same tree twice.
+	rec2 := httptest.NewRecorder()
+	s.handleTrace(rec2, httptest.NewRequest("GET", req.URL.String(), nil))
+	if rec.Body.String() != rec2.Body.String() {
+		t.Error("two /trace responses for the same query differ")
+	}
+}
+
+func TestHandlePprofIndex(t *testing.T) {
+	s := testServer(t)
+	rec := httptest.NewRecorder()
+	s.mux().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Errorf("pprof index status %d, body %.80q", rec.Code, rec.Body.String())
 	}
 }
 

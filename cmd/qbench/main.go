@@ -45,31 +45,45 @@ var experiments = []experiment{
 	{"E15", "Section 3 comparisons: dependency-blind and non-relaxing baselines", runE15},
 }
 
-func main() {
-	var (
-		exp  = flag.String("exp", "", "experiment id to run (default: all)")
-		list = flag.Bool("list", false, "list experiments and exit")
+// options holds every qbench flag; registerFlags declares them all on one
+// FlagSet so tests can enumerate the registered flags.
+type options struct {
+	exp  string
+	list bool
 
-		serveMode = flag.Bool("serve", false, "run the concurrent serve workload instead of experiments")
-		clients   = flag.Int("clients", 8, "serve mode: concurrent client goroutines")
-		requests  = flag.Int("requests", 10000, "serve mode: total requests")
-		distinct  = flag.Int("distinct", 64, "serve mode: distinct queries in rotation")
-		cache     = flag.Int("cache", 256, "serve mode: translation cache capacity")
-		tuples    = flag.Int("tuples", 500, "serve mode: universe tuples per source shard")
-	)
+	serveMode serveOptions
+	serve     bool
+}
+
+// registerFlags declares qbench's flags on fs and returns the bound options.
+func registerFlags(fs *flag.FlagSet) *options {
+	o := &options{}
+	fs.StringVar(&o.exp, "exp", "", "experiment id to run (default: all)")
+	fs.BoolVar(&o.list, "list", false, "list experiments and exit")
+
+	fs.BoolVar(&o.serve, "serve", false, "run the concurrent serve workload instead of experiments")
+	fs.IntVar(&o.serveMode.clients, "clients", 8, "serve mode: concurrent client goroutines")
+	fs.IntVar(&o.serveMode.requests, "requests", 10000, "serve mode: total requests")
+	fs.IntVar(&o.serveMode.distinct, "distinct", 64, "serve mode: distinct queries in rotation")
+	fs.IntVar(&o.serveMode.cache, "cache", 256, "serve mode: translation cache capacity")
+	fs.IntVar(&o.serveMode.tuples, "tuples", 500, "serve mode: universe tuples per source shard")
+	fs.BoolVar(&o.serveMode.metrics, "metrics", false, "serve mode: print the Prometheus metrics exposition after the run")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "Usage of qbench:")
+		fs.PrintDefaults()
+	}
+	return o
+}
+
+func main() {
+	o := registerFlags(flag.CommandLine)
 	flag.Parse()
 
-	if *serveMode {
-		runServe(serveOptions{
-			clients:  *clients,
-			requests: *requests,
-			distinct: *distinct,
-			cache:    *cache,
-			tuples:   *tuples,
-		})
+	if o.serve {
+		runServe(o.serveMode)
 		return
 	}
-	if *list {
+	if o.list {
 		for _, e := range experiments {
 			fmt.Printf("%-5s %s\n", e.id, e.title)
 		}
@@ -77,7 +91,7 @@ func main() {
 	}
 	ran := false
 	for _, e := range experiments {
-		if *exp != "" && !strings.EqualFold(*exp, e.id) {
+		if o.exp != "" && !strings.EqualFold(o.exp, e.id) {
 			continue
 		}
 		ran = true
@@ -86,7 +100,7 @@ func main() {
 		fmt.Println()
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "qbench: unknown experiment %q (use -list)\n", *exp)
+		fmt.Fprintf(os.Stderr, "qbench: unknown experiment %q (use -list)\n", o.exp)
 		os.Exit(1)
 	}
 }

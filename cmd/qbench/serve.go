@@ -4,12 +4,14 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
 	"repro/internal/mediator"
+	"repro/internal/obs"
 	"repro/internal/qtree"
 	"repro/internal/serve"
 	"repro/internal/sources"
@@ -18,11 +20,12 @@ import (
 
 // serveOptions configures the `-serve` workload mode.
 type serveOptions struct {
-	clients  int // concurrent client goroutines
-	requests int // total requests across all clients
-	distinct int // distinct queries in the rotation (cache working set)
-	cache    int // translation-cache capacity
-	tuples   int // universe tuples per source shard
+	clients  int  // concurrent client goroutines
+	requests int  // total requests across all clients
+	distinct int  // distinct queries in the rotation (cache working set)
+	cache    int  // translation-cache capacity
+	tuples   int  // universe tuples per source shard
+	metrics  bool // print the Prometheus exposition after the run
 }
 
 // runServe drives internal/serve with C concurrent clients over the
@@ -56,7 +59,9 @@ func runServe(opt serveOptions) {
 		queries[i] = s.RandomQuery(rng, cfg)
 	}
 
-	srv := serve.New(med, data, serve.Config{CacheSize: opt.cache})
+	reg := obs.NewRegistry()
+	med.Metrics = obs.NewTranslationMetrics(reg)
+	srv := serve.New(med, data, serve.Config{CacheSize: opt.cache, Metrics: reg})
 	ctx := context.Background()
 
 	var served, answers, failed atomic.Uint64
@@ -116,4 +121,11 @@ func runServe(opt serveOptions) {
 		rows = append(rows, row)
 	}
 	table(header, rows)
+
+	if opt.metrics {
+		fmt.Println("\nmetrics exposition:")
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "qbench: writing metrics: %v\n", err)
+		}
+	}
 }

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docFlagLine matches a flag line of the recorded usage block
+// ("  -name type" or "  -name").
+var docFlagLine = regexp.MustCompile(`^  -([a-z]+)\b`)
+
+// TestUsageMatchesRecordedOutput keeps docs/qbench_output.txt honest: the
+// flag list in its "$ qbench -h" header must match the flags qbench actually
+// registers, in both directions. Regenerate the doc after changing flags:
+//
+//	go build -o qbench ./cmd/qbench
+//	{ echo '$ qbench -h'; ./qbench -h 2>&1; echo; ./qbench; } > docs/qbench_output.txt
+func TestUsageMatchesRecordedOutput(t *testing.T) {
+	fs := flag.NewFlagSet("qbench", flag.ContinueOnError)
+	registerFlags(fs)
+	registered := map[string]bool{}
+	fs.VisitAll(func(f *flag.Flag) { registered[f.Name] = true })
+
+	raw, err := os.ReadFile("../../docs/qbench_output.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(string(raw), "\n")
+	if len(lines) == 0 || lines[0] != "$ qbench -h" {
+		t.Fatalf("doc does not start with the usage transcript; first line %q", lines[0])
+	}
+	if lines[1] != "Usage of qbench:" {
+		t.Fatalf("line 2 = %q, want %q", lines[1], "Usage of qbench:")
+	}
+
+	documented := map[string]bool{}
+	for _, line := range lines[2:] {
+		if line == "" {
+			break // the usage block ends at the first blank line
+		}
+		if m := docFlagLine.FindStringSubmatch(line); m != nil {
+			documented[m[1]] = true
+		}
+	}
+	if len(documented) == 0 {
+		t.Fatal("no flag lines found in the doc's usage block")
+	}
+
+	for name := range registered {
+		if !documented[name] {
+			t.Errorf("flag -%s registered but missing from docs/qbench_output.txt (regenerate the doc)", name)
+		}
+	}
+	for name := range documented {
+		if !registered[name] {
+			t.Errorf("docs/qbench_output.txt documents -%s, which qbench no longer registers", name)
+		}
+	}
+}
+
+// TestUsageOutput pins the rendered usage header so the doc's transcript
+// stays reproducible with a plain `qbench -h`.
+func TestUsageOutput(t *testing.T) {
+	fs := flag.NewFlagSet("qbench", flag.ContinueOnError)
+	var buf bytes.Buffer
+	fs.SetOutput(&buf)
+	registerFlags(fs)
+	fs.Usage()
+	out := buf.String()
+	if !strings.HasPrefix(out, "Usage of qbench:\n") {
+		t.Errorf("usage starts %q, want %q", out[:min(len(out), 40)], "Usage of qbench:")
+	}
+	if !strings.Contains(out, "-metrics") || !strings.Contains(out, "-serve") {
+		t.Errorf("usage lacks expected flags:\n%s", out)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

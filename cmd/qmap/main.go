@@ -6,6 +6,7 @@
 //	qmap -spec amazon -alg tdqm '[ln = "Clancy"] and [fn = "Tom"]'
 //	qmap -spec t1 -tree '[fac.ln = pub.ln] and [fac.fn = pub.fn]'
 //	qmap -spec amazon -explain '...'   # print the derivation
+//	qmap -spec amazon -trace '...'     # print the span tree as JSON
 //	qmap -spec amazon -rules           # print the spec's rules and exit
 //	qmap -rulefile my.rules -lint      # check a user rule file
 //
@@ -16,12 +17,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/qparse"
 	"repro/internal/qtree"
 	"repro/internal/rules"
@@ -38,6 +41,7 @@ func main() {
 		stats    = flag.Bool("stats", false, "print translation statistics")
 		simplify = flag.Bool("simplify", false, "apply Boolean absorption simplification to the output")
 		explain  = flag.Bool("explain", false, "print the translation derivation (rule firings, partitions, rewrites)")
+		traceOut = flag.Bool("trace", false, "print the translation span tree as JSON (see docs/observability.md)")
 		listRule = flag.Bool("rules", false, "print the mapping specification and exit")
 		lint     = flag.Bool("lint", false, "lint the mapping specification and exit (non-zero on errors)")
 	)
@@ -89,6 +93,11 @@ func main() {
 		trace = &core.Trace{}
 		tr.SetTrace(trace)
 	}
+	var tracer *obs.Tracer
+	if *traceOut {
+		tracer = obs.NewTracer()
+		tr.SetTracer(tracer)
+	}
 	mapped, filter, err := tr.TranslateWithFilter(q, *alg)
 	if err != nil {
 		fail(err)
@@ -112,6 +121,14 @@ func main() {
 	if *explain {
 		fmt.Println("\nderivation:")
 		fmt.Print(trace.String())
+	}
+	if *traceOut {
+		js, err := json.MarshalIndent(tracer.Root(), "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("\ntrace:")
+		fmt.Println(string(js))
 	}
 	if *showTree {
 		fmt.Println("\noriginal tree:")

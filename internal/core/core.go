@@ -19,6 +19,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/qtree"
 	"repro/internal/rules"
 )
@@ -57,6 +58,16 @@ type Translator struct {
 	fullDNFSafety bool
 	// trace, when non-nil, collects derivation steps (see SetTrace).
 	trace *Trace
+	// tracer, when non-nil, records the span tree of the translation
+	// (see SetTracer); metrics, when non-nil, feeds cumulative per-rule
+	// and per-algorithm counters (see SetMetrics).
+	tracer  *obs.Tracer
+	metrics *obs.TranslationMetrics
+	// traceDepth and depSupport implement the essentialDNFSize counter:
+	// the dependent-constraint support of the top-level traced query and
+	// the recursion depth that scopes it (see traceEnter).
+	traceDepth int
+	depSupport map[string]bool
 }
 
 // NewTranslator returns a translator for spec.

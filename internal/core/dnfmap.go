@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/obs"
 	"repro/internal/qtree"
 )
 
@@ -12,9 +13,20 @@ import (
 // exponential in general and the output is typically far less compact than
 // Algorithm TDQM's (Section 8) — this is the paper's baseline.
 func (t *Translator) DNFMap(q *qtree.Node) (*qtree.Node, error) {
+	var sp *obs.Span
+	if t.tracer != nil {
+		cs := q.Constraints()
+		t.traceEnter(cs)
+		defer t.traceExit()
+		sp = t.tracer.Start(obs.KindDNF, q.String())
+		defer t.tracer.End()
+		sp.Set(obs.CtrQuerySize, int64(q.Size()))
+		sp.Set(obs.CtrEssentialDNFSize, t.essentialSize(cs))
+	}
 	dnf := qtree.ToDNF(q)
 	ds := dnf.Disjuncts()
 	t.Stats.DNFDisjuncts += len(ds)
+	sp.Set(obs.CtrDisjuncts, int64(len(ds)))
 	kids := make([]*qtree.Node, 0, len(ds))
 	for _, d := range ds {
 		res, err := t.SCM(d.SimpleConjuncts())

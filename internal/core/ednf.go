@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/obs"
 	"repro/internal/qtree"
 	"repro/internal/rules"
 )
@@ -66,7 +67,14 @@ func matchingSets(ms []*rules.Matching) []*qtree.ConstraintSet {
 // ε, which keeps the safety checks of Algorithm PSafe proportional to the
 // degree of constraint dependency rather than to query size (Section 8).
 func (t *Translator) EDNF(q *qtree.Node, mp []*qtree.ConstraintSet) DNFExpr {
+	var sp *obs.Span
+	if t.tracer != nil {
+		sp = t.tracer.Start(obs.KindEDNF, q.String())
+		defer t.tracer.End()
+		sp.Set(obs.CtrEssentialDNFSize, t.essentialSize(q.Constraints()))
+	}
 	d := t.ednfStep(q.Normalize(), mp)
+	sp.Set(obs.CtrDisjuncts, int64(len(d)))
 	return d
 }
 

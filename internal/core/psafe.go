@@ -5,7 +5,9 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/qtree"
+	"repro/internal/rules"
 )
 
 // Partition is the result of Algorithm PSafe: a partition of a conjunction's
@@ -48,12 +50,27 @@ func (p *Partition) String() string {
 // blocks, and completes the partition with singleton blocks.
 func (t *Translator) PSafe(conjuncts []*qtree.Node) (*Partition, error) {
 	t.Stats.PSafeCalls++
+	t.metrics.PSafeCall(t.Spec.Name)
 	n := len(conjuncts)
 	all := qtree.NewConstraintSet()
 	for _, c := range conjuncts {
 		all.AddAll(qtree.SetOfConstraints(c))
 	}
-	ms, err := t.matchings(all.Slice())
+	var sp *obs.Span
+	startTerms := t.Stats.ProductTerms
+	var ms []*rules.Matching
+	var err error
+	if t.tracer != nil {
+		t.traceEnter(all.Slice())
+		defer t.traceExit()
+		sp = t.tracer.Start(obs.KindPSafe, "")
+		defer t.tracer.End()
+		sp.Set(obs.CtrConjuncts, int64(n))
+		sp.Set(obs.CtrEssentialDNFSize, t.essentialSize(all.Slice()))
+		ms, _, err = t.tracedMatchings(all.Slice())
+	} else {
+		ms, err = t.matchings(all.Slice())
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -164,6 +181,17 @@ func (t *Translator) PSafe(conjuncts []*qtree.Node) (*Partition, error) {
 		p.Blocks = append(p.Blocks, blk)
 	}
 	p.Separable = len(p.Blocks) == n
+	t.metrics.ProductTerms(t.Spec.Name, t.Stats.ProductTerms-startTerms)
+	if sp != nil {
+		sp.Set(obs.CtrBlocks, int64(len(p.Blocks)))
+		sp.Set(obs.CtrCrossMatchings, int64(p.CrossMatchings))
+		sp.Set(obs.CtrProductTerms, int64(t.Stats.ProductTerms-startTerms))
+		if p.Separable {
+			sp.Set(obs.CtrSeparable, 1)
+		} else {
+			sp.Set(obs.CtrSeparable, 0)
+		}
+	}
 	return p, nil
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/obs"
 	"repro/internal/qtree"
 	"repro/internal/rules"
 )
@@ -27,12 +28,31 @@ type SCMResult struct {
 // by no matching map to True.
 func (t *Translator) SCM(cs []*qtree.Constraint) (*SCMResult, error) {
 	t.Stats.SCMCalls++
-	all, err := t.matchings(cs)
+	t.metrics.SCMCall(t.Spec.Name)
+	var (
+		sp         *obs.Span
+		matchSpans map[string]*obs.Span
+		all        []*rules.Matching
+		err        error
+	)
+	if t.tracer != nil {
+		t.traceEnter(cs)
+		defer t.traceExit()
+		sp = t.tracer.Start(obs.KindSCM, qtree.NewConstraintSet(cs...).Conjunction().String())
+		defer t.tracer.End()
+		sp.Set(obs.CtrEssentialDNFSize, t.essentialSize(cs))
+		all, matchSpans, err = t.tracedMatchings(cs)
+	} else {
+		all, err = t.matchings(cs)
+	}
 	if err != nil {
 		return nil, err
 	}
 	ms := rules.SuppressSubmatchings(all)
 	t.traceSCM(cs, all, ms)
+	if sp != nil || t.metrics != nil {
+		t.accountSuppression(sp, matchSpans, all, ms)
+	}
 
 	res := &SCMResult{Matchings: ms}
 	kids := make([]*qtree.Node, 0, len(ms))
@@ -60,7 +80,35 @@ func (t *Translator) SCM(cs []*qtree.Constraint) (*SCMResult, error) {
 	if !res.Residue.IsTrue() {
 		t.residueClean = false
 	}
+	if sp != nil {
+		sp.Set(obs.CtrEmittedAtoms, int64(len(res.Query.Constraints())))
+		sp.Set(obs.CtrUnmatched, int64(len(res.Unmatched)))
+	}
 	return res, nil
+}
+
+// accountSuppression back-fills the per-rule kept/suppressed split into the
+// SCM span, its match spans, and the cumulative metrics.
+func (t *Translator) accountSuppression(sp *obs.Span, matchSpans map[string]*obs.Span, all, ms []*rules.Matching) {
+	kept := make(map[*rules.Matching]bool, len(ms))
+	for _, m := range ms {
+		kept[m] = true
+	}
+	if sp != nil {
+		sp.Set(obs.CtrCandidates, int64(len(all)))
+		sp.Set(obs.CtrKept, int64(len(ms)))
+		sp.Set(obs.CtrSuppressed, int64(len(all)-len(ms)))
+	}
+	for _, m := range all {
+		msp := matchSpans[m.Rule.Name] // nil when untraced; Add is nil-safe
+		if kept[m] {
+			msp.Add(obs.CtrKept, 1)
+			t.metrics.RuleFired(t.Spec.Name, m.Rule.Name)
+		} else {
+			msp.Add(obs.CtrSuppressed, 1)
+			t.metrics.RuleSuppressed(t.Spec.Name, m.Rule.Name)
+		}
+	}
 }
 
 // SCMQuery runs Algorithm SCM on a simple-conjunction query node.

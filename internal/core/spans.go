@@ -1,0 +1,106 @@
+package core
+
+import (
+	"repro/internal/obs"
+	"repro/internal/qtree"
+	"repro/internal/rules"
+)
+
+// This file threads the obs span tracer through the algorithms. All hooks
+// are nil-guarded: with no tracer attached the per-call cost is one pointer
+// check. Tracing is purely observational — traced and untraced runs produce
+// byte-identical translations and identical Stats (the dependent-constraint
+// precomputation below calls the spec directly, bypassing the counted
+// matchings path).
+
+// SetTracer attaches (or detaches, with nil) a span tracer. Unlike the flat
+// derivation Trace of SetTrace, the tracer records the full call tree —
+// one span per TDQM node visit, EDNF computation, PSafe partition, SCM
+// invocation, and rule matching attempt — with the counters that make the
+// paper's e-vs-k cost claim observable per query.
+func (t *Translator) SetTracer(tr *obs.Tracer) { t.tracer = tr }
+
+// SetMetrics attaches (or detaches, with nil) cumulative translation
+// metrics; per-rule fire/suppress counts and algorithm work counters are
+// recorded under the spec's name.
+func (t *Translator) SetMetrics(m *obs.TranslationMetrics) { t.metrics = m }
+
+// traceEnter tracks translation depth and, at the top level, computes the
+// dependent-constraint support of the whole query: the keys of every
+// constraint participating in a multi-constraint potential matching. Spans
+// report |keys(subquery) ∩ support| as essentialDNFSize; the set shrinks
+// monotonically down the tree, which is the child-e <= parent-e invariant
+// obs.Verify checks. Call only when t.tracer != nil, paired with traceExit.
+func (t *Translator) traceEnter(cs []*qtree.Constraint) {
+	if t.traceDepth == 0 {
+		t.depSupport = t.dependentKeys(cs)
+	}
+	t.traceDepth++
+}
+
+// traceExit unwinds traceEnter, clearing the support at the top level.
+func (t *Translator) traceExit() {
+	t.traceDepth--
+	if t.traceDepth == 0 {
+		t.depSupport = nil
+	}
+}
+
+// dependentKeys computes the support set. Matching errors are deliberately
+// swallowed: the traced translation immediately re-runs the same matching
+// and reports the error through the normal path.
+func (t *Translator) dependentKeys(cs []*qtree.Constraint) map[string]bool {
+	ms, err := t.Spec.Matchings(cs)
+	if err != nil {
+		return map[string]bool{}
+	}
+	support := make(map[string]bool)
+	for _, m := range ms {
+		if m.Set.Len() >= 2 {
+			for _, k := range m.Set.Keys() {
+				support[k] = true
+			}
+		}
+	}
+	return support
+}
+
+// essentialSize is e for a set of constraints under the current support.
+func (t *Translator) essentialSize(cs []*qtree.Constraint) int64 {
+	seen := make(map[string]bool, len(cs))
+	var e int64
+	for _, c := range cs {
+		k := c.Key()
+		if t.depSupport[k] && !seen[k] {
+			seen[k] = true
+			e++
+		}
+	}
+	return e
+}
+
+// tracedMatchings mirrors matchings (same Stats accounting, same matching
+// order) while emitting one match span per rule that produced candidates.
+// It returns the matchings plus the per-rule spans so the SCM caller can
+// back-fill kept/suppressed counts after suppression.
+func (t *Translator) tracedMatchings(cs []*qtree.Constraint) ([]*rules.Matching, map[string]*obs.Span, error) {
+	t.Stats.MatchRuns++
+	var all []*rules.Matching
+	spans := make(map[string]*obs.Span)
+	for _, r := range t.Spec.Rules {
+		ms, err := t.Spec.MatchRule(r, cs)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(ms) == 0 {
+			continue
+		}
+		sp := t.tracer.Start(obs.KindMatch, r.Name)
+		sp.Set(obs.CtrCandidates, int64(len(ms)))
+		t.tracer.End()
+		spans[r.Name] = sp
+		all = append(all, ms...)
+	}
+	t.Stats.MatchingsFound += len(all)
+	return all, spans, nil
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/obs"
 	"repro/internal/qtree"
 )
 
@@ -16,6 +17,15 @@ import (
 // so the output stays compact (Section 8).
 func (t *Translator) TDQM(q *qtree.Node) (*qtree.Node, error) {
 	q = q.Normalize()
+	if t.tracer != nil {
+		cs := q.Constraints()
+		t.traceEnter(cs)
+		defer t.traceExit()
+		sp := t.tracer.Start(obs.KindTDQM, q.String())
+		defer t.tracer.End()
+		sp.Set(obs.CtrQuerySize, int64(q.Size()))
+		sp.Set(obs.CtrEssentialDNFSize, t.essentialSize(cs))
+	}
 	switch {
 	case q.Kind == qtree.KindOr:
 		// Case-1: disjuncts are always separable.
@@ -56,6 +66,7 @@ func (t *Translator) TDQM(q *qtree.Node) (*qtree.Node, error) {
 				b = conj[0]
 			} else {
 				t.Stats.Disjunctivizations++
+				t.metrics.Disjunctivization(t.Spec.Name)
 				b = qtree.Disjunctivize(conj)
 				t.traceRewrite(conj, b)
 			}

@@ -13,11 +13,13 @@
 package mediator
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/qtree"
 	"repro/internal/sources"
 )
@@ -50,6 +52,10 @@ type Mediator struct {
 	// name); the executors then answer indexable translated queries with
 	// probes instead of scans. Overridden operators always fall back.
 	Indexes map[string]engine.IndexSet
+	// Metrics, when non-nil, receives cumulative rule-level translation
+	// counters (rule fires, suppressions, SCM/PSafe calls) for every
+	// translation this mediator performs. Nil disables the accounting.
+	Metrics *obs.TranslationMetrics
 }
 
 // selectFrom runs a translated query against a source relation, using the
@@ -93,19 +99,55 @@ type Translation struct {
 // enters F only if no source realizes it exactly. For complex queries F is
 // True when every source translated exactly, otherwise Q itself.
 func (m *Mediator) Translate(q *qtree.Node) (*Translation, error) {
+	return m.translate(q, nil)
+}
+
+// TranslateContext is Translate with observability: if the context carries
+// an obs.Tracer (see obs.WithTracer), the translation emits a span tree —
+// one "translate" root, one "source" span per source, and beneath each the
+// algorithm spans recorded by the core translator. The translated queries
+// and stats are identical to Translate's; tracing only observes.
+func (m *Mediator) TranslateContext(ctx context.Context, q *qtree.Node) (*Translation, error) {
+	return m.translate(q, obs.TracerFrom(ctx))
+}
+
+func (m *Mediator) translate(q *qtree.Node, tracer *obs.Tracer) (*Translation, error) {
 	q = q.Normalize()
 	out := &Translation{Query: q}
 	alg := m.Algorithm
 	if alg == "" {
 		alg = core.AlgTDQM
 	}
+	if tracer != nil {
+		root := tracer.Start(obs.KindTranslate, q.String())
+		defer tracer.End()
+		root.Set(obs.CtrQuerySize, int64(q.Size()))
+	}
+	newTranslator := func(src *sources.Source) *core.Translator {
+		tr := core.NewTranslator(src.Spec)
+		tr.SetTracer(tracer)
+		tr.SetMetrics(m.Metrics)
+		return tr
+	}
+	startSource := func(src *sources.Source) {
+		if tracer != nil {
+			tracer.Start(obs.KindSource, src.Name)
+		}
+	}
+	endSource := func() {
+		if tracer != nil {
+			tracer.End()
+		}
+	}
 
 	if q.IsSimpleConjunction() {
 		cs := q.SimpleConjuncts()
 		exact := qtree.NewConstraintSet()
 		for _, src := range m.Sources {
-			tr := core.NewTranslator(src.Spec)
+			tr := newTranslator(src)
+			startSource(src)
 			res, err := tr.SCM(cs)
+			endSource()
 			if err != nil {
 				return nil, fmt.Errorf("mediator: translating for %s: %w", src.Name, err)
 			}
@@ -130,8 +172,10 @@ func (m *Mediator) Translate(q *qtree.Node) (*Translation, error) {
 
 	allExact := true
 	for _, src := range m.Sources {
-		tr := core.NewTranslator(src.Spec)
+		tr := newTranslator(src)
+		startSource(src)
 		mapped, residue, err := tr.TranslateWithFilter(q, alg)
+		endSource()
 		if err != nil {
 			return nil, fmt.Errorf("mediator: translating for %s: %w", src.Name, err)
 		}

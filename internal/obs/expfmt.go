@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): a # HELP and # TYPE line per family,
+// then one sample line per labeled instance, histograms expanded into
+// cumulative le-buckets plus _sum and _count. Output is deterministic:
+// families sorted by name, instances by canonical label order, label pairs
+// sorted by key.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	// Snapshot family/child structure under the lock; values are read
+	// atomically afterwards.
+	type inst struct {
+		labels [][2]string
+		c      *child
+	}
+	type fam struct {
+		name, help, typ string
+		insts           []inst
+	}
+	fams := make([]fam, 0, len(names))
+	for _, name := range names {
+		f := r.families[name]
+		keys := append([]string(nil), f.order...)
+		sort.Strings(keys)
+		fm := fam{name: f.name, help: f.help, typ: f.typ}
+		for _, k := range keys {
+			c := f.children[k]
+			fm.insts = append(fm.insts, inst{labels: c.labels, c: c})
+		}
+		fams = append(fams, fm)
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		for _, in := range f.insts {
+			c := in.c
+			switch {
+			case c.hist != nil:
+				s := c.hist.Snapshot()
+				cum := uint64(0)
+				for i, n := range s.Counts {
+					cum += n
+					le := "+Inf"
+					if i < len(s.Bounds) {
+						le = formatFloat(s.Bounds[i])
+					}
+					fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, renderLabels(in.labels, le), cum)
+				}
+				fmt.Fprintf(bw, "%s_sum%s %s\n", f.name, renderLabels(in.labels, ""), formatFloat(s.Sum))
+				fmt.Fprintf(bw, "%s_count%s %d\n", f.name, renderLabels(in.labels, ""), s.Count)
+			case c.counter != nil:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, renderLabels(in.labels, ""), c.counter.Value())
+			case c.gauge != nil:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, renderLabels(in.labels, ""), c.gauge.Value())
+			case c.fn != nil:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, renderLabels(in.labels, ""), formatFloat(c.fn()))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// renderLabels renders {k="v",…}, appending an le pair when non-empty.
+// Returns "" for no labels at all.
+func renderLabels(labels [][2]string, le string) string {
+	if len(labels) == 0 && le == "" {
+		return ""
+	}
+	parts := make([]string, 0, len(labels)+1)
+	for _, l := range labels {
+		parts = append(parts, l[0]+`="`+escapeLabel(l[1])+`"`)
+	}
+	if le != "" {
+		parts = append(parts, `le="`+le+`"`)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// escapeHelp escapes backslash and newline in HELP text.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes backslash, double quote, and newline in a label
+// value, per the exposition format's escaping rules.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// formatFloat renders a float the way Prometheus expects.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	// Name is the sample's metric name (for histograms, the expanded
+	// _bucket/_sum/_count name).
+	Name string
+	// Labels holds the label pairs, including any "le".
+	Labels map[string]string
+	// Value is the sample value.
+	Value float64
+}
+
+// Label returns the named label's value ("" when absent).
+func (s Sample) Label(name string) string { return s.Labels[name] }
+
+// ParseExposition is a minimal hand-rolled parser for the Prometheus text
+// format as produced by WritePrometheus — enough for the repository's own
+// tests and smoke checks to validate a scrape without depending on
+// client_golang. It returns every sample line; # comments are checked for
+// HELP/TYPE well-formedness and skipped.
+func ParseExposition(r io.Reader) ([]Sample, error) {
+	var out []Sample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return nil, fmt.Errorf("obs: line %d: malformed comment %q", lineNo, line)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("obs: line %d: malformed TYPE %q", lineNo, line)
+				}
+				switch fields[3] {
+				case typeCounter, typeGauge, typeHistogram, "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("obs: line %d: unknown type %q", lineNo, fields[3])
+				}
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseSample parses `name{k="v",…} value`.
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("no value in %q", line)
+	}
+	s.Name = line[:i]
+	if err := checkMetricName(s.Name); err != nil {
+		return s, err
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		rest = rest[1:]
+		for {
+			rest = strings.TrimLeft(rest, ",")
+			if rest == "" {
+				return s, fmt.Errorf("unterminated label set in %q", line)
+			}
+			if rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.Index(rest, "=")
+			if eq < 0 || len(rest) < eq+2 || rest[eq+1] != '"' {
+				return s, fmt.Errorf("malformed label in %q", line)
+			}
+			key := rest[:eq]
+			val, n, err := unescapeLabel(rest[eq+2:])
+			if err != nil {
+				return s, fmt.Errorf("%v in %q", err, line)
+			}
+			s.Labels[key] = val
+			rest = rest[eq+2+n:]
+		}
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %v", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// unescapeLabel consumes an escaped label value up to its closing quote,
+// returning the value and the number of input bytes consumed (including
+// the quote).
+func unescapeLabel(in string) (string, int, error) {
+	var b strings.Builder
+	for i := 0; i < len(in); i++ {
+		switch in[i] {
+		case '"':
+			return b.String(), i + 1, nil
+		case '\\':
+			if i+1 >= len(in) {
+				return "", 0, fmt.Errorf("dangling escape")
+			}
+			i++
+			switch in[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case '\\', '"':
+				b.WriteByte(in[i])
+			default:
+				return "", 0, fmt.Errorf("unknown escape \\%c", in[i])
+			}
+		default:
+			b.WriteByte(in[i])
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated label value")
+}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "counts b", "spec", "amazon").Add(3)
+	r.Gauge("a_gauge", "a gauge").Set(-2)
+	r.GaugeFunc("c_sampled", "sampled", func() float64 { return 1.5 })
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := `# HELP a_gauge a gauge
+# TYPE a_gauge gauge
+a_gauge -2
+# HELP b_total counts b
+# TYPE b_total counter
+b_total{spec="amazon"} 3
+# HELP c_sampled sampled
+# TYPE c_sampled gauge
+c_sampled 1.5
+`
+	if got != want {
+		t.Errorf("exposition:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestExpositionEscapingRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	ugly := "back\\slash \"quoted\"\nnewline"
+	r.Counter("escape_total", "help with\nnewline and back\\slash", "q", ugly).Inc()
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "\n") != 3 {
+		t.Fatalf("escaped output must stay 3 lines:\n%q", out)
+	}
+	if !strings.Contains(out, `q="back\\slash \"quoted\"\nnewline"`) {
+		t.Errorf("label not escaped per the exposition rules:\n%s", out)
+	}
+
+	samples, err := ParseExposition(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("ParseExposition: %v\n%s", err, out)
+	}
+	if len(samples) != 1 {
+		t.Fatalf("parsed %d samples, want 1", len(samples))
+	}
+	if got := samples[0].Label("q"); got != ugly {
+		t.Errorf("label round trip = %q, want %q", got, ugly)
+	}
+	if samples[0].Name != "escape_total" || samples[0].Value != 1 {
+		t.Errorf("sample = %+v", samples[0])
+	}
+}
+
+func TestHistogramExpositionCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.001, 0.01}, "source", "amazon")
+	for _, v := range []float64{0.0005, 0.002, 0.002, 0.5} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := `# HELP lat_seconds latency
+# TYPE lat_seconds histogram
+lat_seconds_bucket{source="amazon",le="0.001"} 1
+lat_seconds_bucket{source="amazon",le="0.01"} 3
+lat_seconds_bucket{source="amazon",le="+Inf"} 4
+lat_seconds_sum{source="amazon"} 0.5045
+lat_seconds_count{source="amazon"} 4
+`
+	if got != want {
+		t.Errorf("histogram exposition:\n%s\nwant:\n%s", got, want)
+	}
+
+	// The scrape must parse, buckets must be cumulative, and the +Inf
+	// bucket must equal the count.
+	samples, err := ParseExposition(strings.NewReader(got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buckets []float64
+	var count float64
+	for _, s := range samples {
+		switch s.Name {
+		case "lat_seconds_bucket":
+			buckets = append(buckets, s.Value)
+		case "lat_seconds_count":
+			count = s.Value
+		}
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] < buckets[i-1] {
+			t.Errorf("buckets not cumulative: %v", buckets)
+		}
+	}
+	if len(buckets) == 0 || buckets[len(buckets)-1] != count {
+		t.Errorf("+Inf bucket %v != count %v", buckets, count)
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_total", "z", "b", "2").Inc()
+	r.Counter("z_total", "z", "a", "1").Inc()
+	r.Counter("a_total", "a").Inc()
+
+	var first bytes.Buffer
+	if err := r.WritePrometheus(&first); err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := r.WritePrometheus(&second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Errorf("two scrapes differ:\n%s\n%s", first.String(), second.String())
+	}
+	if !strings.HasPrefix(first.String(), "# HELP a_total") {
+		t.Errorf("families not sorted by name:\n%s", first.String())
+	}
+}
+
+func TestParseExpositionRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"# BOGUS comment here",
+		"# TYPE too few",
+		"# TYPE x notatype",
+		"novalue",
+		`x{k="unterminated} 1`,
+		`x{k="v"} notafloat`,
+		`x{k="bad\escape"} 1`,
+		`1name 2`,
+	}
+	for _, line := range bad {
+		if _, err := ParseExposition(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("ParseExposition accepted %q", line)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/mediator"
+	"repro/internal/obs"
+	"repro/internal/qparse"
+	"repro/internal/sources"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden trace files")
+
+// goldenCases pins the full serialized span tree of fixed workload queries.
+// Any change to what the pipeline traces — span kinds, nesting, names,
+// counters — shows up as a byte diff here; regenerate deliberately with
+//
+//	go test ./internal/obs/ -run TestGoldenTraces -update
+var goldenCases = []struct {
+	name  string
+	med   func() *mediator.Mediator
+	query string
+}{
+	{
+		// Example 3's simple conjunction over the two library sources:
+		// one SCM per source, no structural algorithms.
+		name: "example3_conjunction",
+		med:  libraryMediator,
+		query: `[fac.ln = pub.ln] and [fac.fn = pub.fn] and ` +
+			`[fac.bib contains data(near)mining] and [fac.dept = cs]`,
+	},
+	{
+		// The serving benchmark's complex query: TDQM splits the top-level
+		// conjunction, recursing per disjunct.
+		name:  "library_tdqm",
+		med:   libraryMediator,
+		query: `([fac.dept = cs] or [fac.dept = ee]) and [fac.bib contains data(near)mining]`,
+	},
+	{
+		// Q_book (Example 6) over the bookstore: PSafe partitions and a
+		// Disjunctivize rewrite appear in the tree.
+		name: "qbook_bookstore",
+		med: func() *mediator.Mediator {
+			return mediator.New(sources.NewAmazon(), sources.NewClbooks())
+		},
+		query: `(([ln = "Smith"] and [fn = "John"]) or [kwd contains web] or [kwd contains java]) ` +
+			`and [pyear = 1997] and ([pmonth = 5] or [pmonth = 6])`,
+	},
+}
+
+func libraryMediator() *mediator.Mediator {
+	return mediator.New(sources.NewT1(), sources.NewT2())
+}
+
+// traceJSON renders q's translation trace the way qmap -trace does.
+func traceJSON(t *testing.T, med *mediator.Mediator, query string) []byte {
+	t.Helper()
+	q, err := qparse.Parse(query)
+	if err != nil {
+		t.Fatalf("parsing %q: %v", query, err)
+	}
+	tracer := obs.NewTracer()
+	ctx := obs.WithTracer(t.Context(), tracer)
+	if _, err := med.TranslateContext(ctx, q); err != nil {
+		t.Fatalf("translating %q: %v", query, err)
+	}
+	root := tracer.Root()
+	if err := obs.Verify(root); err != nil {
+		t.Fatalf("trace fails invariants: %v", err)
+	}
+	js, err := json.MarshalIndent(root, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(js, '\n')
+}
+
+func TestGoldenTraces(t *testing.T) {
+	for _, tc := range goldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := traceJSON(t, tc.med(), tc.query)
+
+			// Determinism first: a second translation must trace
+			// byte-identically, or a golden is meaningless.
+			again := traceJSON(t, tc.med(), tc.query)
+			if !bytes.Equal(got, again) {
+				t.Fatalf("trace of %q not deterministic", tc.query)
+			}
+
+			path := filepath.Join("testdata", tc.name+".json")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create it)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("trace differs from %s:\n--- got ---\n%s\n--- want ---\n%s\n(re-run with -update if the change is intended)",
+					path, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenTraceShapes spot-checks structural facts the goldens encode, so
+// a regenerated golden that silently lost instrumentation still fails.
+func TestGoldenTraceShapes(t *testing.T) {
+	q := qparse.MustParse(goldenCases[2].query)
+	tracer := obs.NewTracer()
+	ctx := obs.WithTracer(t.Context(), tracer)
+	if _, err := goldenCases[2].med().TranslateContext(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	root := tracer.Root()
+	if root.Kind != obs.KindTranslate {
+		t.Fatalf("root kind = %s, want %s", root.Kind, obs.KindTranslate)
+	}
+	if n := len(root.FindAll(obs.KindSource)); n != 2 {
+		t.Errorf("%d source spans, want 2", n)
+	}
+	if n := len(root.FindAll(obs.KindPSafe)); n == 0 {
+		t.Error("no psafe spans in the Q_book trace")
+	}
+	if n := len(root.FindAll(obs.KindSCM)); n == 0 {
+		t.Error("no scm spans in the Q_book trace")
+	}
+	for _, sp := range root.FindAll(obs.KindSCM) {
+		if _, ok := sp.Counter(obs.CtrEssentialDNFSize); !ok {
+			t.Errorf("scm span %q lacks essentialDNFSize", sp.Name)
+		}
+	}
+}

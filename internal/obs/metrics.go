@@ -1,0 +1,311 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; register it in a Registry to expose it.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomic gauge. The zero value is ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (negative deltas decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram with lock-free observation.
+// Buckets follow the Prometheus "le" convention: bucket i counts
+// observations v <= Bounds[i]; the last bucket is unbounded (+Inf).
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1
+	sum    atomic.Uint64   // float64 bits, CAS-updated
+	count  atomic.Uint64
+}
+
+// NewHistogram returns a histogram over the given strictly ascending
+// finite upper bounds (an implicit +Inf bucket is appended).
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending: %v", bounds))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for ; i < len(h.bounds); i++ {
+		if v <= h.bounds[i] {
+			break
+		}
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	// Bounds are the finite upper bounds; Counts has one extra entry for
+	// the +Inf bucket. Counts are per-bucket (not cumulative).
+	Bounds []float64
+	Counts []uint64
+	Sum    float64
+	Count  uint64
+}
+
+// Snapshot copies the histogram's current state. The per-bucket counts are
+// loaded individually, so a snapshot taken under concurrent observation is
+// approximate bucket-by-bucket but never loses an observation that
+// completed before the call.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    math.Float64frombits(h.sum.Load()),
+		Count:  h.count.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Metric types in the exposition format.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// child is one labeled instance of a metric family.
+type child struct {
+	labels  [][2]string // sorted by key
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64
+}
+
+// family is one named metric with all its label combinations.
+type family struct {
+	name, help, typ string
+	children        map[string]*child // keyed by canonical label string
+	order           []string
+}
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format. All Register*/get-or-create methods are safe for
+// concurrent use; updates to the returned primitives are lock-free.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter returns the counter registered under name and the label pairs,
+// creating it if needed. kv alternates label keys and values. Counters for
+// the same (name, labels) are shared, which is how per-rule counter
+// "vectors" work:
+//
+//	r.Counter("qmap_rule_fires_total", "…", "spec", "amazon", "rule", "ra")
+func (r *Registry) Counter(name, help string, kv ...string) *Counter {
+	c := r.child(name, help, typeCounter, kv, func() *child { return &child{counter: &Counter{}} })
+	return c.counter
+}
+
+// Gauge returns the gauge registered under name and the label pairs,
+// creating it if needed.
+func (r *Registry) Gauge(name, help string, kv ...string) *Gauge {
+	c := r.child(name, help, typeGauge, kv, func() *child { return &child{gauge: &Gauge{}} })
+	return c.gauge
+}
+
+// Histogram returns the histogram registered under name and the label
+// pairs, creating it with the given bounds if needed. Bounds of an existing
+// histogram are not checked against the argument.
+func (r *Registry) Histogram(name, help string, bounds []float64, kv ...string) *Histogram {
+	c := r.child(name, help, typeHistogram, kv, func() *child { return &child{hist: NewHistogram(bounds)} })
+	return c.hist
+}
+
+// RegisterCounter exposes an externally owned counter (e.g. a cache's
+// internal counter) under name and the label pairs. Registering a second
+// collector for the same (name, labels) panics.
+func (r *Registry) RegisterCounter(name, help string, c *Counter, kv ...string) {
+	r.registerOnce(name, help, typeCounter, kv, &child{counter: c})
+}
+
+// RegisterGauge exposes an externally owned gauge.
+func (r *Registry) RegisterGauge(name, help string, g *Gauge, kv ...string) {
+	r.registerOnce(name, help, typeGauge, kv, &child{gauge: g})
+}
+
+// RegisterHistogram exposes an externally owned histogram.
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram, kv ...string) {
+	r.registerOnce(name, help, typeHistogram, kv, &child{hist: h})
+}
+
+// CounterFunc exposes a counter sampled by fn at scrape time (for values
+// already tracked elsewhere, e.g. cache evictions).
+func (r *Registry) CounterFunc(name, help string, fn func() float64, kv ...string) {
+	r.registerOnce(name, help, typeCounter, kv, &child{fn: fn})
+}
+
+// GaugeFunc exposes a gauge sampled by fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, kv ...string) {
+	r.registerOnce(name, help, typeGauge, kv, &child{fn: fn})
+}
+
+// child gets or creates a labeled instance.
+func (r *Registry) child(name, help, typ string, kv []string, build func() *child) *child {
+	labels, key := canonLabels(kv)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, typ)
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	c := build()
+	c.labels = labels
+	f.children[key] = c
+	f.order = append(f.order, key)
+	return c
+}
+
+// registerOnce adds a labeled instance that must not already exist.
+func (r *Registry) registerOnce(name, help, typ string, kv []string, c *child) {
+	labels, key := canonLabels(kv)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, typ)
+	if _, ok := f.children[key]; ok {
+		panic(fmt.Sprintf("obs: %s{%s} registered twice", name, key))
+	}
+	c.labels = labels
+	f.children[key] = c
+	f.order = append(f.order, key)
+}
+
+// family gets or creates the named family, enforcing help/type agreement.
+func (r *Registry) family(name, help, typ string) *family {
+	if err := checkMetricName(name); err != nil {
+		panic(err)
+	}
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, children: make(map[string]*child)}
+		r.families[name] = f
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: %s registered as %s and %s", name, f.typ, typ))
+	}
+	return f
+}
+
+// canonLabels validates the key/value pairs and returns them sorted by key
+// together with the canonical "k=v,k=v" identity string.
+func canonLabels(kv []string) ([][2]string, string) {
+	if len(kv)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label key/value list %q", kv))
+	}
+	labels := make([][2]string, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		if err := checkLabelName(kv[i]); err != nil {
+			panic(err)
+		}
+		labels = append(labels, [2]string{kv[i], kv[i+1]})
+	}
+	sort.Slice(labels, func(a, b int) bool { return labels[a][0] < labels[b][0] })
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l[0] + "=" + l[1]
+	}
+	return labels, strings.Join(parts, ",")
+}
+
+func checkMetricName(name string) error {
+	if name == "" {
+		return fmt.Errorf("obs: empty metric name")
+	}
+	for i, c := range name {
+		if c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9') {
+			continue
+		}
+		return fmt.Errorf("obs: invalid metric name %q", name)
+	}
+	return nil
+}
+
+func checkLabelName(name string) error {
+	if name == "" {
+		return fmt.Errorf("obs: empty label name")
+	}
+	if name == "le" {
+		return fmt.Errorf("obs: label name %q is reserved for histogram buckets", name)
+	}
+	for i, c := range name {
+		if c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9') {
+			continue
+		}
+		return fmt.Errorf("obs: invalid label name %q", name)
+	}
+	return nil
+}

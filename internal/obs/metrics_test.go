@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	var g Gauge
+	g.Set(7)
+	g.Inc()
+	g.Dec()
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Errorf("gauge = %d, want 4", g.Value())
+	}
+}
+
+func TestHistogramBucketsLeConvention(t *testing.T) {
+	h := NewHistogram([]float64{1, 10})
+	for _, v := range []float64{0.5, 1, 1.5, 10, 11} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// le convention: v <= bound. 0.5 and exactly-1 land in the first bucket,
+	// 1.5 and exactly-10 in the second, 11 in +Inf.
+	want := []uint64{2, 2, 1}
+	for i, n := range want {
+		if s.Counts[i] != n {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], n, s.Counts)
+		}
+	}
+	if s.Count != 5 {
+		t.Errorf("count = %d, want 5", s.Count)
+	}
+	if math.Abs(s.Sum-24) > 1e-9 {
+		t.Errorf("sum = %g, want 24", s.Sum)
+	}
+	h.ObserveDuration(500 * time.Millisecond)
+	if h.Count() != 6 {
+		t.Errorf("count after ObserveDuration = %d, want 6", h.Count())
+	}
+}
+
+func TestNewHistogramRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewHistogram accepted non-ascending bounds")
+		}
+	}()
+	NewHistogram([]float64{1, 1})
+}
+
+func TestRegistryVecSharing(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help", "rule", "ra", "spec", "amazon")
+	b := r.Counter("x_total", "help", "spec", "amazon", "rule", "ra") // label order irrelevant
+	c := r.Counter("x_total", "help", "spec", "amazon", "rule", "rb")
+	if a != b {
+		t.Error("same (name, labels) did not share one counter")
+	}
+	if a == c {
+		t.Error("different labels shared one counter")
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	r := NewRegistry()
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	r.RegisterCounter("dup_total", "h", &Counter{})
+	mustPanic("duplicate RegisterCounter", func() { r.RegisterCounter("dup_total", "h", &Counter{}) })
+	mustPanic("type conflict", func() { r.Gauge("dup_total", "h") })
+	mustPanic("bad metric name", func() { r.Counter("1bad", "h") })
+	mustPanic("bad label name", func() { r.Counter("ok_total", "h", "1bad", "v") })
+	mustPanic("reserved le label", func() { r.Counter("ok2_total", "h", "le", "v") })
+	mustPanic("odd label list", func() { r.Counter("ok3_total", "h", "k") })
+}
+
+// TestConcurrentHammer drives every primitive from 16 goroutines under the
+// race detector and checks the exact totals: lock-free must still mean
+// lossless.
+func TestConcurrentHammer(t *testing.T) {
+	const goroutines = 16
+	const perG = 5000
+
+	r := NewRegistry()
+	c := r.Counter("hammer_total", "h")
+	g := r.Gauge("hammer_gauge", "h")
+	h := r.Histogram("hammer_seconds", "h", []float64{0.25, 0.5, 0.75})
+
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				// Deterministic spread across all four buckets.
+				h.Observe(float64(j%4) * 0.25)
+				// Vec access races against other goroutines creating the
+				// same child.
+				r.Counter("hammer_vec_total", "h", "worker", "shared").Inc()
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	const total = goroutines * perG
+	if c.Value() != total {
+		t.Errorf("counter = %d, want %d", c.Value(), total)
+	}
+	if g.Value() != 0 {
+		t.Errorf("gauge = %d, want 0", g.Value())
+	}
+	if v := r.Counter("hammer_vec_total", "h", "worker", "shared").Value(); v != total {
+		t.Errorf("vec counter = %d, want %d", v, total)
+	}
+	s := h.Snapshot()
+	if s.Count != total {
+		t.Errorf("histogram count = %d, want %d", s.Count, total)
+	}
+	// j%4 * 0.25 ∈ {0, 0.25, 0.5, 0.75}: 0 and 0.25 land in the first
+	// bucket (le convention), 0.5 and 0.75 in their own, +Inf stays empty.
+	wantCounts := []uint64{total / 2, total / 4, total / 4, 0}
+	for i, n := range wantCounts {
+		if s.Counts[i] != n {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], n)
+		}
+	}
+	wantSum := float64(total/4) * (0 + 0.25 + 0.5 + 0.75)
+	if math.Abs(s.Sum-wantSum) > 1e-6 {
+		t.Errorf("histogram sum = %g, want %g", s.Sum, wantSum)
+	}
+}
+
+// TestTranslationMetricsNilReceiver checks the disabled path: every method
+// of a nil *TranslationMetrics must be a no-op, which is what lets the
+// translator call them unguarded.
+func TestTranslationMetricsNilReceiver(t *testing.T) {
+	var m *TranslationMetrics
+	m.RuleFired("s", "r")
+	m.RuleSuppressed("s", "r")
+	m.SCMCall("s")
+	m.PSafeCall("s")
+	m.ProductTerms("s", 3)
+	m.Disjunctivization("s")
+}
+
+func TestTranslationMetricsCounts(t *testing.T) {
+	r := NewRegistry()
+	m := NewTranslationMetrics(r)
+	m.RuleFired("amazon", "ra")
+	m.RuleFired("amazon", "ra")
+	m.RuleSuppressed("amazon", "rb")
+	m.SCMCall("amazon")
+	m.ProductTerms("amazon", 5)
+	m.ProductTerms("amazon", 0) // zero deltas must not be added
+
+	if v := r.Counter("qmap_rule_fires_total", "", "spec", "amazon", "rule", "ra").Value(); v != 2 {
+		t.Errorf("rule fires = %d, want 2", v)
+	}
+	if v := r.Counter("qmap_rule_suppressed_total", "", "spec", "amazon", "rule", "rb").Value(); v != 1 {
+		t.Errorf("rule suppressed = %d, want 1", v)
+	}
+	if v := r.Counter("qmap_scm_calls_total", "", "spec", "amazon").Value(); v != 1 {
+		t.Errorf("scm calls = %d, want 1", v)
+	}
+	if v := r.Counter("qmap_product_terms_total", "", "spec", "amazon").Value(); v != 5 {
+		t.Errorf("product terms = %d, want 5", v)
+	}
+}

@@ -1,0 +1,50 @@
+// Package obs is the zero-dependency observability layer of the
+// reproduction: span-tree tracing for the translation pipeline and an
+// atomic metrics registry with Prometheus text exposition.
+//
+// # Tracing
+//
+// A Tracer collects a tree of Spans, one per unit of translation work —
+// TDQM node visit, EDNF computation, PSafe partition, SCM invocation, rule
+// matching attempt — each carrying integer counters (candidate matchings,
+// suppressed submatchings, emitted atoms, essential-DNF support size e).
+// Traces make the paper's Section 4.4 / Section 8 cost model directly
+// observable per query: SCM work is linear in constraints and rules, while
+// the safety-check work of EDNF/TDQM is driven by the dependency degree e,
+// not the query size k. Traces are deterministic given a query (a Tracer
+// records no wall-clock time unless WithWallClock is set), serialize to
+// JSON, and attach to a context.Context so that the disabled hot path pays
+// a single nil-check.
+//
+// # Metrics
+//
+// A Registry holds named counters, gauges, and histograms (all lock-free
+// atomics on the update path) with optional label pairs, and renders them
+// in the Prometheus text exposition format (WritePrometheus). cmd/mediatord
+// serves a Registry at GET /metrics alongside net/http/pprof;
+// TranslationMetrics adds the per-rule fire/suppress counters the
+// translation core feeds.
+//
+// The package deliberately imports nothing outside the standard library and
+// nothing from the rest of the repository, so every layer (qtree to HTTP
+// daemon) can depend on it.
+package obs
+
+import "context"
+
+type tracerKey struct{}
+
+// WithTracer returns a context carrying t. A nil t returns ctx unchanged.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// TracerFrom returns the tracer attached to ctx, or nil. Callers on the hot
+// path check the result against nil once and skip all tracing work.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t
+}

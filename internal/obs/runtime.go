@@ -1,0 +1,25 @@
+package obs
+
+import "runtime"
+
+// RegisterGoRuntime adds coarse Go runtime metrics to r, sampled at scrape
+// time (reading memstats costs a brief stop-the-world, paid only when
+// /metrics is hit).
+func RegisterGoRuntime(r *Registry) {
+	r.GaugeFunc("go_goroutines", "Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+	r.CounterFunc("go_gc_cycles_total", "Completed GC cycles.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.NumGC)
+		})
+	r.GaugeFunc("go_gomaxprocs", "GOMAXPROCS setting.",
+		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
+}

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTracerBuildsTree(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start(KindTranslate, "q")
+	tr.Start(KindSource, "amazon")
+	scm := tr.Start(KindSCM, "[a = 1]")
+	scm.Set(CtrCandidates, 2)
+	tr.End()
+	tr.End()
+	tr.Start(KindSource, "clbooks")
+	tr.End()
+	tr.End()
+
+	got := tr.Root()
+	if got != root {
+		t.Fatalf("Root() = %p, want the first started span %p", got, root)
+	}
+	if len(root.Children) != 2 {
+		t.Fatalf("root has %d children, want 2", len(root.Children))
+	}
+	if root.Children[0].Kind != KindSource || root.Children[0].Name != "amazon" {
+		t.Errorf("first child = %s %q", root.Children[0].Kind, root.Children[0].Name)
+	}
+	if len(root.Children[0].Children) != 1 || root.Children[0].Children[0] != scm {
+		t.Errorf("scm span not nested under its source span")
+	}
+	if v, ok := scm.Counter(CtrCandidates); !ok || v != 2 {
+		t.Errorf("scm candidates = %d, %v; want 2, true", v, ok)
+	}
+}
+
+func TestNilTracerAndNilSpanInert(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start(KindSCM, "x")
+	if sp != nil {
+		t.Fatalf("nil tracer Start returned %v, want nil", sp)
+	}
+	tr.End() // must not panic
+	if tr.Root() != nil {
+		t.Errorf("nil tracer Root = %v, want nil", tr.Root())
+	}
+	sp.Add(CtrKept, 1) // nil span: no-ops
+	sp.Set(CtrKept, 1)
+	sp.Walk(func(*Span) { t.Error("walk visited a nil span") })
+	if _, ok := sp.Counter(CtrKept); ok {
+		t.Error("nil span reported a counter")
+	}
+}
+
+func TestRootWrapsMultipleTopLevelSpans(t *testing.T) {
+	tr := NewTracer()
+	tr.Start(KindTDQM, "a")
+	tr.End()
+	tr.Start(KindTDQM, "b")
+	tr.End()
+	root := tr.Root()
+	if root.Kind != "trace" || len(root.Children) != 2 {
+		t.Fatalf("root = %s with %d children, want synthetic trace span with 2", root.Kind, len(root.Children))
+	}
+}
+
+func TestSpanJSONRoundTripDeterministic(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Start(KindSCM, `[a = "1"]`)
+	sp.Set(CtrCandidates, 3)
+	sp.Set(CtrKept, 2)
+	sp.Set(CtrSuppressed, 1)
+	tr.Start(KindMatch, "R1")
+	tr.End()
+	tr.End()
+
+	a, err := json.Marshal(tr.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(tr.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("marshal not deterministic:\n%s\n%s", a, b)
+	}
+	var back Span
+	if err := json.Unmarshal(a, &back); err != nil {
+		t.Fatal(err)
+	}
+	c, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, c) {
+		t.Fatalf("round trip changed the span:\n%s\n%s", a, c)
+	}
+	if strings.Contains(string(a), "duration_ns") {
+		t.Errorf("clockless trace serialized a duration: %s", a)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Start(KindSCM, "[a = 1]")
+	sp.Set(CtrKept, 2)
+	sp.Set(CtrCandidates, 2)
+	tr.Start(KindMatch, "R1")
+	tr.End()
+	tr.End()
+
+	var buf bytes.Buffer
+	tr.Root().WriteText(&buf)
+	want := "scm [a = 1]  [candidateMatchings=2 keptMatchings=2]\n  match R1\n"
+	if buf.String() != want {
+		t.Errorf("WriteText:\n%q\nwant:\n%q", buf.String(), want)
+	}
+}
+
+func TestFindAll(t *testing.T) {
+	tr := NewTracer()
+	tr.Start(KindTranslate, "q")
+	tr.Start(KindSCM, "a")
+	tr.End()
+	tr.Start(KindSCM, "b")
+	tr.End()
+	tr.End()
+	if got := len(tr.Root().FindAll(KindSCM)); got != 2 {
+		t.Errorf("FindAll(scm) = %d spans, want 2", got)
+	}
+}
+
+// buildSpan is a test helper for Verify cases.
+func buildSpan(kind, name string, ctrs map[string]int64, kids ...*Span) *Span {
+	return &Span{Kind: kind, Name: name, Counters: ctrs, Children: kids}
+}
+
+func TestVerify(t *testing.T) {
+	ok := buildSpan(KindTranslate, "q", map[string]int64{CtrEssentialDNFSize: 3},
+		buildSpan(KindSCM, "s", map[string]int64{
+			CtrCandidates: 3, CtrKept: 2, CtrSuppressed: 1, CtrEssentialDNFSize: 2,
+		},
+			buildSpan(KindMatch, "R1", map[string]int64{CtrCandidates: 1}),
+			buildSpan(KindMatch, "R2", map[string]int64{CtrCandidates: 2}),
+		))
+	if err := Verify(ok); err != nil {
+		t.Errorf("Verify(ok tree) = %v", err)
+	}
+
+	if err := Verify(nil); err == nil {
+		t.Error("Verify(nil) = nil, want error")
+	}
+
+	badSum := buildSpan(KindSCM, "s", map[string]int64{
+		CtrCandidates: 3, CtrKept: 1, CtrSuppressed: 1,
+	})
+	if err := Verify(badSum); err == nil {
+		t.Error("Verify missed kept+suppressed != candidates")
+	}
+
+	badE := buildSpan(KindTDQM, "q", map[string]int64{CtrEssentialDNFSize: 1},
+		buildSpan(KindSCM, "s", map[string]int64{CtrEssentialDNFSize: 2}))
+	if err := Verify(badE); err == nil {
+		t.Error("Verify missed child e > parent e")
+	}
+
+	badMatch := buildSpan(KindSCM, "s", map[string]int64{
+		CtrCandidates: 3, CtrKept: 3, CtrSuppressed: 0,
+	},
+		buildSpan(KindMatch, "R1", map[string]int64{CtrCandidates: 1}))
+	if err := Verify(badMatch); err == nil {
+		t.Error("Verify missed match-span candidate sum mismatch")
+	}
+}

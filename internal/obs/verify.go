@@ -1,0 +1,65 @@
+package obs
+
+import "fmt"
+
+// Verify checks the structural accounting invariants every well-formed
+// translation trace satisfies, regardless of query or specification:
+//
+//   - at every SCM span, keptMatchings + suppressedMatchings =
+//     candidateMatchings (suppression only drops, never invents work);
+//   - essentialDNFSize never grows downward: every span carrying the
+//     counter reports a value <= that of its nearest ancestor carrying it,
+//     because a child span's subquery constraints are a subset of its
+//     parent's (the monotonicity that makes e, not k, the cost driver —
+//     Section 8);
+//   - every match span's candidateMatchings sums to its parent SCM/PSafe
+//     pass's candidate count when the parent is an SCM span.
+//
+// The conformance-trace tests run Verify over every scenario query; a nil
+// error means the trace is internally consistent.
+func Verify(root *Span) error {
+	if root == nil {
+		return fmt.Errorf("obs: empty trace")
+	}
+	return verifySpan(root, -1)
+}
+
+// verifySpan walks the tree carrying the nearest ancestor's
+// essentialDNFSize (-1 when no ancestor defines it).
+func verifySpan(s *Span, ancestorE int64) error {
+	if e, ok := s.Counter(CtrEssentialDNFSize); ok {
+		if ancestorE >= 0 && e > ancestorE {
+			return fmt.Errorf("obs: span %s %q has essentialDNFSize %d > ancestor's %d",
+				s.Kind, s.Name, e, ancestorE)
+		}
+		ancestorE = e
+	}
+	if s.Kind == KindSCM {
+		cand, _ := s.Counter(CtrCandidates)
+		kept, _ := s.Counter(CtrKept)
+		supp, _ := s.Counter(CtrSuppressed)
+		if kept+supp != cand {
+			return fmt.Errorf("obs: scm span %q: kept %d + suppressed %d != candidates %d",
+				s.Name, kept, supp, cand)
+		}
+		var matchSum int64
+		hasMatch := false
+		for _, c := range s.Children {
+			if c.Kind == KindMatch {
+				hasMatch = true
+				n, _ := c.Counter(CtrCandidates)
+				matchSum += n
+			}
+		}
+		if hasMatch && matchSum != cand {
+			return fmt.Errorf("obs: scm span %q: match spans sum to %d candidates, span says %d",
+				s.Name, matchSum, cand)
+		}
+	}
+	for _, c := range s.Children {
+		if err := verifySpan(c, ancestorE); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -62,6 +62,14 @@ func (s *Spec) Matchings(cs []*qtree.Constraint) ([]*Matching, error) {
 	return out, nil
 }
 
+// MatchRule computes the matchings of a single rule against the given
+// constraints. Iterating the spec's rules with MatchRule in order yields
+// exactly the matchings of Matchings; the tracing layer uses this to
+// attribute matchings to the rule that produced them.
+func (s *Spec) MatchRule(r *Rule, cs []*qtree.Constraint) ([]*Matching, error) {
+	return matchRule(r, cs, s.Reg)
+}
+
 // MatchingsOfSet is Matchings over a constraint set.
 func (s *Spec) MatchingsOfSet(set *qtree.ConstraintSet) ([]*Matching, error) {
 	return s.Matchings(set.Slice())

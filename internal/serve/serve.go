@@ -12,9 +12,10 @@
 //     bounded worker pool (admission control via semaphore) with an optional
 //     per-source timeout, and results are merged in deterministic source
 //     order so answers are identical to the sequential Execute* paths;
-//   - a stats layer: atomic counters (requests, cache hits/misses/evictions,
-//     singleflight suppressions, timeouts, per-source coarse latency
-//     histograms) exposed as a Stats snapshot.
+//   - a stats layer: lock-free counters (requests, cache hits/misses/
+//     evictions, singleflight suppressions, timeouts, per-source latency
+//     histograms) backed by an obs.Registry, exposed both as a Stats
+//     snapshot and in the Prometheus text format via Server.Metrics().
 package serve
 
 import (
@@ -23,11 +24,11 @@ import (
 	"runtime"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
 	"repro/internal/mediator"
+	"repro/internal/obs"
 	"repro/internal/qtree"
 )
 
@@ -48,7 +49,7 @@ type CachingTranslator struct {
 	cache     *lruCache
 	flight    flightGroup
 
-	hits, misses, shared atomic.Uint64
+	hits, misses, shared obs.Counter
 }
 
 // NewCachingTranslator wraps med.Translate in a canonical LRU cache holding
@@ -70,7 +71,7 @@ func newCachingTranslator(fn func(*qtree.Node) (*mediator.Translation, error), c
 func (ct *CachingTranslator) Translate(q *qtree.Node) (*mediator.Translation, error) {
 	key := q.CanonicalKey()
 	if tr, ok := ct.cache.Get(key); ok {
-		ct.hits.Add(1)
+		ct.hits.Inc()
 		return tr, nil
 	}
 	tr, err, shared := ct.flight.Do(key, func() (*mediator.Translation, error) {
@@ -82,22 +83,22 @@ func (ct *CachingTranslator) Translate(q *qtree.Node) (*mediator.Translation, er
 		return tr, nil
 	})
 	if shared {
-		ct.shared.Add(1)
+		ct.shared.Inc()
 	} else {
-		ct.misses.Add(1)
+		ct.misses.Inc()
 	}
 	return tr, err
 }
 
 // Hits returns the number of lookups served from the resident cache.
-func (ct *CachingTranslator) Hits() uint64 { return ct.hits.Load() }
+func (ct *CachingTranslator) Hits() uint64 { return ct.hits.Value() }
 
 // Misses returns the number of translations actually computed.
-func (ct *CachingTranslator) Misses() uint64 { return ct.misses.Load() }
+func (ct *CachingTranslator) Misses() uint64 { return ct.misses.Value() }
 
 // Shared returns the number of duplicate concurrent misses collapsed onto
 // another caller's in-flight computation.
-func (ct *CachingTranslator) Shared() uint64 { return ct.shared.Load() }
+func (ct *CachingTranslator) Shared() uint64 { return ct.shared.Value() }
 
 // Len returns the number of resident cache entries.
 func (ct *CachingTranslator) Len() int { return ct.cache.Len() }
@@ -136,6 +137,11 @@ type Config struct {
 	// Executor overrides the per-source selection phase
 	// (DefaultExecutor if nil).
 	Executor SourceExecutor
+	// Metrics is the registry the server's counters, gauges, and histograms
+	// are registered in (a private registry if nil). A registry must back at
+	// most one server: the server registers fixed metric names and duplicate
+	// registration panics.
+	Metrics *obs.Registry
 }
 
 // Server serves mediated queries concurrently: cached translation, parallel
@@ -150,10 +156,11 @@ type Server struct {
 	timeout time.Duration
 	exec    SourceExecutor
 
-	requests atomic.Uint64
-	inFlight atomic.Int64
-	timeouts atomic.Uint64
-	errors   atomic.Uint64
+	reg      *obs.Registry
+	requests *obs.Counter
+	inFlight *obs.Gauge
+	timeouts *obs.Counter
+	errors   *obs.Counter
 	sources  map[string]*sourceCounters
 }
 
@@ -169,6 +176,10 @@ func New(med *mediator.Mediator, data map[string]*engine.Relation, cfg Config) *
 	if exec == nil {
 		exec = DefaultExecutor
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	s := &Server{
 		med:     med,
 		data:    data,
@@ -176,10 +187,37 @@ func New(med *mediator.Mediator, data map[string]*engine.Relation, cfg Config) *
 		sem:     make(chan struct{}, workers),
 		timeout: cfg.SourceTimeout,
 		exec:    exec,
+		reg:     reg,
 		sources: make(map[string]*sourceCounters, len(med.Sources)),
 	}
+	s.requests = reg.Counter("qmap_serve_requests_total",
+		"Translate and Query/QueryJoin calls.")
+	s.errors = reg.Counter("qmap_serve_errors_total",
+		"Requests that returned an error.")
+	s.timeouts = reg.Counter("qmap_serve_timeouts_total",
+		"Per-source executions cut off by a deadline.")
+	s.inFlight = reg.Gauge("qmap_serve_in_flight",
+		"Query/QueryJoin calls currently executing.")
+	reg.RegisterCounter("qmap_cache_hits_total",
+		"Translations served from the resident cache.", &s.tr.hits)
+	reg.RegisterCounter("qmap_cache_misses_total",
+		"Translations actually computed.", &s.tr.misses)
+	reg.RegisterCounter("qmap_cache_shared_total",
+		"Duplicate concurrent misses collapsed singleflight-style.", &s.tr.shared)
+	reg.GaugeFunc("qmap_cache_entries",
+		"Resident translation-cache entries.",
+		func() float64 { return float64(s.tr.Len()) })
+	reg.CounterFunc("qmap_cache_evictions_total",
+		"Translation-cache entries evicted for capacity.",
+		func() float64 { return float64(s.tr.Evictions()) })
 	for _, src := range med.Sources {
-		s.sources[src.Name] = &sourceCounters{}
+		s.sources[src.Name] = &sourceCounters{
+			timeouts: reg.Counter("qmap_source_timeouts_total",
+				"Source executions abandoned to a deadline.", "source", src.Name),
+			lat: reg.Histogram("qmap_source_latency_seconds",
+				"Completed source select+filter latency in seconds.",
+				LatencyBounds(), "source", src.Name),
+		}
 	}
 	return s
 }
@@ -187,15 +225,20 @@ func New(med *mediator.Mediator, data map[string]*engine.Relation, cfg Config) *
 // Translator returns the server's translation cache.
 func (s *Server) Translator() *CachingTranslator { return s.tr }
 
+// Metrics returns the registry backing the server's counters, for mounting
+// a /metrics endpoint (obs.Registry.WritePrometheus) or registering further
+// collectors alongside the server's.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
 // Translate returns the (cached) translation of q.
 func (s *Server) Translate(ctx context.Context, q *qtree.Node) (*mediator.Translation, error) {
-	s.requests.Add(1)
+	s.requests.Inc()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	tr, err := s.tr.Translate(q)
 	if err != nil {
-		s.errors.Add(1)
+		s.errors.Inc()
 	}
 	return tr, err
 }
@@ -207,18 +250,18 @@ func (s *Server) Translate(ctx context.Context, q *qtree.Node) (*mediator.Transl
 // under the worker pool; branches are merged (deduplicated) in
 // deterministic source order and sorted.
 func (s *Server) Query(ctx context.Context, q *qtree.Node) (*engine.Relation, error) {
-	s.requests.Add(1)
-	s.inFlight.Add(1)
-	defer s.inFlight.Add(-1)
+	s.requests.Inc()
+	s.inFlight.Inc()
+	defer s.inFlight.Dec()
 
 	tr, err := s.tr.Translate(q)
 	if err != nil {
-		s.errors.Add(1)
+		s.errors.Inc()
 		return nil, err
 	}
 	rels, err := s.fanOut(ctx, tr, true)
 	if err != nil {
-		s.errors.Add(1)
+		s.errors.Inc()
 		return nil, err
 	}
 	out := engine.NewRelation("result")
@@ -243,18 +286,18 @@ func (s *Server) Query(ctx context.Context, q *qtree.Node) (*engine.Relation, er
 // cross-multiplied in source order, the mediator's glue constraint is
 // applied, and the global filter F removes the false positives.
 func (s *Server) QueryJoin(ctx context.Context, q *qtree.Node) (*engine.Relation, error) {
-	s.requests.Add(1)
-	s.inFlight.Add(1)
-	defer s.inFlight.Add(-1)
+	s.requests.Inc()
+	s.inFlight.Inc()
+	defer s.inFlight.Dec()
 
 	tr, err := s.tr.Translate(q)
 	if err != nil {
-		s.errors.Add(1)
+		s.errors.Inc()
 		return nil, err
 	}
 	rels, err := s.fanOut(ctx, tr, false)
 	if err != nil {
-		s.errors.Add(1)
+		s.errors.Inc()
 		return nil, err
 	}
 	var combined *engine.Relation
@@ -271,13 +314,13 @@ func (s *Server) QueryJoin(ctx context.Context, q *qtree.Node) (*engine.Relation
 	if s.med.Glue != nil {
 		combined, err = combined.Select(s.med.Glue, s.med.Eval)
 		if err != nil {
-			s.errors.Add(1)
+			s.errors.Inc()
 			return nil, err
 		}
 	}
 	out, err := combined.Select(tr.Filter, s.med.Eval)
 	if err != nil {
-		s.errors.Add(1)
+		s.errors.Inc()
 		return nil, err
 	}
 	out.Name = "result"
@@ -288,23 +331,23 @@ func (s *Server) QueryJoin(ctx context.Context, q *qtree.Node) (*engine.Relation
 // Stats returns a snapshot of the server's counters.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		Requests:       s.requests.Load(),
-		InFlight:       s.inFlight.Load(),
+		Requests:       s.requests.Value(),
+		InFlight:       s.inFlight.Value(),
 		CacheHits:      s.tr.Hits(),
 		CacheMisses:    s.tr.Misses(),
 		CacheShared:    s.tr.Shared(),
 		CacheEntries:   s.tr.Len(),
 		CacheEvictions: s.tr.Evictions(),
-		Timeouts:       s.timeouts.Load(),
-		Errors:         s.errors.Load(),
+		Timeouts:       s.timeouts.Value(),
+		Errors:         s.errors.Value(),
 		Sources:        make(map[string]SourceStats, len(s.sources)),
 		LatencyLabels:  LatencyBucketLabels(),
 	}
 	for name, sc := range s.sources {
 		st.Sources[name] = SourceStats{
-			Executions:     sc.executions.Load(),
-			Timeouts:       sc.timeouts.Load(),
-			LatencyBuckets: sc.lat.snapshot(),
+			Executions:     sc.lat.Count(),
+			Timeouts:       sc.timeouts.Value(),
+			LatencyBuckets: sc.latencyBuckets(),
 		}
 	}
 	return st
@@ -363,17 +406,16 @@ func (s *Server) runSource(ctx context.Context, tr *mediator.Translation, st *me
 	select {
 	case r := <-ch:
 		if sc != nil {
-			sc.executions.Add(1)
-			sc.lat.observe(time.Since(start))
+			sc.lat.ObserveDuration(time.Since(start))
 		}
 		return r.rel, r.err
 	case <-ctx.Done():
 		// The engine has no cancellation points: the worker keeps its pool
 		// slot until the abandoned scan finishes, and its result is
 		// discarded. Admission control stays accurate.
-		s.timeouts.Add(1)
+		s.timeouts.Inc()
 		if sc != nil {
-			sc.timeouts.Add(1)
+			sc.timeouts.Inc()
 		}
 		return nil, fmt.Errorf("serve: source %s: %w", name, ctx.Err())
 	}

@@ -1,58 +1,44 @@
 package serve
 
 import (
-	"sync/atomic"
-	"time"
+	"repro/internal/obs"
 )
 
-// latencyBounds are the upper bounds of the coarse per-source latency
-// histogram; the last bucket is unbounded.
-var latencyBounds = [...]time.Duration{
-	100 * time.Microsecond,
-	time.Millisecond,
-	10 * time.Millisecond,
-	100 * time.Millisecond,
-	time.Second,
+// LatencyBounds are the finite upper bounds (in seconds) of the per-source
+// latency histogram, following the Prometheus "le" convention: bucket i
+// counts executions taking <= LatencyBounds[i] seconds; the last bucket is
+// unbounded (+Inf).
+func LatencyBounds() []float64 {
+	return []float64{100e-6, 1e-3, 10e-3, 100e-3, 1}
 }
 
 // NumLatencyBuckets is the number of histogram buckets (len(bounds)+1 for
 // the unbounded tail).
-const NumLatencyBuckets = len(latencyBounds) + 1
+const NumLatencyBuckets = 6
 
 // LatencyBucketLabels returns human-readable labels for the histogram
 // buckets, index-aligned with SourceStats.LatencyBuckets.
 func LatencyBucketLabels() []string {
-	return []string{"<100us", "<1ms", "<10ms", "<100ms", "<1s", ">=1s"}
+	return []string{"<=100us", "<=1ms", "<=10ms", "<=100ms", "<=1s", ">1s"}
 }
 
-// hist is a lock-free coarse latency histogram.
-type hist struct {
-	counts [NumLatencyBuckets]atomic.Uint64
+// sourceCounters holds one source's registry-backed execution collectors.
+// Executions and latency come from the histogram (its count is the number
+// of completed executions); timeouts are a separate counter.
+type sourceCounters struct {
+	timeouts *obs.Counter
+	lat      *obs.Histogram
 }
 
-func (h *hist) observe(d time.Duration) {
-	for i, ub := range latencyBounds {
-		if d < ub {
-			h.counts[i].Add(1)
-			return
-		}
-	}
-	h.counts[NumLatencyBuckets-1].Add(1)
-}
-
-func (h *hist) snapshot() [NumLatencyBuckets]uint64 {
+// latencyBuckets converts the histogram snapshot to the fixed per-bucket
+// array of the Stats JSON shape.
+func (sc *sourceCounters) latencyBuckets() [NumLatencyBuckets]uint64 {
 	var out [NumLatencyBuckets]uint64
-	for i := range h.counts {
-		out[i] = h.counts[i].Load()
+	s := sc.lat.Snapshot()
+	for i := 0; i < len(s.Counts) && i < NumLatencyBuckets; i++ {
+		out[i] = s.Counts[i]
 	}
 	return out
-}
-
-// sourceCounters holds one source's atomic execution counters.
-type sourceCounters struct {
-	executions atomic.Uint64
-	timeouts   atomic.Uint64
-	lat        hist
 }
 
 // SourceStats is a snapshot of one source's execution counters.
