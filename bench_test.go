@@ -368,3 +368,77 @@ func BenchmarkTDQMRandom(b *testing.B) {
 		}
 	}
 }
+
+// --- Tentpole (ISSUE 4): compiled dispatch, memo, parallel branches --------
+
+// BenchmarkDegreeSweep is the e-vs-k cost claim (Sections 4.4, 8) measured
+// end to end: TDQM over an n-conjunct query with k leaves per conjunct and
+// dependency degree e. With the compiled matcher and translation memo
+// (both default-on), terms/op and attempts/op should stay near-flat as k
+// grows at fixed e — cost tracks the dependency degree, not query size.
+func BenchmarkDegreeSweep(b *testing.B) {
+	const n = 4
+	for _, e := range []int{0, 2} {
+		for _, k := range []int{2, 4, 8} {
+			s, q := workload.DependencyConjunction(n, k, e)
+			b.Run(fmt.Sprintf("e=%d/k=%d", e, k), func(b *testing.B) {
+				tr := core.NewTranslator(s.Spec)
+				for i := 0; i < b.N; i++ {
+					if _, err := tr.TDQM(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(tr.Stats.ProductTerms)/float64(b.N), "terms/op")
+				b.ReportMetric(float64(tr.Stats.RuleAttempts)/float64(b.N), "attempts/op")
+			})
+		}
+	}
+}
+
+// BenchmarkDegreeSweepUncompiled is the same sweep with the compiled
+// dispatch engine and memo disabled — the baseline BENCH_matching.json
+// compares against.
+func BenchmarkDegreeSweepUncompiled(b *testing.B) {
+	const n = 4
+	for _, e := range []int{0, 2} {
+		for _, k := range []int{2, 4, 8} {
+			s, q := workload.DependencyConjunction(n, k, e)
+			b.Run(fmt.Sprintf("e=%d/k=%d", e, k), func(b *testing.B) {
+				tr := core.NewTranslator(s.Spec)
+				tr.SetCompiled(false)
+				tr.SetMemo(false)
+				for i := 0; i < b.N; i++ {
+					if _, err := tr.TDQM(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(tr.Stats.ProductTerms)/float64(b.N), "terms/op")
+				b.ReportMetric(float64(tr.Stats.RuleAttempts)/float64(b.N), "attempts/op")
+			})
+		}
+	}
+}
+
+// BenchmarkTDQMParallelBranches measures bounded parallel branch mapping on
+// a wide disjunction (random workload queries joined under one Or).
+func BenchmarkTDQMParallelBranches(b *testing.B) {
+	s := workload.New(workload.Config{Indep: 4, Pairs: 2, InexactPairs: 1, Triples: 1})
+	rng := rand.New(rand.NewSource(23))
+	cfg := workload.DefaultQueryConfig()
+	branches := make([]*qtree.Node, 16)
+	for i := range branches {
+		branches[i] = s.RandomQuery(rng, cfg)
+	}
+	wide := qtree.Or(branches...).Normalize()
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			tr := core.NewTranslator(s.Spec)
+			tr.SetParallelism(workers)
+			for i := 0; i < b.N; i++ {
+				if _, err := tr.TDQM(wide); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

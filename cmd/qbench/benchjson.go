@@ -1,0 +1,230 @@
+// BENCH_matching.json: the machine-readable perf trajectory for the
+// matching engine. `qbench -bench-json BENCH_matching.json` re-measures the
+// compiled-dispatch and dependency-degree benchmarks and rewrites the file;
+// `qbench -bench-check BENCH_matching.json` verifies the recorded shape —
+// flag set and benchmark list — still matches this binary, so CI fails when
+// qbench's flags or the benchmark suite change without regenerating the
+// file (timings are recorded, not checked: they vary by machine).
+
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/qtree"
+	"repro/internal/rules"
+	"repro/internal/values"
+	"repro/internal/workload"
+)
+
+// benchSchema versions the file layout.
+const benchSchema = "qbench-bench/v1"
+
+type benchFile struct {
+	Schema string `json:"schema"`
+	// QbenchFlags records the sorted flag names of the qbench binary that
+	// wrote the file; -bench-check fails when the current binary differs.
+	QbenchFlags []string     `json:"qbench_flags"`
+	Benchmarks  []benchEntry `json:"benchmarks"`
+}
+
+type benchEntry struct {
+	Name string `json:"name"`
+	// NsPerOp is wall time per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AttemptsPerOp counts rules probed for matchings per operation.
+	AttemptsPerOp float64 `json:"attempts_per_op,omitempty"`
+	// TermsPerOp counts safety-check product terms per operation.
+	TermsPerOp float64 `json:"terms_per_op,omitempty"`
+}
+
+// registeredFlagNames enumerates the qbench flag set, sorted.
+func registeredFlagNames() []string {
+	fs := flag.NewFlagSet("qbench", flag.ContinueOnError)
+	registerFlags(fs)
+	var names []string
+	fs.VisitAll(func(f *flag.Flag) { names = append(names, f.Name) })
+	sort.Strings(names)
+	return names
+}
+
+// timeOp measures fn with a doubling loop until the sample exceeds 50ms,
+// returning ns/op.
+func timeOp(fn func()) float64 {
+	fn() // warm up (lazy compilation, memo-free first pass)
+	iters := 1
+	for {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			fn()
+		}
+		elapsed := time.Since(start)
+		if elapsed >= 50*time.Millisecond || iters >= 1<<20 {
+			return math.Round(float64(elapsed.Nanoseconds()) / float64(iters))
+		}
+		iters *= 2
+	}
+}
+
+// wideMatchSpec builds one single-pattern rule per attribute a0..a{r-1}, the
+// many-rules regime where compiled dispatch pays off (mirrors the
+// BenchmarkMatchingsCompiled fixture).
+func wideMatchSpec(r int) *rules.Spec {
+	rs := make([]*rules.Rule, 0, r)
+	caps := make([]rules.Capability, 0, r)
+	for i := 0; i < r; i++ {
+		text := fmt.Sprintf(`
+rule R%d {
+  match [a%d = V];
+  where Value(V);
+  emit exact [t%d = V];
+}`, i, i, i)
+		rs = append(rs, rules.MustParseRules(text)...)
+		caps = append(caps, rules.Capability{Attr: fmt.Sprintf("t%d", i), Op: qtree.OpEq})
+	}
+	return rules.MustSpec(fmt.Sprintf("K_wide%d", r), rules.NewTarget("wide", caps...),
+		rules.NewRegistry(), rs...)
+}
+
+func wideMatchQuery(r int) []*qtree.Constraint {
+	cs := make([]*qtree.Constraint, 0, 8)
+	for i := 0; i < 8; i++ {
+		cs = append(cs, qtree.Sel(qtree.A(fmt.Sprintf("a%d", i*r/8)), qtree.OpEq,
+			values.String(fmt.Sprintf("v%d", i))))
+	}
+	return cs
+}
+
+// runBenchSuite measures the fixed benchmark list. The names are stable:
+// -bench-check compares them against the recorded file.
+func runBenchSuite() []benchEntry {
+	var out []benchEntry
+
+	// Compiled vs uncompiled matching dispatch on wide specs.
+	for _, r := range []int{32, 128} {
+		s := wideMatchSpec(r)
+		cs := wideMatchQuery(r)
+		out = append(out, benchEntry{
+			Name: fmt.Sprintf("matchings/uncompiled/R=%d", r),
+			NsPerOp: timeOp(func() {
+				if _, err := s.Matchings(cs); err != nil {
+					panic(err)
+				}
+			}),
+			AttemptsPerOp: float64(r),
+		})
+		c := s.Compiled()
+		var probed int
+		out = append(out, benchEntry{
+			Name: fmt.Sprintf("matchings/compiled/R=%d", r),
+			NsPerOp: timeOp(func() {
+				var err error
+				if _, probed, err = c.MatchingsCounted(cs); err != nil {
+					panic(err)
+				}
+			}),
+			AttemptsPerOp: float64(probed),
+		})
+	}
+
+	// Dependency-degree sweep: fixed e, growing k (Sections 4.4, 8). The
+	// paper's claim is cost near-flat in k at fixed e; attempts/op and
+	// terms/op make that observable.
+	const n = 4
+	for _, variant := range []struct {
+		name     string
+		compiled bool
+	}{{"tdqm", true}, {"tdqm-uncompiled", false}} {
+		for _, e := range []int{0, 2} {
+			for _, k := range []int{2, 4, 8} {
+				s, q := workload.DependencyConjunction(n, k, e)
+				tr := core.NewTranslator(s.Spec)
+				if !variant.compiled {
+					tr.SetCompiled(false)
+					tr.SetMemo(false)
+				}
+				ops := 0
+				ns := timeOp(func() {
+					ops++
+					if _, err := tr.TDQM(q); err != nil {
+						panic(err)
+					}
+				})
+				out = append(out, benchEntry{
+					Name:          fmt.Sprintf("sweep/%s/e=%d/k=%d", variant.name, e, k),
+					NsPerOp:       ns,
+					AttemptsPerOp: float64(tr.Stats.RuleAttempts) / float64(ops),
+					TermsPerOp:    float64(tr.Stats.ProductTerms) / float64(ops),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// benchNames is the expected benchmark list, derived without measuring.
+func benchNames() []string {
+	var names []string
+	for _, r := range []int{32, 128} {
+		names = append(names,
+			fmt.Sprintf("matchings/uncompiled/R=%d", r),
+			fmt.Sprintf("matchings/compiled/R=%d", r))
+	}
+	for _, v := range []string{"tdqm", "tdqm-uncompiled"} {
+		for _, e := range []int{0, 2} {
+			for _, k := range []int{2, 4, 8} {
+				names = append(names, fmt.Sprintf("sweep/%s/e=%d/k=%d", v, e, k))
+			}
+		}
+	}
+	return names
+}
+
+// writeBenchJSON runs the suite and writes path.
+func writeBenchJSON(path string) error {
+	f := benchFile{
+		Schema:      benchSchema,
+		QbenchFlags: registeredFlagNames(),
+		Benchmarks:  runBenchSuite(),
+	}
+	js, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(js, '\n'), 0o644)
+}
+
+// checkBenchJSON verifies path's shape against the current binary.
+func checkBenchJSON(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("%w (regenerate with qbench -bench-json %s)", err, path)
+	}
+	var f benchFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if f.Schema != benchSchema {
+		return fmt.Errorf("%s has schema %q, this qbench writes %q (regenerate)", path, f.Schema, benchSchema)
+	}
+	if got, want := fmt.Sprint(f.QbenchFlags), fmt.Sprint(registeredFlagNames()); got != want {
+		return fmt.Errorf("%s is stale: recorded qbench flags %v, current binary has %v (regenerate with qbench -bench-json)",
+			path, f.QbenchFlags, registeredFlagNames())
+	}
+	var recorded []string
+	for _, b := range f.Benchmarks {
+		recorded = append(recorded, b.Name)
+	}
+	if got, want := fmt.Sprint(recorded), fmt.Sprint(benchNames()); got != want {
+		return fmt.Errorf("%s is stale: recorded benchmarks %v, suite is %v (regenerate with qbench -bench-json)",
+			path, recorded, benchNames())
+	}
+	return nil
+}

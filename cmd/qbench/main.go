@@ -11,6 +11,10 @@
 //	                   # drive the concurrent serving layer (internal/serve)
 //	                   # over the synthetic workload; reports throughput,
 //	                   # cache hit rate, and per-source latency histograms
+//	qbench -bench-json BENCH_matching.json
+//	                   # re-measure the matching-engine benchmarks and rewrite
+//	                   # the perf trajectory file; -bench-check verifies its
+//	                   # shape against the binary without re-measuring
 package main
 
 import (
@@ -53,6 +57,9 @@ type options struct {
 
 	serveMode serveOptions
 	serve     bool
+
+	benchJSON  string
+	benchCheck string
 }
 
 // registerFlags declares qbench's flags on fs and returns the bound options.
@@ -68,6 +75,10 @@ func registerFlags(fs *flag.FlagSet) *options {
 	fs.IntVar(&o.serveMode.cache, "cache", 256, "serve mode: translation cache capacity")
 	fs.IntVar(&o.serveMode.tuples, "tuples", 500, "serve mode: universe tuples per source shard")
 	fs.BoolVar(&o.serveMode.metrics, "metrics", false, "serve mode: print the Prometheus metrics exposition after the run")
+	fs.IntVar(&o.serveMode.par, "par", 0, "serve mode: per-translation worker pool size (0 = sequential)")
+
+	fs.StringVar(&o.benchJSON, "bench-json", "", "run the matching benchmark suite and write results to this file")
+	fs.StringVar(&o.benchCheck, "bench-check", "", "verify a -bench-json file's flag and benchmark sets match this binary")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "Usage of qbench:")
 		fs.PrintDefaults()
@@ -79,6 +90,22 @@ func main() {
 	o := registerFlags(flag.CommandLine)
 	flag.Parse()
 
+	if o.benchCheck != "" {
+		if err := checkBenchJSON(o.benchCheck); err != nil {
+			fmt.Fprintf(os.Stderr, "qbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s is up to date\n", o.benchCheck)
+		return
+	}
+	if o.benchJSON != "" {
+		if err := writeBenchJSON(o.benchJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "qbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", o.benchJSON)
+		return
+	}
 	if o.serve {
 		runServe(o.serveMode)
 		return

@@ -26,6 +26,7 @@ type serveOptions struct {
 	cache    int  // translation-cache capacity
 	tuples   int  // universe tuples per source shard
 	metrics  bool // print the Prometheus exposition after the run
+	par      int  // per-translation worker pool (mediator.Parallelism)
 }
 
 // runServe drives internal/serve with C concurrent clients over the
@@ -39,6 +40,7 @@ func runServe(opt serveOptions) {
 		&sources.Source{Name: "w2", Spec: s.Spec, Eval: s.Eval},
 	)
 	med.Eval = s.Eval
+	med.Parallelism = opt.par
 
 	rng := rand.New(rand.NewSource(1999))
 	data := map[string]*engine.Relation{}

@@ -11,7 +11,7 @@ import (
 
 // docFlagLine matches a flag line of the recorded usage block
 // ("  -name type" or "  -name").
-var docFlagLine = regexp.MustCompile(`^  -([a-z]+)\b`)
+var docFlagLine = regexp.MustCompile(`^  -([a-z][a-z-]*)`)
 
 // TestUsageMatchesRecordedOutput keeps docs/qbench_output.txt honest: the
 // flag list in its "$ qbench -h" header must match the flags qbench actually

@@ -45,6 +45,7 @@ func (t *Translator) SCMNoSuppression(cs []*qtree.Constraint) (*qtree.Node, erro
 // cost and output size approach the DNF baseline on queries whose
 // conjunctions are mostly separable.
 func (t *Translator) TDQMNoPartition(q *qtree.Node) (*qtree.Node, error) {
+	defer t.begin(true)()
 	q = q.Normalize()
 	switch {
 	case q.Kind == qtree.KindOr:

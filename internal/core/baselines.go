@@ -22,6 +22,7 @@ import (
 // ascribes to other frameworks). The output subsumes q but misses the
 // selectivity that dependency-aware mapping provides.
 func (t *Translator) CNFMap(q *qtree.Node) (*qtree.Node, error) {
+	defer t.begin(true)()
 	cnf := qtree.ToCNF(q)
 	clauses := cnf.Conjuncts()
 	kids := make([]*qtree.Node, 0, len(clauses))

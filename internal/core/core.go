@@ -42,6 +42,11 @@ type Stats struct {
 	Disjunctivizations int
 	// DNFDisjuncts counts disjuncts processed by Algorithm DNF.
 	DNFDisjuncts int
+	// RuleAttempts counts rules actually probed for matchings across all
+	// match runs. With the compiled dispatch engine this is the number of
+	// rules the index could not reject; the uncompiled path probes every
+	// rule of the spec on every run.
+	RuleAttempts int
 }
 
 // Translator binds a mapping specification and accumulates statistics.
@@ -68,6 +73,23 @@ type Translator struct {
 	// the recursion depth that scopes it (see traceEnter).
 	traceDepth int
 	depSupport map[string]bool
+
+	// compiledOff and memoOff disable the compiled dispatch engine and the
+	// translation-scoped matching memo; both are enabled by default (see
+	// SetCompiled, SetMemo).
+	compiledOff bool
+	memoOff     bool
+	// memo is the translation-scoped matching cache; ownMemo marks the
+	// translator that created it and drops it when the outermost structural
+	// call returns; depth scopes that lifetime (see begin).
+	memo      *matchMemo
+	ownMemo   bool
+	depth     int
+	memoStats MemoStats
+	// workers and sem implement bounded parallel branch mapping
+	// (see SetParallelism).
+	workers int
+	sem     chan struct{}
 }
 
 // NewTranslator returns a translator for spec.
@@ -78,15 +100,75 @@ func NewTranslator(spec *rules.Spec) *Translator {
 // ResetStats zeroes the statistics counters.
 func (t *Translator) ResetStats() { t.Stats = Stats{} }
 
-// matchings runs M(·, K) with counting.
+// SetCompiled enables or disables the compiled rule-dispatch engine
+// (rules.CompiledSpec). It is enabled by default; disabling it restores the
+// scan-every-rule path, which produces identical matchings at higher cost
+// (the equivalence the tests in memo_test.go assert).
+func (t *Translator) SetCompiled(on bool) { t.compiledOff = !on }
+
+// SetMemo enables or disables the translation-scoped matching memo. It is
+// enabled by default; results are identical either way — the memo replays
+// previously derived matchings (with exact Stats compensation) instead of
+// re-deriving them.
+func (t *Translator) SetMemo(on bool) {
+	t.memoOff = !on
+	if !on && t.ownMemo {
+		t.memo = nil
+		t.ownMemo = false
+	}
+}
+
+// matchings runs M(·, K) with counting, consulting the translation-scoped
+// memo when one is in scope. Under tracing the memo is bypass-or-record:
+// lookups are skipped (every run must emit its match spans) but results are
+// still recorded, so untraced work inside the same translation can reuse
+// them and golden traces stay byte-identical.
 func (t *Translator) matchings(cs []*qtree.Constraint) ([]*rules.Matching, error) {
 	t.Stats.MatchRuns++
-	ms, err := t.Spec.Matchings(cs)
+	var key string
+	if t.memo != nil {
+		key = memoKey(cs)
+		if t.tracer == nil {
+			if e, ok := t.memo.get(key); ok {
+				t.memoStats.Hits++
+				t.Stats.MatchingsFound += len(e.ms)
+				t.Stats.RuleAttempts += e.probed
+				return e.ms, nil
+			}
+		}
+		t.memoStats.Misses++
+	}
+	ms, probed, err := t.runMatchings(cs)
 	if err != nil {
 		return nil, err
 	}
 	t.Stats.MatchingsFound += len(ms)
+	t.Stats.RuleAttempts += probed
+	if t.memo != nil {
+		t.memo.put(key, ms, probed)
+	}
 	return ms, nil
+}
+
+// runMatchings is the uncached matching pass: compiled dispatch unless
+// disabled. It returns the matchings and the number of rules probed.
+func (t *Translator) runMatchings(cs []*qtree.Constraint) ([]*rules.Matching, int, error) {
+	if t.compiledOff {
+		ms, err := t.Spec.Matchings(cs)
+		return ms, len(t.Spec.Rules), err
+	}
+	return t.Spec.Compiled().MatchingsCounted(cs)
+}
+
+// candidateRules returns the rules a matching pass over cs will probe, in
+// specification order — the compiled engine's candidates, or every rule
+// when compilation is disabled. The tracing layer iterates these so traced
+// and untraced translations count identical RuleAttempts.
+func (t *Translator) candidateRules(cs []*qtree.Constraint) []*rules.Rule {
+	if t.compiledOff {
+		return t.Spec.Rules
+	}
+	return t.Spec.Compiled().CandidateRules(cs)
 }
 
 // Algorithm names accepted by Translate.

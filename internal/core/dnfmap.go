@@ -13,6 +13,7 @@ import (
 // exponential in general and the output is typically far less compact than
 // Algorithm TDQM's (Section 8) — this is the paper's baseline.
 func (t *Translator) DNFMap(q *qtree.Node) (*qtree.Node, error) {
+	defer t.begin(true)()
 	var sp *obs.Span
 	if t.tracer != nil {
 		cs := q.Constraints()
@@ -27,6 +28,19 @@ func (t *Translator) DNFMap(q *qtree.Node) (*qtree.Node, error) {
 	ds := dnf.Disjuncts()
 	t.Stats.DNFDisjuncts += len(ds)
 	sp.Set(obs.CtrDisjuncts, int64(len(ds)))
+	if t.parallelEligible(len(ds)) {
+		kids, err := t.mapBranches(ds, func(sub *Translator, d *qtree.Node) (*qtree.Node, error) {
+			res, err := sub.SCM(d.SimpleConjuncts())
+			if err != nil {
+				return nil, err
+			}
+			return res.Query, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return qtree.Or(kids...).Normalize(), nil
+	}
 	kids := make([]*qtree.Node, 0, len(ds))
 	for _, d := range ds {
 		res, err := t.SCM(d.SimpleConjuncts())

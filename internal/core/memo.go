@@ -1,0 +1,99 @@
+package core
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/qtree"
+	"repro/internal/rules"
+)
+
+// matchMemo is the translation-scoped matching cache: it maps a canonical
+// constraint-set key to the matchings (and the rule-probe count) the spec
+// produced for that set. EDNF, PSafe, SCM, and TDQM's recursive descent all
+// re-derive matchings for overlapping constraint subsets; within one
+// translation those results are identical, so the first derivation is
+// recorded and replayed.
+//
+// Lifetime and invalidation: a memo lives for exactly one structural
+// translation (TDQM/DNF/CNF entry; see Translator.begin) and is dropped when
+// the entry call returns — there is nothing to invalidate, because a spec's
+// rules are immutable and the memo never outlives the translation that
+// created it. Cross-translation caching is the serve layer's job
+// (internal/serve's translation cache), which caches whole translations
+// keyed by canonical query.
+//
+// The map is guarded by a mutex because parallel branch mapping shares the
+// parent's memo across branch goroutines.
+type matchMemo struct {
+	mu sync.RWMutex
+	m  map[string]memoEntry
+}
+
+type memoEntry struct {
+	ms     []*rules.Matching
+	probed int // rules actually probed to produce ms
+}
+
+func newMatchMemo() *matchMemo {
+	return &matchMemo{m: make(map[string]memoEntry)}
+}
+
+func (mm *matchMemo) get(key string) (memoEntry, bool) {
+	mm.mu.RLock()
+	e, ok := mm.m[key]
+	mm.mu.RUnlock()
+	return e, ok
+}
+
+func (mm *matchMemo) put(key string, ms []*rules.Matching, probed int) {
+	mm.mu.Lock()
+	mm.m[key] = memoEntry{ms: ms, probed: probed}
+	mm.mu.Unlock()
+}
+
+// memoKey is the canonical constraint-set key: sorted constraint keys,
+// joined. It matches qtree.ConstraintSet.ID for the same constraints.
+func memoKey(cs []*qtree.Constraint) string {
+	keys := make([]string, len(cs))
+	for i, c := range cs {
+		keys[i] = c.Key()
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ";")
+}
+
+// MemoStats reports translation-memo effectiveness. It is kept out of Stats
+// so that memo-on and memo-off translations produce identical Stats (the
+// memo compensates the work counters on every hit).
+type MemoStats struct {
+	Hits   int
+	Misses int
+}
+
+// MemoStats returns the memo hit/miss counts accumulated so far. Under
+// parallel branch mapping the split is timing-dependent (two branches racing
+// on the same key may both miss); the counts are for reporting, not for
+// correctness assertions.
+func (t *Translator) MemoStats() MemoStats { return t.memoStats }
+
+// begin marks entry into a translator algorithm. Structural entry points
+// (TDQM, DNF, CNF) create the translation-scoped memo at the outermost call;
+// the returned func unwinds the depth and drops an owned memo when the
+// outermost call returns. Non-structural entries (SCM, PSafe) only
+// participate in an enclosing scope's memo.
+func (t *Translator) begin(structural bool) func() {
+	t.depth++
+	if structural && t.memo == nil && !t.memoOff {
+		t.memo = newMatchMemo()
+		t.ownMemo = true
+	}
+	return func() {
+		t.depth--
+		if t.depth == 0 && t.ownMemo {
+			t.memo = nil
+			t.ownMemo = false
+		}
+	}
+}

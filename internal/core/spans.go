@@ -83,11 +83,21 @@ func (t *Translator) essentialSize(cs []*qtree.Constraint) int64 {
 // order) while emitting one match span per rule that produced candidates.
 // It returns the matchings plus the per-rule spans so the SCM caller can
 // back-fill kept/suppressed counts after suppression.
+//
+// It iterates the same candidate rules the compiled engine dispatches to —
+// a span is only ever emitted for a rule with matchings and an index-skipped
+// rule has none, so traces are byte-identical to the pre-index engine while
+// RuleAttempts agrees with the untraced path. The memo is bypass-or-record
+// here: never consulted (every traced run must emit its spans) but always
+// populated, so memo-enabled translations trace identically to memo-free
+// ones.
 func (t *Translator) tracedMatchings(cs []*qtree.Constraint) ([]*rules.Matching, map[string]*obs.Span, error) {
 	t.Stats.MatchRuns++
 	var all []*rules.Matching
 	spans := make(map[string]*obs.Span)
-	for _, r := range t.Spec.Rules {
+	probed := 0
+	for _, r := range t.candidateRules(cs) {
+		probed++
 		ms, err := t.Spec.MatchRule(r, cs)
 		if err != nil {
 			return nil, nil, err
@@ -102,5 +112,10 @@ func (t *Translator) tracedMatchings(cs []*qtree.Constraint) ([]*rules.Matching,
 		all = append(all, ms...)
 	}
 	t.Stats.MatchingsFound += len(all)
+	t.Stats.RuleAttempts += probed
+	if t.memo != nil {
+		t.memo.put(memoKey(cs), all, probed)
+		t.memoStats.Misses++
+	}
 	return all, spans, nil
 }

@@ -16,6 +16,7 @@ import (
 // query structure is rewritten only where constraint dependencies demand it,
 // so the output stays compact (Section 8).
 func (t *Translator) TDQM(q *qtree.Node) (*qtree.Node, error) {
+	defer t.begin(true)()
 	q = q.Normalize()
 	if t.tracer != nil {
 		cs := q.Constraints()
@@ -28,7 +29,15 @@ func (t *Translator) TDQM(q *qtree.Node) (*qtree.Node, error) {
 	}
 	switch {
 	case q.Kind == qtree.KindOr:
-		// Case-1: disjuncts are always separable.
+		// Case-1: disjuncts are always separable — map them concurrently
+		// when a worker pool is configured.
+		if t.parallelEligible(len(q.Kids)) {
+			kids, err := t.mapBranches(q.Kids, (*Translator).TDQM)
+			if err != nil {
+				return nil, err
+			}
+			return qtree.Or(kids...).Normalize(), nil
+		}
 		kids := make([]*qtree.Node, len(q.Kids))
 		for i, d := range q.Kids {
 			s, err := t.TDQM(d)

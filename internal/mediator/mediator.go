@@ -56,6 +56,10 @@ type Mediator struct {
 	// counters (rule fires, suppressions, SCM/PSafe calls) for every
 	// translation this mediator performs. Nil disables the accounting.
 	Metrics *obs.TranslationMetrics
+	// Parallelism bounds the worker pool each translator may use for
+	// per-branch mapping (core.Translator.SetParallelism). Zero or one keeps
+	// translation sequential; traced translations are always sequential.
+	Parallelism int
 }
 
 // selectFrom runs a translated query against a source relation, using the
@@ -127,6 +131,7 @@ func (m *Mediator) translate(q *qtree.Node, tracer *obs.Tracer) (*Translation, e
 		tr := core.NewTranslator(src.Spec)
 		tr.SetTracer(tracer)
 		tr.SetMetrics(m.Metrics)
+		tr.SetParallelism(m.Parallelism)
 		return tr
 	}
 	startSource := func(src *sources.Source) {

@@ -1,7 +1,6 @@
 package qtree
 
 import (
-	"fmt"
 	"strings"
 )
 
@@ -46,17 +45,27 @@ type Constraint struct {
 	Op    string
 	Val   Value // selection constant; nil for join constraints
 	RAttr *Attr // right-hand attribute; nil for selection constraints
+
+	// key caches the canonical identity computed by the constructors.
+	// Constraints assembled as raw composite literals leave it empty and
+	// Key() falls back to a stateless computation, so a missing cache can
+	// never be wrong — only slower.
+	key string
 }
 
 // Sel constructs a selection constraint [attr op val].
 func Sel(attr Attr, op string, val Value) *Constraint {
-	return &Constraint{Attr: attr, Op: op, Val: val}
+	c := &Constraint{Attr: attr, Op: op, Val: val}
+	c.key = c.computeKey()
+	return c
 }
 
 // Join constructs a join constraint [left op right].
 func Join(left Attr, op string, right Attr) *Constraint {
 	r := right
-	return &Constraint{Attr: left, Op: op, RAttr: &r}
+	c := &Constraint{Attr: left, Op: op, RAttr: &r}
+	c.key = c.computeKey()
+	return c
 }
 
 // IsJoin reports whether c is a join constraint.
@@ -85,11 +94,33 @@ func (c *Constraint) String() string {
 // are sets of constraints, Section 4.1). Join constraints are normalized so
 // that [a op b] and [b inv(op) a] share a key.
 func (c *Constraint) Key() string {
-	if !c.IsJoin() {
-		return fmt.Sprintf("[%s %s %s]", c.Attr.Key(), c.Op, valueKey(c.Val))
+	if c.key != "" {
+		return c.key
 	}
-	n := c.Normalize()
-	return fmt.Sprintf("[%s %s %s]", n.Attr.Key(), n.Op, n.RAttr.Key())
+	return c.computeKey()
+}
+
+// computeKey derives the canonical key from scratch. The join branch inlines
+// Normalize's operator-direction rules rather than calling it, so constructor
+// key caching cannot recurse through the intermediate Join allocation.
+func (c *Constraint) computeKey() string {
+	if !c.IsJoin() {
+		return "[" + c.Attr.Key() + " " + c.Op + " " + valueKey(c.Val) + "]"
+	}
+	l, r, op := c.Attr, *c.RAttr, c.Op
+	switch op {
+	case OpLt: // prefer ">"
+		op = OpGt
+		l, r = r, l
+	case OpLe: // prefer ">="
+		op = OpGe
+		l, r = r, l
+	case OpEq, OpNe:
+		if l.Key() > r.Key() {
+			l, r = r, l
+		}
+	}
+	return "[" + l.Key() + " " + op + " " + r.Key() + "]"
 }
 
 func valueKey(v Value) string {

@@ -3,14 +3,30 @@ package qtree
 import (
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // ConstraintSet is a set of constraints identified by canonical key. It is
 // the representation of a rule matching (Section 4.1) and of DNF disjuncts
 // inside the EDNF machinery. The zero value is not usable; call
 // NewConstraintSet.
+//
+// Mutation (Add/AddAll) is not safe concurrently with any other use, but a
+// set that is no longer being mutated may be read from many goroutines:
+// the lazily computed key/ID view is published atomically.
 type ConstraintSet struct {
 	m map[string]*Constraint
+
+	// view caches the sorted keys and canonical ID of the current contents;
+	// mutators drop it when the key set changes. Stored atomically because
+	// matchings reached through the translation memo are read — and their
+	// views lazily filled in — from concurrent translation branches.
+	view atomic.Pointer[setView]
+}
+
+type setView struct {
+	keys []string
+	id   string
 }
 
 // NewConstraintSet returns an empty set, optionally seeded with constraints.
@@ -23,11 +39,20 @@ func NewConstraintSet(cs ...*Constraint) *ConstraintSet {
 }
 
 // Add inserts c into the set.
-func (s *ConstraintSet) Add(c *Constraint) { s.m[c.Key()] = c }
+func (s *ConstraintSet) Add(c *Constraint) {
+	k := c.Key()
+	if _, ok := s.m[k]; !ok {
+		s.view.Store(nil)
+	}
+	s.m[k] = c
+}
 
 // AddAll inserts every constraint of t into s.
 func (s *ConstraintSet) AddAll(t *ConstraintSet) {
 	for k, c := range t.m {
+		if _, ok := s.m[k]; !ok {
+			s.view.Store(nil)
+		}
 		s.m[k] = c
 	}
 }
@@ -55,19 +80,32 @@ func (s *ConstraintSet) Slice() []*Constraint {
 	return out
 }
 
-// Keys returns the sorted canonical keys.
+// Keys returns the sorted canonical keys. The returned slice is shared with
+// the set's cached view and must not be modified by the caller.
 func (s *ConstraintSet) Keys() []string {
+	if v := s.view.Load(); v != nil {
+		return v.keys
+	}
 	keys := make([]string, 0, len(s.m))
 	for k := range s.m {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	s.view.Store(&setView{keys: keys})
 	return keys
 }
 
 // ID returns a canonical identity string for the whole set, usable as a map
 // key for set-of-sets bookkeeping.
-func (s *ConstraintSet) ID() string { return strings.Join(s.Keys(), ";") }
+func (s *ConstraintSet) ID() string {
+	if v := s.view.Load(); v != nil && (v.id != "" || len(v.keys) == 0) {
+		return v.id
+	}
+	keys := s.Keys()
+	id := strings.Join(keys, ";")
+	s.view.Store(&setView{keys: keys, id: id})
+	return id
+}
 
 // Equal reports set equality.
 func (s *ConstraintSet) Equal(t *ConstraintSet) bool {

@@ -1,0 +1,244 @@
+package rules
+
+import (
+	"repro/internal/qtree"
+)
+
+// CompiledSpec is a precompiled dispatch structure over a Spec's rules: the
+// Rete-style index that lets Matchings visit only rules whose head patterns
+// can possibly match the query's constraints, instead of probing every rule.
+//
+// Compilation extracts from each head pattern the requirements that
+// quickReject checks per constraint — literal operator, literal view /
+// relation / name components of the left attribute, and whether the
+// right-hand side forces a selection or a join. Each distinct requirement
+// combination becomes a feature bit; a rule's mask is the set of features its
+// patterns demand. At query time one pass over the constraint orientations
+// marks every feature some orientation satisfies, and a rule is probed only
+// when its mask is a subset of the satisfied set. Because matchRule returns
+// no matchings as soon as any pattern has an empty candidate list, skipping a
+// rule with an unsatisfied feature never loses a matching.
+//
+// A first-pattern attribute-name index narrows the scan further: rules whose
+// first pattern names a literal attribute are reached only through the names
+// appearing in the query.
+//
+// The engine is immutable after construction and safe for concurrent use.
+type CompiledSpec struct {
+	spec  *Spec
+	feats []feature
+	rules []compiledRule
+	words int // len of each rule mask, ⌈len(feats)/64⌉
+
+	// byFirstName maps a first-pattern literal attribute name to the rules
+	// (by index) requiring it; alwaysProbe lists rules whose first pattern
+	// binds the name, which every query must consider.
+	byFirstName map[string][]int
+	alwaysProbe []int
+}
+
+type compiledRule struct {
+	rule *Rule
+	mask []uint64
+}
+
+// feature is one requirement combination a head pattern imposes on the
+// constraint it matches. Empty literal components are real requirements
+// (e.g. View == ""), so each carries an explicit has flag rather than
+// treating "" as a wildcard.
+type feature struct {
+	hasOp   bool
+	op      string
+	hasView bool
+	view    string
+	hasRel  bool
+	rel     string
+	hasName bool
+	name    string
+	kind    int8 // 0 = either, 1 = selection only, 2 = join only
+}
+
+// patternFeature mirrors quickReject: it records exactly the checks that
+// function applies, so quickReject(p, v) == false implies v satisfies the
+// feature. Keeping the two in lockstep is what makes index rejection sound.
+func patternFeature(p ConstraintPat) feature {
+	var f feature
+	if p.OpVar == "" {
+		f.hasOp, f.op = true, p.Op
+	}
+	a := p.Attr
+	if a.WholeVar == "" {
+		if a.ViewVar == "" {
+			f.hasView, f.view = true, a.View
+		}
+		if a.NameVar == "" {
+			f.hasName, f.name = true, a.Name
+		}
+		if a.Rel != "" {
+			f.hasRel, f.rel = true, a.Rel
+		}
+	}
+	switch {
+	case p.RHS.Attr != nil:
+		f.kind = 2
+	case p.RHS.Lit != nil:
+		f.kind = 1
+	}
+	return f
+}
+
+// satisfiedBy reports whether constraint orientation v meets the
+// requirement.
+func (f feature) satisfiedBy(v *qtree.Constraint) bool {
+	if f.hasOp && f.op != v.Op {
+		return false
+	}
+	if f.hasView && f.view != v.Attr.View {
+		return false
+	}
+	if f.hasRel && f.rel != v.Attr.Rel {
+		return false
+	}
+	if f.hasName && f.name != v.Attr.Name {
+		return false
+	}
+	switch f.kind {
+	case 1:
+		return !v.IsJoin()
+	case 2:
+		return v.IsJoin()
+	}
+	return true
+}
+
+// compile builds the dispatch structure for s.
+func compile(s *Spec) *CompiledSpec {
+	c := &CompiledSpec{spec: s, byFirstName: make(map[string][]int)}
+	featIndex := make(map[feature]int)
+	ruleBits := make([][]int, len(s.Rules))
+	for ri, r := range s.Rules {
+		for _, p := range r.Patterns {
+			f := patternFeature(p)
+			fi, ok := featIndex[f]
+			if !ok {
+				fi = len(c.feats)
+				featIndex[f] = fi
+				c.feats = append(c.feats, f)
+			}
+			ruleBits[ri] = append(ruleBits[ri], fi)
+		}
+	}
+	c.words = (len(c.feats) + 63) / 64
+	c.rules = make([]compiledRule, len(s.Rules))
+	for ri, r := range s.Rules {
+		cr := compiledRule{rule: r, mask: make([]uint64, c.words)}
+		for _, fi := range ruleBits[ri] {
+			cr.mask[fi>>6] |= 1 << (fi & 63)
+		}
+		c.rules[ri] = cr
+		if len(r.Patterns) > 0 {
+			a := r.Patterns[0].Attr
+			if a.WholeVar == "" && a.NameVar == "" {
+				c.byFirstName[a.Name] = append(c.byFirstName[a.Name], ri)
+				continue
+			}
+		}
+		c.alwaysProbe = append(c.alwaysProbe, ri)
+	}
+	return c
+}
+
+// Spec returns the specification the engine was compiled from.
+func (c *CompiledSpec) Spec() *Spec { return c.spec }
+
+// visit calls fn for every rule the index cannot reject, in specification
+// order, stopping at the first error.
+func (c *CompiledSpec) visit(cs []*qtree.Constraint, fn func(*Rule) error) error {
+	orients := make([]*qtree.Constraint, 0, 2*len(cs))
+	for _, q := range cs {
+		orients = append(orients, orientations(q)...)
+	}
+
+	qmask := make([]uint64, c.words)
+	for fi, f := range c.feats {
+		for _, v := range orients {
+			if f.satisfiedBy(v) {
+				qmask[fi>>6] |= 1 << (fi & 63)
+				break
+			}
+		}
+	}
+
+	cand := make([]bool, len(c.rules))
+	mark := func(ri int) {
+		for w, bits := range c.rules[ri].mask {
+			if bits&^qmask[w] != 0 {
+				return
+			}
+		}
+		cand[ri] = true
+	}
+	for _, ri := range c.alwaysProbe {
+		mark(ri)
+	}
+	seen := make(map[string]bool, len(orients))
+	for _, v := range orients {
+		n := v.Attr.Name
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		for _, ri := range c.byFirstName[n] {
+			mark(ri)
+		}
+	}
+
+	for ri := range c.rules {
+		if !cand[ri] {
+			continue
+		}
+		if err := fn(c.rules[ri].rule); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CandidateRules returns the rules the index cannot reject for the given
+// constraints, in specification order. The tracing layer iterates these so
+// traced and untraced translations probe the same rules.
+func (c *CompiledSpec) CandidateRules(cs []*qtree.Constraint) []*Rule {
+	var out []*Rule
+	c.visit(cs, func(r *Rule) error {
+		out = append(out, r)
+		return nil
+	})
+	return out
+}
+
+// Matchings computes exactly Spec.Matchings — the same matchings in the same
+// order — visiting only candidate rules.
+func (c *CompiledSpec) Matchings(cs []*qtree.Constraint) ([]*Matching, error) {
+	ms, _, err := c.MatchingsCounted(cs)
+	return ms, err
+}
+
+// MatchingsCounted is Matchings plus the number of rules actually probed,
+// for cost accounting: the uncompiled path always probes len(Spec.Rules).
+func (c *CompiledSpec) MatchingsCounted(cs []*qtree.Constraint) ([]*Matching, int, error) {
+	var out []*Matching
+	probed := 0
+	err := c.visit(cs, func(r *Rule) error {
+		probed++
+		ms, err := matchRule(r, cs, c.spec.Reg)
+		if err != nil {
+			return err
+		}
+		out = append(out, ms...)
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, probed, nil
+}

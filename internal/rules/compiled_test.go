@@ -1,0 +1,289 @@
+package rules
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/qtree"
+	"repro/internal/values"
+)
+
+// variedSpec exercises every dispatch dimension the compiler indexes:
+// literal and variable operators, literal / view-variable / whole-variable
+// attributes, selection-forcing literal RHS, join-forcing attribute RHS,
+// and multi-pattern heads.
+func variedSpec(t testing.TB) *Spec {
+	t.Helper()
+	rs := MustParseRules(`
+rule SelEq {
+  match [a0 = V];
+  where Value(V);
+  emit exact [t0 = V];
+}
+rule SelAnyOp {
+  match [a1 P V];
+  where Value(V);
+  emit [t1 P V];
+}
+rule Pair {
+  match [a2 = V], [a3 = W];
+  where Value(V), Value(W);
+  emit exact [t2 = V];
+}
+rule JoinIds {
+  match [X.id = Y.id];
+  emit exact [t3 = "joined"];
+}
+rule AnyAttr {
+  match [A contains V];
+  where Value(V);
+  emit [t4 contains V];
+}
+rule LitVal {
+  match [a4 = "magic"];
+  emit exact [t5 = "magic"];
+}
+`)
+	target := NewTarget("varied",
+		Capability{Attr: "t0", Op: qtree.OpEq},
+		Capability{Attr: "t1", Op: qtree.OpEq},
+		Capability{Attr: "t1", Op: qtree.OpLt},
+		Capability{Attr: "t1", Op: qtree.OpGt},
+		Capability{Attr: "t2", Op: qtree.OpEq},
+		Capability{Attr: "t3", Op: qtree.OpEq},
+		Capability{Attr: "t4", Op: qtree.OpContains},
+		Capability{Attr: "t5", Op: qtree.OpEq},
+	)
+	return MustSpec("K_varied", target, NewRegistry(), rs...)
+}
+
+// randomConstraints draws n constraints over a small attribute/value pool,
+// mixing selections (several operators, including the "magic" literal) and
+// joins.
+func randomConstraints(rng *rand.Rand, n int) []*qtree.Constraint {
+	ops := []string{qtree.OpEq, qtree.OpLt, qtree.OpGt, qtree.OpContains}
+	cs := make([]*qtree.Constraint, 0, n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(5) == 0 {
+			l := qtree.Attr{View: fmt.Sprintf("v%d", rng.Intn(3)), Name: "id"}
+			r := qtree.Attr{View: fmt.Sprintf("v%d", rng.Intn(3)), Name: "id"}
+			cs = append(cs, qtree.Join(l, qtree.OpEq, r))
+			continue
+		}
+		attr := qtree.A(fmt.Sprintf("a%d", rng.Intn(7)))
+		op := ops[rng.Intn(len(ops))]
+		val := values.String(fmt.Sprintf("v%d", rng.Intn(4)))
+		if rng.Intn(6) == 0 {
+			val = values.String("magic")
+		}
+		cs = append(cs, qtree.Sel(attr, op, val))
+	}
+	return cs
+}
+
+func matchingIDs(ms []*Matching) []string {
+	ids := make([]string, len(ms))
+	for i, m := range ms {
+		ids[i] = m.ID()
+	}
+	return ids
+}
+
+// TestCompiledMatchingsEquivalent is the compiled engine's contract: on
+// randomized constraint sets it returns exactly Spec.Matchings — same
+// matchings, same order — while probing no more rules.
+func TestCompiledMatchingsEquivalent(t *testing.T) {
+	s := variedSpec(t)
+	c := s.Compiled()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		cs := randomConstraints(rng, 1+rng.Intn(8))
+		want, err := s.Matchings(cs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, probed, err := c.MatchingsCounted(cs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantIDs, gotIDs := matchingIDs(want), matchingIDs(got)
+		if fmt.Sprint(wantIDs) != fmt.Sprint(gotIDs) {
+			t.Fatalf("trial %d: compiled matchings differ\ninput: %v\n got: %v\nwant: %v",
+				trial, cs, gotIDs, wantIDs)
+		}
+		if probed > len(s.Rules) {
+			t.Fatalf("trial %d: probed %d rules, spec has %d", trial, probed, len(s.Rules))
+		}
+	}
+}
+
+// TestCompiledSkipsUnrelatedRules checks the index actually rejects: a
+// single-attribute query must not probe rules over disjoint attributes.
+func TestCompiledSkipsUnrelatedRules(t *testing.T) {
+	s := variedSpec(t)
+	c := s.Compiled()
+	cs := []*qtree.Constraint{qtree.Sel(qtree.A("a0"), qtree.OpEq, values.String("x"))}
+	cands := c.CandidateRules(cs)
+	for _, r := range cands {
+		switch r.Name {
+		case "SelEq", "AnyAttr": // a0's rule, plus the name-variable rule
+		default:
+			t.Errorf("rule %s probed for an a0-only query", r.Name)
+		}
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidate rules for an a0 query")
+	}
+	ms, probed, err := c.MatchingsCounted(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probed >= len(s.Rules) {
+		t.Errorf("probed %d of %d rules; index rejected nothing", probed, len(s.Rules))
+	}
+	want, err := s.Matchings(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != len(want) {
+		t.Errorf("compiled found %d matchings, uncompiled %d", len(ms), len(want))
+	}
+}
+
+// suppressBrute is the O(n²) reference implementation of submatching
+// suppression.
+func suppressBrute(ms []*Matching) []*Matching {
+	out := ms[:0:0]
+	for _, m := range ms {
+		redundant := false
+		for _, n := range ms {
+			if n != m && m.Set.ProperSubsetOf(n.Set) {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// skewedMatchings builds n matchings that all share one popular constraint —
+// the shape the fixed-first-key index degraded quadratically on — plus one
+// strict supermatching so suppression has real work to do.
+func skewedMatchings(t testing.TB, n int) []*Matching {
+	t.Helper()
+	s := variedSpec(t)
+	shared := qtree.Sel(qtree.A("a9"), qtree.OpEq, values.String("hot"))
+	ms := make([]*Matching, 0, n+1)
+	for i := 0; i < n; i++ {
+		own := qtree.Sel(qtree.A(fmt.Sprintf("b%d", i)), qtree.OpEq, values.String("x"))
+		ms = append(ms, &Matching{
+			Rule:     s.Rules[0],
+			Set:      qtree.NewConstraintSet(shared, own),
+			Emission: qtree.Leaf(own.Clone()),
+		})
+	}
+	// A supermatching of matching 0: {shared, b0, extra}.
+	extra := qtree.Sel(qtree.A("extra"), qtree.OpEq, values.String("y"))
+	super := qtree.NewConstraintSet(shared, qtree.Sel(qtree.A("b0"), qtree.OpEq, values.String("x")), extra)
+	ms = append(ms, &Matching{Rule: s.Rules[1], Set: super, Emission: qtree.Leaf(extra.Clone())})
+	return ms
+}
+
+// TestSuppressSubmatchingsSkewed pins the least-frequent-key pass to the
+// brute-force semantics on the adversarial shape (and on random sets).
+func TestSuppressSubmatchingsSkewed(t *testing.T) {
+	ms := skewedMatchings(t, 50)
+	got := matchingIDs(SuppressSubmatchings(ms))
+	want := matchingIDs(suppressBrute(ms))
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("suppression differs from brute force:\n got: %v\nwant: %v", got, want)
+	}
+
+	s := variedSpec(t)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		cs := randomConstraints(rng, 2+rng.Intn(8))
+		all, err := s.Matchings(cs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := matchingIDs(SuppressSubmatchings(all))
+		want := matchingIDs(suppressBrute(all))
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("trial %d: suppression differs\n got: %v\nwant: %v", trial, got, want)
+		}
+	}
+}
+
+// wideSpec builds one single-pattern rule per attribute a0..a{r-1} — the
+// many-rules regime where dispatch indexing pays off.
+func wideSpec(t testing.TB, r int) *Spec {
+	t.Helper()
+	rs := make([]*Rule, 0, r)
+	caps := make([]Capability, 0, r)
+	for i := 0; i < r; i++ {
+		text := fmt.Sprintf(`
+rule R%d {
+  match [a%d = V];
+  where Value(V);
+  emit exact [t%d = V];
+}`, i, i, i)
+		rs = append(rs, MustParseRules(text)...)
+		caps = append(caps, Capability{Attr: fmt.Sprintf("t%d", i), Op: qtree.OpEq})
+	}
+	return MustSpec(fmt.Sprintf("K_wide%d", r), NewTarget("wide", caps...), NewRegistry(), rs...)
+}
+
+// BenchmarkMatchingsCompiled compares the compiled dispatch engine against
+// the scan-every-rule path on a wide spec (R rules) probed with a narrow
+// query (m constraints): the uncompiled path attempts all R rules per run,
+// the compiled path only the rules whose head attributes intersect the
+// query. attempts/op reports the measured rule-probe count.
+func BenchmarkMatchingsCompiled(b *testing.B) {
+	for _, r := range []int{32, 128} {
+		s := wideSpec(b, r)
+		cs := make([]*qtree.Constraint, 0, 8)
+		for i := 0; i < 8; i++ {
+			cs = append(cs, qtree.Sel(qtree.A(fmt.Sprintf("a%d", i*r/8)), qtree.OpEq,
+				values.String(fmt.Sprintf("v%d", i))))
+		}
+		b.Run(fmt.Sprintf("uncompiled/R=%d", r), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Matchings(cs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(r), "attempts/op")
+		})
+		b.Run(fmt.Sprintf("compiled/R=%d", r), func(b *testing.B) {
+			c := s.Compiled()
+			var probed int
+			for i := 0; i < b.N; i++ {
+				var err error
+				if _, probed, err = c.MatchingsCounted(cs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(probed), "attempts/op")
+		})
+	}
+}
+
+// BenchmarkSuppressSubmatchingsSkewed measures suppression on the
+// all-share-one-constraint shape. Under the old fixed-first-key index every
+// matching scanned the full shared bucket (quadratic); the least-frequent
+// bucket is size O(1) here.
+func BenchmarkSuppressSubmatchingsSkewed(b *testing.B) {
+	for _, n := range []int{100, 400, 1600} {
+		ms := skewedMatchings(b, n)
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				SuppressSubmatchings(ms)
+			}
+		})
+	}
+}

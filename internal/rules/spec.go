@@ -2,6 +2,7 @@ package rules
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/qtree"
 )
@@ -17,6 +18,17 @@ type Spec struct {
 	Target *Target
 	Rules  []*Rule
 	Reg    *Registry
+
+	compileOnce sync.Once
+	compiled    *CompiledSpec
+}
+
+// Compiled returns the spec's compiled matching engine, built lazily on
+// first use. The rule set must not be modified after the first call (specs
+// are immutable after construction everywhere in this repository).
+func (s *Spec) Compiled() *CompiledSpec {
+	s.compileOnce.Do(func() { s.compiled = compile(s) })
+	return s.compiled
 }
 
 // NewSpec assembles and validates a specification.
@@ -81,10 +93,12 @@ func (s *Spec) MatchingsOfSet(set *qtree.ConstraintSet) ([]*Matching, error) {
 // redundant. Matchings over the *same* set are all kept — distinct rules may
 // each contribute to the mapping.
 //
-// Only matchings sharing a constraint can be in a subset relation, so the
-// comparison is restricted to the candidates indexed under each matching's
-// first constraint, keeping the pass near-linear for the moderate
-// dependency degrees the paper anticipates (Section 4.4).
+// Only matchings sharing a constraint can be in a subset relation, and any
+// superset of m contains every key of m — so each matching is compared only
+// against the candidates indexed under its least-frequent constraint key.
+// Scanning the smallest bucket (rather than a fixed one) keeps the pass
+// near-linear even when many matchings share one popular constraint, the
+// skew the fixed-key variant degraded quadratically on.
 func SuppressSubmatchings(ms []*Matching) []*Matching {
 	byConstraint := make(map[string][]*Matching)
 	for _, m := range ms {
@@ -97,7 +111,13 @@ func SuppressSubmatchings(ms []*Matching) []*Matching {
 		redundant := false
 		keys := m.Set.Keys()
 		if len(keys) > 0 {
-			for _, n := range byConstraint[keys[0]] {
+			rarest := keys[0]
+			for _, k := range keys[1:] {
+				if len(byConstraint[k]) < len(byConstraint[rarest]) {
+					rarest = k
+				}
+			}
+			for _, n := range byConstraint[rarest] {
 				if n != m && m.Set.ProperSubsetOf(n.Set) {
 					redundant = true
 					break
