@@ -350,6 +350,78 @@ func BenchmarkServeParallel(b *testing.B) {
 	b.ReportMetric(srv.Stats().HitRate()*100, "hit%")
 }
 
+// BenchmarkServeSharedMatchCache isolates the cross-request matchings cache
+// (ISSUE 5 tentpole): the translation cache is pinned to one entry so a
+// rotation of distinct queries re-translates on every request, and the only
+// cross-request reuse is SCM matchings through the shared MatchCache. "off"
+// disables it (MatchCacheSize < 0); "warm" runs with the default cache and
+// reports its hit rate.
+func BenchmarkServeSharedMatchCache(b *testing.B) {
+	s := workload.New(workload.Config{Indep: 6, Pairs: 3, InexactPairs: 2, Triples: 1})
+	rng := rand.New(rand.NewSource(31))
+	cfg := workload.QueryConfig{MaxDepth: 3, MaxFanout: 3, LeafProb: 0.4}
+	queries := make([]*qtree.Node, 32)
+	for i := range queries {
+		queries[i] = s.RandomQuery(rng, cfg)
+	}
+	ctx := context.Background()
+	for _, variant := range []struct {
+		name string
+		size int
+	}{{"off", -1}, {"warm", 0}} {
+		b.Run(variant.name, func(b *testing.B) {
+			med := mediator.New(&sources.Source{Name: "w1", Spec: s.Spec, Eval: s.Eval})
+			srv := serve.New(med, nil, serve.Config{CacheSize: 1, MatchCacheSize: variant.size})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := srv.Translate(ctx, queries[i%len(queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if mc := srv.MatchCache(); mc != nil {
+				b.ReportMetric(mc.Stats().HitRate()*100, "hit%")
+			}
+		})
+	}
+}
+
+// BenchmarkTranslateBatchVsLoop compares per-query translation on fresh
+// translators (the cold path a naive caller pays) against one TranslateBatch
+// call with a shared matchings cache. Both report ns per query via b.N
+// scaling: each op is one full pass over the 32-query rotation.
+func BenchmarkTranslateBatchVsLoop(b *testing.B) {
+	s := workload.New(workload.Config{Indep: 6, Pairs: 3, InexactPairs: 2, Triples: 1})
+	rng := rand.New(rand.NewSource(31))
+	cfg := workload.QueryConfig{MaxDepth: 3, MaxFanout: 3, LeafProb: 0.4}
+	queries := make([]*qtree.Node, 32)
+	for i := range queries {
+		queries[i] = s.RandomQuery(rng, cfg)
+	}
+	ctx := context.Background()
+	b.Run("loop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				tr := core.NewTranslator(s.Spec)
+				if _, err := tr.Do(ctx, q, core.AlgTDQM); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		mc := core.NewMatchCache(0)
+		tr := core.NewTranslator(s.Spec, core.WithMatchCache(mc))
+		for i := 0; i < b.N; i++ {
+			for _, r := range tr.TranslateBatch(ctx, queries, core.AlgTDQM) {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+		b.ReportMetric(mc.Stats().HitRate()*100, "hit%")
+	})
+}
+
 // --- Random complex queries: throughput of the full TDQM pipeline ----------
 
 func BenchmarkTDQMRandom(b *testing.B) {

@@ -6,10 +6,12 @@
 //
 // Requests flow through internal/serve: translations are memoized in a
 // canonical LRU cache (permuted-but-equivalent queries share one entry,
-// concurrent identical misses compute once), per-source execution fans out
-// in parallel under a bounded worker pool with a per-source timeout, and
-// atomic counters are exported at /stats. SIGINT/SIGTERM trigger a
-// graceful shutdown that drains in-flight queries.
+// concurrent identical misses compute once), rule-matching results are
+// shared across distinct queries through a bounded matchings cache
+// (-matchcache), per-source execution fans out in parallel under a bounded
+// worker pool with a per-source timeout, and atomic counters — including
+// match-cache hits, misses, and evictions — are exported at /stats.
+// SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight queries.
 //
 // Endpoints:
 //
@@ -63,15 +65,17 @@ func main() {
 	nBooks := flag.Int("books", 500, "synthetic catalog size")
 	seed := flag.Int64("seed", 1999, "catalog generator seed")
 	cacheSize := flag.Int("cache", serve.DefaultCacheSize, "translation cache capacity (entries)")
+	matchCache := flag.Int("matchcache", 0, "shared matchings-cache capacity (0 = default, negative disables)")
 	workers := flag.Int("workers", 0, "max concurrent source executions (0 = 2×GOMAXPROCS)")
 	srcTimeout := flag.Duration("source-timeout", 10*time.Second, "per-source execution timeout (0 = none)")
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain timeout")
 	flag.Parse()
 
 	s := newServer(*seed, *nBooks, serve.Config{
-		CacheSize:     *cacheSize,
-		Workers:       *workers,
-		SourceTimeout: *srcTimeout,
+		CacheSize:      *cacheSize,
+		MatchCacheSize: *matchCache,
+		Workers:        *workers,
+		SourceTimeout:  *srcTimeout,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

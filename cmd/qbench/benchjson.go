@@ -9,17 +9,22 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
+	"math/rand"
 	"os"
 	"sort"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/mediator"
 	"repro/internal/qtree"
 	"repro/internal/rules"
+	"repro/internal/serve"
+	"repro/internal/sources"
 	"repro/internal/values"
 	"repro/internal/workload"
 )
@@ -43,6 +48,9 @@ type benchEntry struct {
 	AttemptsPerOp float64 `json:"attempts_per_op,omitempty"`
 	// TermsPerOp counts safety-check product terms per operation.
 	TermsPerOp float64 `json:"terms_per_op,omitempty"`
+	// HitRatePct is the shared matchings-cache hit rate over the whole
+	// measurement, for the cache benchmarks.
+	HitRatePct float64 `json:"hit_rate_pct,omitempty"`
 }
 
 // registeredFlagNames enumerates the qbench flag set, sorted.
@@ -145,11 +153,11 @@ func runBenchSuite() []benchEntry {
 		for _, e := range []int{0, 2} {
 			for _, k := range []int{2, 4, 8} {
 				s, q := workload.DependencyConjunction(n, k, e)
-				tr := core.NewTranslator(s.Spec)
+				var opts []core.Option
 				if !variant.compiled {
-					tr.SetCompiled(false)
-					tr.SetMemo(false)
+					opts = append(opts, core.WithCompiled(false), core.WithMemo(false))
 				}
+				tr := core.NewTranslator(s.Spec, opts...)
 				ops := 0
 				ns := timeOp(func() {
 					ops++
@@ -166,6 +174,93 @@ func runBenchSuite() []benchEntry {
 			}
 		}
 	}
+
+	out = append(out, runServeCacheBench()...)
+	out = append(out, runBatchBench()...)
+	return out
+}
+
+// benchQueries is the fixed query rotation the cache and batch benchmarks
+// translate: deterministic-seeded random trees over the standard synthetic
+// scenario.
+func benchQueries(s *workload.Scenario, n int) []*qtree.Node {
+	rng := rand.New(rand.NewSource(1999))
+	cfg := workload.QueryConfig{MaxDepth: 3, MaxFanout: 3, LeafProb: 0.4}
+	qs := make([]*qtree.Node, n)
+	for i := range qs {
+		qs[i] = s.RandomQuery(rng, cfg)
+	}
+	return qs
+}
+
+// runServeCacheBench measures a serve.Server translating a rotation of
+// distinct queries with the shared matchings cache off and warm. The
+// translation cache is held at one entry so every request re-translates —
+// isolating the cross-request matching reuse the shared cache provides.
+func runServeCacheBench() []benchEntry {
+	s := workload.New(workload.Config{Indep: 6, Pairs: 3, InexactPairs: 2, Triples: 1})
+	qs := benchQueries(s, 32)
+	ctx := context.Background()
+	var out []benchEntry
+	for _, variant := range []struct {
+		name string
+		size int // MatchCacheSize: negative disables
+	}{{"off", -1}, {"warm", 0}} {
+		med := mediator.New(&sources.Source{Name: "w1", Spec: s.Spec, Eval: s.Eval})
+		srv := serve.New(med, nil, serve.Config{CacheSize: 1, MatchCacheSize: variant.size})
+		i := 0
+		entry := benchEntry{
+			Name: "serve/sharedmatchcache/" + variant.name,
+			NsPerOp: timeOp(func() {
+				if _, err := srv.Translate(ctx, qs[i%len(qs)]); err != nil {
+					panic(err)
+				}
+				i++
+			}),
+		}
+		if mc := srv.MatchCache(); mc != nil {
+			entry.HitRatePct = math.Round(1000*mc.Stats().HitRate()) / 10
+		}
+		out = append(out, entry)
+	}
+	return out
+}
+
+// runBatchBench compares per-query translation on fresh translators (the
+// cold path) against TranslateBatch over one shared-state translator. Both
+// entries record ns per query, not ns per batch.
+func runBatchBench() []benchEntry {
+	s := workload.New(workload.Config{Indep: 6, Pairs: 3, InexactPairs: 2, Triples: 1})
+	qs := benchQueries(s, 32)
+	ctx := context.Background()
+	n := float64(len(qs))
+	var out []benchEntry
+
+	out = append(out, benchEntry{
+		Name: "batch/loop",
+		NsPerOp: math.Round(timeOp(func() {
+			for _, q := range qs {
+				tr := core.NewTranslator(s.Spec)
+				if _, err := tr.Do(ctx, q, core.AlgTDQM); err != nil {
+					panic(err)
+				}
+			}
+		}) / n),
+	})
+
+	mc := core.NewMatchCache(0)
+	tr := core.NewTranslator(s.Spec, core.WithMatchCache(mc))
+	out = append(out, benchEntry{
+		Name: "batch/translatebatch",
+		NsPerOp: math.Round(timeOp(func() {
+			for _, r := range tr.TranslateBatch(ctx, qs, core.AlgTDQM) {
+				if r.Err != nil {
+					panic(r.Err)
+				}
+			}
+		}) / n),
+		HitRatePct: math.Round(1000*mc.Stats().HitRate()) / 10,
+	})
 	return out
 }
 
@@ -184,6 +279,11 @@ func benchNames() []string {
 			}
 		}
 	}
+	names = append(names,
+		"serve/sharedmatchcache/off",
+		"serve/sharedmatchcache/warm",
+		"batch/loop",
+		"batch/translatebatch")
 	return names
 }
 
@@ -199,6 +299,68 @@ func writeBenchJSON(path string) error {
 		return err
 	}
 	return os.WriteFile(path, append(js, '\n'), 0o644)
+}
+
+// readBenchJSON loads and schema-checks one bench file.
+func readBenchJSON(path string) (*benchFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("%w (regenerate with qbench -bench-json %s)", err, path)
+	}
+	var f benchFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if f.Schema != benchSchema {
+		return nil, fmt.Errorf("%s has schema %q, this qbench writes %q (regenerate)", path, f.Schema, benchSchema)
+	}
+	return &f, nil
+}
+
+// compareBenchJSON is -bench-check's trend mode: it compares the timings in
+// path against the baseline file, failing when any benchmark present in
+// both slowed down by more than threshold (a fraction: 0.5 allows new ns/op
+// up to 1.5× the baseline). Only intersecting names are compared, so the
+// trend check keeps working across suite additions; speedups never fail.
+func compareBenchJSON(path, against string, threshold float64) error {
+	cur, err := readBenchJSON(path)
+	if err != nil {
+		return err
+	}
+	base, err := readBenchJSON(against)
+	if err != nil {
+		return err
+	}
+	baseNs := make(map[string]float64, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseNs[b.Name] = b.NsPerOp
+	}
+	var regressions []string
+	compared := 0
+	for _, b := range cur.Benchmarks {
+		old, ok := baseNs[b.Name]
+		if !ok || old <= 0 {
+			continue
+		}
+		compared++
+		if ratio := b.NsPerOp / old; ratio > 1+threshold {
+			regressions = append(regressions,
+				fmt.Sprintf("  %s: %.0f ns/op vs %.0f ns/op baseline (%.2fx > %.2fx allowed)",
+					b.Name, b.NsPerOp, old, ratio, 1+threshold))
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("%s and %s share no benchmark names — nothing to compare", path, against)
+	}
+	if len(regressions) > 0 {
+		msg := fmt.Sprintf("%d of %d benchmarks regressed beyond the %.0f%% threshold vs %s:",
+			len(regressions), compared, 100*threshold, against)
+		for _, r := range regressions {
+			msg += "\n" + r
+		}
+		return fmt.Errorf("%s", msg)
+	}
+	return nil
 }
 
 // checkBenchJSON verifies path's shape against the current binary.

@@ -10,11 +10,17 @@
 //	qbench -serve -clients 16 -requests 20000
 //	                   # drive the concurrent serving layer (internal/serve)
 //	                   # over the synthetic workload; reports throughput,
-//	                   # cache hit rate, and per-source latency histograms
+//	                   # cache hit rate, and per-source latency histograms.
+//	                   # -batch N submits requests through TranslateBatch in
+//	                   # chunks of N; -matchcache N sizes the shared
+//	                   # matchings cache (negative disables)
 //	qbench -bench-json BENCH_matching.json
 //	                   # re-measure the matching-engine benchmarks and rewrite
 //	                   # the perf trajectory file; -bench-check verifies its
 //	                   # shape against the binary without re-measuring
+//	qbench -bench-check NEW.json -bench-against BENCH_matching.json
+//	                   # trend mode: additionally compare ns/op name-by-name
+//	                   # and fail on slowdowns beyond -bench-threshold
 package main
 
 import (
@@ -58,8 +64,10 @@ type options struct {
 	serveMode serveOptions
 	serve     bool
 
-	benchJSON  string
-	benchCheck string
+	benchJSON      string
+	benchCheck     string
+	benchAgainst   string
+	benchThreshold float64
 }
 
 // registerFlags declares qbench's flags on fs and returns the bound options.
@@ -76,9 +84,13 @@ func registerFlags(fs *flag.FlagSet) *options {
 	fs.IntVar(&o.serveMode.tuples, "tuples", 500, "serve mode: universe tuples per source shard")
 	fs.BoolVar(&o.serveMode.metrics, "metrics", false, "serve mode: print the Prometheus metrics exposition after the run")
 	fs.IntVar(&o.serveMode.par, "par", 0, "serve mode: per-translation worker pool size (0 = sequential)")
+	fs.IntVar(&o.serveMode.batch, "batch", 0, "serve mode: translate in batches of this size instead of executing queries (0 = off)")
+	fs.IntVar(&o.serveMode.matchcache, "matchcache", 0, "serve mode: shared matchings-cache capacity (0 = default, negative disables)")
 
 	fs.StringVar(&o.benchJSON, "bench-json", "", "run the matching benchmark suite and write results to this file")
 	fs.StringVar(&o.benchCheck, "bench-check", "", "verify a -bench-json file's flag and benchmark sets match this binary")
+	fs.StringVar(&o.benchAgainst, "bench-against", "", "bench-check trend mode: compare the -bench-check file's timings against this baseline file")
+	fs.Float64Var(&o.benchThreshold, "bench-threshold", 0.5, "bench-check trend mode: allowed fractional slowdown per benchmark (0.5 = 1.5x)")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "Usage of qbench:")
 		fs.PrintDefaults()
@@ -94,6 +106,15 @@ func main() {
 		if err := checkBenchJSON(o.benchCheck); err != nil {
 			fmt.Fprintf(os.Stderr, "qbench: %v\n", err)
 			os.Exit(1)
+		}
+		if o.benchAgainst != "" {
+			if err := compareBenchJSON(o.benchCheck, o.benchAgainst, o.benchThreshold); err != nil {
+				fmt.Fprintf(os.Stderr, "qbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%s is up to date; no regressions beyond %.0f%% vs %s\n",
+				o.benchCheck, 100*o.benchThreshold, o.benchAgainst)
+			return
 		}
 		fmt.Printf("%s is up to date\n", o.benchCheck)
 		return

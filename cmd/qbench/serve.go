@@ -20,13 +20,15 @@ import (
 
 // serveOptions configures the `-serve` workload mode.
 type serveOptions struct {
-	clients  int  // concurrent client goroutines
-	requests int  // total requests across all clients
-	distinct int  // distinct queries in the rotation (cache working set)
-	cache    int  // translation-cache capacity
-	tuples   int  // universe tuples per source shard
-	metrics  bool // print the Prometheus exposition after the run
-	par      int  // per-translation worker pool (mediator.Parallelism)
+	clients    int  // concurrent client goroutines
+	requests   int  // total requests across all clients
+	distinct   int  // distinct queries in the rotation (cache working set)
+	cache      int  // translation-cache capacity
+	tuples     int  // universe tuples per source shard
+	metrics    bool // print the Prometheus exposition after the run
+	par        int  // per-translation worker pool (mediator.Parallelism)
+	batch      int  // translate in batches of this size instead of executing (0 = off)
+	matchcache int  // shared matchings-cache capacity (0 = default, negative disables)
 }
 
 // runServe drives internal/serve with C concurrent clients over the
@@ -63,7 +65,11 @@ func runServe(opt serveOptions) {
 
 	reg := obs.NewRegistry()
 	med.Metrics = obs.NewTranslationMetrics(reg)
-	srv := serve.New(med, data, serve.Config{CacheSize: opt.cache, Metrics: reg})
+	srv := serve.New(med, data, serve.Config{
+		CacheSize:      opt.cache,
+		MatchCacheSize: opt.matchcache,
+		Metrics:        reg,
+	})
 	ctx := context.Background()
 
 	var served, answers, failed atomic.Uint64
@@ -77,6 +83,26 @@ func runServe(opt serveOptions) {
 			n := opt.requests / opt.clients
 			if c < opt.requests%opt.clients {
 				n++
+			}
+			if opt.batch > 0 {
+				for i := 0; i < n; i += opt.batch {
+					size := opt.batch
+					if size > n-i {
+						size = n - i
+					}
+					qs := make([]*qtree.Node, size)
+					for j := range qs {
+						qs[j] = queries[crng.Intn(len(queries))]
+					}
+					for _, r := range srv.TranslateBatch(ctx, qs) {
+						if r.Err != nil {
+							failed.Add(1)
+							continue
+						}
+						served.Add(1)
+					}
+				}
+				return
 			}
 			for i := 0; i < n; i++ {
 				rel, err := srv.Query(ctx, queries[crng.Intn(len(queries))])
@@ -93,36 +119,47 @@ func runServe(opt serveOptions) {
 	elapsed := time.Since(start)
 
 	st := srv.Stats()
-	fmt.Printf("serve workload: %d clients, %d distinct queries, %d tuples/source\n\n",
-		opt.clients, opt.distinct, opt.tuples)
-	table(
-		[]string{"metric", "value"},
-		[][]string{
-			{"requests served", fmt.Sprintf("%d", served.Load())},
-			{"requests failed", fmt.Sprintf("%d", failed.Load())},
-			{"answers returned", fmt.Sprintf("%d", answers.Load())},
-			{"elapsed", elapsed.Round(time.Millisecond).String()},
-			{"throughput", fmt.Sprintf("%.0f req/s", float64(served.Load())/elapsed.Seconds())},
-			{"cache hit rate", fmt.Sprintf("%.1f%%", 100*st.HitRate())},
-			{"cache hits/misses/shared", fmt.Sprintf("%d/%d/%d", st.CacheHits, st.CacheMisses, st.CacheShared)},
-			{"cache entries/evictions", fmt.Sprintf("%d/%d", st.CacheEntries, st.CacheEvictions)},
-			{"source timeouts", fmt.Sprintf("%d", st.Timeouts)},
-		},
-	)
+	mode := "executed queries"
+	if opt.batch > 0 {
+		mode = fmt.Sprintf("translate-only batches of %d", opt.batch)
+	}
+	fmt.Printf("serve workload: %d clients, %d distinct queries, %d tuples/source, %s\n\n",
+		opt.clients, opt.distinct, opt.tuples, mode)
+	rows := [][]string{
+		{"requests served", fmt.Sprintf("%d", served.Load())},
+		{"requests failed", fmt.Sprintf("%d", failed.Load())},
+		{"answers returned", fmt.Sprintf("%d", answers.Load())},
+		{"elapsed", elapsed.Round(time.Millisecond).String()},
+		{"throughput", fmt.Sprintf("%.0f req/s", float64(served.Load())/elapsed.Seconds())},
+		{"ns/query", fmt.Sprintf("%.0f", float64(elapsed.Nanoseconds())/float64(served.Load()))},
+		{"cache hit rate", fmt.Sprintf("%.1f%%", 100*st.HitRate())},
+		{"cache hits/misses/shared", fmt.Sprintf("%d/%d/%d", st.CacheHits, st.CacheMisses, st.CacheShared)},
+		{"cache entries/evictions", fmt.Sprintf("%d/%d", st.CacheEntries, st.CacheEvictions)},
+		{"source timeouts", fmt.Sprintf("%d", st.Timeouts)},
+	}
+	if mc := srv.MatchCache(); mc != nil {
+		mcs := mc.Stats()
+		rows = append(rows,
+			[]string{"matchcache hit rate", fmt.Sprintf("%.1f%%", 100*mcs.HitRate())},
+			[]string{"matchcache hits/misses", fmt.Sprintf("%d/%d", mcs.Hits, mcs.Misses)},
+			[]string{"matchcache entries/evictions", fmt.Sprintf("%d/%d", mcs.Entries, mcs.Evictions)},
+		)
+	}
+	table([]string{"metric", "value"}, rows)
 
 	fmt.Println("\nper-source latency (completed executions):")
 	labels := st.LatencyLabels
 	header := append([]string{"source", "executions"}, labels...)
-	var rows [][]string
+	var srcRows [][]string
 	for _, name := range sortedKeys(st.Sources) {
 		sc := st.Sources[name]
 		row := []string{name, fmt.Sprintf("%d", sc.Executions)}
 		for _, n := range sc.LatencyBuckets {
 			row = append(row, fmt.Sprintf("%d", n))
 		}
-		rows = append(rows, row)
+		srcRows = append(srcRows, row)
 	}
-	table(header, rows)
+	table(header, srcRows)
 
 	if opt.metrics {
 		fmt.Println("\nmetrics exposition:")

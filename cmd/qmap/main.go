@@ -87,17 +87,18 @@ func main() {
 		fail(err)
 	}
 
-	tr := core.NewTranslator(src.Spec)
+	var opts []core.Option
 	var trace *core.Trace
 	if *explain {
 		trace = &core.Trace{}
-		tr.SetTrace(trace)
+		opts = append(opts, core.WithTrace(trace))
 	}
 	var tracer *obs.Tracer
 	if *traceOut {
 		tracer = obs.NewTracer()
-		tr.SetTracer(tracer)
+		opts = append(opts, core.WithTracer(tracer))
 	}
+	tr := core.NewTranslator(src.Spec, opts...)
 	mapped, filter, err := tr.TranslateWithFilter(q, *alg)
 	if err != nil {
 		fail(err)

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,9 +14,12 @@ import (
 func main() {
 	// The target stores names in a combined "author" attribute and
 	// publication dates in a "pdate" attribute with period search — the
-	// paper's Figure 3 specification for Amazon.
+	// paper's Figure 3 specification for Amazon. Construction options
+	// configure the translator; a shared matchings cache lets repeated
+	// constraint sets across queries reuse rule-matching work.
 	src := querymap.Amazon()
-	tr := querymap.NewTranslator(src.Spec)
+	tr := querymap.NewTranslator(src.Spec,
+		querymap.WithMatchCache(querymap.NewMatchCache(0)))
 
 	// --- Simple conjunction (Algorithm SCM) -----------------------------
 	q1 := querymap.MustParse(`[ln = "Clancy"] and [fn = "Tom"] and [pyear = 1997] and [pmonth = 5]`)
@@ -47,14 +51,16 @@ func main() {
 	fmt.Println()
 
 	// --- Filter queries (Eq. 3) -----------------------------------------
+	// Do is the context-first entry point: one call returns the mapped
+	// query, the filter query, and the Stats for just this translation.
 	q3 := querymap.MustParse(`[ti contains java(near)jdk] and [publisher = "oreilly"]`)
-	mapped, filter, err := tr.TranslateWithFilter(q3, querymap.AlgTDQM)
+	res, err := tr.Do(context.Background(), q3, querymap.AlgTDQM)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("original:  ", q3)
-	fmt.Println("translated:", mapped)
-	fmt.Println("filter F:  ", filter)
+	fmt.Println("translated:", res.Mapped)
+	fmt.Println("filter F:  ", res.Filter)
 	fmt.Println("(the target has no proximity operator; near relaxes to (^)")
 	fmt.Println(" and the mediator re-checks the original constraint)")
 }

@@ -86,15 +86,23 @@ type Translator struct {
 	ownMemo   bool
 	depth     int
 	memoStats MemoStats
+	// shared, when non-nil, is the cross-request matchings cache consulted
+	// after the translation-scoped memo (see SetMatchCache / MatchCache).
+	shared *MatchCache
 	// workers and sem implement bounded parallel branch mapping
 	// (see SetParallelism).
 	workers int
 	sem     chan struct{}
 }
 
-// NewTranslator returns a translator for spec.
-func NewTranslator(spec *rules.Spec) *Translator {
-	return &Translator{Spec: spec}
+// NewTranslator returns a translator for spec, configured by the given
+// functional options (see Option and the With* constructors in options.go).
+func NewTranslator(spec *rules.Spec, opts ...Option) *Translator {
+	t := &Translator{Spec: spec}
+	for _, opt := range opts {
+		opt(t)
+	}
+	return t
 }
 
 // ResetStats zeroes the statistics counters.
@@ -105,6 +113,17 @@ func (t *Translator) ResetStats() { t.Stats = Stats{} }
 // scan-every-rule path, which produces identical matchings at higher cost
 // (the equivalence the tests in memo_test.go assert).
 func (t *Translator) SetCompiled(on bool) { t.compiledOff = !on }
+
+// SetMatchCache attaches (or detaches, with nil) a shared cross-request
+// matchings cache. Results and Stats are identical with or without one —
+// hits replay recorded matchings with exact counter compensation — so the
+// cache is observable only through its own MatchCacheStats.
+//
+// Deprecated: prefer the WithMatchCache option at construction time.
+func (t *Translator) SetMatchCache(c *MatchCache) { t.shared = c }
+
+// MatchCache returns the attached shared matchings cache, or nil.
+func (t *Translator) MatchCache() *MatchCache { return t.shared }
 
 // SetMemo enables or disables the translation-scoped matching memo. It is
 // enabled by default; results are identical either way — the memo replays
@@ -119,16 +138,21 @@ func (t *Translator) SetMemo(on bool) {
 }
 
 // matchings runs M(·, K) with counting, consulting the translation-scoped
-// memo when one is in scope. Under tracing the memo is bypass-or-record:
-// lookups are skipped (every run must emit its match spans) but results are
-// still recorded, so untraced work inside the same translation can reuse
-// them and golden traces stay byte-identical.
+// memo and then the shared cross-request MatchCache when either is in
+// scope. Hits replay the recorded matchings and compensate the work
+// counters exactly, so Stats are indistinguishable from a cache-free run.
+// Under tracing both layers are bypass-or-record: lookups are skipped
+// (every run must emit its match spans) but results are still recorded, so
+// untraced work — in this translation or a later request — can reuse them
+// and golden traces stay byte-identical.
 func (t *Translator) matchings(cs []*qtree.Constraint) ([]*rules.Matching, error) {
 	t.Stats.MatchRuns++
 	var key string
-	if t.memo != nil {
+	if t.memo != nil || t.shared != nil {
 		key = memoKey(cs)
-		if t.tracer == nil {
+	}
+	if t.tracer == nil {
+		if t.memo != nil {
 			if e, ok := t.memo.get(key); ok {
 				t.memoStats.Hits++
 				t.Stats.MatchingsFound += len(e.ms)
@@ -136,6 +160,23 @@ func (t *Translator) matchings(cs []*qtree.Constraint) ([]*rules.Matching, error
 				return e.ms, nil
 			}
 		}
+		if t.shared != nil {
+			if e, ok := t.shared.get(t.Spec, key); ok {
+				if t.memo != nil {
+					// Replay into the memo so later lookups in this
+					// translation stay local (no shard lock).
+					t.memo.put(key, e.ms, e.probed)
+					t.memoStats.Misses++
+				}
+				t.Stats.MatchingsFound += len(e.ms)
+				t.Stats.RuleAttempts += e.probed
+				return e.ms, nil
+			}
+		}
+	} else if t.shared != nil {
+		t.shared.noteBypass()
+	}
+	if t.memo != nil {
 		t.memoStats.Misses++
 	}
 	ms, probed, err := t.runMatchings(cs)
@@ -146,6 +187,9 @@ func (t *Translator) matchings(cs []*qtree.Constraint) ([]*rules.Matching, error
 	t.Stats.RuleAttempts += probed
 	if t.memo != nil {
 		t.memo.put(key, ms, probed)
+	}
+	if t.shared != nil {
+		t.shared.put(t.Spec, key, ms, probed)
 	}
 	return ms, nil
 }

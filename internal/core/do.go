@@ -1,0 +1,151 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/qtree"
+)
+
+// Result is the outcome of one translation through Do: the mapped query,
+// the filter query F of Eq. 3, and the work Stats of this call alone.
+type Result struct {
+	// Mapped is the translated query in the target vocabulary.
+	Mapped *qtree.Node
+	// Filter is F: the part of the original the mediator must re-check so
+	// that Q = F ∧ S(Q) (True when the translation is exact).
+	Filter *qtree.Node
+	// Stats counts the work performed by this call (not the translator's
+	// cumulative counters, which keep accumulating across calls).
+	Stats Stats
+}
+
+// Do is the unified, context-first translation entry point: it maps q with
+// the named algorithm and returns the mapped query, the filter query, and
+// per-call Stats in one Result. Translate and TranslateWithFilter delegate
+// to the same path; Do additionally honors the context — cancellation is
+// checked on entry, and a tracer carried by the context (obs.WithTracer)
+// is attached for the duration of the call when the translator has none of
+// its own.
+func (t *Translator) Do(ctx context.Context, q *qtree.Node, algorithm string) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	if tracer := obs.TracerFrom(ctx); tracer != nil && t.tracer == nil {
+		t.tracer = tracer
+		defer func() { t.tracer = nil }()
+	}
+	before := t.Stats
+	mapped, filter, err := t.translateWithFilter(q, algorithm)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Mapped: mapped, Filter: filter, Stats: t.Stats.sub(before)}, nil
+}
+
+// sub returns the counter-wise difference s - prev.
+func (s Stats) sub(prev Stats) Stats {
+	return Stats{
+		SCMCalls:           s.SCMCalls - prev.SCMCalls,
+		MatchRuns:          s.MatchRuns - prev.MatchRuns,
+		MatchingsFound:     s.MatchingsFound - prev.MatchingsFound,
+		PSafeCalls:         s.PSafeCalls - prev.PSafeCalls,
+		ProductTerms:       s.ProductTerms - prev.ProductTerms,
+		Disjunctivizations: s.Disjunctivizations - prev.Disjunctivizations,
+		DNFDisjuncts:       s.DNFDisjuncts - prev.DNFDisjuncts,
+		RuleAttempts:       s.RuleAttempts - prev.RuleAttempts,
+	}
+}
+
+// BatchResult is one query's outcome in a TranslateBatch call. Err is set
+// per item: a query that fails to translate does not abort the batch.
+type BatchResult struct {
+	Result
+	Err error
+}
+
+// TranslateBatch maps every query in qs against the translator's spec in a
+// single call. Results are identical to a per-query loop of Do — the
+// conformance suite asserts item-by-item equality — but the batch amortizes
+// shared work:
+//
+//   - the compiled dispatch engine is forced up front, so no query pays the
+//     lazy Spec.Compiled() build;
+//   - one matching memo spans the whole batch (safe: the memo only assumes
+//     a fixed spec), so constraint groups recurring across the batch's
+//     queries are derived once, on top of any attached cross-request
+//     MatchCache;
+//   - with WithParallelism(n), the batch fans out onto the same bounded
+//     worker pool branch mapping uses, slot-or-inline so a full pool can
+//     never deadlock.
+//
+// Cancellation is checked per item: queries not yet started when the
+// context is canceled report ctx.Err(). A tracer — attached or carried by
+// ctx — forces the batch sequential, like branch mapping.
+func (t *Translator) TranslateBatch(ctx context.Context, qs []*qtree.Node, algorithm string) []BatchResult {
+	out := make([]BatchResult, len(qs))
+	if len(qs) == 0 {
+		return out
+	}
+	if !t.compiledOff {
+		t.Spec.Compiled()
+	}
+	if tracer := obs.TracerFrom(ctx); tracer != nil && t.tracer == nil {
+		t.tracer = tracer
+		defer func() { t.tracer = nil }()
+	}
+	// One memo scope for the whole batch: begin at the outermost level so
+	// each query's structural entry neither creates nor drops it.
+	release := t.begin(true)
+	defer release()
+
+	if !t.parallelEligible(len(qs)) {
+		for i, q := range qs {
+			if err := ctx.Err(); err != nil {
+				out[i] = BatchResult{Err: err}
+				continue
+			}
+			r, err := t.Do(ctx, q, algorithm)
+			out[i] = BatchResult{Result: r, Err: err}
+		}
+		return out
+	}
+
+	subs := make([]*Translator, len(qs))
+	var wg sync.WaitGroup
+	for i := range qs {
+		if err := ctx.Err(); err != nil {
+			out[i] = BatchResult{Err: err}
+			continue
+		}
+		sub := t.fork()
+		subs[i] = sub
+		run := func(i int, sub *Translator) {
+			mapped, filter, err := sub.translateWithFilter(qs[i], algorithm)
+			if err != nil {
+				out[i] = BatchResult{Err: err}
+				return
+			}
+			out[i] = BatchResult{Result: Result{Mapped: mapped, Filter: filter, Stats: sub.Stats}}
+		}
+		select {
+		case t.sem <- struct{}{}:
+			wg.Add(1)
+			go func(i int, sub *Translator) {
+				defer wg.Done()
+				defer func() { <-t.sem }()
+				run(i, sub)
+			}(i, sub)
+		default:
+			run(i, sub)
+		}
+	}
+	wg.Wait()
+	for _, sub := range subs {
+		if sub != nil {
+			t.merge(sub)
+		}
+	}
+	return out
+}

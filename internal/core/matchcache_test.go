@@ -1,0 +1,148 @@
+package core_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/conformance"
+	"repro/internal/core"
+	"repro/internal/qtree"
+	"repro/internal/workload"
+)
+
+// TestMatchCacheConformance is the shared-cache equivalence contract: across
+// ≥40 conformance seeds and both structural algorithms, translation with a
+// cold shared MatchCache and with a warm one (populated by a previous
+// translator over the same spec) produces EqualCanonical queries, identical
+// residues, and — because every hit compensates the work counters — Stats
+// identical to a cache-free run. The cache must be observable only through
+// MatchCacheStats.
+func TestMatchCacheConformance(t *testing.T) {
+	algs := []string{core.AlgTDQM, core.AlgDNF}
+	for seed := int64(1); seed <= 40; seed++ {
+		c := conformance.NewCase(seed)
+		for _, alg := range algs {
+			base := core.NewTranslator(c.S.Spec)
+			wantQ, wantF, wantErr := base.TranslateWithFilter(c.Query, alg)
+
+			cache := core.NewMatchCache(0)
+			for _, variant := range []string{"cold", "warm"} {
+				tr := core.NewTranslator(c.S.Spec, core.WithMatchCache(cache))
+				gotQ, gotF, gotErr := tr.TranslateWithFilter(c.Query, alg)
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("seed %d %s %s: err=%v, cache-free err=%v",
+						seed, alg, variant, gotErr, wantErr)
+				}
+				if wantErr != nil {
+					continue
+				}
+				if !gotQ.EqualCanonical(wantQ) {
+					t.Errorf("seed %d (%s) %s %s: mapped query differs\n got: %s\nwant: %s",
+						seed, c.SeedString(), alg, variant, gotQ, wantQ)
+				}
+				if !gotF.EqualCanonical(wantF) {
+					t.Errorf("seed %d (%s) %s %s: residue differs\n got: %s\nwant: %s",
+						seed, c.SeedString(), alg, variant, gotF, wantF)
+				}
+				if tr.Stats != base.Stats {
+					t.Errorf("seed %d %s %s: Stats diverged from cache-free run\n got: %+v\nwant: %+v",
+						seed, alg, variant, tr.Stats, base.Stats)
+				}
+			}
+			if wantErr == nil {
+				if st := cache.Stats(); st.Hits == 0 && st.Misses == 0 {
+					t.Errorf("seed %d %s: shared cache was never consulted", seed, alg)
+				}
+			}
+		}
+	}
+}
+
+// batchQueries derives a deterministic per-seed batch: the case's own query
+// plus random workload queries over the same scenario, with repeats so the
+// batch exercises memo and cache sharing.
+func batchQueries(c *conformance.Case) []*qtree.Node {
+	rng := rand.New(rand.NewSource(c.Seed * 7919))
+	cfg := workload.QueryConfig{MaxDepth: 2, MaxFanout: 3, LeafProb: 0.4}
+	qs := []*qtree.Node{c.Query}
+	for i := 0; i < 5; i++ {
+		qs = append(qs, c.S.RandomQuery(rng, cfg))
+	}
+	qs = append(qs, c.Query) // a repeat: identical queries must stay identical
+	return qs
+}
+
+// TestTranslateBatchConformance asserts TranslateBatch is item-for-item
+// equivalent to a per-query loop of fresh translators, across 40 seeds and a
+// parallelism × shared-cache grid: same mapped queries, same residues, same
+// per-item Stats.
+func TestTranslateBatchConformance(t *testing.T) {
+	ctx := context.Background()
+	grid := []struct {
+		par   int
+		cache bool
+	}{{0, false}, {0, true}, {4, false}, {4, true}}
+	for seed := int64(1); seed <= 40; seed++ {
+		c := conformance.NewCase(seed)
+		qs := batchQueries(c)
+
+		want := make([]core.BatchResult, len(qs))
+		for i, q := range qs {
+			r, err := core.NewTranslator(c.S.Spec).Do(ctx, q, core.AlgTDQM)
+			want[i] = core.BatchResult{Result: r, Err: err}
+		}
+
+		for _, g := range grid {
+			name := fmt.Sprintf("seed %d par=%d cache=%v", seed, g.par, g.cache)
+			opts := []core.Option{core.WithParallelism(g.par)}
+			if g.cache {
+				opts = append(opts, core.WithMatchCache(core.NewMatchCache(0)))
+			}
+			tr := core.NewTranslator(c.S.Spec, opts...)
+			got := tr.TranslateBatch(ctx, qs, core.AlgTDQM)
+			if len(got) != len(want) {
+				t.Fatalf("%s: %d results for %d queries", name, len(got), len(qs))
+			}
+			for i := range got {
+				if (got[i].Err == nil) != (want[i].Err == nil) {
+					t.Errorf("%s item %d: err=%v, loop err=%v", name, i, got[i].Err, want[i].Err)
+					continue
+				}
+				if want[i].Err != nil {
+					continue
+				}
+				if !got[i].Mapped.EqualCanonical(want[i].Mapped) {
+					t.Errorf("%s item %d: mapped differs\n got: %s\nwant: %s",
+						name, i, got[i].Mapped, want[i].Mapped)
+				}
+				if !got[i].Filter.EqualCanonical(want[i].Filter) {
+					t.Errorf("%s item %d: filter differs\n got: %s\nwant: %s",
+						name, i, got[i].Filter, want[i].Filter)
+				}
+				if got[i].Stats != want[i].Stats {
+					t.Errorf("%s item %d: Stats differ\n got: %+v\nwant: %+v",
+						name, i, got[i].Stats, want[i].Stats)
+				}
+			}
+		}
+	}
+}
+
+// TestTranslateBatchCancellation checks an already-canceled context fails
+// every item with the context error instead of translating.
+func TestTranslateBatchCancellation(t *testing.T) {
+	c := conformance.NewCase(5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tr := core.NewTranslator(c.S.Spec)
+	for i, r := range tr.TranslateBatch(ctx, batchQueries(c), core.AlgTDQM) {
+		if r.Err == nil {
+			t.Fatalf("item %d translated under a canceled context", i)
+		}
+	}
+	if _, err := tr.Do(ctx, c.Query, core.AlgTDQM); err == nil {
+		t.Fatal("Do succeeded under a canceled context")
+	}
+}

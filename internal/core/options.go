@@ -1,0 +1,56 @@
+package core
+
+import "repro/internal/obs"
+
+// Option configures a Translator at construction time. Options replace the
+// mutating setters (SetParallelism, SetTracer, SetMemo, ...) as the primary
+// configuration surface: a translator is assembled once, fully configured,
+// by NewTranslator(spec, opts...) instead of being mutated after the fact.
+// The setters remain as thin deprecated wrappers for existing callers.
+type Option func(*Translator)
+
+// WithParallelism bounds the worker pool branch mapping and TranslateBatch
+// may use; n <= 1 keeps translation fully sequential (the default).
+func WithParallelism(n int) Option {
+	return func(t *Translator) { t.SetParallelism(n) }
+}
+
+// WithMatchCache attaches a shared cross-request matchings cache. Results
+// and Stats are identical with or without one; see MatchCache.
+func WithMatchCache(c *MatchCache) Option {
+	return func(t *Translator) { t.SetMatchCache(c) }
+}
+
+// WithTracer attaches a span tracer recording the full derivation call
+// tree. A nil tracer is a no-op.
+func WithTracer(tr *obs.Tracer) Option {
+	return func(t *Translator) { t.SetTracer(tr) }
+}
+
+// WithMetrics attaches cumulative translation metrics recorded under the
+// spec's name. A nil metrics handle is a no-op.
+func WithMetrics(m *obs.TranslationMetrics) Option {
+	return func(t *Translator) { t.SetMetrics(m) }
+}
+
+// WithTrace attaches a flat derivation-trace collector (qmap -explain).
+func WithTrace(tr *Trace) Option {
+	return func(t *Translator) { t.SetTrace(tr) }
+}
+
+// WithMemo enables or disables the translation-scoped matching memo
+// (enabled by default).
+func WithMemo(on bool) Option {
+	return func(t *Translator) { t.SetMemo(on) }
+}
+
+// WithCompiled enables or disables the compiled rule-dispatch engine
+// (enabled by default).
+func WithCompiled(on bool) Option {
+	return func(t *Translator) { t.SetCompiled(on) }
+}
+
+// WithFullDNFSafety switches the safety machinery to full DNF (ablation).
+func WithFullDNFSafety(on bool) Option {
+	return func(t *Translator) { t.SetFullDNFSafety(on) }
+}

@@ -17,6 +17,8 @@ import (
 // (the default) keeps translation fully sequential. Parallelism is skipped
 // whenever a tracer or derivation trace is attached — span trees and
 // derivation logs are ordered, sequential artifacts.
+//
+// Deprecated: prefer the WithParallelism option at construction time.
 func (t *Translator) SetParallelism(n int) {
 	if n <= 1 {
 		t.workers, t.sem = 0, nil
@@ -45,6 +47,7 @@ func (t *Translator) fork() *Translator {
 		compiledOff:   t.compiledOff,
 		memoOff:       t.memoOff,
 		memo:          t.memo,
+		shared:        t.shared,
 		metrics:       t.metrics,
 		workers:       t.workers,
 		sem:           t.sem,

@@ -1,11 +1,25 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/qtree"
 )
 
 // TranslateWithFilter maps q and also returns the filter query F the
 // mediator must apply to the source results so that Q = F ∧ S(Q) (Eq. 3).
+// It delegates to Do with a background context; prefer Do when a context
+// or per-call Stats are wanted.
+func (t *Translator) TranslateWithFilter(q *qtree.Node, algorithm string) (mapped, filter *qtree.Node, err error) {
+	r, err := t.Do(context.Background(), q, algorithm)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r.Mapped, r.Filter, nil
+}
+
+// translateWithFilter is the shared mapped+filter path behind Do,
+// TranslateWithFilter, and TranslateBatch.
 //
 // For a simple conjunction the residue is tight, as in Example 3: only the
 // constraints not exactly realized at the target remain in F. For complex
@@ -13,7 +27,7 @@ import (
 // the original query otherwise — re-applying Q is always a correct filter
 // (Example 1 does exactly that); per-branch filter minimization is the
 // subject of the paper's references [15, 16] and out of scope (DESIGN.md).
-func (t *Translator) TranslateWithFilter(q *qtree.Node, algorithm string) (mapped, filter *qtree.Node, err error) {
+func (t *Translator) translateWithFilter(q *qtree.Node, algorithm string) (mapped, filter *qtree.Node, err error) {
 	q = q.Normalize()
 	if q.IsSimpleConjunction() {
 		res, err := t.SCM(q.SimpleConjuncts())

@@ -18,11 +18,16 @@ import (
 // one span per TDQM node visit, EDNF computation, PSafe partition, SCM
 // invocation, and rule matching attempt — with the counters that make the
 // paper's e-vs-k cost claim observable per query.
+//
+// Deprecated: prefer the WithTracer option at construction time, or carry
+// the tracer in the context passed to Do (obs.WithTracer).
 func (t *Translator) SetTracer(tr *obs.Tracer) { t.tracer = tr }
 
 // SetMetrics attaches (or detaches, with nil) cumulative translation
 // metrics; per-rule fire/suppress counts and algorithm work counters are
 // recorded under the spec's name.
+//
+// Deprecated: prefer the WithMetrics option at construction time.
 func (t *Translator) SetMetrics(m *obs.TranslationMetrics) { t.metrics = m }
 
 // traceEnter tracks translation depth and, at the top level, computes the

@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -57,9 +58,15 @@ type Mediator struct {
 	// translation this mediator performs. Nil disables the accounting.
 	Metrics *obs.TranslationMetrics
 	// Parallelism bounds the worker pool each translator may use for
-	// per-branch mapping (core.Translator.SetParallelism). Zero or one keeps
-	// translation sequential; traced translations are always sequential.
+	// per-branch mapping (core.WithParallelism), and the fan-out width of
+	// TranslateBatch. Zero or one keeps translation sequential; traced
+	// translations are always sequential.
 	Parallelism int
+	// MatchCache, when non-nil, is the shared cross-request matchings cache
+	// every translator this mediator creates consults (core.MatchCache).
+	// Translations are identical with or without it; internal/serve wires
+	// one in by default.
+	MatchCache *core.MatchCache
 }
 
 // selectFrom runs a translated query against a source relation, using the
@@ -128,11 +135,11 @@ func (m *Mediator) translate(q *qtree.Node, tracer *obs.Tracer) (*Translation, e
 		root.Set(obs.CtrQuerySize, int64(q.Size()))
 	}
 	newTranslator := func(src *sources.Source) *core.Translator {
-		tr := core.NewTranslator(src.Spec)
-		tr.SetTracer(tracer)
-		tr.SetMetrics(m.Metrics)
-		tr.SetParallelism(m.Parallelism)
-		return tr
+		return core.NewTranslator(src.Spec,
+			core.WithTracer(tracer),
+			core.WithMetrics(m.Metrics),
+			core.WithParallelism(m.Parallelism),
+			core.WithMatchCache(m.MatchCache))
 	}
 	startSource := func(src *sources.Source) {
 		if tracer != nil {
@@ -197,6 +204,67 @@ func (m *Mediator) translate(q *qtree.Node, tracer *obs.Tracer) (*Translation, e
 		out.Filter = q.Clone()
 	}
 	return out, nil
+}
+
+// TranslationResult is one query's outcome in a TranslateBatch call. Err
+// is set per item: a query that fails to translate does not abort the
+// batch.
+type TranslationResult struct {
+	Translation *Translation
+	Err         error
+}
+
+// TranslateBatch maps every query in qs in a single call. Each item's
+// Translation is identical to a per-query Translate loop — batching only
+// amortizes shared work: every translator consults the mediator's shared
+// MatchCache, so constraint groups recurring across the batch are derived
+// once, and with Parallelism > 1 the queries fan out over that many worker
+// goroutines (translators are per-call, the cache and metrics are
+// concurrency-safe). A tracer carried by ctx forces the batch sequential,
+// as with TranslateContext.
+func (m *Mediator) TranslateBatch(ctx context.Context, qs []*qtree.Node) []TranslationResult {
+	out := make([]TranslationResult, len(qs))
+	tracer := obs.TracerFrom(ctx)
+	workers := m.Parallelism
+	if tracer != nil {
+		workers = 1
+	}
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+	if workers <= 1 {
+		for i, q := range qs {
+			if err := ctx.Err(); err != nil {
+				out[i] = TranslationResult{Err: err}
+				continue
+			}
+			tr, err := m.translate(q, tracer)
+			out[i] = TranslationResult{Translation: tr, Err: err}
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := ctx.Err(); err != nil {
+					out[i] = TranslationResult{Err: err}
+					continue
+				}
+				tr, err := m.translate(qs[i], nil)
+				out[i] = TranslationResult{Translation: tr, Err: err}
+			}
+		}()
+	}
+	for i := range qs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
 }
 
 // ExecuteUnion runs q in union-style integration: every source materializes

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/mediator"
+	"repro/internal/obs"
+)
+
+// Option configures a Server at construction time; pass options to
+// NewServer. Each option corresponds to one Config field, and
+// NewServer(med, data) with no options is equivalent to
+// New(med, data, Config{}).
+type Option func(*Config)
+
+// WithCacheSize bounds the translation cache in entries
+// (DefaultCacheSize if n <= 0).
+func WithCacheSize(n int) Option {
+	return func(c *Config) { c.CacheSize = n }
+}
+
+// WithWorkers bounds concurrently executing source selections across all
+// requests (2×GOMAXPROCS if n <= 0).
+func WithWorkers(n int) Option {
+	return func(c *Config) { c.Workers = n }
+}
+
+// WithSourceTimeout bounds each per-source select+filter execution
+// (no timeout if d == 0).
+func WithSourceTimeout(d time.Duration) Option {
+	return func(c *Config) { c.SourceTimeout = d }
+}
+
+// WithExecutor overrides the per-source selection phase
+// (DefaultExecutor if nil).
+func WithExecutor(exec SourceExecutor) Option {
+	return func(c *Config) { c.Executor = exec }
+}
+
+// WithRegistry registers the server's metrics in reg instead of a private
+// registry. A registry must back at most one server.
+func WithRegistry(reg *obs.Registry) Option {
+	return func(c *Config) { c.Metrics = reg }
+}
+
+// WithMatchCache installs mc as the shared cross-request matchings cache,
+// overriding WithMatchCacheSize. Use it to share one cache between several
+// servers over the same rule specs.
+func WithMatchCache(mc *core.MatchCache) Option {
+	return func(c *Config) { c.MatchCache = mc }
+}
+
+// WithMatchCacheSize bounds the shared matchings cache built by the server
+// (core.DefaultMatchCacheSize if n == 0); a negative n disables
+// cross-request matching reuse entirely.
+func WithMatchCacheSize(n int) Option {
+	return func(c *Config) { c.MatchCacheSize = n }
+}
+
+// NewServer is the options form of New: it applies opts to a zero Config
+// and builds the server.
+func NewServer(med *mediator.Mediator, data map[string]*engine.Relation, opts ...Option) *Server {
+	var cfg Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return New(med, data, cfg)
+}

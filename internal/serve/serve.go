@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/mediator"
 	"repro/internal/obs"
@@ -123,11 +124,20 @@ func DefaultExecutor(_ context.Context, _ string, rel *engine.Relation, q *qtree
 	return rel.Select(q, ev)
 }
 
-// Config sizes a Server.
+// Config sizes a Server. The zero value is a working default; NewServer
+// offers the same knobs as functional options.
 type Config struct {
 	// CacheSize bounds the translation cache in entries
 	// (DefaultCacheSize if <= 0).
 	CacheSize int
+	// MatchCache, when non-nil, is the shared cross-request matchings cache
+	// the server installs on its mediator. Nil builds one sized by
+	// MatchCacheSize.
+	MatchCache *core.MatchCache
+	// MatchCacheSize bounds the shared matchings cache in entries when
+	// MatchCache is nil (core.DefaultMatchCacheSize if 0); a negative size
+	// disables cross-request matching reuse entirely.
+	MatchCacheSize int
 	// Workers bounds concurrently executing source selections across all
 	// requests (2×GOMAXPROCS if <= 0).
 	Workers int
@@ -152,7 +162,9 @@ type Server struct {
 	med     *mediator.Mediator
 	data    map[string]*engine.Relation
 	tr      *CachingTranslator
+	mc      *core.MatchCache
 	sem     chan struct{}
+	workers int
 	timeout time.Duration
 	exec    SourceExecutor
 
@@ -167,6 +179,10 @@ type Server struct {
 // New returns a server over med and the per-source data relations. data
 // maps source name → that source's universe relation, as in the mediator's
 // Execute* methods.
+//
+// Unless disabled (MatchCacheSize < 0), New installs a shared cross-request
+// matchings cache on the mediator (med.MatchCache) so distinct requests
+// reuse SCM matching work; a cache the mediator already carries is kept.
 func New(med *mediator.Mediator, data map[string]*engine.Relation, cfg Config) *Server {
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -180,11 +196,22 @@ func New(med *mediator.Mediator, data map[string]*engine.Relation, cfg Config) *
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	mc := cfg.MatchCache
+	if mc == nil && cfg.MatchCacheSize >= 0 {
+		mc = core.NewMatchCache(cfg.MatchCacheSize)
+	}
+	if med.MatchCache != nil {
+		mc = med.MatchCache
+	} else if mc != nil {
+		med.MatchCache = mc
+	}
 	s := &Server{
 		med:     med,
 		data:    data,
 		tr:      NewCachingTranslator(med, cfg.CacheSize),
+		mc:      mc,
 		sem:     make(chan struct{}, workers),
+		workers: workers,
 		timeout: cfg.SourceTimeout,
 		exec:    exec,
 		reg:     reg,
@@ -210,6 +237,20 @@ func New(med *mediator.Mediator, data map[string]*engine.Relation, cfg Config) *
 	reg.CounterFunc("qmap_cache_evictions_total",
 		"Translation-cache entries evicted for capacity.",
 		func() float64 { return float64(s.tr.Evictions()) })
+	if mc != nil {
+		reg.CounterFunc("qmap_matchcache_hits_total",
+			"Matching lookups served from the shared cross-request cache.",
+			func() float64 { return float64(mc.Stats().Hits) })
+		reg.CounterFunc("qmap_matchcache_misses_total",
+			"Matching lookups that derived fresh matchings (incl. traced bypasses).",
+			func() float64 { return float64(mc.Stats().Misses) })
+		reg.CounterFunc("qmap_matchcache_evictions_total",
+			"Shared matchings-cache entries evicted for capacity.",
+			func() float64 { return float64(mc.Stats().Evictions) })
+		reg.GaugeFunc("qmap_matchcache_entries",
+			"Resident shared matchings-cache entries.",
+			func() float64 { return float64(mc.Len()) })
+	}
 	for _, src := range med.Sources {
 		s.sources[src.Name] = &sourceCounters{
 			timeouts: reg.Counter("qmap_source_timeouts_total",
@@ -224,6 +265,10 @@ func New(med *mediator.Mediator, data map[string]*engine.Relation, cfg Config) *
 
 // Translator returns the server's translation cache.
 func (s *Server) Translator() *CachingTranslator { return s.tr }
+
+// MatchCache returns the shared cross-request matchings cache the server
+// installed on its mediator, or nil when disabled.
+func (s *Server) MatchCache() *core.MatchCache { return s.mc }
 
 // Metrics returns the registry backing the server's counters, for mounting
 // a /metrics endpoint (obs.Registry.WritePrometheus) or registering further
@@ -241,6 +286,77 @@ func (s *Server) Translate(ctx context.Context, q *qtree.Node) (*mediator.Transl
 		s.errors.Inc()
 	}
 	return tr, err
+}
+
+// BatchResult is one query's outcome from Server.TranslateBatch,
+// index-aligned with the input slice.
+type BatchResult struct {
+	Translation *mediator.Translation
+	Err         error
+}
+
+// TranslateBatch translates qs[i] for every i, returning results
+// index-aligned with qs. Lookups go through the same canonical translation
+// cache and shared matchings cache as Translate; distinct misses run
+// concurrently under the server's worker bound, so a batch of cold queries
+// amortizes spec compilation and matching work across one call. A canceled
+// ctx fails the not-yet-started remainder with ctx.Err().
+func (s *Server) TranslateBatch(ctx context.Context, qs []*qtree.Node) []BatchResult {
+	s.requests.Add(uint64(len(qs)))
+	out := make([]BatchResult, len(qs))
+	workers := s.workers
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+	if workers <= 1 {
+		for i, q := range qs {
+			if err := ctx.Err(); err != nil {
+				out[i] = BatchResult{Err: err}
+				s.errors.Inc()
+				continue
+			}
+			tr, err := s.tr.Translate(q)
+			out[i] = BatchResult{Translation: tr, Err: err}
+			if err != nil {
+				s.errors.Inc()
+			}
+		}
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				tr, err := s.tr.Translate(qs[i])
+				out[i] = BatchResult{Translation: tr, Err: err}
+				if err != nil {
+					s.errors.Inc()
+				}
+			}
+		}()
+	}
+feed:
+	for i := range qs {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		for i := range out {
+			if out[i].Translation == nil && out[i].Err == nil {
+				out[i] = BatchResult{Err: err}
+				s.errors.Inc()
+			}
+		}
+	}
+	return out
 }
 
 // Query answers q in union-style integration, producing the same relation
@@ -340,9 +456,16 @@ func (s *Server) Stats() Stats {
 		CacheEvictions: s.tr.Evictions(),
 		Timeouts:       s.timeouts.Value(),
 		Errors:         s.errors.Value(),
-		Sources:        make(map[string]SourceStats, len(s.sources)),
-		LatencyLabels:  LatencyBucketLabels(),
 	}
+	if s.mc != nil {
+		mcs := s.mc.Stats()
+		st.MatchCacheHits = mcs.Hits
+		st.MatchCacheMisses = mcs.Misses
+		st.MatchCacheEvictions = mcs.Evictions
+		st.MatchCacheEntries = mcs.Entries
+	}
+	st.Sources = make(map[string]SourceStats, len(s.sources))
+	st.LatencyLabels = LatencyBucketLabels()
 	for name, sc := range s.sources {
 		st.Sources[name] = SourceStats{
 			Executions:     sc.lat.Count(),

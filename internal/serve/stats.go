@@ -72,6 +72,18 @@ type Stats struct {
 	CacheEntries int `json:"cache_entries"`
 	// CacheEvictions counts entries evicted for capacity.
 	CacheEvictions uint64 `json:"cache_evictions"`
+	// MatchCacheHits counts matching lookups served from the shared
+	// cross-request matchings cache (zero when the cache is disabled).
+	MatchCacheHits uint64 `json:"matchcache_hits"`
+	// MatchCacheMisses counts matching lookups that derived fresh matchings,
+	// including traced bypasses.
+	MatchCacheMisses uint64 `json:"matchcache_misses"`
+	// MatchCacheEvictions counts shared matchings-cache entries evicted for
+	// capacity.
+	MatchCacheEvictions uint64 `json:"matchcache_evictions"`
+	// MatchCacheEntries is the number of resident shared matchings-cache
+	// entries.
+	MatchCacheEntries int `json:"matchcache_entries"`
 	// Timeouts counts per-source executions cut off by a deadline.
 	Timeouts uint64 `json:"timeouts"`
 	// Errors counts requests that returned an error.

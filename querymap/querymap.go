@@ -146,6 +146,9 @@ type LintProblem = rules.Problem
 type (
 	// Translator runs the mapping algorithms for one specification.
 	Translator = core.Translator
+	// TranslatorOption configures a Translator at construction time; see
+	// WithParallelism, WithMatchCache, WithTracer, and friends.
+	TranslatorOption = core.Option
 	// Stats counts translation work (rule matching passes, product terms,
 	// structure rewritings) for performance analysis.
 	Stats = core.Stats
@@ -153,7 +156,44 @@ type (
 	Partition = core.Partition
 	// SCMResult is Algorithm SCM's output with matching/residue detail.
 	SCMResult = core.SCMResult
+	// Result is one translation outcome of Translator.Do: the mapped query,
+	// the filter query, and the per-call work Stats.
+	Result = core.Result
+	// BatchResult is one query's outcome from Translator.TranslateBatch.
+	BatchResult = core.BatchResult
+	// MatchCache is a bounded, spec-keyed cache of rule-matching results
+	// shared across translations and requests. Safe for concurrent use.
+	MatchCache = core.MatchCache
+	// MatchCacheStats is a point-in-time snapshot of a MatchCache's
+	// hit/miss/eviction counters.
+	MatchCacheStats = core.MatchCacheStats
 )
+
+// Translator construction options.
+var (
+	// WithParallelism lets branch mapping fan out over up to n workers.
+	WithParallelism = core.WithParallelism
+	// WithMatchCache attaches a shared cross-translation matchings cache.
+	WithMatchCache = core.WithMatchCache
+	// WithTracer attaches an obs span tracer.
+	WithTracer = core.WithTracer
+	// WithMetrics attaches cumulative translation metrics.
+	WithMetrics = core.WithMetrics
+	// WithMemo enables or disables the per-translation matching memo.
+	WithMemo = core.WithMemo
+	// WithCompiled enables or disables the compiled rule-dispatch engine.
+	WithCompiled = core.WithCompiled
+	// WithFullDNFSafety selects the conservative per-disjunct safety check
+	// of Algorithm DNF.
+	WithFullDNFSafety = core.WithFullDNFSafety
+	// NewMatchCache returns a shared matchings cache holding up to capacity
+	// entries (DefaultMatchCacheSize if capacity <= 0).
+	NewMatchCache = core.NewMatchCache
+)
+
+// DefaultMatchCacheSize is the shared matchings-cache capacity used when a
+// size is left unset.
+const DefaultMatchCacheSize = core.DefaultMatchCacheSize
 
 // Algorithm names accepted by Translator.Translate.
 const (
@@ -168,8 +208,15 @@ const (
 	AlgCNF = core.AlgCNF
 )
 
-// NewTranslator returns a translator for the given specification.
-func NewTranslator(spec *Spec) *Translator { return core.NewTranslator(spec) }
+// NewTranslator returns a translator for the given specification,
+// configured by the options:
+//
+//	tr := querymap.NewTranslator(src.Spec,
+//		querymap.WithParallelism(4),
+//		querymap.WithMatchCache(querymap.NewMatchCache(0)))
+func NewTranslator(spec *Spec, opts ...TranslatorOption) *Translator {
+	return core.NewTranslator(spec, opts...)
+}
 
 // WithoutRelaxations derives a specification containing only the exact
 // rules of spec — the "syntactic-only" wrapper model of Section 3, for
@@ -226,7 +273,45 @@ type (
 	ServeServer = serve.Server
 	// ServeStats is a snapshot of a ServeServer's counters.
 	ServeStats = serve.Stats
+	// ServeOption configures a ServeServer built with Serve; see
+	// ServeCacheSize, ServeWorkers, ServeMatchCache, and friends.
+	ServeOption = serve.Option
+	// ServeBatchResult is one query's outcome from
+	// ServeServer.TranslateBatch.
+	ServeBatchResult = serve.BatchResult
 )
+
+// Server construction options for Serve. Each mirrors one ServeConfig
+// field; the serve-side matching-cache options are prefixed to keep them
+// distinct from the translator-level WithMatchCache.
+var (
+	// ServeCacheSize bounds the canonical translation cache in entries.
+	ServeCacheSize = serve.WithCacheSize
+	// ServeWorkers bounds concurrently executing source selections.
+	ServeWorkers = serve.WithWorkers
+	// ServeSourceTimeout bounds each per-source select+filter execution.
+	ServeSourceTimeout = serve.WithSourceTimeout
+	// ServeExecutor overrides the per-source selection phase.
+	ServeExecutor = serve.WithExecutor
+	// ServeRegistry registers the server's metrics in a caller-owned
+	// registry.
+	ServeRegistry = serve.WithRegistry
+	// ServeMatchCache installs a caller-owned shared matchings cache.
+	ServeMatchCache = serve.WithMatchCache
+	// ServeMatchCacheSize sizes the server-built shared matchings cache;
+	// a negative size disables cross-request matching reuse.
+	ServeMatchCacheSize = serve.WithMatchCacheSize
+)
+
+// Serve wraps a mediator and its per-source data in the concurrent serving
+// layer, configured by the options:
+//
+//	s := querymap.Serve(m, data,
+//		querymap.ServeCacheSize(1024),
+//		querymap.ServeWorkers(8))
+func Serve(m *Mediator, data map[string]*Relation, opts ...ServeOption) *ServeServer {
+	return serve.NewServer(m, data, opts...)
+}
 
 // NewCachingTranslator wraps m's Translate in a canonical LRU cache holding
 // up to capacity translations. Queries that are equivalent under ∧/∨
@@ -239,7 +324,8 @@ func NewCachingTranslator(m *Mediator, capacity int) *CachingTranslator {
 
 // NewServer wraps a mediator and its per-source data in the concurrent
 // serving layer: cached translation, parallel per-source execution under a
-// bounded worker pool, deterministic merging, and stats.
+// bounded worker pool, deterministic merging, and stats. Serve is the
+// equivalent options form.
 func NewServer(m *Mediator, data map[string]*Relation, cfg ServeConfig) *ServeServer {
 	return serve.New(m, data, cfg)
 }
