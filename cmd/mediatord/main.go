@@ -11,6 +11,10 @@
 // (-matchcache), per-source execution fans out in parallel under a bounded
 // worker pool with a per-source timeout, and atomic counters — including
 // match-cache hits, misses, and evictions — are exported at /stats.
+// With -stream, /query answers flow through the streaming per-shard pipeline
+// (internal/stream): each source's data is split across -shards shards that
+// emit tuples through bounded channels into a deterministic k-way merge, and
+// qmap_stream_* metrics appear at /metrics (see docs/streaming.md).
 // SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight queries.
 //
 // Endpoints:
@@ -69,6 +73,8 @@ func main() {
 	workers := flag.Int("workers", 0, "max concurrent source executions (0 = 2×GOMAXPROCS)")
 	srcTimeout := flag.Duration("source-timeout", 10*time.Second, "per-source execution timeout (0 = none)")
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain timeout")
+	streaming := flag.Bool("stream", false, "answer /query on the streaming per-shard pipeline (bounded memory, qmap_stream_* metrics)")
+	shards := flag.Int("shards", 4, "shards per source on the streaming path (with -stream)")
 	flag.Parse()
 
 	s := newServer(*seed, *nBooks, serve.Config{
@@ -76,6 +82,8 @@ func main() {
 		MatchCacheSize: *matchCache,
 		Workers:        *workers,
 		SourceTimeout:  *srcTimeout,
+		Stream:         *streaming,
+		Shards:         *shards,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
@@ -91,7 +99,12 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("mediatord: serving %d-book catalog on %s", s.catalog.Len(), *addr)
+	if *streaming {
+		log.Printf("mediatord: serving %d-book catalog on %s (streaming, %d shards/source)",
+			s.catalog.Len(), *addr, *shards)
+	} else {
+		log.Printf("mediatord: serving %d-book catalog on %s", s.catalog.Len(), *addr)
+	}
 
 	select {
 	case err := <-errCh:

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/mediator"
 	"repro/internal/qtree"
 	"repro/internal/rules"
@@ -51,6 +52,10 @@ type benchEntry struct {
 	// HitRatePct is the shared matchings-cache hit rate over the whole
 	// measurement, for the cache benchmarks.
 	HitRatePct float64 `json:"hit_rate_pct,omitempty"`
+	// PeakInFlight is the streaming pipeline's peak in-flight tuple count
+	// over the measurement, for the stream/peak benchmarks — the empirical
+	// side of the shards × (buffer+2) memory bound.
+	PeakInFlight float64 `json:"peak_in_flight,omitempty"`
 }
 
 // registeredFlagNames enumerates the qbench flag set, sorted.
@@ -177,6 +182,74 @@ func runBenchSuite() []benchEntry {
 
 	out = append(out, runServeCacheBench()...)
 	out = append(out, runBatchBench()...)
+	out = append(out, runStreamBench()...)
+	return out
+}
+
+// bookstoreStack builds the Amazon+Clbooks union stack over a generated
+// catalog — the fixture the streaming benchmarks execute against.
+func bookstoreStack(nBooks int, cfg serve.Config) *serve.Server {
+	med := mediator.New(sources.NewAmazon(), sources.NewClbooks())
+	catalog := sources.BookRelation("catalog", sources.GenBooks(5, nBooks))
+	data := map[string]*engine.Relation{"amazon": catalog, "clbooks": catalog}
+	return serve.New(med, data, cfg)
+}
+
+// streamBenchQuery selects a year's worth of books — a result that grows
+// linearly with the catalog, which is what makes the peak-in-flight
+// benchmarks meaningful.
+func streamBenchQuery() *qtree.Node {
+	return qtree.Or(
+		qtree.Leaf(qtree.Sel(qtree.A("pyear"), qtree.OpEq, values.Int(1997))),
+		qtree.Leaf(qtree.Sel(qtree.A("pyear"), qtree.OpEq, values.Int(1996))),
+	)
+}
+
+// runStreamBench measures the streaming execution path: latency against the
+// materialized baseline at shards 1 and 8, and peak in-flight tuples across
+// growing catalogs at fixed shards × buffer — recorded so the trajectory
+// file witnesses that per-request memory does not scale with result size.
+func runStreamBench() []benchEntry {
+	ctx := context.Background()
+	q := streamBenchQuery()
+	var out []benchEntry
+
+	const benchBooks = 4000
+	for _, variant := range []struct {
+		name string
+		cfg  serve.Config
+	}{
+		{"stream/union/materialized", serve.Config{CacheSize: 16}},
+		{"stream/union/shards=1", serve.Config{CacheSize: 16, Stream: true, Shards: 1}},
+		{"stream/union/shards=8", serve.Config{CacheSize: 16, Stream: true, Shards: 8}},
+	} {
+		srv := bookstoreStack(benchBooks, variant.cfg)
+		out = append(out, benchEntry{
+			Name: variant.name,
+			NsPerOp: timeOp(func() {
+				if _, err := srv.Query(ctx, q); err != nil {
+					panic(err)
+				}
+			}),
+		})
+	}
+
+	const shards, buffer = 4, 8
+	for _, tuples := range []int{1000, 8000} {
+		srv := bookstoreStack(tuples, serve.Config{
+			CacheSize: 16, Stream: true, Shards: shards, StreamBuffer: buffer,
+		})
+		entry := benchEntry{
+			Name: fmt.Sprintf("stream/peak/tuples=%d", tuples),
+			NsPerOp: timeOp(func() {
+				if _, err := srv.Query(ctx, q); err != nil {
+					panic(err)
+				}
+			}),
+		}
+		entry.PeakInFlight = float64(srv.Stats().StreamPeakInFlight)
+		out = append(out, entry)
+	}
 	return out
 }
 
@@ -283,16 +356,48 @@ func benchNames() []string {
 		"serve/sharedmatchcache/off",
 		"serve/sharedmatchcache/warm",
 		"batch/loop",
-		"batch/translatebatch")
+		"batch/translatebatch",
+		"stream/union/materialized",
+		"stream/union/shards=1",
+		"stream/union/shards=8",
+		"stream/peak/tuples=1000",
+		"stream/peak/tuples=8000")
 	return names
 }
 
-// writeBenchJSON runs the suite and writes path.
-func writeBenchJSON(path string) error {
+// medianBenchRuns repeats the suite runs times and keeps, per benchmark, the
+// entry with the median ns/op — one noisy scheduler hiccup can no longer
+// distort the recorded trajectory. The suite's fixed order aligns entries
+// positionally across runs.
+func medianBenchRuns(runs int) []benchEntry {
+	if runs < 1 {
+		runs = 1
+	}
+	all := make([][]benchEntry, runs)
+	for r := range all {
+		all[r] = runBenchSuite()
+	}
+	out := make([]benchEntry, len(all[0]))
+	for i := range out {
+		samples := make([]benchEntry, 0, runs)
+		for r := range all {
+			if i < len(all[r]) {
+				samples = append(samples, all[r][i])
+			}
+		}
+		sort.Slice(samples, func(a, b int) bool { return samples[a].NsPerOp < samples[b].NsPerOp })
+		out[i] = samples[len(samples)/2]
+	}
+	return out
+}
+
+// writeBenchJSON runs the suite runs times and writes the per-benchmark
+// medians to path.
+func writeBenchJSON(path string, runs int) error {
 	f := benchFile{
 		Schema:      benchSchema,
 		QbenchFlags: registeredFlagNames(),
-		Benchmarks:  runBenchSuite(),
+		Benchmarks:  medianBenchRuns(runs),
 	}
 	js, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {

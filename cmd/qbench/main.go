@@ -68,6 +68,7 @@ type options struct {
 	benchCheck     string
 	benchAgainst   string
 	benchThreshold float64
+	benchRuns      int
 }
 
 // registerFlags declares qbench's flags on fs and returns the bound options.
@@ -86,11 +87,14 @@ func registerFlags(fs *flag.FlagSet) *options {
 	fs.IntVar(&o.serveMode.par, "par", 0, "serve mode: per-translation worker pool size (0 = sequential)")
 	fs.IntVar(&o.serveMode.batch, "batch", 0, "serve mode: translate in batches of this size instead of executing queries (0 = off)")
 	fs.IntVar(&o.serveMode.matchcache, "matchcache", 0, "serve mode: shared matchings-cache capacity (0 = default, negative disables)")
+	fs.BoolVar(&o.serveMode.stream, "stream", false, "serve mode: answer queries on the streaming per-shard pipeline")
+	fs.IntVar(&o.serveMode.shards, "shards", 4, "serve mode: shards per source on the streaming path")
 
 	fs.StringVar(&o.benchJSON, "bench-json", "", "run the matching benchmark suite and write results to this file")
 	fs.StringVar(&o.benchCheck, "bench-check", "", "verify a -bench-json file's flag and benchmark sets match this binary")
 	fs.StringVar(&o.benchAgainst, "bench-against", "", "bench-check trend mode: compare the -bench-check file's timings against this baseline file")
 	fs.Float64Var(&o.benchThreshold, "bench-threshold", 0.5, "bench-check trend mode: allowed fractional slowdown per benchmark (0.5 = 1.5x)")
+	fs.IntVar(&o.benchRuns, "bench-runs", 3, "bench-json mode: measurement repetitions per benchmark; the median is recorded")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "Usage of qbench:")
 		fs.PrintDefaults()
@@ -120,7 +124,7 @@ func main() {
 		return
 	}
 	if o.benchJSON != "" {
-		if err := writeBenchJSON(o.benchJSON); err != nil {
+		if err := writeBenchJSON(o.benchJSON, o.benchRuns); err != nil {
 			fmt.Fprintf(os.Stderr, "qbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -29,6 +29,8 @@ type serveOptions struct {
 	par        int  // per-translation worker pool (mediator.Parallelism)
 	batch      int  // translate in batches of this size instead of executing (0 = off)
 	matchcache int  // shared matchings-cache capacity (0 = default, negative disables)
+	stream     bool // answer queries on the streaming per-shard pipeline
+	shards     int  // shards per source on the streaming path
 }
 
 // runServe drives internal/serve with C concurrent clients over the
@@ -69,6 +71,8 @@ func runServe(opt serveOptions) {
 		CacheSize:      opt.cache,
 		MatchCacheSize: opt.matchcache,
 		Metrics:        reg,
+		Stream:         opt.stream,
+		Shards:         opt.shards,
 	})
 	ctx := context.Background()
 
@@ -120,6 +124,9 @@ func runServe(opt serveOptions) {
 
 	st := srv.Stats()
 	mode := "executed queries"
+	if opt.stream {
+		mode = fmt.Sprintf("executed queries (streaming, %d shards/source)", opt.shards)
+	}
 	if opt.batch > 0 {
 		mode = fmt.Sprintf("translate-only batches of %d", opt.batch)
 	}
@@ -136,6 +143,14 @@ func runServe(opt serveOptions) {
 		{"cache hits/misses/shared", fmt.Sprintf("%d/%d/%d", st.CacheHits, st.CacheMisses, st.CacheShared)},
 		{"cache entries/evictions", fmt.Sprintf("%d/%d", st.CacheEntries, st.CacheEvictions)},
 		{"source timeouts", fmt.Sprintf("%d", st.Timeouts)},
+	}
+	if opt.stream {
+		rows = append(rows,
+			[]string{"stream requests", fmt.Sprintf("%d", st.StreamRequests)},
+			[]string{"stream tuples emitted", fmt.Sprintf("%d", st.StreamEmitted)},
+			[]string{"stream peak in-flight", fmt.Sprintf("%d", st.StreamPeakInFlight)},
+			[]string{"stream merge waits", fmt.Sprintf("%d", st.StreamMergeWaits)},
+		)
 	}
 	if mc := srv.MatchCache(); mc != nil {
 		mcs := mc.Stats()

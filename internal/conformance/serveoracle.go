@@ -42,13 +42,15 @@ type serveConfig struct {
 
 // checkServe stands up the serving stack over the case's scenario — the data
 // split across two sources sharing the scenario's vocabulary — and demands
-// that every grid point (cache on / effectively off × sequential / parallel
-// workers) answers both the original query and a structurally permuted
-// equivalent byte-identically to the sequential mediator baseline
-// (mediator.ExecuteUnion). With Options.Faults set it re-runs the grid under
-// an injected fault mix (transient errors, benign delays, timeout-tripping
-// stalls) and additionally demands that failures carry only typed errors and
-// that retrying reaches the exact baseline answer.
+// that every grid point — cache on / effectively off × sequential / parallel
+// workers × {materialized, streaming with shards 1, 2, 8} — answers both the
+// original query and a structurally permuted equivalent byte-identically to
+// the sequential mediator baseline (mediator.ExecuteUnion). With
+// Options.Faults set it re-runs the grid under an injected fault mix
+// (transient errors, benign delays, timeout-tripping stalls; per-shard
+// streams on the streaming points) and additionally demands that failures
+// carry only typed errors and that retrying reaches the exact baseline
+// answer.
 func (h *Harness) checkServe(c *Case) *Violation {
 	med, data := c.serveStack()
 	want, _, err := med.ExecuteUnion(c.Query, data)
@@ -62,6 +64,9 @@ func (h *Harness) checkServe(c *Case) *Violation {
 		{name: "seq/cache", cfg: serve.Config{Workers: 1, CacheSize: 64}},
 		{name: "par/cache", cfg: serve.Config{Workers: 4, CacheSize: 64}},
 		{name: "par/nocache", cfg: serve.Config{Workers: 4, CacheSize: 64}, fresh: true},
+		{name: "stream/shards=1", cfg: serve.Config{Workers: 4, CacheSize: 64, Stream: true, Shards: 1}},
+		{name: "stream/shards=2", cfg: serve.Config{Workers: 4, CacheSize: 64, Stream: true, Shards: 2}},
+		{name: "stream/shards=8", cfg: serve.Config{Workers: 4, CacheSize: 64, Stream: true, Shards: 8, StreamBuffer: 4}},
 	}
 	ctx := context.Background()
 
@@ -79,6 +84,17 @@ func (h *Harness) checkServe(c *Case) *Violation {
 			if g := renderRelation(got); g != wantS {
 				return &Violation{Oracle: "serve-equivalence", Variant: gc.name,
 					Detail: fmt.Sprintf("answer differs from sequential mediator baseline\nq = %s\ngot %d tuples, want %d", q, got.Len(), want.Len())}
+			}
+		}
+		if gc.cfg.Stream {
+			st := srv.Stats()
+			if st.StreamRequests != 2 {
+				return &Violation{Oracle: "serve-equivalence", Variant: gc.name,
+					Detail: fmt.Sprintf("streaming server answered %d of 2 requests on the streaming path", st.StreamRequests)}
+			}
+			if st.StreamInFlight != 0 {
+				return &Violation{Oracle: "serve-equivalence", Variant: gc.name,
+					Detail: fmt.Sprintf("stream in-flight gauge = %d after requests returned, want 0", st.StreamInFlight)}
 			}
 		}
 		if !gc.fresh {
@@ -121,40 +137,79 @@ const faultTimeout = 5 * time.Millisecond
 // (engine.ErrInjected or a context deadline), and within Options.ServeTries
 // retries the answer converges to the fault-free baseline, byte-identically.
 func (h *Harness) checkServeFaults(c *Case, med *mediator.Mediator, data map[string]*engine.Relation, wantS string) *Violation {
+	type faultConfig struct {
+		variant string
+		plan    engine.FaultPlan
+		make    func(inj *engine.Injector) serve.Config
+	}
+	var grid []faultConfig
 	for _, workers := range []int{1, 4} {
-		inj := engine.NewInjector(c.Seed, faultPlan)
-		cfg := serve.Config{
-			Workers:       workers,
-			CacheSize:     64,
-			SourceTimeout: faultTimeout,
-			Executor: func(ctx context.Context, source string, rel *engine.Relation, q *qtree.Node, ev *engine.Evaluator, ix engine.IndexSet) (*engine.Relation, error) {
-				if err := inj.Apply(ctx, source); err != nil {
-					return nil, err
+		workers := workers
+		grid = append(grid, faultConfig{
+			variant: fmt.Sprintf("faults/workers=%d", workers),
+			plan:    faultPlan,
+			make: func(inj *engine.Injector) serve.Config {
+				return serve.Config{
+					Workers:       workers,
+					CacheSize:     64,
+					SourceTimeout: faultTimeout,
+					Executor: func(ctx context.Context, source string, rel *engine.Relation, q *qtree.Node, ev *engine.Evaluator, ix engine.IndexSet) (*engine.Relation, error) {
+						if err := inj.Apply(ctx, source); err != nil {
+							return nil, err
+						}
+						return serve.DefaultExecutor(ctx, source, rel, q, ev, ix)
+					},
 				}
-				return serve.DefaultExecutor(ctx, source, rel, q, ev, ix)
 			},
-		}
-		srv := serve.New(med, data, cfg)
-		variant := fmt.Sprintf("faults/workers=%d", workers)
+		})
+	}
+	for _, shards := range []int{1, 2, 8} {
+		shards := shards
+		// A streaming request draws one fault per shard instead of one per
+		// source, so scale the per-draw probabilities by 1/shards to keep
+		// per-request fault exposure (and the retry loop's success odds)
+		// comparable to the materialized grid points.
+		plan := faultPlan
+		plan.ErrProb /= float64(shards)
+		plan.StallProb /= float64(shards)
+		grid = append(grid, faultConfig{
+			variant: fmt.Sprintf("faults/stream/shards=%d", shards),
+			plan:    plan,
+			make: func(inj *engine.Injector) serve.Config {
+				return serve.Config{
+					Workers:       4,
+					CacheSize:     64,
+					SourceTimeout: faultTimeout,
+					Stream:        true,
+					Shards:        shards,
+					StreamBuffer:  4,
+					ShardHook:     inj.ApplyShard,
+				}
+			},
+		})
+	}
+	for _, fc := range grid {
+		inj := engine.NewInjector(c.Seed, fc.plan)
+		srv := serve.New(med, data, fc.make(inj))
 		ok := false
 		for try := 0; try < h.opts.ServeTries; try++ {
 			got, err := srv.Query(context.Background(), c.Query)
 			if err != nil {
 				if !typedFault(err) {
-					return &Violation{Oracle: "serve-equivalence", Variant: variant,
+					return &Violation{Oracle: "serve-equivalence", Variant: fc.variant,
 						Detail: fmt.Sprintf("untyped error under fault injection: %v", err)}
 				}
 				continue
 			}
 			if g := renderRelation(got); g != wantS {
-				return &Violation{Oracle: "serve-equivalence", Variant: variant,
+				return &Violation{Oracle: "serve-equivalence", Variant: fc.variant,
 					Detail: fmt.Sprintf("successful answer under faults differs from fault-free baseline\ngot %d tuples", got.Len())}
 			}
 			ok = true
 			break
 		}
 		if !ok {
-			return &Violation{Oracle: "serve-equivalence", Variant: variant,
+			return &Violation{Oracle: "serve-equivalence", Variant: fc.variant,
 				Detail: fmt.Sprintf("no successful answer in %d tries (injected: %d errors, %d stalls, %d delays)",
 					h.opts.ServeTries, inj.Errors(), inj.Stalls(), inj.Delays())}
 		}

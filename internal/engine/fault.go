@@ -109,6 +109,16 @@ func (in *Injector) Apply(ctx context.Context, source string) error {
 	}
 }
 
+// ApplyShard draws the next fault for one shard of the named source, from
+// the shard's own deterministic stream (named "source#shard"). Shard streams
+// are independent of each other and of the plain per-source stream, so the
+// k-th execution of a given (source, shard) pair sees the same fault
+// decision regardless of how shards interleave — the property that makes
+// fault-injected streaming runs replayable from a single case seed.
+func (in *Injector) ApplyShard(ctx context.Context, source string, shard int) error {
+	return in.Apply(ctx, fmt.Sprintf("%s#%d", source, shard))
+}
+
 // Errors returns the number of transient errors injected so far.
 func (in *Injector) Errors() uint64 { return in.errs.Load() }
 

@@ -104,6 +104,20 @@ type Translation struct {
 	Filter *qtree.Node
 }
 
+// BranchFilter returns the union-integration post-filter for one branch:
+// the branch residue when it is usable as-is (a tight residue from a simple
+// conjunction, or an exact branch whose residue is True), otherwise the
+// whole query — the safe fallback for complex queries whose residue is only
+// sound branch-locally. ExecuteUnion, the serving layer, and the streaming
+// pipeline all share this decision so the three paths cannot drift.
+func (tr *Translation) BranchFilter(st *SourceTranslation) *qtree.Node {
+	filter := st.Residue
+	if !tr.Query.IsSimpleConjunction() && !filter.IsTrue() {
+		filter = tr.Query
+	}
+	return filter
+}
+
 // Translate maps q for every source and computes the filter query.
 //
 // For a simple conjunction the filter is tight (Example 3): a constraint
@@ -290,11 +304,7 @@ func (m *Mediator) ExecuteUnion(q *qtree.Node, data map[string]*engine.Relation)
 		}
 		// Branch filter: for union integration each branch must satisfy Q
 		// in full, so re-check the branch residue (tight) or Q (safe).
-		filter := st.Residue
-		if !q.IsSimpleConjunction() && !filter.IsTrue() {
-			filter = q
-		}
-		filtered, err := native.Select(filter, m.Eval)
+		filtered, err := native.Select(tr.BranchFilter(&st), m.Eval)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -29,6 +29,11 @@ const (
 	KindSCM = "scm"
 	// KindMatch is one rule's matching attempt within an M(·, K) pass.
 	KindMatch = "match"
+	// KindStream is a streaming-execution summary span emitted by the
+	// serving layer's per-shard pipeline (internal/stream). It appears only
+	// on streaming requests, never inside translation traces, so the golden
+	// translation trees are unaffected.
+	KindStream = "stream"
 )
 
 // Counter keys used by the translation pipeline's spans.

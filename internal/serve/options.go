@@ -7,6 +7,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/mediator"
 	"repro/internal/obs"
+	"repro/internal/stream"
 )
 
 // Option configures a Server at construction time; pass options to
@@ -57,6 +58,32 @@ func WithMatchCache(mc *core.MatchCache) Option {
 // cross-request matching reuse entirely.
 func WithMatchCacheSize(n int) Option {
 	return func(c *Config) { c.MatchCacheSize = n }
+}
+
+// WithStreaming enables the tuple-at-a-time execution pipeline with the
+// given shard count per source (1 if shards <= 0). Answers are identical to
+// the materialized path; per-request memory is bounded by shards × buffer.
+func WithStreaming(shards int) Option {
+	return func(c *Config) { c.Stream = true; c.Shards = shards }
+}
+
+// WithStreamBuffer sets the per-shard channel capacity on the streaming
+// path (stream.DefaultBuffer if n <= 0).
+func WithStreamBuffer(n int) Option {
+	return func(c *Config) { c.StreamBuffer = n }
+}
+
+// WithBuildBudget bounds the materialized build side of a streaming join in
+// tuples (DefaultBuildBudget if n <= 0).
+func WithBuildBudget(n int) Option {
+	return func(c *Config) { c.BuildBudget = n }
+}
+
+// WithShardHook runs h at the start of every shard execution on the
+// streaming path — the per-shard seam for fault injection and admission
+// checks.
+func WithShardHook(h stream.Hook) Option {
+	return func(c *Config) { c.ShardHook = h }
 }
 
 // NewServer is the options form of New: it applies opts to a zero Config

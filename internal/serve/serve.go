@@ -23,7 +23,9 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -31,6 +33,7 @@ import (
 	"repro/internal/mediator"
 	"repro/internal/obs"
 	"repro/internal/qtree"
+	"repro/internal/stream"
 )
 
 // DefaultCacheSize is the translation-cache capacity used when Config (or
@@ -152,6 +155,29 @@ type Config struct {
 	// most one server: the server registers fixed metric names and duplicate
 	// registration panics.
 	Metrics *obs.Registry
+	// Stream switches Query/QueryJoin to the tuple-at-a-time pipeline of
+	// internal/stream: per-shard executors over presorted universes, bounded
+	// channels, and a deterministic k-way merge. Answers are byte-identical
+	// to the materialized path; per-request memory is bounded by
+	// Shards × StreamBuffer in-flight tuples instead of result size. Shard
+	// executors bypass the Workers pool (the merge needs one tuple from
+	// every shard before emitting, so cross-shard admission control could
+	// deadlock a request against itself); SourceTimeout applies per shard.
+	Stream bool
+	// Shards is the number of shards each source's universe splits into on
+	// the streaming path (1 if <= 0).
+	Shards int
+	// StreamBuffer is the per-shard channel capacity on the streaming path
+	// (stream.DefaultBuffer if <= 0).
+	StreamBuffer int
+	// BuildBudget bounds the materialized build side of a streaming join in
+	// tuples (DefaultBuildBudget if <= 0); exceeding it fails the request
+	// with ErrBuildBudget.
+	BuildBudget int
+	// ShardHook, when non-nil, runs at the start of every shard execution on
+	// the streaming path — the per-shard analogue of wrapping Executor, used
+	// for fault injection (engine.Injector.ApplyShard) and admission checks.
+	ShardHook stream.Hook
 }
 
 // Server serves mediated queries concurrently: cached translation, parallel
@@ -168,12 +194,27 @@ type Server struct {
 	timeout time.Duration
 	exec    SourceExecutor
 
+	stream      bool
+	shards      int
+	streamBuf   int
+	buildBudget int
+	shardHook   stream.Hook
+	presorted   map[string]*stream.Sorted
+	streamMet   *stream.Metrics
+
 	reg      *obs.Registry
 	requests *obs.Counter
 	inFlight *obs.Gauge
 	timeouts *obs.Counter
 	errors   *obs.Counter
 	sources  map[string]*sourceCounters
+
+	streamReqs       *obs.Counter
+	streamMergeWaits *obs.Counter
+	streamEmitted    atomic.Uint64
+	streamInFlight   atomic.Int64
+	streamPeak       atomic.Int64
+	shardEmits       map[string][]*obs.Counter
 }
 
 // New returns a server over med and the per-source data relations. data
@@ -205,6 +246,18 @@ func New(med *mediator.Mediator, data map[string]*engine.Relation, cfg Config) *
 	} else if mc != nil {
 		med.MatchCache = mc
 	}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	streamBuf := cfg.StreamBuffer
+	if streamBuf <= 0 {
+		streamBuf = stream.DefaultBuffer
+	}
+	budget := cfg.BuildBudget
+	if budget <= 0 {
+		budget = DefaultBuildBudget
+	}
 	s := &Server{
 		med:     med,
 		data:    data,
@@ -216,6 +269,18 @@ func New(med *mediator.Mediator, data map[string]*engine.Relation, cfg Config) *
 		exec:    exec,
 		reg:     reg,
 		sources: make(map[string]*sourceCounters, len(med.Sources)),
+
+		stream:      cfg.Stream,
+		shards:      shards,
+		streamBuf:   streamBuf,
+		buildBudget: budget,
+		shardHook:   cfg.ShardHook,
+	}
+	if cfg.Stream {
+		s.presorted = make(map[string]*stream.Sorted, len(data))
+		for name, rel := range data {
+			s.presorted[name] = stream.Presort(rel)
+		}
 	}
 	s.requests = reg.Counter("qmap_serve_requests_total",
 		"Translate and Query/QueryJoin calls.")
@@ -251,6 +316,32 @@ func New(med *mediator.Mediator, data map[string]*engine.Relation, cfg Config) *
 			"Resident shared matchings-cache entries.",
 			func() float64 { return float64(mc.Len()) })
 	}
+	s.streamReqs = reg.Counter("qmap_stream_requests_total",
+		"Requests answered by the streaming pipeline.")
+	s.streamMergeWaits = reg.Counter("qmap_stream_merge_waits_total",
+		"Times the k-way merge blocked waiting for a shard to produce.")
+	reg.CounterFunc("qmap_stream_emitted_total",
+		"Tuples emitted by shard executors across all sources.",
+		func() float64 { return float64(s.streamEmitted.Load()) })
+	reg.GaugeFunc("qmap_stream_in_flight",
+		"Tuples currently in flight in streaming pipelines (buffered or in a sender's hand).",
+		func() float64 { return float64(s.streamInFlight.Load()) })
+	reg.GaugeFunc("qmap_stream_peak_in_flight",
+		"High-water mark of in-flight streaming tuples (peak buffer occupancy).",
+		func() float64 { return float64(s.streamPeak.Load()) })
+	if cfg.Stream {
+		s.shardEmits = make(map[string][]*obs.Counter, len(med.Sources))
+		for _, src := range med.Sources {
+			cs := make([]*obs.Counter, shards)
+			for j := range cs {
+				cs[j] = reg.Counter("qmap_stream_shard_emitted_total",
+					"Tuples emitted by one shard executor.",
+					"source", src.Name, "shard", strconv.Itoa(j))
+			}
+			s.shardEmits[src.Name] = cs
+		}
+	}
+	s.streamMet = s.streamMetrics()
 	for _, src := range med.Sources {
 		s.sources[src.Name] = &sourceCounters{
 			timeouts: reg.Counter("qmap_source_timeouts_total",
@@ -375,6 +466,13 @@ func (s *Server) Query(ctx context.Context, q *qtree.Node) (*engine.Relation, er
 		s.errors.Inc()
 		return nil, err
 	}
+	if s.stream {
+		out, err := s.streamUnion(ctx, tr)
+		if err != nil {
+			s.errors.Inc()
+		}
+		return out, err
+	}
 	rels, err := s.fanOut(ctx, tr, true)
 	if err != nil {
 		s.errors.Inc()
@@ -410,6 +508,13 @@ func (s *Server) QueryJoin(ctx context.Context, q *qtree.Node) (*engine.Relation
 	if err != nil {
 		s.errors.Inc()
 		return nil, err
+	}
+	if s.stream {
+		out, err := s.streamJoin(ctx, tr)
+		if err != nil {
+			s.errors.Inc()
+		}
+		return out, err
 	}
 	rels, err := s.fanOut(ctx, tr, false)
 	if err != nil {
@@ -456,6 +561,12 @@ func (s *Server) Stats() Stats {
 		CacheEvictions: s.tr.Evictions(),
 		Timeouts:       s.timeouts.Value(),
 		Errors:         s.errors.Value(),
+
+		StreamRequests:     s.streamReqs.Value(),
+		StreamInFlight:     s.streamInFlight.Load(),
+		StreamPeakInFlight: s.streamPeak.Load(),
+		StreamEmitted:      s.streamEmitted.Load(),
+		StreamMergeWaits:   s.streamMergeWaits.Value(),
 	}
 	if s.mc != nil {
 		mcs := s.mc.Stats()
@@ -555,11 +666,7 @@ func (s *Server) evalSource(ctx context.Context, tr *mediator.Translation, st *m
 	if err != nil || !branchFilter {
 		return native, err
 	}
-	filter := st.Residue
-	if !tr.Query.IsSimpleConjunction() && !filter.IsTrue() {
-		filter = tr.Query
-	}
-	return native.Select(filter, s.med.Eval)
+	return native.Select(tr.BranchFilter(st), s.med.Eval)
 }
 
 func sortRelation(r *engine.Relation) {

@@ -84,6 +84,21 @@ type Stats struct {
 	// MatchCacheEntries is the number of resident shared matchings-cache
 	// entries.
 	MatchCacheEntries int `json:"matchcache_entries"`
+	// StreamRequests counts Query/QueryJoin calls answered by the streaming
+	// pipeline (zero when streaming is disabled).
+	StreamRequests uint64 `json:"stream_requests"`
+	// StreamInFlight is the number of tuples currently in flight in
+	// streaming pipelines (buffered in shard channels or in a blocked
+	// sender's hand).
+	StreamInFlight int64 `json:"stream_in_flight"`
+	// StreamPeakInFlight is the high-water mark of StreamInFlight — the peak
+	// buffer occupancy, bounded by shards × (buffer + 2) per request.
+	StreamPeakInFlight int64 `json:"stream_peak_in_flight"`
+	// StreamEmitted counts tuples emitted by shard executors.
+	StreamEmitted uint64 `json:"stream_emitted"`
+	// StreamMergeWaits counts the times the k-way merge blocked waiting for
+	// a shard to produce.
+	StreamMergeWaits uint64 `json:"stream_merge_waits"`
 	// Timeouts counts per-source executions cut off by a deadline.
 	Timeouts uint64 `json:"timeouts"`
 	// Errors counts requests that returned an error.

@@ -1,0 +1,249 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/mediator"
+	"repro/internal/obs"
+	"repro/internal/qtree"
+	"repro/internal/stream"
+)
+
+// DefaultBuildBudget bounds the materialized build side of a streaming join
+// (in tuples) when Config leaves BuildBudget unset. The probe side always
+// streams; the budget is what keeps "bounded memory" honest for joins, whose
+// build side has no streaming formulation.
+const DefaultBuildBudget = 1 << 20
+
+// ErrBuildBudget is returned by a streaming QueryJoin whose build side
+// (the cross product of all sources but the probe) exceeds the configured
+// BuildBudget. Callers can errors.Is for it and fall back to the
+// materialized path or a narrower query.
+var ErrBuildBudget = errors.New("serve: streaming join build side exceeds budget")
+
+// streamMetrics wires the pipeline's callbacks to the server's registry:
+// a total and per-shard emit counter, a live in-flight gauge with a
+// high-water mark, and a merge-wait counter. One instance is shared by all
+// requests; callbacks run on shard goroutines and the merging consumer.
+func (s *Server) streamMetrics() *stream.Metrics {
+	return &stream.Metrics{
+		OnEmit: func(source string, shard int) {
+			s.streamEmitted.Add(1)
+			n := s.streamInFlight.Add(1)
+			for {
+				p := s.streamPeak.Load()
+				if n <= p || s.streamPeak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			if cs := s.shardEmits[source]; shard < len(cs) {
+				cs[shard].Inc()
+			}
+		},
+		OnDeliver:   func() { s.streamInFlight.Add(-1) },
+		OnMergeWait: func() { s.streamMergeWaits.Inc() },
+	}
+}
+
+// streamOptions assembles one pipeline run's options from the server's
+// configuration. Shard executors deliberately bypass the materialized
+// path's worker-pool semaphore: the k-way merge needs one tuple from every
+// shard before it can emit, so admission-controlling shards against each
+// other could deadlock a single request against itself. The per-request
+// memory bound (shards × buffer) is the streaming path's admission control.
+func (s *Server) streamOptions(dedup bool) stream.Options {
+	return stream.Options{
+		Buffer:       s.streamBuf,
+		ShardTimeout: s.timeout,
+		Hook:         s.shardHook,
+		Metrics:      s.streamMet,
+		Dedup:        dedup,
+	}
+}
+
+// sourceShards appends the shard work orders for one source to out:
+// contiguous slices of its presorted universe, each evaluating the
+// translated query with the source's evaluator and the given
+// mediator-vocabulary filter inline. Shard indices are per-source (they
+// name metrics and fault streams); global merge determinism comes from
+// channel order in stream.Run, which follows append order here.
+func (s *Server) sourceShards(st *mediator.SourceTranslation, filter *qtree.Node, out []stream.Shard) ([]stream.Shard, error) {
+	sorted, ok := s.presorted[st.Source.Name]
+	if !ok {
+		return nil, fmt.Errorf("serve: no data for source %s", st.Source.Name)
+	}
+	for j, part := range sorted.Split(s.shards) {
+		out = append(out, stream.Shard{
+			Source:     st.Source.Name,
+			Index:      j,
+			Entries:    part,
+			Query:      st.Query,
+			Eval:       st.Source.Eval,
+			Filter:     filter,
+			FilterEval: s.med.Eval,
+		})
+	}
+	return out, nil
+}
+
+// streamUnion answers a union-style query on the streaming path: every
+// source's shards feed the deterministic k-way merge with the branch filter
+// applied inline, and the deduplicated merged stream is — by the pipeline's
+// determinism contract — byte-identical in content and order to the
+// relation the materialized Query/ExecuteUnion path produces.
+func (s *Server) streamUnion(ctx context.Context, tr *mediator.Translation) (*engine.Relation, error) {
+	s.streamReqs.Inc()
+	var shards []stream.Shard
+	var err error
+	for i := range tr.Sources {
+		st := &tr.Sources[i]
+		shards, err = s.sourceShards(st, tr.BranchFilter(st), shards)
+		if err != nil {
+			return nil, err
+		}
+	}
+	pipe := stream.Run(ctx, shards, s.streamOptions(true))
+	defer pipe.Close()
+	out := engine.NewRelation("result")
+	for {
+		e, ok := pipe.Next()
+		if !ok {
+			break
+		}
+		out.Tuples = append(out.Tuples, e.Tuple)
+	}
+	if err := pipe.Err(); err != nil {
+		return nil, s.streamFail(err)
+	}
+	s.streamSpan(ctx, "union", len(shards), len(out.Tuples))
+	return out, nil
+}
+
+// streamSelect materializes one source's bare selection (no dedup, no
+// filter) through the pipeline — the build side of a streaming join. budget
+// caps the collected tuples; budget <= 0 means unbounded.
+func (s *Server) streamSelect(ctx context.Context, st *mediator.SourceTranslation, budget int) (*engine.Relation, error) {
+	shards, err := s.sourceShards(st, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	pipe := stream.Run(ctx, shards, s.streamOptions(false))
+	defer pipe.Close()
+	out := engine.NewRelation(st.Source.Name)
+	for {
+		e, ok := pipe.Next()
+		if !ok {
+			break
+		}
+		out.Tuples = append(out.Tuples, e.Tuple)
+		if budget > 0 && len(out.Tuples) > budget {
+			return nil, fmt.Errorf("serve: source %s build side over %d tuples: %w",
+				st.Source.Name, budget, ErrBuildBudget)
+		}
+	}
+	return out, pipe.Err()
+}
+
+// streamJoin answers a join-style query on the streaming path: the first
+// n-1 sources are collected into a build relation under BuildBudget, and
+// the last source streams as the probe side — each probe tuple is merged
+// against every build tuple, glue- and filter-checked inline, and survivors
+// are collected and sorted. Selection distributes over the product bag, so
+// the result is byte-identical to QueryJoin/ExecuteJoin.
+func (s *Server) streamJoin(ctx context.Context, tr *mediator.Translation) (*engine.Relation, error) {
+	s.streamReqs.Inc()
+	n := len(tr.Sources)
+	if n == 0 {
+		return engine.NewRelation("result"), nil
+	}
+	var build *engine.Relation
+	for i := 0; i < n-1; i++ {
+		sel, err := s.streamSelect(ctx, &tr.Sources[i], 0)
+		if err != nil {
+			return nil, s.streamFail(err)
+		}
+		if build == nil {
+			build = sel
+		} else {
+			build = engine.Product(build, sel)
+		}
+		if len(build.Tuples) > s.buildBudget {
+			return nil, fmt.Errorf("serve: join build side after source %s: %d tuples over budget %d: %w",
+				tr.Sources[i].Source.Name, len(build.Tuples), s.buildBudget, ErrBuildBudget)
+		}
+	}
+
+	probe := &tr.Sources[n-1]
+	shards, err := s.sourceShards(probe, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	pipe := stream.Run(ctx, shards, s.streamOptions(false))
+	defer pipe.Close()
+	out := engine.NewRelation("result")
+	check := func(t engine.Tuple) error {
+		if s.med.Glue != nil {
+			ok, err := s.med.Eval.EvalQuery(s.med.Glue, t)
+			if err != nil || !ok {
+				return err
+			}
+		}
+		ok, err := s.med.Eval.EvalQuery(tr.Filter, t)
+		if err != nil || !ok {
+			return err
+		}
+		out.Tuples = append(out.Tuples, t)
+		return nil
+	}
+	for {
+		e, ok := pipe.Next()
+		if !ok {
+			break
+		}
+		if build == nil {
+			if err := check(e.Tuple); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		for _, bt := range build.Tuples {
+			if err := check(bt.Merge(e.Tuple)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := pipe.Err(); err != nil {
+		return nil, s.streamFail(err)
+	}
+	sortRelation(out)
+	s.streamSpan(ctx, "join", len(shards), len(out.Tuples))
+	return out, nil
+}
+
+// streamFail keeps the server's timeout accounting consistent across the
+// two execution paths: a shard deadline surfaces in qmap_serve_timeouts
+// just like a materialized per-source deadline would.
+func (s *Server) streamFail(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.timeouts.Inc()
+	}
+	return err
+}
+
+// streamSpan emits the post-run summary span when the request context
+// carries a tracer. The merge is single-threaded in the caller, so the
+// tracer's single-writer contract holds.
+func (s *Server) streamSpan(ctx context.Context, mode string, shards, tuples int) {
+	t := obs.TracerFrom(ctx)
+	if t == nil {
+		return
+	}
+	sp := t.Start(obs.KindStream, mode)
+	sp.Set("shards", int64(shards))
+	sp.Set("tuples", int64(tuples))
+	sp.Set("emitted", int64(s.streamEmitted.Load()))
+	t.End()
+}

@@ -1,0 +1,162 @@
+package stream
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// settleGoroutines polls until the goroutine count drops back to at most
+// base (exited goroutines are reaped asynchronously).
+func settleGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines did not settle to %d (now %d)\n%s",
+				base, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// balancedMetrics tracks emits vs delivers so a test can assert the
+// pipeline's in-flight accounting returned to zero after Close.
+type balancedMetrics struct {
+	emits    atomic.Int64
+	delivers atomic.Int64
+}
+
+func (m *balancedMetrics) metrics() *Metrics {
+	return &Metrics{
+		OnEmit:    func(string, int) { m.emits.Add(1) },
+		OnDeliver: func() { m.delivers.Add(1) },
+	}
+}
+
+func (m *balancedMetrics) check(t *testing.T) {
+	t.Helper()
+	if e, d := m.emits.Load(), m.delivers.Load(); e != d {
+		t.Fatalf("in-flight accounting leaked: %d emits, %d delivers", e, d)
+	}
+}
+
+// runCancelled starts a pipeline over a large universe with a tiny buffer
+// (so shard senders block on backpressure), consumes n entries, then
+// tears down via cancel and/or Close and verifies nothing leaked.
+func runCancelled(t *testing.T, consume int, cancelFirst bool) {
+	t.Helper()
+	rel := testUniverse(20000, 42)
+	ev := engine.NewEvaluator()
+	sorted := Presort(rel)
+	var shards []Shard
+	for i, part := range sorted.Split(8) {
+		shards = append(shards, Shard{
+			Source: rel.Name, Index: i, Entries: part,
+			Query: q("a", 10), Eval: ev,
+		})
+	}
+	bm := &balancedMetrics{}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	base := runtime.NumGoroutine()
+	st := Run(ctx, shards, Options{Buffer: 1, Dedup: true, Metrics: bm.metrics()})
+	for i := 0; i < consume; i++ {
+		if _, ok := st.Next(); !ok {
+			break
+		}
+	}
+	if cancelFirst {
+		cancel()
+		// Give blocked senders a moment to observe the cancellation; Close
+		// must still be the thing that makes teardown complete.
+		time.Sleep(time.Millisecond)
+	}
+	st.Close()
+	settleGoroutines(t, base)
+	bm.check(t)
+}
+
+// TestCancelDuringShardEmit cancels while shard senders are blocked on full
+// channels, before the consumer has taken anything.
+func TestCancelDuringShardEmit(t *testing.T) {
+	runCancelled(t, 0, true)
+}
+
+// TestCancelDuringMerge cancels mid-merge, with the heap primed and entries
+// buffered in every channel.
+func TestCancelDuringMerge(t *testing.T) {
+	runCancelled(t, 100, true)
+}
+
+// TestCloseWithoutCancel abandons the stream mid-consumption relying on
+// Close alone for teardown (the serve-path shape: defer st.Close()).
+func TestCloseWithoutCancel(t *testing.T) {
+	runCancelled(t, 50, false)
+}
+
+// TestCloseBeforeFirstNext closes a stream that was never consumed.
+func TestCloseBeforeFirstNext(t *testing.T) {
+	runCancelled(t, 0, false)
+}
+
+// TestCloseIsIdempotent double-closes and keeps using Next/Err safely.
+func TestCloseIsIdempotent(t *testing.T) {
+	rel := testUniverse(100, 43)
+	ev := engine.NewEvaluator()
+	sorted := Presort(rel)
+	st := Run(context.Background(), []Shard{{
+		Source: rel.Name, Entries: sorted.Entries, Query: q("a", 10), Eval: ev,
+	}}, Options{})
+	st.Close()
+	st.Close()
+	if _, ok := st.Next(); ok {
+		t.Fatal("Next returned an entry after Close")
+	}
+	if err := st.Err(); err != nil {
+		t.Fatalf("Err after clean Close = %v", err)
+	}
+}
+
+// TestExhaustedStreamNoLeak runs a pipeline to completion (no early
+// cancellation) and verifies the shard goroutines are gone even before
+// Close, with Close then draining nothing.
+func TestExhaustedStreamNoLeak(t *testing.T) {
+	rel := testUniverse(5000, 44)
+	ev := engine.NewEvaluator()
+	sorted := Presort(rel)
+	var shards []Shard
+	for i, part := range sorted.Split(4) {
+		shards = append(shards, Shard{
+			Source: rel.Name, Index: i, Entries: part, Query: q("a", 10), Eval: ev,
+		})
+	}
+	bm := &balancedMetrics{}
+	base := runtime.NumGoroutine()
+	st := Run(context.Background(), shards, Options{Buffer: 4, Dedup: true, Metrics: bm.metrics()})
+	n := 0
+	for {
+		if _, ok := st.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5000 {
+		t.Fatalf("consumed %d entries, want 5000", n)
+	}
+	st.Close()
+	settleGoroutines(t, base)
+	bm.check(t)
+}

@@ -1,0 +1,326 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/qtree"
+)
+
+// Shard is one shard executor's work order: a contiguous key-sorted slice
+// of a source's presorted universe, the translated query to evaluate in the
+// source's native vocabulary, and an optional mediator-vocabulary filter
+// applied inline per tuple (the union branch residue). A nil or True Filter
+// skips the filter stage.
+type Shard struct {
+	Source     string
+	Index      int
+	Entries    []Entry
+	Query      *qtree.Node
+	Eval       *engine.Evaluator
+	Filter     *qtree.Node
+	FilterEval *engine.Evaluator
+}
+
+// Hook runs at the start of every shard execution, before any tuple is
+// scanned. It is the streaming analogue of serve.SourceExecutor wrapping:
+// fault injectors, admission checks, and remote handshakes plug in here. A
+// non-nil error fails the shard (and with it the request) without emitting.
+type Hook func(ctx context.Context, source string, shard int) error
+
+// Metrics receives pipeline instrumentation callbacks. All callbacks may be
+// invoked concurrently from shard goroutines and the merging consumer; nil
+// callbacks (or a nil *Metrics) disable the corresponding accounting.
+type Metrics struct {
+	// OnEmit fires when a shard hands a tuple to its channel (just before
+	// the send, so in-flight gauges include the sender's hand).
+	OnEmit func(source string, shard int)
+	// OnDeliver fires when a tuple leaves the pipeline: merged into the
+	// output stream, drained at Close, or abandoned by a cancelled sender.
+	// Emits and delivers balance exactly once the stream is closed.
+	OnDeliver func()
+	// OnMergeWait fires when the k-way merge must block waiting for a shard
+	// to produce — the signal that the consumer outruns the executors.
+	OnMergeWait func()
+}
+
+// Options configures one pipeline run.
+type Options struct {
+	// Buffer is the per-shard channel capacity (DefaultBuffer if <= 0).
+	Buffer int
+	// ShardTimeout bounds each shard's execution, scan start to last emit
+	// (no timeout if 0).
+	ShardTimeout time.Duration
+	// Hook, when non-nil, runs at the start of every shard execution.
+	Hook Hook
+	// Metrics, when non-nil, receives instrumentation callbacks.
+	Metrics *Metrics
+	// Dedup collapses runs of equal keys in the merged stream to their
+	// first representative — union semantics. Leave false for bag-semantics
+	// consumers (the join probe side).
+	Dedup bool
+}
+
+// Stream is a running pipeline: shard executors feeding a deterministic
+// k-way merge. Next/Err/Close must be called from a single consumer
+// goroutine; the shard side is internally concurrent.
+type Stream struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	chans  []chan Entry
+	// errs has one slot per shard, written by the shard goroutine before it
+	// closes its channel (the close is the happens-before edge the merge
+	// reads across).
+	errs []error
+	met  *Metrics
+
+	dedup   bool
+	heap    []cursor
+	primed  bool
+	last    string
+	hasLast bool
+	failed  bool
+	err     error
+	closed  bool
+}
+
+// cursor is one shard's head-of-stream inside the merge heap.
+type cursor struct {
+	ch  chan Entry
+	idx int
+	cur Entry
+}
+
+// Run starts one pipeline: a goroutine per shard emitting into a bounded
+// channel, merged on demand by Stream.Next. The caller must Close the
+// stream (normally via defer) — Close cancels the executors, waits for
+// them, and drains the channels, so no goroutine or buffered tuple outlives
+// the request, whatever state the consumer stopped in.
+func Run(ctx context.Context, shards []Shard, opt Options) *Stream {
+	buf := opt.Buffer
+	if buf <= 0 {
+		buf = DefaultBuffer
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	st := &Stream{
+		ctx:    cctx,
+		cancel: cancel,
+		chans:  make([]chan Entry, len(shards)),
+		errs:   make([]error, len(shards)),
+		met:    opt.Metrics,
+		dedup:  opt.Dedup,
+	}
+	for i := range shards {
+		ch := make(chan Entry, buf)
+		st.chans[i] = ch
+		st.wg.Add(1)
+		go func(i int, sh Shard) {
+			defer st.wg.Done()
+			defer close(ch)
+			st.errs[i] = runShard(cctx, sh, ch, opt)
+		}(i, shards[i])
+	}
+	return st
+}
+
+// runShard scans one shard tuple-at-a-time: evaluate the translated query,
+// apply the inline filter, emit survivors with backpressure. Sends select
+// on the shard context, so a cancelled or timed-out pipeline releases a
+// blocked sender immediately.
+func runShard(ctx context.Context, sh Shard, out chan<- Entry, opt Options) error {
+	if opt.ShardTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.ShardTimeout)
+		defer cancel()
+	}
+	wrap := func(err error) error {
+		return fmt.Errorf("stream: source %s shard %d: %w", sh.Source, sh.Index, err)
+	}
+	if opt.Hook != nil {
+		if err := opt.Hook(ctx, sh.Source, sh.Index); err != nil {
+			return wrap(err)
+		}
+	}
+	filter := sh.Filter
+	if filter != nil && filter.IsTrue() {
+		filter = nil
+	}
+	met := opt.Metrics
+	for i := range sh.Entries {
+		// Long runs of non-matching tuples never reach the cancellable
+		// send, so poll the context on a stride.
+		if i&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return wrap(err)
+			}
+		}
+		e := sh.Entries[i]
+		ok, err := sh.Eval.EvalQuery(sh.Query, e.Tuple)
+		if err != nil {
+			return wrap(err)
+		}
+		if !ok {
+			continue
+		}
+		if filter != nil {
+			ok, err = sh.FilterEval.EvalQuery(filter, e.Tuple)
+			if err != nil {
+				return wrap(err)
+			}
+			if !ok {
+				continue
+			}
+		}
+		if met != nil && met.OnEmit != nil {
+			met.OnEmit(sh.Source, sh.Index)
+		}
+		select {
+		case out <- e:
+		case <-ctx.Done():
+			if met != nil && met.OnDeliver != nil {
+				met.OnDeliver() // the tuple in hand never entered the channel
+			}
+			return wrap(ctx.Err())
+		}
+	}
+	return nil
+}
+
+// Next returns the next entry of the merged stream. It returns ok=false
+// when the stream is exhausted, failed, or closed; the caller distinguishes
+// the cases with Err.
+func (st *Stream) Next() (Entry, bool) {
+	if st.closed || st.failed {
+		return Entry{}, false
+	}
+	if !st.primed {
+		st.primed = true
+		for i, ch := range st.chans {
+			c, ok := st.recv(ch, i)
+			if st.failed {
+				return Entry{}, false
+			}
+			if ok {
+				st.heap = append(st.heap, c)
+			}
+		}
+		for i := len(st.heap)/2 - 1; i >= 0; i-- {
+			st.siftDown(i)
+		}
+	}
+	for len(st.heap) > 0 {
+		e := st.heap[0].cur
+		c, ok := st.recv(st.heap[0].ch, st.heap[0].idx)
+		if st.failed {
+			return Entry{}, false
+		}
+		if ok {
+			st.heap[0].cur = c.cur
+			st.siftDown(0)
+		} else {
+			n := len(st.heap) - 1
+			st.heap[0] = st.heap[n]
+			st.heap = st.heap[:n]
+			if n > 0 {
+				st.siftDown(0)
+			}
+		}
+		if st.dedup && st.hasLast && e.Key == st.last {
+			continue
+		}
+		st.last, st.hasLast = e.Key, true
+		return e, true
+	}
+	return Entry{}, false
+}
+
+// recv pulls shard i's next entry, counting a merge wait when it must
+// block. ok=false means the shard is exhausted; a shard that closed with an
+// error fails the whole stream.
+func (st *Stream) recv(ch chan Entry, i int) (cursor, bool) {
+	var e Entry
+	var ok bool
+	select {
+	case e, ok = <-ch:
+	default:
+		if st.met != nil && st.met.OnMergeWait != nil {
+			st.met.OnMergeWait()
+		}
+		e, ok = <-ch
+	}
+	if !ok {
+		if err := st.errs[i]; err != nil {
+			st.fail(err)
+		}
+		return cursor{}, false
+	}
+	if st.met != nil && st.met.OnDeliver != nil {
+		st.met.OnDeliver()
+	}
+	return cursor{ch: ch, idx: i, cur: e}, true
+}
+
+// fail records the first shard error and cancels the executors.
+func (st *Stream) fail(err error) {
+	if !st.failed {
+		st.failed = true
+		st.err = err
+	}
+	st.cancel()
+}
+
+// Err returns the error that failed the stream, or nil after a clean
+// exhaustion (or before one).
+func (st *Stream) Err() error { return st.err }
+
+// Close cancels the shard executors, waits for every goroutine to exit,
+// and drains what they had buffered, so the pipeline's in-flight
+// accounting returns to zero. It is idempotent and must be called exactly
+// however the consume loop ends.
+func (st *Stream) Close() {
+	if st.closed {
+		return
+	}
+	st.closed = true
+	st.cancel()
+	st.wg.Wait()
+	for _, ch := range st.chans {
+		for range ch {
+			if st.met != nil && st.met.OnDeliver != nil {
+				st.met.OnDeliver()
+			}
+		}
+	}
+}
+
+// heap ordering: by key, shard index breaking ties — a total, stable order
+// that makes the merged stream deterministic.
+func (st *Stream) less(a, b int) bool {
+	if st.heap[a].cur.Key != st.heap[b].cur.Key {
+		return st.heap[a].cur.Key < st.heap[b].cur.Key
+	}
+	return st.heap[a].idx < st.heap[b].idx
+}
+
+func (st *Stream) siftDown(i int) {
+	n := len(st.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && st.less(l, min) {
+			min = l
+		}
+		if r < n && st.less(r, min) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		st.heap[i], st.heap[min] = st.heap[min], st.heap[i]
+		i = min
+	}
+}

@@ -1,0 +1,235 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/qtree"
+	"repro/internal/values"
+)
+
+// testUniverse builds n tuples over attributes a (0..9) and b (0..4).
+func testUniverse(n int, seed int64) *engine.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	rel := engine.NewRelation("u")
+	for i := 0; i < n; i++ {
+		t := engine.Tuple{}
+		t.Set(qtree.A("a"), values.Int(int64(rng.Intn(10))))
+		t.Set(qtree.A("b"), values.Int(int64(rng.Intn(5))))
+		t.Set(qtree.A("id"), values.Int(int64(i)))
+		rel.Tuples = append(rel.Tuples, t)
+	}
+	return rel
+}
+
+// dupUniverse builds a universe where every tuple appears twice.
+func dupUniverse(n int, seed int64) *engine.Relation {
+	rel := testUniverse(n, seed)
+	for _, t := range rel.Tuples[:n] {
+		rel.Tuples = append(rel.Tuples, t.Clone())
+	}
+	return rel
+}
+
+func q(attr string, v int64) *qtree.Node {
+	return qtree.Leaf(qtree.Sel(qtree.A(attr), qtree.OpLt, values.Int(v)))
+}
+
+// baseline materializes the reference answer: select, dedup by key, sort.
+func baseline(t *testing.T, rel *engine.Relation, query, filter *qtree.Node, dedup bool) []string {
+	t.Helper()
+	ev := engine.NewEvaluator()
+	sel, err := rel.Select(query, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filter != nil {
+		sel, err = sel.Select(filter, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var keys []string
+	seen := map[string]bool{}
+	for _, tu := range sel.Tuples {
+		k := tu.String()
+		if dedup {
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// collect runs a pipeline over rel split into shards and returns the merged
+// key sequence.
+func collect(t *testing.T, rel *engine.Relation, shards int, query, filter *qtree.Node, opt Options) ([]string, error) {
+	t.Helper()
+	ev := engine.NewEvaluator()
+	sorted := Presort(rel)
+	var ss []Shard
+	for i, part := range sorted.Split(shards) {
+		ss = append(ss, Shard{
+			Source: rel.Name, Index: i, Entries: part,
+			Query: query, Eval: ev, Filter: filter, FilterEval: ev,
+		})
+	}
+	st := Run(context.Background(), ss, opt)
+	defer st.Close()
+	var keys []string
+	for {
+		e, ok := st.Next()
+		if !ok {
+			break
+		}
+		keys = append(keys, e.Key)
+	}
+	return keys, st.Err()
+}
+
+func TestPresortSplit(t *testing.T) {
+	rel := testUniverse(1000, 1)
+	sorted := Presort(rel)
+	if !sort.SliceIsSorted(sorted.Entries, func(i, j int) bool {
+		return sorted.Entries[i].Key < sorted.Entries[j].Key
+	}) {
+		t.Fatal("Presort output not key-sorted")
+	}
+	for _, n := range []int{1, 2, 3, 8, 1001} {
+		parts := sorted.Split(n)
+		total := 0
+		for _, p := range parts {
+			total += len(p)
+			if !sort.SliceIsSorted(p, func(i, j int) bool { return p[i].Key < p[j].Key }) {
+				t.Fatalf("split %d: shard not sorted", n)
+			}
+		}
+		if total != len(sorted.Entries) {
+			t.Fatalf("split %d covers %d of %d entries", n, total, len(sorted.Entries))
+		}
+	}
+}
+
+func TestMergeMatchesMaterialized(t *testing.T) {
+	for _, size := range []int{0, 1, 7, 500} {
+		rel := dupUniverse(size, int64(size)+3)
+		query := q("a", 7)
+		filter := q("b", 3)
+		want := baseline(t, rel, query, filter, true)
+		for _, shards := range []int{1, 2, 8} {
+			for _, buf := range []int{1, 4, 64} {
+				got, err := collect(t, rel, shards, query, filter, Options{Buffer: buf, Dedup: true})
+				if err != nil {
+					t.Fatalf("size=%d shards=%d buf=%d: %v", size, shards, buf, err)
+				}
+				if strings.Join(got, "\n") != strings.Join(want, "\n") {
+					t.Fatalf("size=%d shards=%d buf=%d: merged stream differs from materialized baseline:\ngot %d keys, want %d",
+						size, shards, buf, len(got), len(want))
+				}
+			}
+		}
+	}
+}
+
+func TestNoDedupKeepsBag(t *testing.T) {
+	rel := dupUniverse(200, 11)
+	query := q("a", 7)
+	want := baseline(t, rel, query, nil, false)
+	got, err := collect(t, rel, 4, query, nil, Options{Dedup: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Fatalf("bag stream differs: got %d keys, want %d", len(got), len(want))
+	}
+}
+
+func TestHookErrorFailsStream(t *testing.T) {
+	rel := testUniverse(100, 5)
+	sentinel := errors.New("injected")
+	hook := func(_ context.Context, source string, shard int) error {
+		if shard == 1 {
+			return fmt.Errorf("hook %s/%d: %w", source, shard, sentinel)
+		}
+		return nil
+	}
+	_, err := collect(t, rel, 4, q("a", 10), nil, Options{Hook: hook})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+}
+
+func TestShardTimeout(t *testing.T) {
+	rel := testUniverse(100, 6)
+	hook := func(ctx context.Context, _ string, _ int) error {
+		select {
+		case <-time.After(time.Second):
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	_, err := collect(t, rel, 2, q("a", 10), nil, Options{ShardTimeout: 5 * time.Millisecond, Hook: hook})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+func TestEvalErrorFailsStream(t *testing.T) {
+	rel := testUniverse(50, 7)
+	// Constraint on a missing attribute: the default evaluator errors.
+	bad := qtree.Leaf(qtree.Sel(qtree.A("nosuch"), qtree.OpEq, values.Int(1)))
+	_, err := collect(t, rel, 3, bad, nil, Options{})
+	if err == nil || !strings.Contains(err.Error(), "lacks attribute") {
+		t.Fatalf("err = %v, want missing-attribute failure", err)
+	}
+}
+
+func TestMetricsBalanceAndBound(t *testing.T) {
+	rel := testUniverse(4000, 8)
+	var emits, delivers, waits atomic.Int64
+	var inflight, peak atomic.Int64
+	met := &Metrics{
+		OnEmit: func(string, int) {
+			emits.Add(1)
+			n := inflight.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+		},
+		OnDeliver:   func() { delivers.Add(1); inflight.Add(-1) },
+		OnMergeWait: func() { waits.Add(1) },
+	}
+	const shards, buf = 4, 8
+	got, err := collect(t, rel, shards, q("a", 9), nil, Options{Buffer: buf, Dedup: true, Metrics: met})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("expected matches")
+	}
+	if emits.Load() != delivers.Load() {
+		t.Fatalf("emits %d != delivers %d after Close", emits.Load(), delivers.Load())
+	}
+	if n := inflight.Load(); n != 0 {
+		t.Fatalf("in-flight %d after Close, want 0", n)
+	}
+	if bound := int64(shards * (buf + 2)); peak.Load() > bound {
+		t.Fatalf("peak in-flight %d exceeds shards*(buffer+2) = %d", peak.Load(), bound)
+	}
+}

@@ -301,6 +301,20 @@ var (
 	// ServeMatchCacheSize sizes the server-built shared matchings cache;
 	// a negative size disables cross-request matching reuse.
 	ServeMatchCacheSize = serve.WithMatchCacheSize
+	// ServeStreaming switches Query/QueryJoin to the tuple-at-a-time
+	// per-shard pipeline with the given shard count; answers are identical
+	// to the materialized path with per-request memory bounded by
+	// shards × buffer in-flight tuples.
+	ServeStreaming = serve.WithStreaming
+	// ServeStreamBuffer sets the per-shard channel capacity on the
+	// streaming path.
+	ServeStreamBuffer = serve.WithStreamBuffer
+	// ServeBuildBudget bounds the materialized build side of a streaming
+	// join in tuples.
+	ServeBuildBudget = serve.WithBuildBudget
+	// ServeShardHook runs a hook at the start of every shard execution on
+	// the streaming path (fault injection, admission checks).
+	ServeShardHook = serve.WithShardHook
 )
 
 // Serve wraps a mediator and its per-source data in the concurrent serving
