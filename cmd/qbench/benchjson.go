@@ -180,6 +180,33 @@ func runBenchSuite() []benchEntry {
 		}
 	}
 
+	// Warm translation-plan sweep: the same dependency-degree grid with a
+	// shared plan attached. timeOp's warm-up call populates the plan, so the
+	// measured loop replays precomputed fragments by query shape;
+	// hit_rate_pct witnesses the replay. attempts/op and terms/op stay equal
+	// to the plan-free rows — hits compensate Stats exactly.
+	for _, e := range []int{0, 2} {
+		for _, k := range []int{2, 4, 8} {
+			s, q := workload.DependencyConjunction(n, k, e)
+			pl := core.NewPlan(0)
+			tr := core.NewTranslator(s.Spec, core.WithPlan(pl))
+			ops := 0
+			ns := timeOp(func() {
+				ops++
+				if _, err := tr.TDQM(q); err != nil {
+					panic(err)
+				}
+			})
+			out = append(out, benchEntry{
+				Name:          fmt.Sprintf("plan/tdqm/e=%d/k=%d", e, k),
+				NsPerOp:       ns,
+				AttemptsPerOp: float64(tr.Stats.RuleAttempts) / float64(ops),
+				TermsPerOp:    float64(tr.Stats.ProductTerms) / float64(ops),
+				HitRatePct:    math.Round(1000*pl.Stats().HitRate()) / 10,
+			})
+		}
+	}
+
 	out = append(out, runServeCacheBench()...)
 	out = append(out, runBatchBench()...)
 	out = append(out, runStreamBench()...)
@@ -350,6 +377,11 @@ func benchNames() []string {
 			for _, k := range []int{2, 4, 8} {
 				names = append(names, fmt.Sprintf("sweep/%s/e=%d/k=%d", v, e, k))
 			}
+		}
+	}
+	for _, e := range []int{0, 2} {
+		for _, k := range []int{2, 4, 8} {
+			names = append(names, fmt.Sprintf("plan/tdqm/e=%d/k=%d", e, k))
 		}
 	}
 	names = append(names,

@@ -13,7 +13,8 @@
 //	                   # cache hit rate, and per-source latency histograms.
 //	                   # -batch N submits requests through TranslateBatch in
 //	                   # chunks of N; -matchcache N sizes the shared
-//	                   # matchings cache (negative disables)
+//	                   # matchings cache and -plan N the shared translation
+//	                   # plan (negative disables either)
 //	qbench -bench-json BENCH_matching.json
 //	                   # re-measure the matching-engine benchmarks and rewrite
 //	                   # the perf trajectory file; -bench-check verifies its
@@ -87,6 +88,7 @@ func registerFlags(fs *flag.FlagSet) *options {
 	fs.IntVar(&o.serveMode.par, "par", 0, "serve mode: per-translation worker pool size (0 = sequential)")
 	fs.IntVar(&o.serveMode.batch, "batch", 0, "serve mode: translate in batches of this size instead of executing queries (0 = off)")
 	fs.IntVar(&o.serveMode.matchcache, "matchcache", 0, "serve mode: shared matchings-cache capacity (0 = default, negative disables)")
+	fs.IntVar(&o.serveMode.plan, "plan", 0, "serve mode: shared translation-plan capacity (0 = default, negative disables)")
 	fs.BoolVar(&o.serveMode.stream, "stream", false, "serve mode: answer queries on the streaming per-shard pipeline")
 	fs.IntVar(&o.serveMode.shards, "shards", 4, "serve mode: shards per source on the streaming path")
 

@@ -29,6 +29,7 @@ type serveOptions struct {
 	par        int  // per-translation worker pool (mediator.Parallelism)
 	batch      int  // translate in batches of this size instead of executing (0 = off)
 	matchcache int  // shared matchings-cache capacity (0 = default, negative disables)
+	plan       int  // shared translation-plan capacity (0 = default, negative disables)
 	stream     bool // answer queries on the streaming per-shard pipeline
 	shards     int  // shards per source on the streaming path
 }
@@ -70,6 +71,7 @@ func runServe(opt serveOptions) {
 	srv := serve.New(med, data, serve.Config{
 		CacheSize:      opt.cache,
 		MatchCacheSize: opt.matchcache,
+		PlanSize:       opt.plan,
 		Metrics:        reg,
 		Stream:         opt.stream,
 		Shards:         opt.shards,
@@ -158,6 +160,14 @@ func runServe(opt serveOptions) {
 			[]string{"matchcache hit rate", fmt.Sprintf("%.1f%%", 100*mcs.HitRate())},
 			[]string{"matchcache hits/misses", fmt.Sprintf("%d/%d", mcs.Hits, mcs.Misses)},
 			[]string{"matchcache entries/evictions", fmt.Sprintf("%d/%d", mcs.Entries, mcs.Evictions)},
+		)
+	}
+	if pl := srv.Plan(); pl != nil {
+		pls := pl.Stats()
+		rows = append(rows,
+			[]string{"plan hit rate", fmt.Sprintf("%.1f%%", 100*pls.HitRate())},
+			[]string{"plan hits/misses", fmt.Sprintf("%d/%d", pls.Hits, pls.Misses)},
+			[]string{"plan entries/evictions", fmt.Sprintf("%d/%d", pls.Entries, pls.Evictions)},
 		)
 	}
 	table([]string{"metric", "value"}, rows)

@@ -73,6 +73,18 @@ func (t *Translator) EDNF(q *qtree.Node, mp []*qtree.ConstraintSet) DNFExpr {
 		defer t.tracer.End()
 		sp.Set(obs.CtrEssentialDNFSize, t.essentialSize(q.Constraints()))
 	}
+	if t.planOK() {
+		key := planKeyEDNF(q, mp)
+		if e := t.planGet(key); e != nil {
+			t.planApply(e)
+			return e.expr
+		}
+		rec := t.planRecord()
+		d := t.ednfStep(q.Normalize(), mp)
+		rec.store(t, key, &planEntry{expr: d})
+		sp.Set(obs.CtrDisjuncts, int64(len(d)))
+		return d
+	}
 	d := t.ednfStep(q.Normalize(), mp)
 	sp.Set(obs.CtrDisjuncts, int64(len(d)))
 	return d
@@ -104,7 +116,7 @@ func (t *Translator) ednfStep(q *qtree.Node, mp []*qtree.ConstraintSet) DNFExpr 
 	if t.fullDNFSafety {
 		return dedupeExpr(d) // ablation: keep the full DNF (Section 7.1.3)
 	}
-	return simplifyEDNF(d, mp)
+	return t.simplifyEDNF(d, mp)
 }
 
 // dedupeExpr removes duplicate disjuncts without nullification.
@@ -149,8 +161,19 @@ func productExpr(exprs []DNFExpr) DNFExpr {
 // disjunct list, which keeps the procedure deterministic; a disjunct
 // nullified in the same pass still counts as a disjoint witness, exactly as
 // the ε's do in the paper's illustration.
-func simplifyEDNF(d DNFExpr, mp []*qtree.ConstraintSet) DNFExpr {
-	nullify := make([]bool, len(d))
+//
+// The nullification flags live in a translator-owned scratch buffer: ednf's
+// post-order recursion finishes each child's simplification before the
+// parent's begins, so the calls never overlap and one buffer serves the
+// whole translation.
+func (t *Translator) simplifyEDNF(d DNFExpr, mp []*qtree.ConstraintSet) DNFExpr {
+	if cap(t.scratch.nullify) < len(d) {
+		t.scratch.nullify = make([]bool, len(d))
+	}
+	nullify := t.scratch.nullify[:len(d)]
+	for i := range nullify {
+		nullify[i] = false
+	}
 	for i, disj := range d {
 		if disj.IsEmpty() {
 			continue

@@ -21,6 +21,12 @@ func WithMatchCache(c *MatchCache) Option {
 	return func(t *Translator) { t.SetMatchCache(c) }
 }
 
+// WithPlan attaches a shared cross-request translation plan. Results,
+// Stats, metrics, and traces are identical with or without one; see Plan.
+func WithPlan(p *Plan) Option {
+	return func(t *Translator) { t.SetPlan(p) }
+}
+
 // WithTracer attaches a span tracer recording the full derivation call
 // tree. A nil tracer is a no-op.
 func WithTracer(tr *obs.Tracer) Option {

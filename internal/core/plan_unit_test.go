@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestPlanLRUEviction pins the small-plan semantics: capacities below the
+// shard threshold collapse to one shard, so the bound is exact and eviction
+// strictly follows recency.
+func TestPlanLRUEviction(t *testing.T) {
+	spec := testSpec(t, "p1")
+	p := NewPlan(2)
+	if got := len(p.shards); got != 1 {
+		t.Fatalf("capacity 2 built %d shards, want 1", got)
+	}
+	p.put(spec, "k1", &planEntry{})
+	p.put(spec, "k2", &planEntry{})
+	if _, ok := p.get(spec, "k1"); !ok { // promote k1: k2 is now oldest
+		t.Fatal("k1 missing before capacity was reached")
+	}
+	p.put(spec, "k3", &planEntry{})
+	if _, ok := p.get(spec, "k2"); ok {
+		t.Error("k2 survived eviction; want LRU entry dropped")
+	}
+	if _, ok := p.get(spec, "k1"); !ok {
+		t.Error("k1 evicted despite being recently used")
+	}
+	if _, ok := p.get(spec, "k3"); !ok {
+		t.Error("k3 missing right after insertion")
+	}
+	st := p.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Errorf("stats = %+v, want 1 eviction and 2 entries", st)
+	}
+	if st.Hits != 3 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 3 hits and 1 miss", st)
+	}
+	if got, want := st.HitRate(), 0.75; got != want {
+		t.Errorf("HitRate() = %v, want %v", got, want)
+	}
+}
+
+// TestPlanSpecKeying checks entries are scoped to the spec identity: the
+// same shape key under two specs occupies two entries, and Invalidate drops
+// exactly one spec's entries.
+func TestPlanSpecKeying(t *testing.T) {
+	sa, sb := testSpec(t, "pa"), testSpec(t, "pb")
+	p := NewPlan(8)
+	ea, eb := &planEntry{}, &planEntry{}
+	p.put(sa, "k", ea)
+	p.put(sb, "k", eb)
+	p.put(sb, "k2", &planEntry{})
+	if p.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3 (same key under two specs must not collide)", p.Len())
+	}
+	if e, _ := p.get(sa, "k"); e != ea {
+		t.Error("sa lookup returned the wrong entry")
+	}
+	if e, _ := p.get(sb, "k"); e != eb {
+		t.Error("sb lookup returned the wrong entry")
+	}
+	if got := p.Invalidate(sb); got != 2 {
+		t.Errorf("Invalidate(sb) = %d, want 2", got)
+	}
+	if _, ok := p.get(sb, "k"); ok {
+		t.Error("sb entry survived Invalidate")
+	}
+	if _, ok := p.get(sa, "k"); !ok {
+		t.Error("Invalidate(sb) dropped sa's entry")
+	}
+	if p.Len() != 1 {
+		t.Errorf("Len() = %d after invalidation, want 1", p.Len())
+	}
+}
+
+// TestPlanSharding checks large plans distribute capacity across all shards
+// without losing any of it.
+func TestPlanSharding(t *testing.T) {
+	p := NewPlan(100)
+	if got := len(p.shards); got != planShards {
+		t.Fatalf("capacity 100 built %d shards, want %d", got, planShards)
+	}
+	total := 0
+	for i := range p.shards {
+		total += p.shards[i].cap
+	}
+	if total != 100 {
+		t.Errorf("shard capacities sum to %d, want 100", total)
+	}
+	if def := NewPlan(0); len(def.shards) != planShards {
+		t.Errorf("NewPlan(0) built %d shards, want %d", len(def.shards), planShards)
+	}
+}
+
+// TestPlanBypassCountsMiss pins the bypass accounting: a traced lookup that
+// skips the plan still counts as a miss, so PlanStats.Misses covers every
+// lookup that ran the algorithm.
+func TestPlanBypassCountsMiss(t *testing.T) {
+	p := NewPlan(4)
+	p.noteBypass()
+	if st := p.Stats(); st.Misses != 1 || st.Hits != 0 {
+		t.Errorf("stats after bypass = %+v, want exactly 1 miss", st)
+	}
+}

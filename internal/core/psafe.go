@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/obs"
 	"repro/internal/qtree"
@@ -48,9 +50,37 @@ func (p *Partition) String() string {
 // candidate blocks that minimally cover it. Step 2 selects an irredundant
 // set of candidate blocks covering all cross-matchings, merges overlapping
 // blocks, and completes the partition with singleton blocks.
+//
+// With a translation plan attached, repeated conjunct shapes replay the
+// recorded partition instead of re-running the scan; the spec's static
+// feature-pair adjacency additionally proves many shapes separable without
+// scanning at all (see staticallySeparable).
 func (t *Translator) PSafe(conjuncts []*qtree.Node) (*Partition, error) {
+	if t.planOK() {
+		key := planKeyPSafe(conjuncts)
+		if e := t.planGet(key); e != nil {
+			t.planApply(e)
+			return e.part, nil
+		}
+		rec := t.planRecord()
+		p, err := t.psafeBody(conjuncts)
+		if err != nil {
+			rec.abort(t)
+			return nil, err
+		}
+		rec.store(t, key, &planEntry{part: p})
+		return p, nil
+	}
+	return t.psafeBody(conjuncts)
+}
+
+// psafeBody is the plan-independent Algorithm PSafe implementation.
+func (t *Translator) psafeBody(conjuncts []*qtree.Node) (*Partition, error) {
 	t.Stats.PSafeCalls++
 	t.metrics.PSafeCall(t.Spec.Name)
+	if f := t.frameTop(); f != nil {
+		f.psafeCalls++
+	}
 	n := len(conjuncts)
 	all := qtree.NewConstraintSet()
 	for _, c := range conjuncts {
@@ -74,71 +104,53 @@ func (t *Translator) PSafe(conjuncts []*qtree.Node) (*Partition, error) {
 	if err != nil {
 		return nil, err
 	}
-	mp := matchingSets(ms)
+	// Single-constraint potential matchings can never be cross-matchings:
+	// inside any product term, a one-constraint matching lies wholly within
+	// whichever ingredient contributed its constraint. They are equally
+	// inert in EDNF nullification (containment in a disjunct they intersect
+	// is automatic, and the single-constraint case is exempt from the
+	// witness rule), so dropping them up front is exact — results and Stats
+	// are unchanged, the scan just compares fewer sets.
+	mp := multiConstraintSets(matchingSets(ms))
 
 	des := make([]DNFExpr, n)
 	for i, c := range conjuncts {
 		des[i] = t.EDNF(c, mp)
 	}
 
+	total := 1
+	for i := range des {
+		total *= len(des[i])
+	}
+
 	// Step 1: scan product terms for cross-matchings and candidate blocks.
+	// When no potential matching can span two conjuncts the scan finds
+	// nothing, so it is skipped and the examined terms accounted
+	// arithmetically: len(mp) == 0 covers the dependency-free case, and the
+	// spec's static feature-pair adjacency proves the rest shape-wise.
 	cands := make(map[string]*candBlock) // keyed by index-tuple
 	instBlocks := make(map[string][]string)
 	var instOrder []string
 
-	idx := make([]int, n)
-	ing := make([]*qtree.ConstraintSet, n)
-	for {
-		term := qtree.NewConstraintSet()
-		for i := range idx {
-			ing[i] = des[i][idx[i]]
-			term.AddAll(ing[i])
-		}
-		t.Stats.ProductTerms++
-		termID := fmt.Sprint(idx)
-		for _, m := range mp {
-			if !m.SubsetOf(term) {
+	if len(mp) > 0 && !t.staticallySeparable(conjuncts) {
+		for _, in := range t.scanTerms(des, mp, total) {
+			if _, dup := instBlocks[in.id]; dup {
 				continue
 			}
-			inside := false
-			for i := 0; i < n; i++ {
-				if m.SubsetOf(ing[i]) {
-					inside = true
-					break
-				}
-			}
-			if inside {
-				continue // not a cross-matching in this term
-			}
-			instID := termID + "|" + m.ID()
-			if _, dup := instBlocks[instID]; dup {
-				continue
-			}
-			instOrder = append(instOrder, instID)
-			for _, bidx := range minimalCovers(m, ing) {
+			instOrder = append(instOrder, in.id)
+			for _, bidx := range in.covers {
 				key := blockKey(bidx)
 				cb, ok := cands[key]
 				if !ok {
 					cb = &candBlock{indices: bidx, covers: make(map[string]bool)}
 					cands[key] = cb
 				}
-				cb.covers[instID] = true
-				instBlocks[instID] = append(instBlocks[instID], key)
+				cb.covers[in.id] = true
+				instBlocks[in.id] = append(instBlocks[in.id], key)
 			}
-		}
-		// odometer
-		i := n - 1
-		for ; i >= 0; i-- {
-			idx[i]++
-			if idx[i] < len(des[i]) {
-				break
-			}
-			idx[i] = 0
-		}
-		if i < 0 {
-			break
 		}
 	}
+	t.Stats.ProductTerms += total
 
 	p := &Partition{CrossMatchings: len(instOrder)}
 
@@ -181,7 +193,11 @@ func (t *Translator) PSafe(conjuncts []*qtree.Node) (*Partition, error) {
 		p.Blocks = append(p.Blocks, blk)
 	}
 	p.Separable = len(p.Blocks) == n
-	t.metrics.ProductTerms(t.Spec.Name, t.Stats.ProductTerms-startTerms)
+	diff := t.Stats.ProductTerms - startTerms
+	t.metrics.ProductTerms(t.Spec.Name, diff)
+	if f := t.frameTop(); f != nil {
+		f.productTerms += diff
+	}
 	if sp != nil {
 		sp.Set(obs.CtrBlocks, int64(len(p.Blocks)))
 		sp.Set(obs.CtrCrossMatchings, int64(p.CrossMatchings))
@@ -196,11 +212,183 @@ func (t *Translator) PSafe(conjuncts []*qtree.Node) (*Partition, error) {
 }
 
 func blockKey(idx []int) string {
-	parts := make([]string, len(idx))
+	b := make([]byte, 0, 4*len(idx))
 	for i, x := range idx {
-		parts[i] = fmt.Sprint(x)
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(x), 10)
 	}
-	return strings.Join(parts, ",")
+	return string(b)
+}
+
+// multiConstraintSets keeps the potential matchings holding at least two
+// constraints — the only ones that can span conjuncts. It filters in place:
+// matchingSets returns a fresh slice.
+func multiConstraintSets(sets []*qtree.ConstraintSet) []*qtree.ConstraintSet {
+	out := sets[:0]
+	for _, s := range sets {
+		if s.Len() >= 2 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// staticallySeparable consults the spec's static translation plan: a
+// cross-matching assigns constraints of two different conjuncts to patterns
+// of one rule, so if no feature pair of any rule is jointly satisfiable
+// across any conjunct pair, no product term can contain a cross-matching and
+// the scan is skipped. The check is shape-only (no matcher runs) and
+// one-sided: false means "cannot prove", not "cross-matchings exist".
+// Only the compiled path uses it — the tdqm-uncompiled ablation stays fully
+// interpretive.
+func (t *Translator) staticallySeparable(conjuncts []*qtree.Node) bool {
+	if t.compiledOff {
+		return false
+	}
+	tp := t.Spec.TranslationPlan()
+	if tp.Pairs() == 0 {
+		return true
+	}
+	sats := make([][]uint64, len(conjuncts))
+	for i, c := range conjuncts {
+		sats[i] = tp.SatMask(c.Constraints())
+	}
+	for i := 0; i < len(conjuncts); i++ {
+		for j := i + 1; j < len(conjuncts); j++ {
+			if tp.CrossFeasible(sats[i], sats[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// scanInst is one cross-matching occurrence found by the product-term scan:
+// its instance ID (term index tuple + matching ID) and the minimal candidate
+// blocks covering it, in discovery order.
+type scanInst struct {
+	id     string
+	covers [][]int
+}
+
+// psafeParMinTerms is the minimum product-term count before the scan fans
+// out onto the worker pool; below it the fork/merge overhead dominates.
+const psafeParMinTerms = 64
+
+// scanTerms enumerates the [0, total) product terms of des and returns the
+// cross-matching instances in term order. When a worker pool is configured
+// and the term space is large enough, disjoint index ranges are scanned
+// concurrently and stitched back in order, so the result — and everything
+// downstream (candidate blocks, chooseCover, the partition) — is identical
+// to the sequential scan. Traced runs stay sequential: tracing is a
+// deterministic single-goroutine artifact regime.
+func (t *Translator) scanTerms(des []DNFExpr, mp []*qtree.ConstraintSet, total int) []scanInst {
+	if t.sem != nil && t.tracer == nil && t.trace == nil && total >= psafeParMinTerms {
+		return scanTermsParallel(t.sem, des, mp, total)
+	}
+	return scanTermRange(des, mp, 0, total)
+}
+
+// scanTermRange scans product terms lo..hi (odometer order, last dimension
+// fastest). One constraint set is reused across terms and the term ID is
+// built lazily — most terms contain no cross-matching.
+func scanTermRange(des []DNFExpr, mp []*qtree.ConstraintSet, lo, hi int) []scanInst {
+	n := len(des)
+	idx := make([]int, n)
+	rem := lo
+	for i := n - 1; i >= 0; i-- {
+		idx[i] = rem % len(des[i])
+		rem /= len(des[i])
+	}
+	ing := make([]*qtree.ConstraintSet, n)
+	term := qtree.NewConstraintSet()
+	keyBuf := make([]byte, 0, 4*n)
+	var out []scanInst
+	for pos := lo; pos < hi; pos++ {
+		term.Reset()
+		for i := range idx {
+			ing[i] = des[i][idx[i]]
+			term.AddAll(ing[i])
+		}
+		termID := ""
+		for _, m := range mp {
+			if !m.SubsetOf(term) {
+				continue
+			}
+			inside := false
+			for i := 0; i < n; i++ {
+				if m.SubsetOf(ing[i]) {
+					inside = true
+					break
+				}
+			}
+			if inside {
+				continue // not a cross-matching in this term
+			}
+			if termID == "" {
+				keyBuf = keyBuf[:0]
+				for i, x := range idx {
+					if i > 0 {
+						keyBuf = append(keyBuf, ',')
+					}
+					keyBuf = strconv.AppendInt(keyBuf, int64(x), 10)
+				}
+				termID = "[" + string(keyBuf) + "]"
+			}
+			out = append(out, scanInst{id: termID + "|" + m.ID(), covers: minimalCovers(m, ing)})
+		}
+		// odometer
+		i := n - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(des[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+	return out
+}
+
+// scanTermsParallel splits [0, total) into one chunk per pool slot (plus the
+// caller) and scans them concurrently, borrowing slots from the shared
+// n−1-slot semaphore with the same acquire-or-inline discipline as
+// mapBranches, so nested fan-out cannot deadlock. Chunk results are
+// concatenated in chunk order, which is term order.
+func scanTermsParallel(sem chan struct{}, des []DNFExpr, mp []*qtree.ConstraintSet, total int) []scanInst {
+	workers := cap(sem) + 1
+	chunk := (total + workers - 1) / workers
+	nChunks := (total + chunk - 1) / chunk
+	results := make([][]scanInst, nChunks)
+	var wg sync.WaitGroup
+	for c := 0; c < nChunks; c++ {
+		lo, hi := c*chunk, (c+1)*chunk
+		if hi > total {
+			hi = total
+		}
+		select {
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go func(c, lo, hi int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				results[c] = scanTermRange(des, mp, lo, hi)
+			}(c, lo, hi)
+		default:
+			results[c] = scanTermRange(des, mp, lo, hi)
+		}
+	}
+	wg.Wait()
+	out := results[0]
+	for _, r := range results[1:] {
+		out = append(out, r...)
+	}
+	return out
 }
 
 // minimalCovers enumerates all minimal (irredundant) covers of matching m by

@@ -67,6 +67,12 @@ type Mediator struct {
 	// Translations are identical with or without it; internal/serve wires
 	// one in by default.
 	MatchCache *core.MatchCache
+	// Plan, when non-nil, is the shared cross-request translation plan every
+	// translator this mediator creates consults (core.Plan): cached
+	// TDQM/PSafe/EDNF/SCM fragments keyed by exact query shape. Results,
+	// Stats, metrics, and traces are identical with or without it;
+	// internal/serve wires one in by default.
+	Plan *core.Plan
 }
 
 // selectFrom runs a translated query against a source relation, using the
@@ -153,7 +159,8 @@ func (m *Mediator) translate(q *qtree.Node, tracer *obs.Tracer) (*Translation, e
 			core.WithTracer(tracer),
 			core.WithMetrics(m.Metrics),
 			core.WithParallelism(m.Parallelism),
-			core.WithMatchCache(m.MatchCache))
+			core.WithMatchCache(m.MatchCache),
+			core.WithPlan(m.Plan))
 	}
 	startSource := func(src *sources.Source) {
 		if tracer != nil {

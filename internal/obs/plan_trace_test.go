@@ -1,0 +1,62 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/qparse"
+	"repro/internal/sources"
+)
+
+// TestTracingWithPlanMatchesPlanFree pins the translation plan's
+// bypass-or-record contract under tracing: for every golden query and source
+// spec, the span tree of a traced translation with a warm shared Plan
+// attached is byte-identical to a plan-free traced run. Traced lookups never
+// consult the plan (every TDQM/SCM/PSafe/EDNF run must emit its spans), so
+// the golden trace files stay stable with translation plans wired in by the
+// serving layer.
+func TestTracingWithPlanMatchesPlanFree(t *testing.T) {
+	for _, tc := range goldenCases {
+		q := qparse.MustParse(tc.query)
+		for _, src := range []*sources.Source{
+			sources.NewT1(), sources.NewT2(), sources.NewAmazon(), sources.NewClbooks(),
+		} {
+			plan := core.NewPlan(0)
+			// Warm the plan with an untraced run so the traced run below
+			// would hit on every lookup if it (incorrectly) consulted it.
+			warm := core.NewTranslator(src.Spec, core.WithPlan(plan))
+			if _, _, err := warm.TranslateWithFilter(q, core.AlgTDQM); err != nil {
+				t.Fatalf("%s over %s: warming: %v", tc.name, src.Name, err)
+			}
+
+			trace := func(withPlan bool) []byte {
+				var opts []core.Option
+				if withPlan {
+					opts = append(opts, core.WithPlan(plan))
+				}
+				tr := core.NewTranslator(src.Spec, opts...)
+				tracer := obs.NewTracer()
+				tr.SetTracer(tracer)
+				if _, _, err := tr.TranslateWithFilter(q, core.AlgTDQM); err != nil {
+					t.Fatalf("%s over %s: %v", tc.name, src.Name, err)
+				}
+				if err := obs.Verify(tracer.Root()); err != nil {
+					t.Fatalf("%s over %s (plan=%v): trace fails invariants: %v",
+						tc.name, src.Name, withPlan, err)
+				}
+				js, err := json.Marshal(tracer.Root())
+				if err != nil {
+					t.Fatal(err)
+				}
+				return js
+			}
+			on, off := trace(true), trace(false)
+			if string(on) != string(off) {
+				t.Errorf("%s over %s: plan-on trace differs from plan-free trace\n on: %s\noff: %s",
+					tc.name, src.Name, on, off)
+			}
+		}
+	}
+}

@@ -57,6 +57,14 @@ func (s *ConstraintSet) AddAll(t *ConstraintSet) {
 	}
 }
 
+// Reset empties the set in place, retaining the allocated map so hot loops
+// (the PSafe product-term scan) can reuse one set instead of allocating one
+// per iteration. Like the mutators, it must not race with concurrent reads.
+func (s *ConstraintSet) Reset() {
+	clear(s.m)
+	s.view.Store(nil)
+}
+
 // Has reports whether c is in the set.
 func (s *ConstraintSet) Has(c *Constraint) bool { _, ok := s.m[c.Key()]; return ok }
 

@@ -28,7 +28,8 @@ type CompiledSpec struct {
 	spec  *Spec
 	feats []feature
 	rules []compiledRule
-	words int // len of each rule mask, ⌈len(feats)/64⌉
+	words int     // len of each rule mask, ⌈len(feats)/64⌉
+	bits  [][]int // per-rule feature indices in pattern order (TranslationPlan input)
 
 	// byFirstName maps a first-pattern literal attribute name to the rules
 	// (by index) requiring it; alwaysProbe lists rules whose first pattern
@@ -129,6 +130,7 @@ func compile(s *Spec) *CompiledSpec {
 		}
 	}
 	c.words = (len(c.feats) + 63) / 64
+	c.bits = ruleBits
 	c.rules = make([]compiledRule, len(s.Rules))
 	for ri, r := range s.Rules {
 		cr := compiledRule{rule: r, mask: make([]uint64, c.words)}

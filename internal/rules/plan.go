@@ -1,0 +1,100 @@
+package rules
+
+import (
+	"repro/internal/qtree"
+)
+
+// TranslationPlan is the static half of translation-plan compilation: a
+// per-spec precomputation, one step beyond CompiledSpec, of the
+// cross-matching adjacency between rule head features. Where CompiledSpec
+// answers "which rules can match this constraint set", the plan answers the
+// question Algorithm PSafe really asks — "can any rule match *across* two
+// groups of constraints at once?" — without running the matcher.
+//
+// The adjacency is derived from the same interned pattern features the
+// dispatch index uses (patternFeature, kept in lockstep with quickReject):
+// for every rule, every ordered pair of distinct pattern positions
+// contributes the unordered pair of their feature indices. A matching that
+// spans two constraint groups assigns constraints of both groups to
+// distinct patterns of one rule, and a constraint only matches a pattern
+// whose feature some orientation of it satisfies — so if no recorded pair
+// has one feature satisfied in group A and the other in group B, no
+// cross-matching between A and B can exist, under any bindings. The reverse
+// is not true (the check is a sound over-approximation): feasible pairs may
+// still fail on conditions or bindings, which is exactly when the dynamic
+// scan must run.
+//
+// A TranslationPlan is immutable after construction and safe for concurrent
+// use. Build one with Spec.TranslationPlan (lazy, cached).
+type TranslationPlan struct {
+	c     *CompiledSpec
+	pairs [][2]int // unordered feature-index pairs co-occurring in one rule
+}
+
+// buildTranslationPlan derives the feature-pair adjacency from a compiled
+// spec's per-rule feature lists.
+func buildTranslationPlan(c *CompiledSpec) *TranslationPlan {
+	p := &TranslationPlan{c: c}
+	seen := make(map[[2]int]bool)
+	for _, bits := range c.bits {
+		for i := 0; i < len(bits); i++ {
+			for j := i + 1; j < len(bits); j++ {
+				a, b := bits[i], bits[j]
+				if a > b {
+					a, b = b, a
+				}
+				pr := [2]int{a, b}
+				if !seen[pr] {
+					seen[pr] = true
+					p.pairs = append(p.pairs, pr)
+				}
+			}
+		}
+	}
+	return p
+}
+
+// Spec returns the specification the plan was built for.
+func (p *TranslationPlan) Spec() *Spec { return p.c.spec }
+
+// Pairs returns the number of distinct cross-feasible feature pairs.
+func (p *TranslationPlan) Pairs() int { return len(p.pairs) }
+
+// SatMask computes the satisfied-feature bitmask of a constraint group: bit
+// f is set when some orientation of some constraint satisfies feature f.
+// The mask is the group's shape summary for CrossFeasible.
+func (p *TranslationPlan) SatMask(cs []*qtree.Constraint) []uint64 {
+	mask := make([]uint64, p.c.words)
+	for _, q := range cs {
+		for _, v := range orientations(q) {
+			for fi := range p.c.feats {
+				if mask[fi>>6]&(1<<(fi&63)) != 0 {
+					continue
+				}
+				if p.c.feats[fi].satisfiedBy(v) {
+					mask[fi>>6] |= 1 << (fi & 63)
+				}
+			}
+		}
+	}
+	return mask
+}
+
+// CrossFeasible reports whether any rule could produce a matching spanning
+// the two constraint groups summarized by masks a and b: some recorded
+// feature pair has one side satisfied in a and the other in b. A false
+// return is a proof that no cross-matching between the groups exists; a
+// true return only means the dynamic scan cannot be skipped.
+func (p *TranslationPlan) CrossFeasible(a, b []uint64) bool {
+	for _, pr := range p.pairs {
+		x, y := pr[0], pr[1]
+		ax := a[x>>6]&(1<<(x&63)) != 0
+		ay := a[y>>6]&(1<<(y&63)) != 0
+		bx := b[x>>6]&(1<<(x&63)) != 0
+		by := b[y>>6]&(1<<(y&63)) != 0
+		if (ax && by) || (bx && ay) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,137 @@
+package rules
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/qtree"
+	"repro/internal/values"
+)
+
+// TestTranslationPlanAdjacency pins the static cross-matching adjacency on
+// the varied fixture: single-pattern rules contribute no pairs, multi-pattern
+// rules contribute theirs exactly once, and CrossFeasible separates groups
+// that only single-pattern rules can match from groups straddling a
+// multi-pattern rule's head.
+func TestTranslationPlanAdjacency(t *testing.T) {
+	s := variedSpec(t)
+	p := s.TranslationPlan()
+	if p.Spec() != s {
+		t.Fatal("TranslationPlan().Spec() is not the owning spec")
+	}
+	if p != s.TranslationPlan() {
+		t.Error("TranslationPlan() not cached: second call built a new plan")
+	}
+	// variedSpec's only multi-pattern rule is Pair ([a2 = V], [a3 = W]); the
+	// AnyAttr wildcard pattern keeps masks busy but adds no second position.
+	if p.Pairs() == 0 {
+		t.Fatal("plan for a spec with a two-pattern rule recorded no feature pairs")
+	}
+
+	mask := func(cs ...*qtree.Constraint) []uint64 { return p.SatMask(cs) }
+	a2 := qtree.Sel(qtree.A("a2"), qtree.OpEq, values.String("x"))
+	a3 := qtree.Sel(qtree.A("a3"), qtree.OpEq, values.String("y"))
+	a0 := qtree.Sel(qtree.A("a0"), qtree.OpEq, values.String("z"))
+
+	if !p.CrossFeasible(mask(a2), mask(a3)) {
+		t.Error("a2 | a3 groups straddle rule Pair's head but CrossFeasible = false")
+	}
+	// A cross-matching needs two distinct pattern positions of one rule; two
+	// groups that only satisfy a0 (single-pattern SelEq, plus the wildcard
+	// AnyAttr's lone position) can never host one — unless they both also
+	// reach a multi-pattern head, which a0 does not.
+	if p.CrossFeasible(mask(a0), mask(a0)) {
+		t.Error("two a0-only groups cannot straddle any multi-pattern rule, got CrossFeasible = true")
+	}
+	if got := p.SatMask(nil); len(got) != len(mask(a2)) {
+		t.Errorf("SatMask(nil) length %d, want %d words", len(got), len(mask(a2)))
+	} else {
+		for _, w := range got {
+			if w != 0 {
+				t.Error("SatMask of an empty group set bits")
+			}
+		}
+	}
+}
+
+// TestTranslationPlanSoundVsMatcher checks the plan's central soundness claim
+// against the real matcher on randomized constraint splits: whenever a
+// matching spans both halves of a split, CrossFeasible over the halves' masks
+// must be true. (The converse may fail — the check is an over-approximation —
+// so only the sound direction is asserted.)
+func TestTranslationPlanSoundVsMatcher(t *testing.T) {
+	s := variedSpec(t)
+	p := s.TranslationPlan()
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		cs := randomConstraints(rng, 2+rng.Intn(5))
+		cut := 1 + rng.Intn(len(cs)-1)
+		left, right := cs[:cut], cs[cut:]
+		if p.CrossFeasible(p.SatMask(left), p.SatMask(right)) {
+			continue // feasible: nothing to verify, the dynamic scan decides
+		}
+		leftKeys := map[string]bool{}
+		for _, c := range left {
+			leftKeys[c.Key()] = true
+		}
+		ambiguous := false
+		for _, c := range right {
+			if leftKeys[c.Key()] {
+				ambiguous = true // duplicate constraint on both sides: spanning undecidable by key
+			}
+		}
+		if ambiguous {
+			continue
+		}
+		ms, err := s.Matchings(cs)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, m := range ms {
+			spansLeft, spansRight := false, false
+			for _, c := range m.Set.Slice() {
+				if leftKeys[c.Key()] {
+					spansLeft = true
+				} else {
+					spansRight = true
+				}
+			}
+			if spansLeft && spansRight {
+				t.Fatalf("trial %d: CrossFeasible=false but matching %s spans the split", trial, m.ID())
+			}
+		}
+	}
+}
+
+// TestSpecCompiledMutationGuard pins the immutability contract: mutating a
+// spec's rule set after the first compilation panics on the next Compiled()
+// call instead of serving a stale index.
+func TestSpecCompiledMutationGuard(t *testing.T) {
+	expectPanic := func(name string, mutate func(s *Spec)) {
+		s := variedSpec(t)
+		if s.Compiled() == nil {
+			t.Fatalf("%s: first compile returned nil", name)
+		}
+		mutate(s)
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Errorf("%s: Compiled() after mutation did not panic", name)
+				return
+			}
+			msg, ok := r.(string)
+			if !ok || !strings.Contains(msg, "mutated after compilation") {
+				t.Errorf("%s: panic %v, want an immutability-contract message", name, r)
+			}
+		}()
+		s.Compiled()
+	}
+
+	expectPanic("append rule", func(s *Spec) {
+		s.Rules = append(s.Rules, MustParseRules(`rule Late { match [zz = V]; where Value(V); emit exact [t0 = V]; }`)...)
+	})
+	expectPanic("swap rule", func(s *Spec) {
+		s.Rules[0] = MustParseRules(`rule Swapped { match [zz = V]; where Value(V); emit exact [t0 = V]; }`)[0]
+	})
+}

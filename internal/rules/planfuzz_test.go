@@ -1,0 +1,80 @@
+package rules_test
+
+import (
+	"testing"
+
+	"repro/internal/conformance"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// FuzzPlanEquivalence cross-checks the compiled translation plan against the
+// interpretive path over random query shapes: a conformance case picked by a
+// qcheck replay string plus a dependency-conjunction sweep shape picked by
+// (e, k). For each shape the warm-plan translation must reproduce the
+// plan-free mapped query, residue filter, and Stats byte-for-byte — the same
+// contract the differential suite pins on fixed seeds, explored here over an
+// open-ended shape space.
+func FuzzPlanEquivalence(f *testing.F) {
+	for _, seed := range []string{"qc1:1", "qc1:7", "qc1:5k", "qc1:12", "qc1:2s"} {
+		f.Add(seed, uint8(0), uint8(2))
+		f.Add(seed, uint8(2), uint8(8))
+	}
+	f.Add("qc1:3", uint8(1), uint8(4))
+
+	f.Fuzz(func(t *testing.T, replay string, e, k uint8) {
+		// Shape 1: conformance case from the replay string, if it parses.
+		if seed, err := conformance.ParseSeedString(replay); err == nil {
+			c := conformance.NewCase(seed)
+			base := core.NewTranslator(c.S.Spec)
+			wantQ, wantF, wantErr := base.TranslateWithFilter(c.Query, core.AlgTDQM)
+
+			plan := core.NewPlan(0)
+			for pass := 0; pass < 2; pass++ {
+				tr := core.NewTranslator(c.S.Spec, core.WithPlan(plan))
+				gotQ, gotF, gotErr := tr.TranslateWithFilter(c.Query, core.AlgTDQM)
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("%s pass %d: err=%v, plan-free err=%v", replay, pass, gotErr, wantErr)
+				}
+				if wantErr != nil {
+					break
+				}
+				if gotQ.String() != wantQ.String() || gotF.String() != wantF.String() {
+					t.Errorf("%s pass %d: planned translation diverged\n got: %s | %s\nwant: %s | %s",
+						replay, pass, gotQ, gotF, wantQ, wantF)
+				}
+				if tr.Stats != base.Stats {
+					t.Errorf("%s pass %d: Stats diverged\n got: %+v\nwant: %+v",
+						replay, pass, tr.Stats, base.Stats)
+				}
+			}
+		}
+
+		// Shape 2: dependency-conjunction sweep shape from (e, k), the
+		// workload family whose e>0 corner the plan was built to accelerate.
+		n := 2 + int(k%3)
+		s, q := workload.DependencyConjunction(n, 2+int(k%7), int(e%4))
+		base := core.NewTranslator(s.Spec)
+		wantQ, err := base.TDQM(q)
+		if err != nil {
+			t.Fatalf("e=%d k=%d: plan-free TDQM: %v", e, k, err)
+		}
+		plan := core.NewPlan(0)
+		tr := core.NewTranslator(s.Spec, core.WithPlan(plan))
+		for pass := 0; pass < 2; pass++ {
+			tr.ResetStats()
+			gotQ, err := tr.TDQM(q)
+			if err != nil {
+				t.Fatalf("e=%d k=%d pass %d: %v", e, k, pass, err)
+			}
+			if gotQ.String() != wantQ.String() {
+				t.Errorf("e=%d k=%d pass %d: planned TDQM diverged\n got: %s\nwant: %s",
+					e, k, pass, gotQ, wantQ)
+			}
+			if tr.Stats != base.Stats {
+				t.Errorf("e=%d k=%d pass %d: Stats diverged\n got: %+v\nwant: %+v",
+					e, k, pass, tr.Stats, base.Stats)
+			}
+		}
+	})
+}

@@ -13,6 +13,16 @@ import (
 // specification complete (Definitions 3 and 4) — properties of the human
 // author that the library's targets uphold and the test suite verifies
 // empirically.
+//
+// Immutability contract: a Spec must not be modified after its first use.
+// The compiled dispatch engine (Compiled), the translation plan
+// (TranslationPlan), core's cross-request MatchCache, and core's Plan all
+// key cached work to the Spec pointer on the assumption that the rule set
+// is frozen; mutating Rules after any of them has observed the spec would
+// silently serve stale matchings. Compiled snapshots the rule slice on
+// first compilation and panics if a later call finds it changed, turning
+// that silent corruption into an immediate, attributable failure. To vary a
+// rule set, build a new Spec (see NewSpec, WithoutRelaxations).
 type Spec struct {
 	Name   string
 	Target *Target
@@ -21,14 +31,40 @@ type Spec struct {
 
 	compileOnce sync.Once
 	compiled    *CompiledSpec
+	// compiledRules snapshots Rules at compile time; Compiled verifies the
+	// live slice still matches it (the immutability guard above).
+	compiledRules []*Rule
+
+	planOnce sync.Once
+	plan     *TranslationPlan
 }
 
 // Compiled returns the spec's compiled matching engine, built lazily on
-// first use. The rule set must not be modified after the first call (specs
-// are immutable after construction everywhere in this repository).
+// first use. The rule set must not be modified after the first call (see
+// the Spec immutability contract); a detected mutation panics.
 func (s *Spec) Compiled() *CompiledSpec {
-	s.compileOnce.Do(func() { s.compiled = compile(s) })
+	s.compileOnce.Do(func() {
+		s.compiledRules = append([]*Rule(nil), s.Rules...)
+		s.compiled = compile(s)
+	})
+	if len(s.Rules) != len(s.compiledRules) {
+		panic("rules: spec " + s.Name + " mutated after compilation (rule count changed); specs are immutable after first use")
+	}
+	for i, r := range s.Rules {
+		if r != s.compiledRules[i] {
+			panic("rules: spec " + s.Name + " mutated after compilation (rule " + r.Name + " changed); specs are immutable after first use")
+		}
+	}
 	return s.compiled
+}
+
+// TranslationPlan returns the spec's static translation plan — the
+// precomputed cross-matching feature adjacency — built lazily on first use
+// from the compiled engine. Like Compiled, it requires the spec to be
+// immutable after first use.
+func (s *Spec) TranslationPlan() *TranslationPlan {
+	s.planOnce.Do(func() { s.plan = buildTranslationPlan(s.Compiled()) })
+	return s.plan
 }
 
 // NewSpec assembles and validates a specification.

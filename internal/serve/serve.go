@@ -141,6 +141,13 @@ type Config struct {
 	// MatchCache is nil (core.DefaultMatchCacheSize if 0); a negative size
 	// disables cross-request matching reuse entirely.
 	MatchCacheSize int
+	// Plan, when non-nil, is the shared cross-request translation plan the
+	// server installs on its mediator. Nil builds one sized by PlanSize.
+	Plan *core.Plan
+	// PlanSize bounds the shared translation plan in entries when Plan is
+	// nil (core.DefaultPlanSize if 0); a negative size disables
+	// cross-request translation-plan reuse entirely.
+	PlanSize int
 	// Workers bounds concurrently executing source selections across all
 	// requests (2×GOMAXPROCS if <= 0).
 	Workers int
@@ -189,6 +196,7 @@ type Server struct {
 	data    map[string]*engine.Relation
 	tr      *CachingTranslator
 	mc      *core.MatchCache
+	pl      *core.Plan
 	sem     chan struct{}
 	workers int
 	timeout time.Duration
@@ -224,6 +232,9 @@ type Server struct {
 // Unless disabled (MatchCacheSize < 0), New installs a shared cross-request
 // matchings cache on the mediator (med.MatchCache) so distinct requests
 // reuse SCM matching work; a cache the mediator already carries is kept.
+// Likewise, unless disabled (PlanSize < 0), New installs a shared
+// translation plan on the mediator (med.Plan) so recurring query shapes
+// replay precomputed TDQM/PSafe/EDNF/SCM fragments.
 func New(med *mediator.Mediator, data map[string]*engine.Relation, cfg Config) *Server {
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -246,6 +257,15 @@ func New(med *mediator.Mediator, data map[string]*engine.Relation, cfg Config) *
 	} else if mc != nil {
 		med.MatchCache = mc
 	}
+	pl := cfg.Plan
+	if pl == nil && cfg.PlanSize >= 0 {
+		pl = core.NewPlan(cfg.PlanSize)
+	}
+	if med.Plan != nil {
+		pl = med.Plan
+	} else if pl != nil {
+		med.Plan = pl
+	}
 	shards := cfg.Shards
 	if shards <= 0 {
 		shards = 1
@@ -263,6 +283,7 @@ func New(med *mediator.Mediator, data map[string]*engine.Relation, cfg Config) *
 		data:    data,
 		tr:      NewCachingTranslator(med, cfg.CacheSize),
 		mc:      mc,
+		pl:      pl,
 		sem:     make(chan struct{}, workers),
 		workers: workers,
 		timeout: cfg.SourceTimeout,
@@ -316,6 +337,20 @@ func New(med *mediator.Mediator, data map[string]*engine.Relation, cfg Config) *
 			"Resident shared matchings-cache entries.",
 			func() float64 { return float64(mc.Len()) })
 	}
+	if pl != nil {
+		reg.CounterFunc("qmap_plan_hits_total",
+			"Translation fragments replayed from the shared plan.",
+			func() float64 { return float64(pl.Stats().Hits) })
+		reg.CounterFunc("qmap_plan_misses_total",
+			"Plan lookups that ran the algorithm (incl. traced bypasses).",
+			func() float64 { return float64(pl.Stats().Misses) })
+		reg.CounterFunc("qmap_plan_evictions_total",
+			"Shared translation-plan entries evicted for capacity.",
+			func() float64 { return float64(pl.Stats().Evictions) })
+		reg.GaugeFunc("qmap_plan_entries",
+			"Resident shared translation-plan entries.",
+			func() float64 { return float64(pl.Len()) })
+	}
 	s.streamReqs = reg.Counter("qmap_stream_requests_total",
 		"Requests answered by the streaming pipeline.")
 	s.streamMergeWaits = reg.Counter("qmap_stream_merge_waits_total",
@@ -360,6 +395,10 @@ func (s *Server) Translator() *CachingTranslator { return s.tr }
 // MatchCache returns the shared cross-request matchings cache the server
 // installed on its mediator, or nil when disabled.
 func (s *Server) MatchCache() *core.MatchCache { return s.mc }
+
+// Plan returns the shared cross-request translation plan the server
+// installed on its mediator, or nil when disabled.
+func (s *Server) Plan() *core.Plan { return s.pl }
 
 // Metrics returns the registry backing the server's counters, for mounting
 // a /metrics endpoint (obs.Registry.WritePrometheus) or registering further
@@ -574,6 +613,13 @@ func (s *Server) Stats() Stats {
 		st.MatchCacheMisses = mcs.Misses
 		st.MatchCacheEvictions = mcs.Evictions
 		st.MatchCacheEntries = mcs.Entries
+	}
+	if s.pl != nil {
+		pls := s.pl.Stats()
+		st.PlanHits = pls.Hits
+		st.PlanMisses = pls.Misses
+		st.PlanEvictions = pls.Evictions
+		st.PlanEntries = pls.Entries
 	}
 	st.Sources = make(map[string]SourceStats, len(s.sources))
 	st.LatencyLabels = LatencyBucketLabels()

@@ -251,6 +251,10 @@ var statsMetricFor = map[string]string{
 	"matchcache_misses":     "qmap_matchcache_misses_total",
 	"matchcache_evictions":  "qmap_matchcache_evictions_total",
 	"matchcache_entries":    "qmap_matchcache_entries",
+	"plan_hits":             "qmap_plan_hits_total",
+	"plan_misses":           "qmap_plan_misses_total",
+	"plan_evictions":        "qmap_plan_evictions_total",
+	"plan_entries":          "qmap_plan_entries",
 	"stream_requests":       "qmap_stream_requests_total",
 	"stream_in_flight":      "qmap_stream_in_flight",
 	"stream_peak_in_flight": "qmap_stream_peak_in_flight",
