@@ -210,6 +210,58 @@ func runBenchSuite() []benchEntry {
 	out = append(out, runServeCacheBench()...)
 	out = append(out, runBatchBench()...)
 	out = append(out, runStreamBench()...)
+	out = append(out, runComposeBench()...)
+	return out
+}
+
+// runComposeBench measures the spec-algebra payoff on the dependency-degree
+// grid: a second mapping hop is layered over each scenario's target
+// vocabulary, and the same query is translated sequentially through both
+// hops (the chain-debug reference) and through the offline-composed
+// single-hop spec. Both paths use fresh translators per op, so the rows
+// isolate per-request translation work — the one-time Compose cost is paid
+// outside the timed loop, which is the deployment model.
+func runComposeBench() []benchEntry {
+	ctx := context.Background()
+	var out []benchEntry
+	for _, e := range []int{0, 2} {
+		for _, k := range []int{2, 8} {
+			s, q := workload.DependencyConjunction(4, k, e)
+			ch := workload.NewChain(s, rand.New(rand.NewSource(7)))
+			chain, err := mediator.Chain(s.Spec, ch.Spec2)
+			if err != nil {
+				panic(err)
+			}
+			var seqStats core.Stats
+			seqOps := 0
+			out = append(out, benchEntry{
+				Name: fmt.Sprintf("compose/sequential/e=%d/k=%d", e, k),
+				NsPerOp: timeOp(func() {
+					seqOps++
+					_, st, err := chain.SequentialTranslate(ctx, q, core.AlgTDQM)
+					if err != nil {
+						panic(err)
+					}
+					seqStats.Add(st)
+				}),
+				AttemptsPerOp: float64(seqStats.RuleAttempts) / float64(seqOps),
+			})
+			var compStats core.Stats
+			compOps := 0
+			out = append(out, benchEntry{
+				Name: fmt.Sprintf("compose/composed/e=%d/k=%d", e, k),
+				NsPerOp: timeOp(func() {
+					compOps++
+					tr := core.NewTranslator(chain.Composed)
+					if _, err := tr.TDQM(q); err != nil {
+						panic(err)
+					}
+					compStats.Add(tr.Stats)
+				}),
+				AttemptsPerOp: float64(compStats.RuleAttempts) / float64(compOps),
+			})
+		}
+	}
 	return out
 }
 
@@ -394,6 +446,13 @@ func benchNames() []string {
 		"stream/union/shards=8",
 		"stream/peak/tuples=1000",
 		"stream/peak/tuples=8000")
+	for _, e := range []int{0, 2} {
+		for _, k := range []int{2, 8} {
+			names = append(names,
+				fmt.Sprintf("compose/sequential/e=%d/k=%d", e, k),
+				fmt.Sprintf("compose/composed/e=%d/k=%d", e, k))
+		}
+	}
 	return names
 }
 

@@ -4,8 +4,9 @@
 // equivalence under concurrency and injected source faults.
 //
 // Every case derives from one seed: a synthetic scenario, a random query,
-// and an adversarially seeded dataset. Four oracles run per case —
-// subsumption, filter-exactness, minimality probing, and serve equivalence
+// and an adversarially seeded dataset. Five oracles run per case —
+// subsumption, filter-exactness, minimality probing, compose equivalence
+// (sequential two-hop vs offline-composed one-hop), and serve equivalence
 // (optionally fault-injected). The first failing case is shrunk to a
 // minimal reproducer and printed with a replayable seed string.
 //
@@ -20,6 +21,7 @@
 //	                              # self-test: plant a known bug and watch
 //	                              # the oracles catch it (exit status 0 iff
 //	                              # the plant IS caught)
+//	qcheck -n 200 -oracle compose # run only the spec-composition oracle
 //
 // Exit status: 0 when every case conforms (or, with -plant, when the
 // planted bug is caught), 1 on a violation, 2 on usage errors.
@@ -40,18 +42,21 @@ func main() {
 	replay := flag.String("replay", "", "replay one case from a qc1:... seed string")
 	shrink := flag.Bool("shrink", true, "shrink failing cases to a minimal reproducer")
 	faults := flag.Bool("faults", false, "enable the fault-injected serve equivalence oracle")
-	plant := flag.String("plant", "", "plant a known bug: nosuppression | dropfilter (self-test)")
+	plant := flag.String("plant", "", "plant a known bug: nosuppression | dropfilter | badcompose (self-test)")
+	oracle := flag.String("oracle", "", "restrict the run to one oracle: subsumption | filter-exactness | minimality | compose | serve-equivalence")
 	flag.Parse()
 
-	opts := conformance.Options{Faults: *faults}
+	opts := conformance.Options{Faults: *faults, Oracle: *oracle}
 	switch *plant {
 	case "":
 	case string(conformance.PlantNoSuppression):
 		opts.Plant = conformance.PlantNoSuppression
 	case string(conformance.PlantDropFilter):
 		opts.Plant = conformance.PlantDropFilter
+	case string(conformance.PlantBadCompose):
+		opts.Plant = conformance.PlantBadCompose
 	default:
-		fmt.Fprintf(os.Stderr, "qcheck: unknown -plant %q (want nosuppression or dropfilter)\n", *plant)
+		fmt.Fprintf(os.Stderr, "qcheck: unknown -plant %q (want nosuppression, dropfilter, or badcompose)\n", *plant)
 		os.Exit(2)
 	}
 	h := conformance.New(opts)

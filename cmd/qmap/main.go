@@ -9,6 +9,12 @@
 //	qmap -spec amazon -trace '...'     # print the span tree as JSON
 //	qmap -spec amazon -rules           # print the spec's rules and exit
 //	qmap -rulefile my.rules -lint      # check a user rule file
+//	qmap -rulefile hop1.rules -compose hop2.rules '...'
+//	                                   # precompose a two-hop chain offline
+//	                                   # and translate through the composition
+//	qmap -rulefile hop1.rules -compose hop2.rules
+//	                                   # composition report only: lint,
+//	                                   # dead-rule detection, let counts
 //
 // Built-in specifications: amazon, clbooks, t1, t2, map, cars, metric (the
 // paper's scenarios plus the Section 1 motivating examples). A rule file
@@ -44,6 +50,7 @@ func main() {
 		traceOut = flag.Bool("trace", false, "print the translation span tree as JSON (see docs/observability.md)")
 		listRule = flag.Bool("rules", false, "print the mapping specification and exit")
 		lint     = flag.Bool("lint", false, "lint the mapping specification and exit (non-zero on errors)")
+		compose  = flag.String("compose", "", "compose the spec with a second hop (built-in name or rule file) and translate through the composition; prints a composition report")
 	)
 	flag.Parse()
 
@@ -56,6 +63,31 @@ func main() {
 	}
 	if err != nil {
 		fail(err)
+	}
+	composed := false
+	if *compose != "" {
+		second, err := loadSource(*compose)
+		if err != nil {
+			fail(err)
+		}
+		comp, info, err := rules.ComposeDetail(src.Spec, second.Spec)
+		if err != nil {
+			fail(fmt.Errorf("composing %s with %s: %w", src.Spec.Name, second.Spec.Name, err))
+		}
+		fmt.Printf("composed:        %s (%d rules, %d exact)\n", comp.Name, len(comp.Rules), info.ExactRules)
+		fmt.Printf("rules composed:  %d\n", info.RulesComposed)
+		fmt.Printf("conversion lets: %d (+%d constant lets)\n", info.ConversionLets, info.ConstLets)
+		for _, p := range rules.LintComposition(src.Spec, second.Spec) {
+			fmt.Println(p)
+		}
+		for _, r := range second.Spec.Rules {
+			if info.FiredB[r.Name] == 0 {
+				fmt.Printf("dead rule: %s never fired while composing (unreachable for %s's emissions)\n",
+					r.Name, src.Spec.Name)
+			}
+		}
+		src = &sources.Source{Name: src.Name + "+" + second.Name, Spec: comp}
+		composed = true
 	}
 	if *listRule {
 		fmt.Print(rules.FormatSpec(src.Spec))
@@ -80,6 +112,9 @@ func main() {
 
 	queryText := strings.Join(flag.Args(), " ")
 	if strings.TrimSpace(queryText) == "" {
+		if composed {
+			return // the composition report alone is a valid invocation
+		}
 		fail(fmt.Errorf("no query given; try: qmap -spec amazon '[ln = \"Clancy\"]'"))
 	}
 	q, err := qparse.Parse(queryText)
@@ -114,7 +149,7 @@ func main() {
 	if *showF {
 		fmt.Printf("filter F:   %s\n", filter)
 	}
-	if *ruleFile == "" {
+	if *ruleFile == "" && !composed {
 		if err := src.Target().Expressible(mapped); err != nil {
 			fmt.Printf("WARNING: %v\n", err)
 		}
@@ -171,6 +206,15 @@ func builtinSource(name string) (*sources.Source, error) {
 	default:
 		return nil, fmt.Errorf("unknown spec %q (want amazon, clbooks, t1, t2, map, cars, metric)", name)
 	}
+}
+
+// loadSource resolves a built-in spec name, falling back to a rule file
+// path.
+func loadSource(nameOrPath string) (*sources.Source, error) {
+	if src, err := builtinSource(nameOrPath); err == nil {
+		return src, nil
+	}
+	return fileSource(nameOrPath)
 }
 
 // fileSource loads a user rule file against the base registry. The target's

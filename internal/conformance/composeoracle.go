@@ -1,0 +1,155 @@
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/mediator"
+	"repro/internal/rules"
+	"repro/internal/sources"
+	"repro/internal/workload"
+)
+
+// dedupRelation returns the relation with duplicate tuples (by canonical
+// string) removed, preserving first-seen order.
+func dedupRelation(r *engine.Relation) *engine.Relation {
+	out := engine.NewRelation(r.Name)
+	seen := make(map[string]bool, len(r.Tuples))
+	for _, t := range r.Tuples {
+		key := t.String()
+		if !seen[key] {
+			seen[key] = true
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	return out
+}
+
+// chainSalt decorrelates the chain layer's randomness from the case's own
+// stream while keeping the chain a pure function of the seed, so qc1:
+// replay and shrinking reproduce the identical chain.
+const chainSalt = 0x5eedc0de
+
+// chainFor derives the case's second mapping hop: a chain scenario layered
+// over the case scenario's target vocabulary. Deterministic in c.Seed, and
+// independent of query/data, so every shrinking candidate shares it.
+func chainFor(c *Case) *workload.ChainScenario {
+	return workload.NewChain(c.S, rand.New(rand.NewSource(c.Seed^chainSalt)))
+}
+
+// composeFor runs the offline composition under test; PlantBadCompose
+// reroutes it through the unsound tightening variant.
+func (h *Harness) composeFor(a, b *rules.Spec) (*rules.Spec, error) {
+	if h.opts.Plant == PlantBadCompose {
+		return rules.ComposeTightened(a, b)
+	}
+	return rules.Compose(a, b)
+}
+
+// checkCompose is the spec-algebra oracle: the chain mediator→source→chain
+// target translated hop by hop (the reference semantics) and through the
+// offline-composed spec must agree after filtering, and the raw answer sets
+// must nest per the superset contract:
+//
+//	σ_Q(D) ⊆ σ_seq(D) ⊆ σ_comp(D)   and   σ_Q(σ_comp(D)) = σ_Q(D)
+//
+// (composition only widens by covering per-rule what cross-emission
+// matchings covered jointly; the filter removes exactly that slack). On top
+// of the raw translations, the mediator-level differential runs: ExecuteUnion
+// over a composed-spec source must be byte-identical to the same mediator in
+// ChainDebug mode, which re-translates sequentially through the hops.
+func (h *Harness) checkCompose(c *Case) *Violation {
+	ch := chainFor(c)
+	a, b := c.S.Spec, ch.Spec2
+	comp, err := h.composeFor(a, b)
+	if err != nil {
+		return &Violation{Oracle: "harness", Variant: "compose", Detail: fmt.Sprintf("compose: %v", err)}
+	}
+
+	// Sequential two-hop reference vs composed one-hop translation.
+	seq1, err := core.NewTranslator(a).Translate(c.Query, core.AlgTDQM)
+	if err != nil {
+		return &Violation{Oracle: "harness", Variant: "compose", Detail: fmt.Sprintf("hop 1: %v", err)}
+	}
+	seqQ, err := core.NewTranslator(b).Translate(seq1, core.AlgTDQM)
+	if err != nil {
+		return &Violation{Oracle: "harness", Variant: "compose", Detail: fmt.Sprintf("hop 2: %v", err)}
+	}
+	compQ, err := core.NewTranslator(comp).Translate(c.Query, core.AlgTDQM)
+	if err != nil {
+		return &Violation{Oracle: "harness", Variant: "compose", Detail: fmt.Sprintf("composed hop: %v", err)}
+	}
+
+	// Extend the dataset with the chain-target attributes and execute.
+	rel := engine.NewRelation("d")
+	for _, t := range c.Data {
+		rel.Tuples = append(rel.Tuples, ch.Extend(t))
+	}
+	for _, t := range rel.Tuples {
+		inQ, err := c.S.Eval.EvalQuery(c.Query, t)
+		if err != nil {
+			return &Violation{Oracle: "harness", Variant: "compose", Detail: fmt.Sprintf("eval Q: %v", err)}
+		}
+		inSeq, err := c.S.Eval.EvalQuery(seqQ, t)
+		if err != nil {
+			return &Violation{Oracle: "harness", Variant: "compose", Detail: fmt.Sprintf("eval seq: %v", err)}
+		}
+		inComp, err := c.S.Eval.EvalQuery(compQ, t)
+		if err != nil {
+			return &Violation{Oracle: "harness", Variant: "compose", Detail: fmt.Sprintf("eval comp: %v", err)}
+		}
+		if inQ && !inSeq {
+			return &Violation{Oracle: "compose",
+				Detail: fmt.Sprintf("sequential two-hop translation lost a true answer\nq = %s\nseq = %s\ntuple = %s", c.Query, seqQ, t)}
+		}
+		if inSeq && !inComp {
+			return &Violation{Oracle: "compose",
+				Detail: fmt.Sprintf("composed translation rejects a tuple the sequential hops admit\nq = %s\nseq = %s\ncomp = %s\ntuple = %s",
+					c.Query, seqQ, compQ, t)}
+		}
+		// inComp && !inQ is allowed slack: composition covers per-rule what
+		// cross-emission matchings covered jointly, and the mediator-level
+		// filtered comparison below must remove exactly that.
+	}
+
+	// Mediator-level differential: composed-spec source vs ChainDebug
+	// sequential replay, both post-filtered by ExecuteUnion.
+	truth, err := rel.Select(c.Query, c.S.Eval)
+	if err != nil {
+		return &Violation{Oracle: "harness", Variant: "compose", Detail: fmt.Sprintf("eval truth: %v", err)}
+	}
+	// ExecuteUnion dedups identical tuples; dedup the truth the same way so
+	// the byte comparison is over answer *sets*.
+	truth = dedupRelation(truth)
+	chSpec := &mediator.ChainSpec{Hops: []*rules.Spec{a, b}, Composed: comp}
+	data := map[string]*engine.Relation{"chain": rel}
+
+	medC := mediator.New(&sources.Source{Name: "chain", Spec: comp, Eval: c.S.Eval})
+	ansC, _, err := medC.ExecuteUnion(c.Query, data)
+	if err != nil {
+		return &Violation{Oracle: "harness", Variant: "compose", Detail: fmt.Sprintf("composed ExecuteUnion: %v", err)}
+	}
+
+	medD := mediator.New()
+	medD.AddChainSource("chain", chSpec, c.S.Eval)
+	medD.ChainDebug = true
+	ansD, _, err := medD.ExecuteUnion(c.Query, data)
+	if err != nil {
+		return &Violation{Oracle: "harness", Variant: "compose", Detail: fmt.Sprintf("chain-debug ExecuteUnion: %v", err)}
+	}
+
+	want := renderRelation(truth)
+	if got := renderRelation(ansC); got != want {
+		return &Violation{Oracle: "compose",
+			Detail: fmt.Sprintf("composed-source filtered answer differs from σ_Q(D)\nq = %s\ncomp = %s\ngot %d tuples, want %d",
+				c.Query, compQ, ansC.Len(), truth.Len())}
+	}
+	if got := renderRelation(ansD); got != want {
+		return &Violation{Oracle: "compose",
+			Detail: fmt.Sprintf("chain-debug filtered answer differs from σ_Q(D)\nq = %s\nseq = %s\ngot %d tuples, want %d",
+				c.Query, seqQ, ansD.Len(), truth.Len())}
+	}
+	return nil
+}

@@ -4,7 +4,7 @@
 // package executes them: every generated case builds a synthetic scenario
 // (internal/workload), draws a random query and dataset, runs the original
 // query and every algorithm variant's translation through internal/engine,
-// and checks four executable oracles:
+// and checks five executable oracles:
 //
 //   - subsumption: on every generated dataset, the translated answer set is
 //     a superset of the true answer set (Definition 1, condition 2), for
@@ -20,6 +20,13 @@
 //     tightening an inexact atom (starts/contains → equality) must drop a
 //     witness tuple that satisfies the original query (the emission is as
 //     tight as expressible, Definition 1 condition 3);
+//   - compose equivalence: a second mapping hop is layered over the
+//     scenario's target vocabulary, the chain is precomposed offline
+//     (rules.Compose), and the composed one-hop translation is executed
+//     against the sequential two-hop reference — raw answers must nest
+//     σ_Q ⊆ σ_seq ⊆ σ_comp, and mediator-level filtered answers (composed
+//     source vs ChainDebug sequential replay) must be byte-identical to
+//     σ_Q(D);
 //   - serve equivalence: a serving stack (internal/serve) over the same
 //     scenario — cache on/off × parallel/sequential, and optionally under
 //     injected source faults (engine.Injector: transient errors, benign
@@ -56,6 +63,11 @@ const (
 	// inexact translations leak false positives, which the filter-exactness
 	// oracle catches.
 	PlantDropFilter Plant = "dropfilter"
+	// PlantBadCompose replaces offline spec composition with the unsound
+	// variant that tightens prefix emissions to equality
+	// (rules.ComposeTightened): the composed translation drops answers the
+	// sequential two-hop reference keeps, which the compose oracle catches.
+	PlantBadCompose Plant = "badcompose"
 )
 
 // Options configures a Harness.
@@ -70,6 +82,10 @@ type Options struct {
 	// ServeTries bounds the retry loop of the fault-injected serve oracle
 	// (60 if <= 0).
 	ServeTries int
+	// Oracle, when non-empty, restricts Check to the named oracle
+	// ("subsumption", "filter-exactness", "minimality", "compose",
+	// "serve-equivalence"). Empty runs all of them in the fixed order.
+	Oracle string
 }
 
 // Harness checks cases against the oracles.
@@ -109,19 +125,36 @@ func (v *Violation) String() string {
 
 // Check runs every oracle against the case and returns the first violation,
 // or nil if the case conforms. The order is fixed — subsumption,
-// filter-exactness, minimality, serve equivalence — so shrinking can match
-// reductions against a stable oracle name.
+// filter-exactness, minimality, compose, serve equivalence — so shrinking
+// can match reductions against a stable oracle name. Options.Oracle narrows
+// the run to one oracle.
 func (h *Harness) Check(c *Case) *Violation {
-	if v := h.checkSubsumption(c); v != nil {
-		return v
+	only := h.opts.Oracle
+	run := func(name string) bool { return only == "" || only == name }
+	if run("subsumption") {
+		if v := h.checkSubsumption(c); v != nil {
+			return v
+		}
 	}
-	if v := h.checkFilterExactness(c); v != nil {
-		return v
+	if run("filter-exactness") {
+		if v := h.checkFilterExactness(c); v != nil {
+			return v
+		}
 	}
-	if v := h.checkMinimality(c); v != nil {
-		return v
+	if run("minimality") {
+		if v := h.checkMinimality(c); v != nil {
+			return v
+		}
 	}
-	return h.checkServe(c)
+	if run("compose") {
+		if v := h.checkCompose(c); v != nil {
+			return v
+		}
+	}
+	if run("serve-equivalence") {
+		return h.checkServe(c)
+	}
+	return nil
 }
 
 // Failure pairs a failing case with its violation and, when shrinking ran,

@@ -70,6 +70,52 @@ func TestPlantedDropFilterCaught(t *testing.T) {
 	}
 }
 
+// TestPlantedBadComposeCaught plants the unsound tightening composition and
+// demands the compose oracle catches it and the shrinker reduces the
+// reproducer to a small witness.
+func TestPlantedBadComposeCaught(t *testing.T) {
+	h := New(Options{Plant: PlantBadCompose})
+	rep := h.Run(1, 200, true)
+	if len(rep.Failures) == 0 {
+		t.Fatalf("planted bad-compose bug not caught in %d cases", rep.Cases)
+	}
+	f := rep.Failures[0]
+	if f.Violation.Oracle != "compose" {
+		t.Fatalf("planted bad-compose bug caught by %q, want compose:\n%s",
+			f.Violation.Oracle, f.Reproducer())
+	}
+	if f.Shrunk == nil {
+		t.Fatalf("failure was not shrunk")
+	}
+	if f.ShrunkViolation.Oracle != "compose" {
+		t.Fatalf("shrinking drifted to oracle %q", f.ShrunkViolation.Oracle)
+	}
+	if n := len(f.Shrunk.Query.Constraints()); n > 3 {
+		t.Fatalf("shrunk reproducer has %d constraints, want <= 3:\n%s", n, f.Reproducer())
+	}
+	if n := len(f.Shrunk.Data); n > 8 {
+		t.Fatalf("shrunk reproducer has %d tuples, want <= 8:\n%s", n, f.Reproducer())
+	}
+}
+
+// TestOracleFilter restricts the harness to a single oracle: the planted
+// compose bug must be invisible to a minimality-only run and caught by a
+// compose-only run.
+func TestOracleFilter(t *testing.T) {
+	blind := New(Options{Plant: PlantBadCompose, Oracle: "minimality"})
+	if rep := blind.Run(1, 40, false); len(rep.Failures) != 0 {
+		t.Fatalf("minimality-only run caught the compose plant:\n%s", rep.Failures[0].Reproducer())
+	}
+	sharp := New(Options{Plant: PlantBadCompose, Oracle: "compose"})
+	rep := sharp.Run(1, 200, false)
+	if len(rep.Failures) == 0 {
+		t.Fatalf("compose-only run missed the planted bug in %d cases", rep.Cases)
+	}
+	if o := rep.Failures[0].Violation.Oracle; o != "compose" {
+		t.Fatalf("compose-only run failed oracle %q", o)
+	}
+}
+
 // TestReplayDeterminism regenerates a failing case from its seed string and
 // demands the identical violation and identical shrunk reproducer.
 func TestReplayDeterminism(t *testing.T) {

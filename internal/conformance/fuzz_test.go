@@ -1,0 +1,95 @@
+package conformance
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/rules"
+)
+
+// assocSalt seeds the third chain hop used by the associativity property.
+const assocSalt = 0xa55c1a7e
+
+// FuzzComposeEquivalence fuzzes the compose oracle over case seeds and, on
+// every case, additionally checks associativity of composition on
+// translation output: with a three-hop chain a→b→d, both (a∘b)∘d and
+// a∘(b∘d) must subsume the truth on the three-hop-extended dataset and be
+// byte-identical to it after filtering with Q.
+func FuzzComposeEquivalence(f *testing.F) {
+	for _, s := range []int64{1, 7, 42, 1001, 31337} {
+		f.Add(s)
+	}
+	h := New(Options{Oracle: "compose"})
+	f.Fuzz(func(t *testing.T, seed int64) {
+		c := NewCase(seed)
+		if v := h.Check(c); v != nil {
+			t.Fatalf("seed %d (%s): %s", seed, c.SeedString(), v)
+		}
+
+		ch2 := chainFor(c)
+		ch3 := ch2.Next(rand.New(rand.NewSource(c.Seed ^ assocSalt)))
+		a, b, d := c.S.Spec, ch2.Spec2, ch3.Spec2
+		ab, err := rules.Compose(a, b)
+		if err != nil {
+			t.Fatalf("seed %d: a∘b: %v", seed, err)
+		}
+		left, err := rules.Compose(ab, d)
+		if err != nil {
+			t.Fatalf("seed %d: (a∘b)∘d: %v", seed, err)
+		}
+		bd, err := rules.Compose(b, d)
+		if err != nil {
+			t.Fatalf("seed %d: b∘d: %v", seed, err)
+		}
+		right, err := rules.Compose(a, bd)
+		if err != nil {
+			t.Fatalf("seed %d: a∘(b∘d): %v", seed, err)
+		}
+
+		rel := engine.NewRelation("d")
+		for _, tu := range c.Data {
+			rel.Tuples = append(rel.Tuples, ch3.Extend(ch2.Extend(tu)))
+		}
+		truth, err := rel.Select(c.Query, c.S.Eval)
+		if err != nil {
+			t.Fatalf("seed %d: truth: %v", seed, err)
+		}
+		want := renderRelation(truth)
+		for _, side := range []struct {
+			name string
+			spec *rules.Spec
+		}{{"(a∘b)∘d", left}, {"a∘(b∘d)", right}} {
+			mapped, err := core.NewTranslator(side.spec).Translate(c.Query, core.AlgTDQM)
+			if err != nil {
+				t.Fatalf("seed %d: translate %s: %v", seed, side.name, err)
+			}
+			sel, err := rel.Select(mapped, c.S.Eval)
+			if err != nil {
+				t.Fatalf("seed %d: eval %s: %v", seed, side.name, err)
+			}
+			for _, tu := range truth.Tuples {
+				found := false
+				for _, got := range sel.Tuples {
+					if got.String() == tu.String() {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("seed %d: %s lost true answer %s\nq = %s\nS(q) = %s",
+						seed, side.name, tu, c.Query, mapped)
+				}
+			}
+			filtered, err := sel.Select(c.Query, c.S.Eval)
+			if err != nil {
+				t.Fatalf("seed %d: filter %s: %v", seed, side.name, err)
+			}
+			if got := renderRelation(filtered); got != want {
+				t.Fatalf("seed %d: %s filtered answer differs from σ_Q(D)\nq = %s\nS(q) = %s",
+					seed, side.name, c.Query, mapped)
+			}
+		}
+	})
+}

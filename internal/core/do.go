@@ -44,6 +44,20 @@ func (t *Translator) Do(ctx context.Context, q *qtree.Node, algorithm string) (R
 	return Result{Mapped: mapped, Filter: filter, Stats: t.Stats.sub(before)}, nil
 }
 
+// Add accumulates d's counters into s, counter-wise. The mediator's chain
+// debug path uses it to sum per-hop translation work into one Stats value
+// comparable with the composed single hop.
+func (s *Stats) Add(d Stats) {
+	s.SCMCalls += d.SCMCalls
+	s.MatchRuns += d.MatchRuns
+	s.MatchingsFound += d.MatchingsFound
+	s.PSafeCalls += d.PSafeCalls
+	s.ProductTerms += d.ProductTerms
+	s.Disjunctivizations += d.Disjunctivizations
+	s.DNFDisjuncts += d.DNFDisjuncts
+	s.RuleAttempts += d.RuleAttempts
+}
+
 // sub returns the counter-wise difference s - prev.
 func (s Stats) sub(prev Stats) Stats {
 	return Stats{

@@ -73,6 +73,16 @@ type Mediator struct {
 	// Stats, metrics, and traces are identical with or without it;
 	// internal/serve wires one in by default.
 	Plan *core.Plan
+	// Chains maps source name → the offline-composed mapping chain behind
+	// that source (see AddChainSource). Translation normally goes through
+	// the single composed spec; ChainDebug replays the original hops.
+	Chains map[string]*ChainSpec
+	// ChainDebug switches chain-backed sources to sequential hop-by-hop
+	// translation through the original specs. Filtered answers are identical
+	// to the composed path's; the branch residue is conservatively Q and
+	// translation does multi-hop work — a differential-checking mode, not a
+	// serving mode.
+	ChainDebug bool
 }
 
 // selectFrom runs a translated query against a source relation, using the
@@ -177,6 +187,15 @@ func (m *Mediator) translate(q *qtree.Node, tracer *obs.Tracer) (*Translation, e
 		cs := q.SimpleConjuncts()
 		exact := qtree.NewConstraintSet()
 		for _, src := range m.Sources {
+			if st, ok, err := m.chainDebugTranslate(src, q, alg, tracer); err != nil {
+				return nil, err
+			} else if ok {
+				// A chain-debug source contributes nothing to the exact set:
+				// per-hop exactness does not decompose per constraint, so its
+				// constraints stay in the filter.
+				out.Sources = append(out.Sources, st)
+				continue
+			}
 			tr := newTranslator(src)
 			startSource(src)
 			res, err := tr.SCM(cs)
@@ -192,6 +211,7 @@ func (m *Mediator) translate(q *qtree.Node, tracer *obs.Tracer) (*Translation, e
 			out.Sources = append(out.Sources, SourceTranslation{
 				Source: src, Query: res.Query, Residue: res.Residue, Stats: tr.Stats,
 			})
+			m.noteComposed(src)
 		}
 		var residual []*qtree.Node
 		for _, c := range cs {
@@ -205,6 +225,13 @@ func (m *Mediator) translate(q *qtree.Node, tracer *obs.Tracer) (*Translation, e
 
 	allExact := true
 	for _, src := range m.Sources {
+		if st, ok, err := m.chainDebugTranslate(src, q, alg, tracer); err != nil {
+			return nil, err
+		} else if ok {
+			allExact = false
+			out.Sources = append(out.Sources, st)
+			continue
+		}
 		tr := newTranslator(src)
 		startSource(src)
 		mapped, residue, err := tr.TranslateWithFilter(q, alg)
@@ -218,6 +245,7 @@ func (m *Mediator) translate(q *qtree.Node, tracer *obs.Tracer) (*Translation, e
 		out.Sources = append(out.Sources, SourceTranslation{
 			Source: src, Query: mapped, Residue: residue, Stats: tr.Stats,
 		})
+		m.noteComposed(src)
 	}
 	if allExact {
 		out.Filter = qtree.True()

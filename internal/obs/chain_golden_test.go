@@ -1,0 +1,146 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/mediator"
+	"repro/internal/obs"
+	"repro/internal/qtree"
+	"repro/internal/workload"
+)
+
+// chainMediator builds a deterministic two-hop chain mediator (workload
+// scenario → chain layer, seed-pinned) and a fixed conjunction over the base
+// vocabulary. With debug set, translation replays the hops sequentially.
+func chainMediator(t *testing.T, debug bool) (*mediator.Mediator, *qtree.Node) {
+	t.Helper()
+	s := workload.New(workload.Config{Indep: 2, Pairs: 1})
+	ch := workload.NewChain(s, rand.New(rand.NewSource(11)))
+	chain, err := mediator.Chain(s.Spec, ch.Spec2)
+	if err != nil {
+		t.Fatalf("Chain: %v", err)
+	}
+	med := mediator.New()
+	med.AddChainSource("chain", chain, s.Eval)
+	med.ChainDebug = debug
+	q := qtree.And(
+		qtree.Leaf(s.Constraint(s.BaseAttrs[0], 0)),
+		qtree.Leaf(s.Constraint(s.BaseAttrs[1], 1)),
+	).Normalize()
+	return med, q
+}
+
+// chainTraceJSON renders the chain translation's span tree, verifying the
+// structural invariants first.
+func chainTraceJSON(t *testing.T, debug bool) []byte {
+	t.Helper()
+	med, q := chainMediator(t, debug)
+	tracer := obs.NewTracer()
+	ctx := obs.WithTracer(t.Context(), tracer)
+	if _, err := med.TranslateContext(ctx, q); err != nil {
+		t.Fatalf("translating: %v", err)
+	}
+	root := tracer.Root()
+	if err := obs.Verify(root); err != nil {
+		t.Fatalf("trace fails invariants: %v", err)
+	}
+	js, err := json.MarshalIndent(root, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(js, '\n')
+}
+
+// TestGoldenChainTraces pins the span trees of the composed one-hop
+// translation and the ChainDebug sequential two-hop replay of the same
+// query. Regenerate deliberately with
+//
+//	go test ./internal/obs/ -run TestGoldenChainTraces -update
+func TestGoldenChainTraces(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		debug bool
+	}{
+		{"chain_composed", false},
+		{"chain_sequential", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := chainTraceJSON(t, tc.debug)
+			again := chainTraceJSON(t, tc.debug)
+			if !bytes.Equal(got, again) {
+				t.Fatalf("chain trace (debug=%v) not deterministic", tc.debug)
+			}
+			path := filepath.Join("testdata", tc.name+".json")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create it)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("trace differs from %s:\n--- got ---\n%s\n--- want ---\n%s\n(re-run with -update if the change is intended)",
+					path, got, want)
+			}
+		})
+	}
+}
+
+// TestChainTraceShapes asserts the structural difference the goldens encode:
+// the sequential replay traces one "source" span per hop (named hop:<spec>)
+// under the source span, while the composed path traces the source span
+// alone — same query, one hop of algorithm work.
+func TestChainTraceShapes(t *testing.T) {
+	shape := func(debug bool) (*obs.Span, []*obs.Span) {
+		med, q := chainMediator(t, debug)
+		tracer := obs.NewTracer()
+		ctx := obs.WithTracer(t.Context(), tracer)
+		if _, err := med.TranslateContext(ctx, q); err != nil {
+			t.Fatal(err)
+		}
+		root := tracer.Root()
+		if err := obs.Verify(root); err != nil {
+			t.Fatalf("debug=%v: %v", debug, err)
+		}
+		return root, root.FindAll(obs.KindSource)
+	}
+
+	_, seqSources := shape(true)
+	var hops []string
+	for _, sp := range seqSources {
+		if strings.HasPrefix(sp.Name, "hop:") {
+			hops = append(hops, sp.Name)
+		}
+	}
+	if len(hops) != 2 {
+		t.Fatalf("sequential trace has %d hop spans, want 2: %v", len(hops), hops)
+	}
+	if !strings.HasPrefix(hops[1], "hop:K_chain") {
+		t.Errorf("second hop span %q does not name the chain spec", hops[1])
+	}
+
+	compRoot, compSources := shape(false)
+	for _, sp := range compSources {
+		if strings.HasPrefix(sp.Name, "hop:") {
+			t.Errorf("composed trace contains hop span %q", sp.Name)
+		}
+	}
+	if len(compSources) != 1 {
+		t.Errorf("composed trace has %d source spans, want 1", len(compSources))
+	}
+	if len(compRoot.FindAll(obs.KindSCM)) == 0 {
+		t.Error("composed trace has no SCM spans")
+	}
+}

@@ -102,6 +102,32 @@ func (m *TranslationMetrics) Disjunctivization(spec string) {
 		"spec", spec).Inc()
 }
 
+// ComposeChainBuilt counts one offline chain composition producing the
+// named composed spec from hops mapping hops.
+func (m *TranslationMetrics) ComposeChainBuilt(spec string, hops int) {
+	if m == nil {
+		return
+	}
+	m.counter("cc\x00"+spec,
+		"qmap_compose_chains_total", "Offline spec-chain compositions performed.",
+		"spec", spec).Inc()
+	m.counter("ch\x00"+spec,
+		"qmap_compose_hops_total", "Mapping hops folded into composed specs.",
+		"spec", spec).Add(uint64(hops))
+}
+
+// ComposeTranslation counts one translation through a composed chain spec.
+// mode is "composed" (single precomposed hop) or "sequential" (the chain
+// debug path that re-translates hop by hop).
+func (m *TranslationMetrics) ComposeTranslation(spec, mode string) {
+	if m == nil {
+		return
+	}
+	m.counter("ct\x00"+spec+"\x00"+mode,
+		"qmap_compose_translations_total", "Translations through composed chain specs.",
+		"spec", spec, "mode", mode).Inc()
+}
+
 // The N-variants below add a precomputed count in one call. core's
 // translation plan records the metric activity of a translation fragment
 // and replays it on a plan hit, so the cumulative counters are identical

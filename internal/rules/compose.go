@@ -1,0 +1,779 @@
+package rules
+
+// Offline spec composition (spec algebra, part 1 of 2 — see contains.go).
+//
+// Compose(a, b) precomposes a two-hop mediation chain mediator→M1→M2 into a
+// single spec K = a∘b: for every rule of a, the rule's emission — the query
+// fragment a would hand to the intermediate vocabulary — is translated
+// through b *at composition time*, so a multi-tier federation pays one
+// translation per request instead of one per hop. The construction follows
+// the rule-level composition of Arenas/Pérez/Reutter/Riveros, "Composition
+// and Inversion of Schema Mappings": treat each source-to-intermediate rule
+// as a dependency, chase its right-hand side with the intermediate-to-target
+// dependencies, and keep the chased head.
+//
+// Mechanically: the emission template of an a-rule mentions variables whose
+// values are only known at request time. We instantiate the template with
+// private *symbolic marker* values (one per emission variable), run the
+// B-side matcher (the same matchRule/SuppressSubmatchings machinery that
+// Algorithm SCM uses) on the marker-instantiated conjunctions of the DNF of
+// the emission, and lift the resulting b-emissions — with markers flowing
+// through them — back into an emission template for the composed rule.
+// Conversion functions of b applied to a marker cannot run at composition
+// time; they are *recorded* as extra let-clauses of the composed rule
+// ("zc1 = b.F(K)") and re-played at request time.
+//
+// Semantics (documented divergence from naive equivalence): per-disjunct,
+// the sequential two-hop translation runs b's matcher on the *conjunction of
+// all of a's emissions* and may therefore find cross-emission matchings that
+// span fragments emitted by two different a-rules. Per-rule composition
+// cannot see those, so the composed translation is a (still subsuming)
+// superset predicate: σ_Q ⊆ σ_sequential ⊆ σ_composed. Both subsume the
+// original query, so after the mediator's residue filter (Section 2, Eq. 3)
+// the final answers are identical — the conformance compose oracle checks
+// exactly this, and the equivalence grid additionally asserts the subset
+// chain on raw pre-filter answers. Exactness is compensated the same way:
+// a composed rule is marked Exact only when the a-rule was exact AND every
+// marker-instantiated constraint of its emission was covered by exact
+// b-matchings in every disjunct; otherwise the constraint stays in the
+// filter.
+//
+// Compose must be *conservative*: whenever the B-side matcher's outcome
+// could depend on the concrete value a marker stands for (value-sensitive
+// literal patterns, value unification across repeated pattern variables,
+// custom conditions inspecting values), composition fails with an error
+// rather than silently producing an unsound spec.
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/qtree"
+)
+
+// symValue is a composition-time placeholder for a request-time value: the
+// emission variable X of an a-rule is instantiated as symValue{"X"} so that
+// b's matcher can bind, unify, and re-emit it without knowing the value.
+// Markers never escape Compose — lifted templates turn them back into
+// emission variables.
+type symValue struct{ name string }
+
+func (s symValue) Kind() string   { return "sym" }
+func (s symValue) String() string { return "?" + s.name }
+func (s symValue) Equal(v qtree.Value) bool {
+	o, ok := v.(symValue)
+	return ok && o.name == s.name
+}
+
+func asSym(v qtree.Value) (symValue, bool) {
+	s, ok := v.(symValue)
+	return s, ok
+}
+
+// ComposeInfo reports what ComposeDetail did, for lint surfaces and the
+// qmap -compose CLI.
+type ComposeInfo struct {
+	// RulesComposed counts a-rules carried into the composed spec.
+	RulesComposed int
+	// ConversionLets counts recorded b-side conversion lets kept after GC.
+	ConversionLets int
+	// ConstLets counts injected constant-closure lets (concrete bound
+	// values that had to be passed into a recorded conversion).
+	ConstLets int
+	// ExactRules counts composed rules that remained exact.
+	ExactRules int
+	// FiredB counts, per b-rule name, how many matchings of that rule
+	// survived suppression while composing. A b-rule absent from the map
+	// was never fired by any composed head — an offline dead rule
+	// (surfaced by LintComposition and qmap -compose).
+	FiredB map[string]int
+}
+
+// Compose precomposes the chain a→b into one equivalent spec targeting
+// b.Target. See the package comment at the top of this file for semantics;
+// errors mean the pair is not composable offline (the outcome would depend
+// on request-time values) and the chain must keep translating sequentially.
+func Compose(a, b *Spec) (*Spec, error) {
+	s, _, err := composeSpecs(a, b, false)
+	return s, err
+}
+
+// ComposeDetail is Compose plus a report of the composition.
+func ComposeDetail(a, b *Spec) (*Spec, *ComposeInfo, error) {
+	return composeSpecs(a, b, false)
+}
+
+// ComposeTightened is a deliberately unsound compose variant used by the
+// conformance harness's planted-bug mode (cmd/qcheck -plant badcompose):
+// it rewrites prefix (starts) selections in the mapped emissions into
+// equalities, producing a composed spec that is too tight and misses
+// answers. The compose oracle must catch it and shrink to a small witness.
+func ComposeTightened(a, b *Spec) (*Spec, error) {
+	s, _, err := composeSpecs(a, b, true)
+	return s, err
+}
+
+func composeSpecs(a, b *Spec, tighten bool) (*Spec, *ComposeInfo, error) {
+	if a == nil || b == nil {
+		return nil, nil, fmt.Errorf("rules: Compose requires two specifications")
+	}
+	c := newComposer(a, b, tighten)
+	out := make([]*Rule, 0, len(a.Rules))
+	for _, ra := range a.Rules {
+		rc, err := c.composeRule(ra)
+		if err != nil {
+			return nil, nil, fmt.Errorf("rules: compose %s∘%s: rule %s: %w", a.Name, b.Name, ra.Name, err)
+		}
+		out = append(out, rc)
+	}
+	spec, err := NewSpec(a.Name+"∘"+b.Name, b.Target, c.reg, out...)
+	if err != nil {
+		return nil, nil, fmt.Errorf("rules: compose %s∘%s: %w", a.Name, b.Name, err)
+	}
+	return spec, c.info, nil
+}
+
+// composer carries the per-composition state: the merged registry of the
+// composed spec, the shadow registry that intercepts b's functions during
+// marker matching, and the lets recorded for the rule being composed.
+type composer struct {
+	a, b    *Spec
+	reg     *Registry // composed spec's registry: a's entries + b-aliases + const closures
+	shadow  *Registry // b's registry with conds/actions wrapped for marker safety
+	tighten bool
+	info    *ComposeInfo
+
+	// err is a side channel for fatal errors raised inside wrapped action
+	// functions: finishMatch treats an ActionFunc error as "conversion
+	// inapplicable" and silently drops the matching, which would turn a
+	// compose-time soundness violation into a silently-too-tight spec.
+	// Wrapped actions therefore record fatal errors here, and composeRule
+	// checks the channel after every matchRule call.
+	err error
+
+	// Per-rule recording state, reset by beginRule.
+	lets    []LetClause
+	letMemo map[string]string // "fn(arg,arg)" -> output var, dedups recorded lets
+	avoid   map[string]bool   // variable names taken in the rule being composed
+	seq     int               // fresh-variable counter (monotonic across rules)
+
+	aliased  map[string]string // b action name -> alias in c.reg
+	constFns map[string]string // const value key -> zero-arg closure name in c.reg
+}
+
+func newComposer(a, b *Spec, tighten bool) *composer {
+	reg := NewRegistry()
+	for k, v := range a.Reg.conds {
+		reg.conds[k] = v
+	}
+	for k, v := range a.Reg.actions {
+		reg.actions[k] = v
+	}
+	for k, v := range a.Reg.kinds {
+		reg.kinds[k] = v
+	}
+	c := &composer{
+		a: a, b: b, reg: reg, tighten: tighten,
+		aliased:  make(map[string]string),
+		constFns: make(map[string]string),
+		info:     &ComposeInfo{FiredB: make(map[string]int)},
+	}
+	c.buildShadow()
+	return c
+}
+
+// buildShadow wraps b's registry so that marker values flow through the
+// matcher safely: built-in conditions only inspect binding kinds (a marker
+// is an ordinary BindValue), custom conditions fail composition when handed
+// a marker (their request-time outcome is unknowable), and actions applied
+// to a marker are recorded as lets instead of being executed.
+func (c *composer) buildShadow() {
+	sh := &Registry{
+		conds:   make(map[string]CondFunc),
+		actions: make(map[string]ActionFunc),
+		kinds:   make(map[string]BoundKind),
+	}
+	for name, fn := range c.b.Reg.conds {
+		switch name {
+		case "Value", "IsAttr", "OneOf", "DistinctIndex":
+			// The builtins dispatch on binding kind and attribute/name
+			// structure only, which markers carry faithfully: Value(marker)
+			// is true, OneOf(marker, ...) is false, exactly as they would
+			// answer for the concrete value at request time.
+			sh.conds[name] = fn
+		default:
+			sh.conds[name] = c.wrapCond(name, fn)
+		}
+	}
+	for name, fn := range c.b.Reg.actions {
+		sh.actions[name] = c.wrapAction(name, fn)
+	}
+	for name, k := range c.b.Reg.kinds {
+		sh.kinds[name] = k
+	}
+	c.shadow = sh
+}
+
+// fail records a fatal composition error on the side channel (see
+// composer.err) and returns it for the immediate caller.
+func (c *composer) fail(err error) error {
+	if c.err == nil {
+		c.err = err
+	}
+	return err
+}
+
+func (c *composer) takeErr() error {
+	err := c.err
+	c.err = nil
+	return err
+}
+
+// wrapCond makes a custom b-condition marker-safe: if any argument is bound
+// to a symbolic value the condition's request-time outcome is unknowable
+// (answering true would over-fire b-rules and could wrongly mark constraints
+// exact; answering false would under-fire them and lose answers), so the
+// composition must fail. Condition errors propagate out of matchRule
+// directly, no side channel needed.
+func (c *composer) wrapCond(name string, fn CondFunc) CondFunc {
+	return func(b Binding, args []string) (bool, error) {
+		for _, a := range args {
+			v, ok := b[a]
+			if !ok || v.Kind != BindValue {
+				continue
+			}
+			if _, isSym := asSym(v.Val); isSym {
+				return false, fmt.Errorf("condition %s inspects a request-time value (argument %s); the pair is not composable offline", name, a)
+			}
+		}
+		return fn(b, args)
+	}
+}
+
+// wrapAction intercepts b's conversion functions. Calls whose arguments are
+// all concrete run the real function (constant folding). Calls involving a
+// marker are recorded as a let-clause of the composed rule and return a
+// fresh marker standing for the let's result — which requires the function's
+// result kind to be declared BindValue via RegisterActionKind, since the
+// recorded let must produce an emission value at request time.
+func (c *composer) wrapAction(name string, fn ActionFunc) ActionFunc {
+	return func(b Binding, args []string) (BoundVal, error) {
+		symbolic := false
+		for _, a := range args {
+			if isLiteralArg(a) {
+				continue
+			}
+			if v, ok := b[a]; ok && v.Kind == BindValue {
+				if _, isSym := asSym(v.Val); isSym {
+					symbolic = true
+					break
+				}
+			}
+		}
+		if !symbolic {
+			return fn(b, args)
+		}
+		if k, ok := c.b.Reg.ActionKind(name); !ok || k != BindValue {
+			return BoundVal{}, c.fail(fmt.Errorf("function %s is applied to a request-time value but has no declared value result kind; declare it with RegisterActionKind(%q, BindValue)", name, name))
+		}
+		mapped := make([]string, len(args))
+		for i, a := range args {
+			if isLiteralArg(a) {
+				mapped[i] = a
+				continue
+			}
+			v, ok := b[a]
+			if !ok {
+				return BoundVal{}, c.fail(fmt.Errorf("function %s: argument %s unbound", name, a))
+			}
+			if v.Kind == BindValue {
+				if s, isSym := asSym(v.Val); isSym {
+					mapped[i] = s.name
+					continue
+				}
+			}
+			// A concrete bound value (e.g. a b-pattern matched a literal
+			// emitted by a). It has no name in the composed rule's scope, so
+			// inject a zero-arg constant closure let to carry it.
+			mapped[i] = c.constLet(v)
+		}
+		alias := c.alias(name, fn)
+		key := alias + "(" + strings.Join(mapped, ",") + ")"
+		if out, ok := c.letMemo[key]; ok {
+			return ValueOf(symValue{name: out}), nil
+		}
+		out := c.freshVar()
+		c.lets = append(c.lets, LetClause{Var: out, Func: alias, Args: mapped})
+		c.letMemo[key] = out
+		return ValueOf(symValue{name: out}), nil
+	}
+}
+
+// alias registers b's action function in the composed registry under a
+// "b."-prefixed name (a's own functions keep their names; collisions get a
+// numeric suffix) and returns the alias.
+func (c *composer) alias(name string, fn ActionFunc) string {
+	if al, ok := c.aliased[name]; ok {
+		return al
+	}
+	al := "b." + name
+	for i := 2; ; i++ {
+		if _, exists := c.reg.actions[al]; !exists {
+			break
+		}
+		al = fmt.Sprintf("b%d.%s", i, name)
+	}
+	c.reg.actions[al] = fn
+	c.reg.kinds[al] = BindValue
+	c.aliased[name] = al
+	return al
+}
+
+// constLet carries a concrete bound value into the composed rule's scope as
+// a zero-argument closure let, returning the let's variable. Closures are
+// shared across rules; lets are memoized per rule.
+func (c *composer) constLet(v BoundVal) string {
+	key := fmt.Sprintf("%d|%s", v.Kind, v.String())
+	fnName, ok := c.constFns[key]
+	if !ok {
+		fnName = fmt.Sprintf("b.const%d", len(c.constFns))
+		cv := v
+		c.reg.actions[fnName] = func(Binding, []string) (BoundVal, error) { return cv, nil }
+		c.reg.kinds[fnName] = cv.Kind
+		c.constFns[key] = fnName
+	}
+	memoKey := fnName + "()"
+	if out, ok := c.letMemo[memoKey]; ok {
+		return out
+	}
+	out := c.freshVar()
+	c.lets = append(c.lets, LetClause{Var: out, Func: fnName})
+	c.letMemo[memoKey] = out
+	return out
+}
+
+func (c *composer) freshVar() string {
+	for {
+		c.seq++
+		name := fmt.Sprintf("zc%d", c.seq)
+		if !c.avoid[name] {
+			c.avoid[name] = true
+			return name
+		}
+	}
+}
+
+func (c *composer) beginRule(ra *Rule) {
+	c.lets = nil
+	c.letMemo = make(map[string]string)
+	c.avoid = make(map[string]bool)
+	for v := range ra.patternVars() {
+		c.avoid[v] = true
+	}
+	for _, l := range ra.Lets {
+		c.avoid[l.Var] = true
+	}
+}
+
+// composeRule translates one a-rule's emission through b and returns the
+// composed rule: a's head (patterns + conds + lets) with the lifted b-side
+// emission and the recorded conversion lets appended.
+func (c *composer) composeRule(ra *Rule) (*Rule, error) {
+	kinds := emissionVarKinds(ra, c.a.Reg)
+	if err := checkComposable(ra.Emit, kinds); err != nil {
+		return nil, err
+	}
+	c.beginRule(ra)
+
+	// Instantiate the emission template with a marker per emission variable.
+	bind := make(Binding)
+	emitVars := make(map[string]bool)
+	collectEmitValueVars(ra.Emit, emitVars)
+	for v := range emitVars {
+		bind[v] = ValueOf(symValue{name: v})
+	}
+	em, err := ra.Emit.Instantiate(bind)
+	if err != nil {
+		return nil, err
+	}
+
+	mapped, exact, err := c.translate(em)
+	if err != nil {
+		return nil, err
+	}
+	if c.tighten {
+		mapped = tightenStarts(mapped)
+	}
+	tmpl, err := liftTemplate(mapped)
+	if err != nil {
+		return nil, err
+	}
+
+	kept := gcLets(c.lets, tmpl)
+	for _, l := range kept {
+		if strings.HasPrefix(l.Func, "b.const") {
+			c.info.ConstLets++
+		} else {
+			c.info.ConversionLets++
+		}
+	}
+	lets := make([]LetClause, 0, len(ra.Lets)+len(kept))
+	lets = append(lets, ra.Lets...)
+	lets = append(lets, kept...)
+
+	out := &Rule{
+		Name:     ra.Name,
+		Patterns: append([]ConstraintPat(nil), ra.Patterns...),
+		Conds:    append([]CondRef(nil), ra.Conds...),
+		Lets:     lets,
+		Emit:     tmpl,
+		Exact:    ra.Exact && exact,
+	}
+	if out.Exact {
+		c.info.ExactRules++
+	}
+	c.info.RulesComposed++
+	return out, nil
+}
+
+// translate maps a marker-instantiated emission through b: DNF-convert, map
+// each simple conjunction with the SCM matching core, and re-assemble the
+// disjunction. It mirrors Algorithm DNF over b (the emission trees rules
+// produce are tiny, so the baseline conversion is fine here; the request-time
+// hot path still runs TDQM — composition happens once, offline).
+func (c *composer) translate(n *qtree.Node) (*qtree.Node, bool, error) {
+	n = n.Normalize()
+	if n.IsTrue() {
+		return qtree.True(), true, nil
+	}
+	disjuncts := qtree.ToDNF(n).Disjuncts()
+	outs := make([]*qtree.Node, 0, len(disjuncts))
+	exact := true
+	for _, d := range disjuncts {
+		m, ex, err := c.mapConjunction(d)
+		if err != nil {
+			return nil, false, err
+		}
+		outs = append(outs, m)
+		exact = exact && ex
+	}
+	if len(outs) == 1 {
+		return outs[0], exact, nil
+	}
+	return qtree.Or(outs...).Normalize(), exact, nil
+}
+
+// mapConjunction is SCM over one marker-bearing simple conjunction: find all
+// b-matchings, suppress submatchings, conjoin the surviving emissions. The
+// boolean result reports whether every constraint was covered by exact
+// matchings (the condition for the composed rule to stay exact).
+func (c *composer) mapConjunction(d *qtree.Node) (*qtree.Node, bool, error) {
+	if d.IsTrue() {
+		return qtree.True(), true, nil
+	}
+	cs := d.SimpleConjuncts()
+	if err := c.soundnessScan(cs); err != nil {
+		return nil, false, err
+	}
+	var ms []*Matching
+	for _, r := range c.b.Rules {
+		rms, err := matchRule(r, cs, c.shadow)
+		if err != nil {
+			return nil, false, err
+		}
+		if err := c.takeErr(); err != nil {
+			return nil, false, err
+		}
+		ms = append(ms, rms...)
+	}
+	ms = SuppressSubmatchings(ms)
+
+	exactCover := qtree.NewConstraintSet()
+	ems := make([]*qtree.Node, 0, len(ms))
+	for _, m := range ms {
+		ems = append(ems, m.Emission)
+		c.info.FiredB[m.Rule.Name]++
+		if m.Rule.Exact {
+			exactCover.AddAll(m.Set)
+		}
+	}
+	exact := true
+	for _, con := range cs {
+		if !exactCover.Has(con) {
+			exact = false
+			break
+		}
+	}
+	return qtree.And(ems...).Normalize(), exact, nil
+}
+
+// soundnessScan rejects compositions whose b-side matching outcome depends
+// on the concrete value a marker stands for. Two hazards:
+//
+//  1. A b-pattern with a literal right-hand side ([attr = "val"]) matches a
+//     marker constraint or not depending on the request-time value — the
+//     marker matcher would always reject it (markers never Equal literals),
+//     silently losing the b-rule for exactly the requests it applies to.
+//  2. A b-rule repeating a value variable across patterns unifies two
+//     constraints' values; with distinct markers unification fails at
+//     composition time but might succeed at request time.
+//
+// Both are detected structurally: the scan errs whenever such a pattern is
+// feasible for a marker constraint modulo the value itself.
+func (c *composer) soundnessScan(cs []*qtree.Constraint) error {
+	for _, con := range cs {
+		if con.IsJoin() {
+			continue
+		}
+		sv, ok := asSym(con.Val)
+		if !ok {
+			continue
+		}
+		for _, r := range c.b.Rules {
+			counts := make(map[string]int)
+			for _, p := range r.Patterns {
+				if p.RHS.Var != "" {
+					counts[p.RHS.Var]++
+				}
+			}
+			for _, p := range r.Patterns {
+				if !structurallyFeasible(p, con) {
+					continue
+				}
+				if p.RHS.Lit != nil {
+					return fmt.Errorf("pattern %s of rule %s matches on the constant value, which is unknown at composition time (variable %s); the pair is not composable offline", p, r.Name, sv.name)
+				}
+				if p.RHS.Var != "" && counts[p.RHS.Var] > 1 {
+					return fmt.Errorf("rule %s repeats value variable %s across patterns; unification with the request-time value of %s cannot be decided at composition time", r.Name, p.RHS.Var, sv.name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// structurallyFeasible mirrors quickReject minus the literal value-equality
+// clause: could this pattern match this (selection) constraint for SOME
+// request-time value?
+func structurallyFeasible(p ConstraintPat, c *qtree.Constraint) bool {
+	if p.OpVar == "" && p.Op != c.Op {
+		return false
+	}
+	a := p.Attr
+	if a.WholeVar == "" {
+		if a.ViewVar == "" && a.View != c.Attr.View {
+			return false
+		}
+		if a.NameVar == "" && a.Name != c.Attr.Name {
+			return false
+		}
+		if a.Rel != "" && a.Rel != c.Attr.Rel {
+			return false
+		}
+	}
+	if p.RHS.Attr != nil {
+		return false // c is a selection
+	}
+	return true
+}
+
+// emissionVarKinds types the variables an a-rule's emission may mention:
+// structural pattern variables, condition-narrowed variables, and
+// let-defined variables with declared result kinds.
+func emissionVarKinds(r *Rule, reg *Registry) map[string]BoundKind {
+	kinds := make(map[string]BoundKind)
+	addAttr := func(a AttrPat) {
+		if a.WholeVar != "" {
+			kinds[a.WholeVar] = BindAttr
+		}
+		if a.ViewVar != "" {
+			kinds[a.ViewVar] = BindName
+		}
+		if a.IndexVar != "" {
+			kinds[a.IndexVar] = BindIndex
+		}
+		if a.NameVar != "" {
+			kinds[a.NameVar] = BindName
+		}
+	}
+	for _, p := range r.Patterns {
+		addAttr(p.Attr)
+		if p.OpVar != "" {
+			kinds[p.OpVar] = BindName
+		}
+		if p.RHS.Attr != nil {
+			addAttr(*p.RHS.Attr)
+		}
+		// p.RHS.Var stays untyped here: it binds a value on selections but
+		// an attribute on joins. A Value(X)/IsAttr(X) condition narrows it.
+	}
+	for _, c := range r.Conds {
+		if len(c.Args) != 1 {
+			continue
+		}
+		switch c.Name {
+		case "Value":
+			kinds[c.Args[0]] = BindValue
+		case "IsAttr":
+			kinds[c.Args[0]] = BindAttr
+		}
+	}
+	for _, l := range r.Lets {
+		if k, ok := reg.ActionKind(l.Func); ok {
+			kinds[l.Var] = k
+		}
+	}
+	return kinds
+}
+
+// checkComposable verifies an a-rule emission template can be instantiated
+// symbolically: attributes must be literal (the intermediate vocabulary is
+// fixed at composition time) and every value position must be a literal or a
+// variable statically known to carry a value.
+func checkComposable(e *EmitNode, kinds map[string]BoundKind) error {
+	switch e.Kind {
+	case qtree.KindTrue:
+		return nil
+	case qtree.KindLeaf:
+		p := e.Pat
+		if p.OpVar != "" {
+			return fmt.Errorf("emission operator variable %s is not statically known; only literal-operator emissions compose", p.OpVar)
+		}
+		if err := attrGround(p.Attr); err != nil {
+			return err
+		}
+		if p.RHS.Attr != nil {
+			return attrGround(*p.RHS.Attr)
+		}
+		if v := p.RHS.Var; v != "" {
+			k, ok := kinds[v]
+			if !ok {
+				return fmt.Errorf("emission variable %s has no statically known kind; add a Value(%s) condition or declare its producing function with RegisterActionKind", v, v)
+			}
+			if k != BindValue {
+				return fmt.Errorf("emission variable %s is not value-kinded; only value emissions compose symbolically", v)
+			}
+		}
+		return nil
+	case qtree.KindAnd, qtree.KindOr:
+		for _, k := range e.Kids {
+			if err := checkComposable(k, kinds); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown emission node kind %d", e.Kind)
+	}
+}
+
+func attrGround(a AttrPat) error {
+	if a.WholeVar != "" || a.ViewVar != "" || a.IndexVar != "" || a.NameVar != "" {
+		return fmt.Errorf("emission attribute %s contains variables; only literal-attribute emissions compose", a.String())
+	}
+	return nil
+}
+
+// collectEmitValueVars gathers the RHS value variables of an emission
+// template into out.
+func collectEmitValueVars(e *EmitNode, out map[string]bool) {
+	switch e.Kind {
+	case qtree.KindLeaf:
+		if e.Pat.RHS.Var != "" {
+			out[e.Pat.RHS.Var] = true
+		}
+	case qtree.KindAnd, qtree.KindOr:
+		for _, k := range e.Kids {
+			collectEmitValueVars(k, out)
+		}
+	}
+}
+
+// liftTemplate turns a mapped (marker-bearing) query tree back into an
+// emission template: markers become emission variables, concrete values
+// become literals, joins become attribute terms.
+func liftTemplate(n *qtree.Node) (*EmitNode, error) {
+	switch n.Kind {
+	case qtree.KindTrue:
+		return EmitTrue(), nil
+	case qtree.KindLeaf:
+		con := n.C
+		if con.Attr.Index != 0 {
+			return nil, fmt.Errorf("mapped emission attribute %s carries a view index, which emission templates cannot express", con.Attr)
+		}
+		ap := LitAttr(con.Attr)
+		if con.IsJoin() {
+			if con.RAttr.Index != 0 {
+				return nil, fmt.Errorf("mapped emission attribute %s carries a view index, which emission templates cannot express", con.RAttr)
+			}
+			return EmitLeaf(ConstraintPat{Attr: ap, Op: con.Op, RHS: AttrTerm(LitAttr(*con.RAttr))}), nil
+		}
+		if s, ok := asSym(con.Val); ok {
+			return EmitLeaf(ConstraintPat{Attr: ap, Op: con.Op, RHS: VarTerm(s.name)}), nil
+		}
+		return EmitLeaf(ConstraintPat{Attr: ap, Op: con.Op, RHS: LitTerm(con.Val)}), nil
+	case qtree.KindAnd, qtree.KindOr:
+		kids := make([]*EmitNode, len(n.Kids))
+		for i, k := range n.Kids {
+			e, err := liftTemplate(k)
+			if err != nil {
+				return nil, err
+			}
+			kids[i] = e
+		}
+		if n.Kind == qtree.KindAnd {
+			return EmitAnd(kids...), nil
+		}
+		return EmitOr(kids...), nil
+	default:
+		return nil, fmt.Errorf("unknown query node kind %d in mapped emission", n.Kind)
+	}
+}
+
+// gcLets keeps only the recorded lets the lifted template (transitively)
+// references, in their original order. Lets recorded for matchings that were
+// later suppressed or for disjuncts whose markers didn't survive are pruned.
+func gcLets(lets []LetClause, tmpl *EmitNode) []LetClause {
+	needed := make(map[string]bool)
+	collectEmitValueVars(tmpl, needed)
+	kept := make([]LetClause, 0, len(lets))
+	for i := len(lets) - 1; i >= 0; i-- {
+		l := lets[i]
+		if !needed[l.Var] {
+			continue
+		}
+		for _, a := range l.Args {
+			if !isLiteralArg(a) {
+				needed[a] = true
+			}
+		}
+		kept = append(kept, l)
+	}
+	for i, j := 0, len(kept)-1; i < j; i, j = i+1, j-1 {
+		kept[i], kept[j] = kept[j], kept[i]
+	}
+	return kept
+}
+
+// tightenStarts is the planted-bug rewrite behind ComposeTightened: prefix
+// selections become equalities, making the composed spec unsoundly tight.
+func tightenStarts(n *qtree.Node) *qtree.Node {
+	switch n.Kind {
+	case qtree.KindLeaf:
+		if !n.C.IsJoin() && n.C.Op == qtree.OpStarts {
+			return qtree.Leaf(qtree.Sel(n.C.Attr, qtree.OpEq, n.C.Val))
+		}
+		return n
+	case qtree.KindAnd, qtree.KindOr:
+		kids := make([]*qtree.Node, len(n.Kids))
+		for i, k := range n.Kids {
+			kids[i] = tightenStarts(k)
+		}
+		if n.Kind == qtree.KindAnd {
+			return qtree.And(kids...)
+		}
+		return qtree.Or(kids...)
+	default:
+		return n
+	}
+}

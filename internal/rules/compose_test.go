@@ -1,0 +1,347 @@
+package rules_test
+
+// Differential tests for the spec algebra: composed chains against the
+// sequential two-hop translation on random workloads, associativity of
+// composition, containment soundness probes, and the Compiled()/Plan
+// interaction satellites. The heavyweight 40-seed × option grid lives in
+// internal/conformance; these are the rules-level checks.
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/qtree"
+	"repro/internal/rules"
+	"repro/internal/workload"
+)
+
+func chainScenario(t *testing.T, seed int64) (*workload.Scenario, *workload.ChainScenario) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	s := workload.New(workload.Config{
+		Indep:        1 + rng.Intn(3),
+		Pairs:        1 + rng.Intn(2),
+		InexactPairs: rng.Intn(2),
+		Triples:      rng.Intn(2),
+	})
+	ch := workload.NewChain(s, rng)
+	return s, ch
+}
+
+func render(r *engine.Relation) string {
+	lines := make([]string, 0, len(r.Tuples))
+	for _, tu := range r.Tuples {
+		lines = append(lines, tu.String())
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+func renderSet(r *engine.Relation) map[string]bool {
+	out := make(map[string]bool, len(r.Tuples))
+	for _, tu := range r.Tuples {
+		out[tu.String()] = true
+	}
+	return out
+}
+
+func subsetOf(sub, super map[string]bool) bool {
+	for k := range sub {
+		if !super[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func translate(t *testing.T, spec *rules.Spec, q *qtree.Node) *qtree.Node {
+	t.Helper()
+	out, err := core.NewTranslator(spec).Translate(q, core.AlgTDQM)
+	if err != nil {
+		t.Fatalf("translate with %s: %v", spec.Name, err)
+	}
+	return out
+}
+
+func mustSelect(t *testing.T, r *engine.Relation, q *qtree.Node, ev *engine.Evaluator) *engine.Relation {
+	t.Helper()
+	out, err := r.Select(q, ev)
+	if err != nil {
+		t.Fatalf("select: %v", err)
+	}
+	return out
+}
+
+// TestComposeChainDifferential checks the core compose contract on random
+// chains: the composed one-hop translation subsumes the original query, is
+// weaker than (a superset of) the sequential two-hop translation, and after
+// filtering with the original query yields byte-identical answers equal to
+// ground truth.
+func TestComposeChainDifferential(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		s, ch := chainScenario(t, seed)
+		composed, info, err := rules.ComposeDetail(s.Spec, ch.Spec2)
+		if err != nil {
+			t.Fatalf("seed %d: compose: %v", seed, err)
+		}
+		if info.RulesComposed != len(s.Spec.Rules) {
+			t.Fatalf("seed %d: composed %d of %d rules", seed, info.RulesComposed, len(s.Spec.Rules))
+		}
+
+		rng := rand.New(rand.NewSource(seed * 7919))
+		rel := ch.ExtendRelation(s.Relation("universe", rng, 40))
+
+		for i := 0; i < 8; i++ {
+			q := s.RandomQuery(rng, workload.DefaultQueryConfig())
+			truth := mustSelect(t, rel, q, s.Eval)
+
+			seq := translate(t, ch.Spec2, translate(t, s.Spec, q))
+			comp := translate(t, composed, q)
+
+			selSeq := mustSelect(t, rel, seq, s.Eval)
+			selComp := mustSelect(t, rel, comp, s.Eval)
+
+			truthSet, seqSet, compSet := renderSet(truth), renderSet(selSeq), renderSet(selComp)
+			if !subsetOf(truthSet, seqSet) {
+				t.Fatalf("seed %d query %s: sequential translation lost answers", seed, q)
+			}
+			if !subsetOf(truthSet, compSet) {
+				t.Fatalf("seed %d query %s: composed translation lost answers", seed, q)
+			}
+			if !subsetOf(seqSet, compSet) {
+				t.Fatalf("seed %d query %s: composed is not a superset of sequential", seed, q)
+			}
+
+			fSeq := render(mustSelect(t, selSeq, q, s.Eval))
+			fComp := render(mustSelect(t, selComp, q, s.Eval))
+			if fSeq != fComp {
+				t.Fatalf("seed %d query %s: filtered answers diverge\nseq:\n%s\ncomposed:\n%s", seed, q, fSeq, fComp)
+			}
+			if fSeq != render(truth) {
+				t.Fatalf("seed %d query %s: filtered answers != truth", seed, q)
+			}
+		}
+	}
+}
+
+// TestComposeAssociativity checks Compose(Compose(a,b),c) against
+// Compose(a,Compose(b,c)) on 3-hop chains: both orders must produce
+// subsuming translations with byte-identical filtered answers.
+func TestComposeAssociativity(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		s, ch2 := chainScenario(t, seed)
+		rng := rand.New(rand.NewSource(seed ^ 0x5ca1e))
+		ch3 := ch2.Next(rng)
+
+		ab, err := rules.Compose(s.Spec, ch2.Spec2)
+		if err != nil {
+			t.Fatalf("seed %d: a∘b: %v", seed, err)
+		}
+		left, err := rules.Compose(ab, ch3.Spec2)
+		if err != nil {
+			t.Fatalf("seed %d: (a∘b)∘c: %v", seed, err)
+		}
+		bc, err := rules.Compose(ch2.Spec2, ch3.Spec2)
+		if err != nil {
+			t.Fatalf("seed %d: b∘c: %v", seed, err)
+		}
+		right, err := rules.Compose(s.Spec, bc)
+		if err != nil {
+			t.Fatalf("seed %d: a∘(b∘c): %v", seed, err)
+		}
+
+		rel := ch3.ExtendRelation(ch2.ExtendRelation(s.Relation("universe", rng, 40)))
+		for i := 0; i < 6; i++ {
+			q := s.RandomQuery(rng, workload.DefaultQueryConfig())
+			truth := mustSelect(t, rel, q, s.Eval)
+
+			selL := mustSelect(t, rel, translate(t, left, q), s.Eval)
+			selR := mustSelect(t, rel, translate(t, right, q), s.Eval)
+			if !subsetOf(renderSet(truth), renderSet(selL)) || !subsetOf(renderSet(truth), renderSet(selR)) {
+				t.Fatalf("seed %d query %s: associativity variant lost answers", seed, q)
+			}
+			fL := render(mustSelect(t, selL, q, s.Eval))
+			fR := render(mustSelect(t, selR, q, s.Eval))
+			if fL != fR || fL != render(truth) {
+				t.Fatalf("seed %d query %s: (a∘b)∘c and a∘(b∘c) filtered answers diverge from truth", seed, q)
+			}
+		}
+	}
+}
+
+// TestComposeInfoFiredB checks the offline dead-rule report: pair-group
+// joint rules need two targets in one conjunction, which per-rule
+// composition never produces, so they must be absent from FiredB.
+func TestComposeInfoFiredB(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		s, ch := chainScenario(t, seed)
+		_, info, err := rules.ComposeDetail(s.Spec, ch.Spec2)
+		if err != nil {
+			t.Fatalf("seed %d: compose: %v", seed, err)
+		}
+		if len(info.FiredB) == 0 {
+			t.Fatalf("seed %d: no b-rules fired during composition", seed)
+		}
+		for _, g := range ch.Groups {
+			if g.Kind != workload.ChainPair {
+				continue
+			}
+			joint := "C_" + g.U + "_joint"
+			if info.FiredB[joint] != 0 {
+				t.Fatalf("seed %d: joint rule %s fired during per-rule composition", seed, joint)
+			}
+		}
+	}
+}
+
+// TestComposeTightenedDiverges sanity-checks the planted-bug variant: the
+// tightened composition must lose answers on some chain (the conformance
+// harness asserts the oracle catches and shrinks it).
+func TestComposeTightenedDiverges(t *testing.T) {
+	diverged := false
+	for seed := int64(1); seed <= 30 && !diverged; seed++ {
+		s, ch := chainScenario(t, seed)
+		good, err := rules.Compose(s.Spec, ch.Spec2)
+		if err != nil {
+			t.Fatalf("seed %d: compose: %v", seed, err)
+		}
+		bad, err := rules.ComposeTightened(s.Spec, ch.Spec2)
+		if err != nil {
+			t.Fatalf("seed %d: tightened compose: %v", seed, err)
+		}
+		rng := rand.New(rand.NewSource(seed * 31337))
+		rel := ch.ExtendRelation(s.Relation("universe", rng, 60))
+		for i := 0; i < 10; i++ {
+			q := s.RandomQuery(rng, workload.DefaultQueryConfig())
+			selGood := mustSelect(t, rel, translate(t, good, q), s.Eval)
+			selBad := mustSelect(t, rel, translate(t, bad, q), s.Eval)
+			if render(selGood) != render(selBad) {
+				diverged = true
+				break
+			}
+		}
+	}
+	if !diverged {
+		t.Fatal("ComposeTightened never diverged from Compose; the planted bug is unreachable")
+	}
+}
+
+// TestContainsStructural checks the structural containment verdicts:
+// dropping rules from a spec makes it weaker, so the reduced spec contains
+// the full one, and (with a non-trivial dropped rule) not vice versa.
+func TestContainsStructural(t *testing.T) {
+	s, _ := chainScenario(t, 3)
+	full := s.Spec
+	if !rules.Contains(full, full) {
+		t.Fatal("spec does not contain itself")
+	}
+	reduced := rules.MustSpec("K_reduced", full.Target, full.Reg, full.Rules[:len(full.Rules)-1]...)
+	if !rules.Contains(reduced, full) {
+		t.Fatal("rule-subset spec must contain the full spec (fewer conjuncts = weaker)")
+	}
+	ok, report := rules.ContainsReport(full, reduced)
+	if ok {
+		t.Fatal("full spec should not contain the reduced one (dropped rule is uncovered)")
+	}
+	if len(report) == 0 {
+		t.Fatal("ContainsReport returned no diagnostics for a failed containment")
+	}
+}
+
+// TestContainsExecuteAndCheck probes containment soundness: whenever
+// Contains(a, b) reports true, no query on random data may produce a
+// b-answer outside a's.
+func TestContainsExecuteAndCheck(t *testing.T) {
+	for seed := int64(1); seed <= 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := workload.New(workload.Config{
+			Indep:        1 + rng.Intn(2),
+			Pairs:        1 + rng.Intn(2),
+			InexactPairs: rng.Intn(2),
+			Triples:      rng.Intn(2),
+		})
+		full := s.Spec
+		// Random rule-subset spec: always weaker than the full one.
+		var kept []*rules.Rule
+		for _, r := range full.Rules {
+			if rng.Float64() < 0.7 {
+				kept = append(kept, r)
+			}
+		}
+		if len(kept) == 0 {
+			kept = full.Rules[:1]
+		}
+		sub := rules.MustSpec("K_sub", full.Target, full.Reg, kept...)
+
+		for _, pair := range [][2]*rules.Spec{{sub, full}, {full, sub}, {full, full}} {
+			a, b := pair[0], pair[1]
+			if !rules.Contains(a, b) {
+				continue
+			}
+			rel := s.Relation("universe", rng, 40)
+			for i := 0; i < 5; i++ {
+				q := s.RandomQuery(rng, workload.DefaultQueryConfig())
+				selA := mustSelect(t, rel, translate(t, a, q), s.Eval)
+				selB := mustSelect(t, rel, translate(t, b, q), s.Eval)
+				if !subsetOf(renderSet(selB), renderSet(selA)) {
+					t.Fatalf("seed %d: Contains(%s,%s) holds but a %s-answer escaped %s on %s",
+						seed, a.Name, b.Name, b.Name, a.Name, q)
+				}
+			}
+		}
+		// The trivial sanity on every seed: sub ⊆ full must be provable.
+		if !rules.Contains(sub, full) {
+			t.Fatalf("seed %d: structural containment missed the rule-subset witness", seed)
+		}
+	}
+}
+
+// TestComposeAfterCompiled covers the Spec.Compiled() interaction satellite:
+// composing specs that have already been compiled (and compiling the
+// composition) must not trip the rule-slice mutation guard.
+func TestComposeAfterCompiled(t *testing.T) {
+	s, ch := chainScenario(t, 5)
+	s.Spec.Compiled()
+	ch.Spec2.Compiled()
+	composed, err := rules.Compose(s.Spec, ch.Spec2)
+	if err != nil {
+		t.Fatalf("compose after Compiled: %v", err)
+	}
+	composed.Compiled()
+	composed.TranslationPlan()
+	// The originals must still pass their own guard.
+	s.Spec.Compiled()
+	ch.Spec2.Compiled()
+
+	q := s.SimpleConjunction(rand.New(rand.NewSource(9)), 3)
+	if _, err := core.NewTranslator(composed).Translate(q, core.AlgTDQM); err != nil {
+		t.Fatalf("translate with compiled composed spec: %v", err)
+	}
+}
+
+// TestLintComposition checks the composition dead-rule linter: a b-rule
+// whose pattern no a-emission can satisfy is flagged; reachable rules are
+// not.
+func TestLintComposition(t *testing.T) {
+	s, ch := chainScenario(t, 7)
+	if probs := rules.LintComposition(s.Spec, ch.Spec2); len(probs) != 0 {
+		t.Fatalf("chain spec rules should all be reachable, got %v", probs)
+	}
+
+	reg := rules.NewRegistry()
+	tgt := rules.NewTarget("toy", rules.Capability{Attr: "*", Op: qtree.OpEq})
+	dead := rules.MustSpec("K_dead", tgt, reg, &rules.Rule{
+		Name:     "R_dead",
+		Patterns: []rules.ConstraintPat{{Attr: rules.AttrPat{Name: "nosuch"}, Op: qtree.OpEq, RHS: rules.VarTerm("A")}},
+		Conds:    []rules.CondRef{{Name: "Value", Args: []string{"A"}}},
+		Emit:     rules.EmitLeaf(rules.ConstraintPat{Attr: rules.AttrPat{Name: "z"}, Op: qtree.OpEq, RHS: rules.VarTerm("A")}),
+	})
+	probs := rules.LintComposition(s.Spec, dead)
+	if len(probs) != 1 || probs[0].Rule != "R_dead" {
+		t.Fatalf("expected one unreachable-rule warning for R_dead, got %v", probs)
+	}
+}

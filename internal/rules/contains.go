@@ -1,0 +1,382 @@
+package rules
+
+// Spec containment checking (spec algebra, part 2 of 2 — see compose.go).
+//
+// Contains(a, b) reports whether a's translation always subsumes b's: for
+// every query Q, σ_a(Q) ⊇ σ_b(Q) — a is the *weaker* (more permissive)
+// spec. That is the safe direction for spec-upgrade rollouts: upgrading a
+// source from spec b to spec a can only widen the pre-filter answer set, so
+// the mediator's residue filter keeps final answers correct and no answer a
+// client saw under b disappears mid-rollout.
+//
+// The check is structural, in the spirit of Calì/Torlone, "Containment of
+// Schema Mappings for Data Exchange": a translation is the conjunction of
+// fired-rule emissions, so σ_a(Q) ⊇ σ_b(Q) holds whenever every conjunct a
+// can contribute is implied by a conjunct b contributes on the same firing.
+// Concretely, every a-rule with a non-trivial emission must be *covered* by
+// some b-rule that (1) fires whenever the a-rule fires — its patterns map
+// injectively onto the a-rule's patterns under a consistent variable
+// renaming, its conditions and lets are a subset of the a-rule's — and
+// (2) emits at least as tight a fragment (emission implication). Pattern
+// pairing is pruned with the same patternFeature fingerprints that power
+// CompiledSpec dispatch and TranslationPlan adjacency.
+//
+// The check is SOUND but INCOMPLETE: a true result is a proof of
+// containment (the execute-and-check conformance probes verify this on
+// random workloads), while a false result only means no structural witness
+// was found — semantically contained spec pairs with syntactically unrelated
+// rules are reported as not contained. docs/spec-algebra.md discusses the
+// incompleteness boundary.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/qtree"
+)
+
+// Contains reports whether spec a's translation subsumes spec b's for every
+// query: σ_a(Q) ⊇ σ_b(Q). Sound, not complete (see the file comment).
+func Contains(a, b *Spec) bool {
+	ok, _ := ContainsReport(a, b)
+	return ok
+}
+
+// ContainsReport is Contains plus, when containment cannot be shown, one
+// diagnostic line per a-rule lacking a covering b-rule.
+func ContainsReport(a, b *Spec) (bool, []string) {
+	if a == nil || b == nil {
+		return false, []string{"containment requires two specifications"}
+	}
+	var missing []string
+	for _, ra := range a.Rules {
+		if ra.Emit == nil || ra.Emit.Kind == qtree.KindTrue {
+			// A True emission contributes no conjunct; trivially covered.
+			continue
+		}
+		if !coveredBy(ra, b) {
+			missing = append(missing, fmt.Sprintf("rule %s of %s has no covering rule in %s", ra.Name, a.Name, b.Name))
+		}
+	}
+	return len(missing) == 0, missing
+}
+
+func coveredBy(ra *Rule, b *Spec) bool {
+	for _, rb := range b.Rules {
+		if covers(rb, ra) {
+			return true
+		}
+	}
+	return false
+}
+
+// covers reports whether rb fires whenever ra fires (on a subset of ra's
+// matched constraints) and rb's emission implies ra's.
+func covers(rb, ra *Rule) bool {
+	if len(rb.Patterns) > len(ra.Patterns) {
+		return false
+	}
+	// Feature fingerprints prune the pattern pairing: rb's pattern i can
+	// only stand in for ra's pattern j when both impose exactly the same
+	// quickReject-visible structure (equal features); anything looser would
+	// need a variable-to-literal correspondence that the renaming below
+	// rejects anyway.
+	fa := make([]feature, len(ra.Patterns))
+	for i, p := range ra.Patterns {
+		fa[i] = patternFeature(p)
+	}
+	used := make([]bool, len(ra.Patterns))
+
+	var rec func(i int, ren map[string]string) bool
+	rec = func(i int, ren map[string]string) bool {
+		if i == len(rb.Patterns) {
+			return condsCovered(rb, ra, ren) && finishCovers(rb, ra, ren)
+		}
+		fb := patternFeature(rb.Patterns[i])
+		for j := range ra.Patterns {
+			if used[j] || fb != fa[j] {
+				continue
+			}
+			next := cloneRenaming(ren)
+			if !patCorresponds(rb.Patterns[i], ra.Patterns[j], next) {
+				continue
+			}
+			used[j] = true
+			if rec(i+1, next) {
+				return true
+			}
+			used[j] = false
+		}
+		return false
+	}
+	return rec(0, map[string]string{})
+}
+
+// finishCovers extends the renaming over rb's lets and then checks emission
+// implication. Split from the pattern search so backtracking retries other
+// pattern pairings when the lets or emissions don't line up.
+func finishCovers(rb, ra *Rule, ren map[string]string) bool {
+	for _, lb := range rb.Lets {
+		matched := false
+		for _, la := range ra.Lets {
+			if lb.Func != la.Func || len(lb.Args) != len(la.Args) {
+				continue
+			}
+			ok := true
+			for i, ab := range lb.Args {
+				if renameArg(ab, ren) != la.Args[i] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			if prev, bound := ren[lb.Var]; bound && prev != la.Var {
+				continue
+			}
+			ren[lb.Var] = la.Var
+			matched = true
+			break
+		}
+		if !matched {
+			return false
+		}
+	}
+	return emissionImplies(rb.Emit, ra.Emit, ren)
+}
+
+// condsCovered checks rb.Conds ⊆ ra.Conds under the renaming: every
+// condition rb imposes, ra imposes too, so rb's conditions hold whenever
+// ra fired.
+func condsCovered(rb, ra *Rule, ren map[string]string) bool {
+	for _, cb := range rb.Conds {
+		found := false
+		for _, ca := range ra.Conds {
+			if cb.Name != ca.Name || len(cb.Args) != len(ca.Args) {
+				continue
+			}
+			ok := true
+			for i, ab := range cb.Args {
+				if renameArg(ab, ren) != ca.Args[i] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// renameArg maps an rb-side function argument into ra's variable space.
+// Literal arguments pass through; unmapped variables render as themselves
+// (and will simply fail the comparison against ra's argument when they
+// differ).
+func renameArg(arg string, ren map[string]string) string {
+	if isLiteralArg(arg) {
+		return arg
+	}
+	if to, ok := ren[arg]; ok {
+		return to
+	}
+	return arg
+}
+
+// patCorresponds extends ren so that rb-pattern pb is, under the renaming,
+// the same pattern as ra-pattern pa. Variable-to-variable components extend
+// the renaming; literal components must be equal (features already
+// guaranteed this for the quickReject-visible ones); a variable on one side
+// against a literal on the other is rejected — correspondence, not
+// generalization, keeps the check simple and sound.
+func patCorresponds(pb, pa ConstraintPat, ren map[string]string) bool {
+	if (pb.OpVar == "") != (pa.OpVar == "") {
+		return false
+	}
+	if pb.OpVar != "" {
+		if !bindRen(pb.OpVar, pa.OpVar, ren) {
+			return false
+		}
+	} else if pb.Op != pa.Op {
+		return false
+	}
+	if !attrCorresponds(pb.Attr, pa.Attr, ren) {
+		return false
+	}
+	switch {
+	case pb.RHS.Var != "" || pa.RHS.Var != "":
+		return pb.RHS.Var != "" && pa.RHS.Var != "" && bindRen(pb.RHS.Var, pa.RHS.Var, ren)
+	case pb.RHS.Lit != nil || pa.RHS.Lit != nil:
+		return pb.RHS.Lit != nil && pa.RHS.Lit != nil && pb.RHS.Lit.Equal(pa.RHS.Lit)
+	case pb.RHS.Attr != nil || pa.RHS.Attr != nil:
+		return pb.RHS.Attr != nil && pa.RHS.Attr != nil && attrCorresponds(*pb.RHS.Attr, *pa.RHS.Attr, ren)
+	default:
+		return true
+	}
+}
+
+func attrCorresponds(ab, aa AttrPat, ren map[string]string) bool {
+	if (ab.WholeVar == "") != (aa.WholeVar == "") {
+		return false
+	}
+	if ab.WholeVar != "" {
+		return bindRen(ab.WholeVar, aa.WholeVar, ren)
+	}
+	if (ab.ViewVar == "") != (aa.ViewVar == "") || (ab.NameVar == "") != (aa.NameVar == "") || (ab.IndexVar == "") != (aa.IndexVar == "") {
+		return false
+	}
+	if ab.ViewVar != "" && !bindRen(ab.ViewVar, aa.ViewVar, ren) {
+		return false
+	}
+	if ab.NameVar != "" && !bindRen(ab.NameVar, aa.NameVar, ren) {
+		return false
+	}
+	if ab.IndexVar != "" && !bindRen(ab.IndexVar, aa.IndexVar, ren) {
+		return false
+	}
+	if ab.ViewVar == "" && ab.View != aa.View {
+		return false
+	}
+	if ab.NameVar == "" && ab.Name != aa.Name {
+		return false
+	}
+	return ab.Rel == aa.Rel
+}
+
+// bindRen records from↦to, rejecting inconsistent re-mappings. Empty names
+// are vacuously fine. Non-injective renamings are allowed — two rb variables
+// standing for the same ra variable only make rb more general.
+func bindRen(from, to string, ren map[string]string) bool {
+	if from == "" {
+		return to == ""
+	}
+	if prev, ok := ren[from]; ok {
+		return prev == to
+	}
+	ren[from] = to
+	return true
+}
+
+// emissionImplies reports eb ⇒ ea under the renaming. For purely
+// conjunctive emissions, implication is atom containment: every atom of ea
+// appears among eb's (eb constrains at least as much). Any disjunction on
+// either side falls back to exact rendered equality — sound, and all this
+// incomplete check needs.
+func emissionImplies(eb, ea *EmitNode, ren map[string]string) bool {
+	if ea == nil || ea.Kind == qtree.KindTrue {
+		return true
+	}
+	if eb == nil {
+		return false
+	}
+	if hasOrEmit(ea) || hasOrEmit(eb) {
+		return renderEmit(eb, ren) == renderEmit(ea, nil)
+	}
+	atomsA := emitAtoms(ea, nil)
+	atomsB := make(map[string]bool)
+	for _, at := range emitAtoms(eb, ren) {
+		atomsB[at] = true
+	}
+	for _, at := range atomsA {
+		if !atomsB[at] {
+			return false
+		}
+	}
+	return true
+}
+
+func hasOrEmit(e *EmitNode) bool {
+	if e.Kind == qtree.KindOr {
+		return true
+	}
+	for _, k := range e.Kids {
+		if hasOrEmit(k) {
+			return true
+		}
+	}
+	return false
+}
+
+// emitAtoms renders the leaf patterns of a conjunctive emission template,
+// with variables renamed through ren.
+func emitAtoms(e *EmitNode, ren map[string]string) []string {
+	switch e.Kind {
+	case qtree.KindTrue:
+		return nil
+	case qtree.KindLeaf:
+		return []string{renamePat(*e.Pat, ren).String()}
+	default:
+		var out []string
+		for _, k := range e.Kids {
+			out = append(out, emitAtoms(k, ren)...)
+		}
+		return out
+	}
+}
+
+// renderEmit canonically renders a full emission template (sorting And/Or
+// operand renderings so structurally equal trees render equal).
+func renderEmit(e *EmitNode, ren map[string]string) string {
+	switch e.Kind {
+	case qtree.KindTrue:
+		return "True"
+	case qtree.KindLeaf:
+		return renamePat(*e.Pat, ren).String()
+	default:
+		parts := make([]string, len(e.Kids))
+		for i, k := range e.Kids {
+			parts[i] = renderEmit(k, ren)
+		}
+		sort.Strings(parts)
+		op := "and"
+		if e.Kind == qtree.KindOr {
+			op = "or"
+		}
+		return op + "(" + strings.Join(parts, ",") + ")"
+	}
+}
+
+func renamePat(p ConstraintPat, ren map[string]string) ConstraintPat {
+	if ren == nil {
+		return p
+	}
+	rn := func(v string) string {
+		if v == "" {
+			return ""
+		}
+		if to, ok := ren[v]; ok {
+			return to
+		}
+		return v
+	}
+	rnAttr := func(a AttrPat) AttrPat {
+		a.WholeVar = rn(a.WholeVar)
+		a.ViewVar = rn(a.ViewVar)
+		a.IndexVar = rn(a.IndexVar)
+		a.NameVar = rn(a.NameVar)
+		return a
+	}
+	p.OpVar = rn(p.OpVar)
+	p.Attr = rnAttr(p.Attr)
+	p.RHS.Var = rn(p.RHS.Var)
+	if p.RHS.Attr != nil {
+		ra := rnAttr(*p.RHS.Attr)
+		p.RHS.Attr = &ra
+	}
+	return p
+}
+
+func cloneRenaming(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

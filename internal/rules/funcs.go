@@ -22,6 +22,10 @@ type ActionFunc func(b Binding, args []string) (BoundVal, error)
 type Registry struct {
 	conds   map[string]CondFunc
 	actions map[string]ActionFunc
+	// kinds records the declared result kind of action functions (see
+	// RegisterActionKind). Compose consults it to type let-defined variables
+	// when translating rule emissions symbolically.
+	kinds map[string]BoundKind
 }
 
 // NewRegistry returns an empty registry pre-loaded with the built-in
@@ -30,6 +34,7 @@ func NewRegistry() *Registry {
 	r := &Registry{
 		conds:   make(map[string]CondFunc),
 		actions: make(map[string]ActionFunc),
+		kinds:   make(map[string]BoundKind),
 	}
 	r.RegisterCond("Value", condValue)
 	r.RegisterCond("IsAttr", condIsAttr)
@@ -43,6 +48,20 @@ func (r *Registry) RegisterCond(name string, fn CondFunc) { r.conds[name] = fn }
 
 // RegisterAction installs an action function under name.
 func (r *Registry) RegisterAction(name string, fn ActionFunc) { r.actions[name] = fn }
+
+// RegisterActionKind declares the result kind of the action function
+// registered under name. The declaration is optional at match time but
+// required by Compose: a let-defined variable can only appear in a composed
+// emission when its producing function's result kind is statically known
+// (and is BindValue).
+func (r *Registry) RegisterActionKind(name string, k BoundKind) { r.kinds[name] = k }
+
+// ActionKind reports the declared result kind of an action function, if one
+// was declared with RegisterActionKind.
+func (r *Registry) ActionKind(name string) (BoundKind, bool) {
+	k, ok := r.kinds[name]
+	return k, ok
+}
 
 // Cond resolves a condition function.
 func (r *Registry) Cond(name string) (CondFunc, error) {

@@ -155,6 +155,85 @@ func lintRule(s *Spec, r *Rule) []Problem {
 	return out
 }
 
+// LintComposition statically detects b-rules made unreachable by composing
+// the chain a→b: a b-rule pattern that no emission leaf of any a-rule could
+// ever satisfy can never fire on a's output, so the rule is dead in the
+// composed deployment. The check reuses the patternFeature fingerprints
+// behind CompiledSpec/TranslationPlan: a pattern is reachable when some
+// a-emission template may produce a constraint satisfying its feature
+// (template variables are wildcards, so the check is conservative — it only
+// reports rules that are provably unreachable). Complementary to the dynamic
+// ComposeInfo.FiredB counts, which report rules that merely *happened* not
+// to fire for a given pair.
+func LintComposition(a, b *Spec) []Problem {
+	var out []Problem
+	for _, rb := range b.Rules {
+		for _, p := range rb.Patterns {
+			f := patternFeature(p)
+			reachable := false
+			for _, ra := range a.Rules {
+				if emitMaySatisfy(ra.Emit, f) {
+					reachable = true
+					break
+				}
+			}
+			if !reachable {
+				out = append(out, Problem{
+					Rule:  rb.Name,
+					Level: LintWarning,
+					Message: fmt.Sprintf("pattern %s cannot be satisfied by any emission of %s; the rule is unreachable under composition %s∘%s",
+						p.String(), a.Name, a.Name, b.Name),
+				})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// emitMaySatisfy reports whether some leaf of emission template e could
+// instantiate to a constraint satisfying feature f. Variable template
+// components are wildcards.
+func emitMaySatisfy(e *EmitNode, f feature) bool {
+	switch e.Kind {
+	case qtree.KindLeaf:
+		p := e.Pat
+		if f.hasOp && p.OpVar == "" && p.Op != f.op {
+			return false
+		}
+		a := p.Attr
+		if a.WholeVar == "" {
+			if f.hasView && a.ViewVar == "" && a.View != f.view {
+				return false
+			}
+			if f.hasName && a.NameVar == "" && a.Name != f.name {
+				return false
+			}
+			if f.hasRel && a.Rel != f.rel {
+				return false
+			}
+		}
+		// An RHS variable may instantiate to a value or an attribute, so it
+		// is compatible with either constraint kind.
+		if f.kind == 1 && p.RHS.Attr != nil {
+			return false
+		}
+		if f.kind == 2 && (p.RHS.Lit != nil || (p.RHS.Attr == nil && p.RHS.Var == "")) {
+			return false
+		}
+		return true
+	case qtree.KindAnd, qtree.KindOr:
+		for _, k := range e.Kids {
+			if emitMaySatisfy(k, f) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
 func markEmitVars(e *EmitNode, used map[string]bool) {
 	switch e.Kind {
 	case qtree.KindLeaf:

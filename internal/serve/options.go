@@ -100,6 +100,13 @@ func WithShardHook(h stream.Hook) Option {
 	return func(c *Config) { c.ShardHook = h }
 }
 
+// WithChainDebug switches the mediator's chain-backed sources to sequential
+// hop-by-hop translation through the original specs (differential-checking
+// mode; filtered answers are identical to the composed path's).
+func WithChainDebug(on bool) Option {
+	return func(c *Config) { c.ChainDebug = on }
+}
+
 // NewServer is the options form of New: it applies opts to a zero Config
 // and builds the server.
 func NewServer(med *mediator.Mediator, data map[string]*engine.Relation, opts ...Option) *Server {

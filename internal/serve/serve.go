@@ -185,6 +185,12 @@ type Config struct {
 	// the streaming path — the per-shard analogue of wrapping Executor, used
 	// for fault injection (engine.Injector.ApplyShard) and admission checks.
 	ShardHook stream.Hook
+	// ChainDebug switches the mediator's chain-backed sources (see
+	// mediator.AddChainSource) to sequential hop-by-hop translation through
+	// the original specs instead of the precomposed one. Filtered answers
+	// are identical; this is the differential-checking mode, not a serving
+	// optimization.
+	ChainDebug bool
 }
 
 // Server serves mediated queries concurrently: cached translation, parallel
@@ -265,6 +271,9 @@ func New(med *mediator.Mediator, data map[string]*engine.Relation, cfg Config) *
 		pl = med.Plan
 	} else if pl != nil {
 		med.Plan = pl
+	}
+	if cfg.ChainDebug {
+		med.ChainDebug = true
 	}
 	shards := cfg.Shards
 	if shards <= 0 {

@@ -1,0 +1,344 @@
+package workload
+
+// Chain scenarios: a second (and optionally third, ...) mediation hop
+// stacked on top of a base scenario, for exercising rules.Compose and the
+// sequential-vs-composed differential oracles. The base spec maps mediator
+// attributes a* to intermediate targets t*; a chain layer maps those targets
+// to a further vocabulary u* (then w*, ...), with the same dependency-group
+// flavors the base generator uses:
+//
+//   - pass groups re-emit a target's constraints verbatim under a new name;
+//   - wrap groups prepend a sentinel ("zz|") via a conversion function, so
+//     composition must record replayed lets;
+//   - pair groups join two targets into one downstream attribute: the joint
+//     rule needs both targets in one conjunction (a cross-emission matching
+//     per-rule composition can never see — the documented superset
+//     divergence), the leading target alone maps to an exact prefix, and the
+//     second target deliberately has no mapping by itself (the unmatched →
+//     True path).
+//
+// Data semantics extend the same way: Extend derives each chain attribute
+// from the upstream tuple, so original, intermediate, and chained queries
+// are all evaluable on one universe tuple.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/engine"
+	"repro/internal/qtree"
+	"repro/internal/rules"
+	"repro/internal/values"
+)
+
+// ChainKind classifies a chain dependency group.
+type ChainKind int
+
+const (
+	// ChainPass re-emits one upstream attribute's constraints verbatim.
+	ChainPass ChainKind = iota
+	// ChainWrap maps one upstream attribute through a conversion function.
+	ChainWrap
+	// ChainPair joins two upstream attributes into one chain attribute.
+	ChainPair
+)
+
+func (k ChainKind) String() string {
+	switch k {
+	case ChainPass:
+		return "pass"
+	case ChainWrap:
+		return "wrap"
+	case ChainPair:
+		return "pair"
+	default:
+		return fmt.Sprintf("ChainKind(%d)", int(k))
+	}
+}
+
+// ChainGroup is one chain dependency group: the upstream attributes it
+// consumes and the chain attribute it produces.
+type ChainGroup struct {
+	Kind    ChainKind
+	Sources []string
+	U       string
+}
+
+// chainAttr is one attribute of a chain layer's input vocabulary with the
+// operators upstream emissions can impose on it.
+type chainAttr struct {
+	name string
+	ops  []string
+}
+
+// ChainScenario is one chain layer over a base scenario (or over a previous
+// chain layer — see Next).
+type ChainScenario struct {
+	// Base is the underlying scenario whose spec forms hop 1.
+	Base *Scenario
+	// Spec2 maps this layer's input vocabulary to its output vocabulary;
+	// rules.Compose(hop1, Spec2) collapses the chain.
+	Spec2 *rules.Spec
+	// Groups records the chain's dependency structure.
+	Groups []ChainGroup
+
+	level int
+	out   []chainAttr
+}
+
+// NewChain stacks a random chain layer over s: every target attribute of s
+// is consumed by exactly one chain group. The walk is a pure function of
+// (s, rng), so the conformance harness can regenerate the identical chain
+// from a seed without widening its replay strings.
+func NewChain(s *Scenario, rng *rand.Rand) *ChainScenario {
+	vocab := make([]chainAttr, 0, len(s.Groups))
+	for _, g := range s.Groups {
+		vocab = append(vocab, chainAttr{name: g.Target, ops: groupOps(g.Kind)})
+	}
+	return buildChain(s, vocab, 2, rng)
+}
+
+// Next stacks a further chain layer over cs's output vocabulary, for 3-hop
+// chains (associativity testing). Extend calls compose left to right:
+// ch3.Extend(ch2.Extend(tuple)).
+func (cs *ChainScenario) Next(rng *rand.Rand) *ChainScenario {
+	return buildChain(cs.Base, cs.out, cs.level+1, rng)
+}
+
+// groupOps lists the operators the base spec's rules emit on a group's
+// target attribute.
+func groupOps(k GroupKind) []string {
+	switch k {
+	case KindIndep:
+		return []string{qtree.OpEq}
+	case KindPair, KindTriple:
+		return []string{qtree.OpEq, qtree.OpStarts}
+	case KindInexactPair:
+		return []string{qtree.OpEq, qtree.OpContains}
+	default:
+		return nil
+	}
+}
+
+func buildChain(base *Scenario, vocab []chainAttr, level int, rng *rand.Rand) *ChainScenario {
+	cs := &ChainScenario{Base: base, level: level}
+	prefix := string(rune('u' + (level - 2))) // u, v, w, ...
+
+	reg := rules.NewRegistry()
+	registerWorkloadActions(reg)
+	registerChainActions(reg)
+
+	var rs []*rules.Rule
+	capSet := make(map[string]bool)
+	var caps []rules.Capability
+	emitCap := func(attr, op string) {
+		key := attr + "\x00" + op
+		if !capSet[key] {
+			capSet[key] = true
+			caps = append(caps, rules.Capability{Attr: attr, Op: op})
+		}
+	}
+
+	i, ui := 0, 0
+	for i < len(vocab) {
+		u := fmt.Sprintf("%s%d", prefix, ui)
+		ui++
+		var g ChainGroup
+		var outOps []string
+		switch {
+		case i+1 < len(vocab) && rng.Float64() < 0.35:
+			g = ChainGroup{Kind: ChainPair, Sources: []string{vocab[i].name, vocab[i+1].name}, U: u}
+			rs = append(rs, chainPairRules(u, vocab[i], vocab[i+1], emitCap)...)
+			outOps = []string{qtree.OpEq, qtree.OpStarts}
+			if hasOp(vocab[i].ops, qtree.OpContains) {
+				outOps = append(outOps, qtree.OpContains)
+			}
+			i += 2
+		case rng.Float64() < 0.5:
+			g = ChainGroup{Kind: ChainWrap, Sources: []string{vocab[i].name}, U: u}
+			rs = append(rs, chainWrapRules(u, vocab[i], emitCap)...)
+			outOps = vocab[i].ops
+			i++
+		default:
+			g = ChainGroup{Kind: ChainPass, Sources: []string{vocab[i].name}, U: u}
+			rs = append(rs, chainPassRules(u, vocab[i], emitCap)...)
+			outOps = vocab[i].ops
+			i++
+		}
+		cs.Groups = append(cs.Groups, g)
+		cs.out = append(cs.out, chainAttr{name: u, ops: outOps})
+	}
+
+	target := rules.NewTarget(fmt.Sprintf("chain%d", level), caps...)
+	cs.Spec2 = rules.MustSpec(fmt.Sprintf("K_chain%d", level), target, reg, rs...)
+	return cs
+}
+
+func hasOp(ops []string, op string) bool {
+	for _, o := range ops {
+		if o == op {
+			return true
+		}
+	}
+	return false
+}
+
+func chainPassRules(u string, src chainAttr, emitCap func(string, string)) []*rules.Rule {
+	var out []*rules.Rule
+	for _, op := range src.ops {
+		emitCap(u, op)
+		out = append(out, &rules.Rule{
+			Name:     fmt.Sprintf("C_%s_pass_%s", u, opSlug(op)),
+			Patterns: []rules.ConstraintPat{{Attr: rules.AttrPat{Name: src.name}, Op: op, RHS: rules.VarTerm("A")}},
+			Conds:    []rules.CondRef{{Name: "Value", Args: []string{"A"}}},
+			Emit:     rules.EmitLeaf(rules.ConstraintPat{Attr: rules.AttrPat{Name: u}, Op: op, RHS: rules.VarTerm("A")}),
+			Exact:    true,
+		})
+	}
+	return out
+}
+
+func chainWrapRules(u string, src chainAttr, emitCap func(string, string)) []*rules.Rule {
+	var out []*rules.Rule
+	for _, op := range src.ops {
+		emitCap(u, op)
+		r := &rules.Rule{
+			Name:     fmt.Sprintf("C_%s_wrap_%s", u, opSlug(op)),
+			Patterns: []rules.ConstraintPat{{Attr: rules.AttrPat{Name: src.name}, Op: op, RHS: rules.VarTerm("A")}},
+			Conds:    []rules.CondRef{{Name: "Value", Args: []string{"A"}}},
+			Exact:    true,
+		}
+		if op == qtree.OpContains {
+			// zz| never tokenizes into a domain word, so word containment
+			// passes through the sentinel unchanged — and the contained
+			// Pattern value must not flow through WrapZ, which only accepts
+			// strings.
+			r.Emit = rules.EmitLeaf(rules.ConstraintPat{Attr: rules.AttrPat{Name: u}, Op: op, RHS: rules.VarTerm("A")})
+		} else {
+			// [src = A]      ⟺ [u = "zz|"+A]
+			// [src starts P] ⟺ [u starts "zz|"+P]
+			r.Lets = []rules.LetClause{{Var: "K", Func: "WrapZ", Args: []string{"A"}}}
+			r.Emit = rules.EmitLeaf(rules.ConstraintPat{Attr: rules.AttrPat{Name: u}, Op: op, RHS: rules.VarTerm("K")})
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// chainPairRules maps sources (t1, t2) to u = t1+"|"+t2. Only t1 has
+// mappings alone; t2 is reachable solely through the joint rule, which needs
+// both sources in one conjunction.
+func chainPairRules(u string, t1, t2 chainAttr, emitCap func(string, string)) []*rules.Rule {
+	lit := func(name string) rules.AttrPat { return rules.AttrPat{Name: name} }
+	emitCap(u, qtree.OpEq)
+	emitCap(u, qtree.OpStarts)
+	out := []*rules.Rule{
+		{
+			Name: fmt.Sprintf("C_%s_joint", u),
+			Patterns: []rules.ConstraintPat{
+				{Attr: lit(t1.name), Op: qtree.OpEq, RHS: rules.VarTerm("A")},
+				{Attr: lit(t2.name), Op: qtree.OpEq, RHS: rules.VarTerm("B")},
+			},
+			Conds: []rules.CondRef{{Name: "Value", Args: []string{"A"}}, {Name: "Value", Args: []string{"B"}}},
+			Lets:  []rules.LetClause{{Var: "K", Func: "JoinBar", Args: []string{"A", "B"}}},
+			Emit:  rules.EmitLeaf(rules.ConstraintPat{Attr: lit(u), Op: qtree.OpEq, RHS: rules.VarTerm("K")}),
+			Exact: true,
+		},
+		{
+			// Exact by the workload's fixed-shape value domain: equality on
+			// t1 pins a fixed-length prefix of u (same argument as the base
+			// generator's PrefixBar rules).
+			Name:     fmt.Sprintf("C_%s_pfx", u),
+			Patterns: []rules.ConstraintPat{{Attr: lit(t1.name), Op: qtree.OpEq, RHS: rules.VarTerm("A")}},
+			Conds:    []rules.CondRef{{Name: "Value", Args: []string{"A"}}},
+			Lets:     []rules.LetClause{{Var: "K", Func: "PrefixBar", Args: []string{"A"}}},
+			Emit:     rules.EmitLeaf(rules.ConstraintPat{Attr: lit(u), Op: qtree.OpStarts, RHS: rules.VarTerm("K")}),
+			Exact:    true,
+		},
+	}
+	for _, op := range t1.ops {
+		switch op {
+		case qtree.OpStarts:
+			out = append(out, &rules.Rule{
+				Name:     fmt.Sprintf("C_%s_pstarts", u),
+				Patterns: []rules.ConstraintPat{{Attr: lit(t1.name), Op: qtree.OpStarts, RHS: rules.VarTerm("P")}},
+				Conds:    []rules.CondRef{{Name: "Value", Args: []string{"P"}}},
+				Emit:     rules.EmitLeaf(rules.ConstraintPat{Attr: lit(u), Op: qtree.OpStarts, RHS: rules.VarTerm("P")}),
+			})
+		case qtree.OpContains:
+			emitCap(u, qtree.OpContains)
+			out = append(out, &rules.Rule{
+				Name:     fmt.Sprintf("C_%s_pcontains", u),
+				Patterns: []rules.ConstraintPat{{Attr: lit(t1.name), Op: qtree.OpContains, RHS: rules.VarTerm("W")}},
+				Conds:    []rules.CondRef{{Name: "Value", Args: []string{"W"}}},
+				Emit:     rules.EmitLeaf(rules.ConstraintPat{Attr: lit(u), Op: qtree.OpContains, RHS: rules.VarTerm("W")}),
+			})
+		}
+	}
+	return out
+}
+
+func opSlug(op string) string {
+	switch op {
+	case qtree.OpEq:
+		return "eq"
+	case qtree.OpStarts:
+		return "starts"
+	case qtree.OpContains:
+		return "contains"
+	default:
+		return "op"
+	}
+}
+
+// registerChainActions installs the chain layer's extra conversion function.
+func registerChainActions(reg *rules.Registry) {
+	reg.RegisterAction("WrapZ", func(b rules.Binding, args []string) (rules.BoundVal, error) {
+		v, err := b.Value(args[0])
+		if err != nil {
+			return rules.BoundVal{}, err
+		}
+		s, ok := v.(values.String)
+		if !ok {
+			return rules.BoundVal{}, fmt.Errorf("workload: WrapZ argument %s is not a string", args[0])
+		}
+		return rules.ValueOf(values.String("zz|" + s.Raw())), nil
+	})
+	reg.RegisterActionKind("WrapZ", rules.BindValue)
+}
+
+// Extend derives this layer's chain attributes on a universe tuple already
+// carrying the upstream vocabulary, returning an extended clone.
+func (cs *ChainScenario) Extend(t engine.Tuple) engine.Tuple {
+	out := t.Clone()
+	raw := func(name string) string {
+		v, ok := t.Get(qtree.A(name))
+		if !ok {
+			return ""
+		}
+		s, _ := v.(values.String)
+		return s.Raw()
+	}
+	for _, g := range cs.Groups {
+		var val string
+		switch g.Kind {
+		case ChainPass:
+			val = raw(g.Sources[0])
+		case ChainWrap:
+			val = "zz|" + raw(g.Sources[0])
+		case ChainPair:
+			val = raw(g.Sources[0]) + "|" + raw(g.Sources[1])
+		}
+		out.Set(qtree.A(g.U), values.String(val))
+	}
+	return out
+}
+
+// ExtendRelation applies Extend to every tuple of r.
+func (cs *ChainScenario) ExtendRelation(r *engine.Relation) *engine.Relation {
+	out := engine.NewRelation(r.Name)
+	for _, t := range r.Tuples {
+		out.Tuples = append(out.Tuples, cs.Extend(t))
+	}
+	return out
+}

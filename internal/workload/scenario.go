@@ -304,6 +304,11 @@ func registerWorkloadActions(reg *rules.Registry) {
 		}
 		return rules.ValueOf(values.Word(w)), nil
 	})
+	// Declared result kinds let rules.Compose record these conversions as
+	// replayed lets when a chain spec applies them to request-time values.
+	for _, name := range []string{"JoinBar", "JoinBar3", "JoinSpace", "PrefixBar", "PrefixBar2", "WordOf"} {
+		reg.RegisterActionKind(name, rules.BindValue)
+	}
 }
 
 // Value returns the i-th constant of the value domain.

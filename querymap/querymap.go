@@ -142,6 +142,38 @@ var (
 // LintProblem is one finding of LintSpec.
 type LintProblem = rules.Problem
 
+// Spec algebra (packages internal/rules and internal/mediator): offline
+// composition of mapping chains and structural containment checking.
+type (
+	// ComposeInfo reports what a composition did: rules composed, conversion
+	// and constant lets recorded, exact rules retained, and per-b-rule fire
+	// counts (zero-fire rules are dead under the composition).
+	ComposeInfo = rules.ComposeInfo
+	// ChainSpec is a multi-hop mapping chain precomposed into one spec,
+	// retaining the original hops for differential checking.
+	ChainSpec = mediator.ChainSpec
+)
+
+var (
+	// Compose precomposes the chain a→b into one equivalent spec: translating
+	// through it equals translating through a then b, after filtering.
+	Compose = rules.Compose
+	// ComposeDetail is Compose returning a ComposeInfo report.
+	ComposeDetail = rules.ComposeDetail
+	// Contains reports whether spec a subsumes spec b: for every query, a's
+	// translation admits at least b's answers (sound, incomplete).
+	Contains = rules.Contains
+	// ContainsReport is Contains with per-rule diagnostics for the uncovered
+	// rules.
+	ContainsReport = rules.ContainsReport
+	// LintComposition statically detects b-rules unreachable under the
+	// composition a∘b.
+	LintComposition = rules.LintComposition
+	// NewChain composes mapping specs left to right into a ChainSpec
+	// (mediator.Chain).
+	NewChain = mediator.Chain
+)
+
 // Translation algorithms (package internal/core).
 type (
 	// Translator runs the mapping algorithms for one specification.
@@ -338,6 +370,9 @@ var (
 	// ServeShardHook runs a hook at the start of every shard execution on
 	// the streaming path (fault injection, admission checks).
 	ServeShardHook = serve.WithShardHook
+	// ServeChainDebug switches chain-backed sources to sequential
+	// hop-by-hop translation (differential-checking mode).
+	ServeChainDebug = serve.WithChainDebug
 )
 
 // Serve wraps a mediator and its per-source data in the concurrent serving
