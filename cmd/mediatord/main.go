@@ -15,6 +15,10 @@
 // (internal/stream): each source's data is split across -shards shards that
 // emit tuples through bounded channels into a deterministic k-way merge, and
 // qmap_stream_* metrics appear at /metrics (see docs/streaming.md).
+// With -index, both execution paths answer via cost-based access paths —
+// selectivity-ranked hash/range/prefix/token index probes with scan
+// fallback, byte-identical answers — and qmap_index_* metrics appear at
+// /metrics (see docs/performance.md §6).
 // SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight queries.
 //
 // Endpoints:
@@ -76,6 +80,7 @@ func main() {
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain timeout")
 	streaming := flag.Bool("stream", false, "answer /query on the streaming per-shard pipeline (bounded memory, qmap_stream_* metrics)")
 	shards := flag.Int("shards", 4, "shards per source on the streaming path (with -stream)")
+	index := flag.Bool("index", false, "build cost-based access paths per source and answer via selectivity-ranked index probes (qmap_index_* metrics)")
 	flag.Parse()
 
 	s := newServer(*seed, *nBooks, serve.Config{
@@ -86,6 +91,7 @@ func main() {
 		SourceTimeout:  *srcTimeout,
 		Stream:         *streaming,
 		Shards:         *shards,
+		Index:          *index,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
@@ -101,12 +107,14 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
+	mode := ""
 	if *streaming {
-		log.Printf("mediatord: serving %d-book catalog on %s (streaming, %d shards/source)",
-			s.catalog.Len(), *addr, *shards)
-	} else {
-		log.Printf("mediatord: serving %d-book catalog on %s", s.catalog.Len(), *addr)
+		mode = fmt.Sprintf(" (streaming, %d shards/source)", *shards)
 	}
+	if *index {
+		mode += " (indexed access paths)"
+	}
+	log.Printf("mediatord: serving %d-book catalog on %s%s", s.catalog.Len(), *addr, mode)
 
 	select {
 	case err := <-errCh:

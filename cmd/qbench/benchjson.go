@@ -56,6 +56,10 @@ type benchEntry struct {
 	// over the measurement, for the stream/peak benchmarks — the empirical
 	// side of the shards × (buffer+2) memory bound.
 	PeakInFlight float64 `json:"peak_in_flight,omitempty"`
+	// ScannedTuples is the number of tuples evaluated per operation, for the
+	// scan/* and indexed-stream benchmarks — the evidence that index probes
+	// touch candidates instead of the universe.
+	ScannedTuples float64 `json:"scanned_tuples,omitempty"`
 }
 
 // registeredFlagNames enumerates the qbench flag set, sorted.
@@ -210,7 +214,55 @@ func runBenchSuite() []benchEntry {
 	out = append(out, runServeCacheBench()...)
 	out = append(out, runBatchBench()...)
 	out = append(out, runStreamBench()...)
+	out = append(out, runScanBench()...)
 	out = append(out, runComposeBench()...)
+	return out
+}
+
+// runScanBench compares the engine's full-scan selection against the
+// cost-based access path on a 4k-tuple, ~0.5%-selectivity workload — one row
+// pair per probe kind (hash equality, sorted-array range, inverted-token
+// contains). scanned_tuples records how many tuples each operation actually
+// evaluated: the universe for full scans, probe candidates for indexed runs.
+func runScanBench() []benchEntry {
+	const n = 4000
+	rel := workload.AccessRelation(n)
+	ev := engine.NewEvaluator()
+	acc := engine.BuildAccess(rel)
+	ctx := context.Background()
+	var out []benchEntry
+	for _, variant := range []struct {
+		name string
+		q    *qtree.Node
+	}{
+		{"eq", qtree.Leaf(qtree.Sel(qtree.A("cat"), qtree.OpEq, values.Int(7)))},
+		{"range", qtree.Leaf(qtree.Sel(qtree.A("price"), qtree.OpLt, values.Int(50)))},
+		{"contains", qtree.Leaf(qtree.Sel(qtree.A("desc"), qtree.OpContains, values.String("xenon")))},
+	} {
+		q := variant.q
+		out = append(out, benchEntry{
+			Name: "scan/full/" + variant.name,
+			NsPerOp: timeOp(func() {
+				if _, err := rel.Select(q, ev); err != nil {
+					panic(err)
+				}
+			}),
+			ScannedTuples: n,
+		})
+		before := acc.Stats().Scanned
+		ops := 0
+		entry := benchEntry{
+			Name: "scan/indexed/" + variant.name,
+			NsPerOp: timeOp(func() {
+				ops++
+				if _, err := rel.SelectAccess(ctx, q, ev, acc); err != nil {
+					panic(err)
+				}
+			}),
+		}
+		entry.ScannedTuples = math.Round(float64(acc.Stats().Scanned-before) / float64(ops))
+		out = append(out, entry)
+	}
 	return out
 }
 
@@ -301,16 +353,24 @@ func runStreamBench() []benchEntry {
 		{"stream/union/materialized", serve.Config{CacheSize: 16}},
 		{"stream/union/shards=1", serve.Config{CacheSize: 16, Stream: true, Shards: 1}},
 		{"stream/union/shards=8", serve.Config{CacheSize: 16, Stream: true, Shards: 8}},
+		{"stream/union/indexed/shards=1", serve.Config{CacheSize: 16, Stream: true, Shards: 1, Index: true}},
+		{"stream/union/indexed/shards=8", serve.Config{CacheSize: 16, Stream: true, Shards: 8, Index: true}},
 	} {
 		srv := bookstoreStack(benchBooks, variant.cfg)
-		out = append(out, benchEntry{
+		ops := 0
+		entry := benchEntry{
 			Name: variant.name,
 			NsPerOp: timeOp(func() {
+				ops++
 				if _, err := srv.Query(ctx, q); err != nil {
 					panic(err)
 				}
 			}),
-		})
+		}
+		if variant.cfg.Index {
+			entry.ScannedTuples = math.Round(float64(srv.Stats().IndexScanned) / float64(ops))
+		}
+		out = append(out, entry)
 	}
 
 	const shards, buffer = 4, 8
@@ -444,8 +504,13 @@ func benchNames() []string {
 		"stream/union/materialized",
 		"stream/union/shards=1",
 		"stream/union/shards=8",
+		"stream/union/indexed/shards=1",
+		"stream/union/indexed/shards=8",
 		"stream/peak/tuples=1000",
 		"stream/peak/tuples=8000")
+	for _, v := range []string{"eq", "range", "contains"} {
+		names = append(names, "scan/full/"+v, "scan/indexed/"+v)
+	}
 	for _, e := range []int{0, 2} {
 		for _, k := range []int{2, 8} {
 			names = append(names,

@@ -32,6 +32,7 @@ type serveOptions struct {
 	plan       int  // shared translation-plan capacity (0 = default, negative disables)
 	stream     bool // answer queries on the streaming per-shard pipeline
 	shards     int  // shards per source on the streaming path
+	index      bool // answer via cost-based access paths (index probes)
 }
 
 // runServe drives internal/serve with C concurrent clients over the
@@ -75,6 +76,7 @@ func runServe(opt serveOptions) {
 		Metrics:        reg,
 		Stream:         opt.stream,
 		Shards:         opt.shards,
+		Index:          opt.index,
 	})
 	ctx := context.Background()
 
@@ -129,6 +131,9 @@ func runServe(opt serveOptions) {
 	if opt.stream {
 		mode = fmt.Sprintf("executed queries (streaming, %d shards/source)", opt.shards)
 	}
+	if opt.index {
+		mode += " (indexed access paths)"
+	}
 	if opt.batch > 0 {
 		mode = fmt.Sprintf("translate-only batches of %d", opt.batch)
 	}
@@ -152,6 +157,13 @@ func runServe(opt serveOptions) {
 			[]string{"stream tuples emitted", fmt.Sprintf("%d", st.StreamEmitted)},
 			[]string{"stream peak in-flight", fmt.Sprintf("%d", st.StreamPeakInFlight)},
 			[]string{"stream merge waits", fmt.Sprintf("%d", st.StreamMergeWaits)},
+		)
+	}
+	if opt.index {
+		rows = append(rows,
+			[]string{"index probes", fmt.Sprintf("%d", st.IndexProbes)},
+			[]string{"index fallbacks", fmt.Sprintf("%d", st.IndexFallbacks)},
+			[]string{"index scanned tuples", fmt.Sprintf("%d", st.IndexScanned)},
 		)
 	}
 	if mc := srv.MatchCache(); mc != nil {

@@ -21,6 +21,8 @@
 //	                              # self-test: plant a known bug and watch
 //	                              # the oracles catch it (exit status 0 iff
 //	                              # the plant IS caught)
+//	qcheck -n 200 -plant badindex # self-test: serve stale index snapshots,
+//	                              # caught by serve equivalence
 //	qcheck -n 200 -oracle compose # run only the spec-composition oracle
 //
 // Exit status: 0 when every case conforms (or, with -plant, when the
@@ -42,7 +44,7 @@ func main() {
 	replay := flag.String("replay", "", "replay one case from a qc1:... seed string")
 	shrink := flag.Bool("shrink", true, "shrink failing cases to a minimal reproducer")
 	faults := flag.Bool("faults", false, "enable the fault-injected serve equivalence oracle")
-	plant := flag.String("plant", "", "plant a known bug: nosuppression | dropfilter | badcompose (self-test)")
+	plant := flag.String("plant", "", "plant a known bug: nosuppression | dropfilter | badcompose | badindex (self-test)")
 	oracle := flag.String("oracle", "", "restrict the run to one oracle: subsumption | filter-exactness | minimality | compose | serve-equivalence")
 	flag.Parse()
 
@@ -55,8 +57,10 @@ func main() {
 		opts.Plant = conformance.PlantDropFilter
 	case string(conformance.PlantBadCompose):
 		opts.Plant = conformance.PlantBadCompose
+	case string(conformance.PlantBadIndex):
+		opts.Plant = conformance.PlantBadIndex
 	default:
-		fmt.Fprintf(os.Stderr, "qcheck: unknown -plant %q (want nosuppression, dropfilter, or badcompose)\n", *plant)
+		fmt.Fprintf(os.Stderr, "qcheck: unknown -plant %q (want nosuppression, dropfilter, badcompose, or badindex)\n", *plant)
 		os.Exit(2)
 	}
 	h := conformance.New(opts)

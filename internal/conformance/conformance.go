@@ -68,6 +68,11 @@ const (
 	// (rules.ComposeTightened): the composed translation drops answers the
 	// sequential two-hop reference keeps, which the compose oracle catches.
 	PlantBadCompose Plant = "badcompose"
+	// PlantBadIndex answers the indexed materialized grid points from a
+	// stale access snapshot (built before each source's last tuple
+	// arrived), so indexed answers silently drop tuples the scan path
+	// keeps — which the serve-equivalence oracle catches.
+	PlantBadIndex Plant = "badindex"
 )
 
 // Options configures a Harness.

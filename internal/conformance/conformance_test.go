@@ -98,6 +98,21 @@ func TestPlantedBadComposeCaught(t *testing.T) {
 	}
 }
 
+// TestPlantedBadIndexCaught plants the stale-index-snapshot executor on the
+// indexed materialized grid points and demands the serve-equivalence oracle
+// catches the dropped tuples.
+func TestPlantedBadIndexCaught(t *testing.T) {
+	h := New(Options{Plant: PlantBadIndex})
+	rep := h.Run(1, 200, false)
+	if len(rep.Failures) == 0 {
+		t.Fatalf("planted stale-index bug not caught in %d cases", rep.Cases)
+	}
+	if o := rep.Failures[0].Violation.Oracle; o != "serve-equivalence" {
+		t.Fatalf("planted stale-index bug caught by %q, want serve-equivalence:\n%s",
+			o, rep.Failures[0].Reproducer())
+	}
+}
+
 // TestOracleFilter restricts the harness to a single oracle: the planted
 // compose bug must be invisible to a minimality-only run and caught by a
 // compose-only run.

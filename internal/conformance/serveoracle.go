@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/engine"
@@ -67,14 +68,27 @@ func (h *Harness) checkServe(c *Case) *Violation {
 		{name: "stream/shards=1", cfg: serve.Config{Workers: 4, CacheSize: 64, Stream: true, Shards: 1}},
 		{name: "stream/shards=2", cfg: serve.Config{Workers: 4, CacheSize: 64, Stream: true, Shards: 2}},
 		{name: "stream/shards=8", cfg: serve.Config{Workers: 4, CacheSize: 64, Stream: true, Shards: 8, StreamBuffer: 4}},
+		// The index dimension: cost-based access paths must reproduce each
+		// scan path byte-identically (content and order) on both the
+		// materialized and streaming executors.
+		{name: "seq/cache/index", cfg: serve.Config{Workers: 1, CacheSize: 64, Index: true}},
+		{name: "par/cache/index", cfg: serve.Config{Workers: 4, CacheSize: 64, Index: true}},
+		{name: "stream/shards=1/index", cfg: serve.Config{Workers: 4, CacheSize: 64, Stream: true, Shards: 1, Index: true}},
+		{name: "stream/shards=2/index", cfg: serve.Config{Workers: 4, CacheSize: 64, Stream: true, Shards: 2, Index: true}},
+		{name: "stream/shards=8/index", cfg: serve.Config{Workers: 4, CacheSize: 64, Stream: true, Shards: 8, StreamBuffer: 4, Index: true}},
 	}
 	ctx := context.Background()
+	stale := staleIndexExecutor()
 
 	for _, gc := range grid {
-		srv := serve.New(med, data, gc.cfg)
+		cfg := gc.cfg
+		if h.opts.Plant == PlantBadIndex && cfg.Index && !cfg.Stream {
+			cfg.Executor = stale
+		}
+		srv := serve.New(med, data, cfg)
 		for qi, q := range []*qtree.Node{c.Query, permuted} {
 			if gc.fresh {
-				srv = serve.New(med, data, gc.cfg)
+				srv = serve.New(med, data, cfg)
 			}
 			got, err := srv.Query(ctx, q)
 			if err != nil {
@@ -117,6 +131,35 @@ func (h *Harness) checkServe(c *Case) *Violation {
 	return nil
 }
 
+// staleIndexExecutor implements the badindex plant: a source executor that
+// answers indexed selections from a stale snapshot — the relation and its
+// access structure as they looked before the last tuple arrived — so
+// indexed answers silently drop tuples the scan path keeps. The
+// serve-equivalence oracle must catch the divergence against the
+// sequential mediator baseline.
+func staleIndexExecutor() serve.SourceExecutor {
+	type snap struct {
+		rel *engine.Relation
+		acc *engine.Access
+	}
+	var mu sync.Mutex
+	memo := map[*engine.Relation]snap{}
+	return func(ctx context.Context, source string, rel *engine.Relation, q *qtree.Node, ev *engine.Evaluator, ix engine.IndexSet, acc *engine.Access) (*engine.Relation, error) {
+		if acc == nil || rel.Len() == 0 {
+			return serve.DefaultExecutor(ctx, source, rel, q, ev, ix, acc)
+		}
+		mu.Lock()
+		s, ok := memo[rel]
+		if !ok {
+			s.rel = engine.NewRelation(rel.Name, rel.Tuples[:rel.Len()-1]...)
+			s.acc = engine.BuildAccess(s.rel)
+			memo[rel] = s
+		}
+		mu.Unlock()
+		return s.rel.SelectAccess(ctx, q, ev, s.acc)
+	}
+}
+
 // faultPlan is the mix the fault-injected grid runs under: frequent typed
 // transient errors, benign sub-timeout delays, and stalls long enough to trip
 // the per-source timeout below.
@@ -144,49 +187,55 @@ func (h *Harness) checkServeFaults(c *Case, med *mediator.Mediator, data map[str
 	}
 	var grid []faultConfig
 	for _, workers := range []int{1, 4} {
-		workers := workers
-		grid = append(grid, faultConfig{
-			variant: fmt.Sprintf("faults/workers=%d", workers),
-			plan:    faultPlan,
-			make: func(inj *engine.Injector) serve.Config {
-				return serve.Config{
-					Workers:       workers,
-					CacheSize:     64,
-					SourceTimeout: faultTimeout,
-					Executor: func(ctx context.Context, source string, rel *engine.Relation, q *qtree.Node, ev *engine.Evaluator, ix engine.IndexSet) (*engine.Relation, error) {
-						if err := inj.Apply(ctx, source); err != nil {
-							return nil, err
-						}
-						return serve.DefaultExecutor(ctx, source, rel, q, ev, ix)
-					},
-				}
-			},
-		})
+		for _, index := range []bool{false, true} {
+			workers, index := workers, index
+			grid = append(grid, faultConfig{
+				variant: fmt.Sprintf("faults/workers=%d/index=%v", workers, index),
+				plan:    faultPlan,
+				make: func(inj *engine.Injector) serve.Config {
+					return serve.Config{
+						Workers:       workers,
+						CacheSize:     64,
+						SourceTimeout: faultTimeout,
+						Index:         index,
+						Executor: func(ctx context.Context, source string, rel *engine.Relation, q *qtree.Node, ev *engine.Evaluator, ix engine.IndexSet, acc *engine.Access) (*engine.Relation, error) {
+							if err := inj.Apply(ctx, source); err != nil {
+								return nil, err
+							}
+							return serve.DefaultExecutor(ctx, source, rel, q, ev, ix, acc)
+						},
+					}
+				},
+			})
+		}
 	}
 	for _, shards := range []int{1, 2, 8} {
-		shards := shards
-		// A streaming request draws one fault per shard instead of one per
-		// source, so scale the per-draw probabilities by 1/shards to keep
-		// per-request fault exposure (and the retry loop's success odds)
-		// comparable to the materialized grid points.
-		plan := faultPlan
-		plan.ErrProb /= float64(shards)
-		plan.StallProb /= float64(shards)
-		grid = append(grid, faultConfig{
-			variant: fmt.Sprintf("faults/stream/shards=%d", shards),
-			plan:    plan,
-			make: func(inj *engine.Injector) serve.Config {
-				return serve.Config{
-					Workers:       4,
-					CacheSize:     64,
-					SourceTimeout: faultTimeout,
-					Stream:        true,
-					Shards:        shards,
-					StreamBuffer:  4,
-					ShardHook:     inj.ApplyShard,
-				}
-			},
-		})
+		for _, index := range []bool{false, true} {
+			shards, index := shards, index
+			// A streaming request draws one fault per shard instead of one per
+			// source, so scale the per-draw probabilities by 1/shards to keep
+			// per-request fault exposure (and the retry loop's success odds)
+			// comparable to the materialized grid points.
+			plan := faultPlan
+			plan.ErrProb /= float64(shards)
+			plan.StallProb /= float64(shards)
+			grid = append(grid, faultConfig{
+				variant: fmt.Sprintf("faults/stream/shards=%d/index=%v", shards, index),
+				plan:    plan,
+				make: func(inj *engine.Injector) serve.Config {
+					return serve.Config{
+						Workers:       4,
+						CacheSize:     64,
+						SourceTimeout: faultTimeout,
+						Stream:        true,
+						Shards:        shards,
+						StreamBuffer:  4,
+						Index:         index,
+						ShardHook:     inj.ApplyShard,
+					}
+				},
+			})
+		}
 	}
 	for _, fc := range grid {
 		inj := engine.NewInjector(c.Seed, fc.plan)

@@ -1,0 +1,342 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/qparse"
+	"repro/internal/qtree"
+	"repro/internal/values"
+)
+
+// accessRelation is the fixed probe-kind fixture: every attribute is total
+// and family-uniform, so each operator family has a sound probe.
+func accessRelation() *Relation {
+	r := NewRelation("books")
+	words := []string{"go systems", "query mapping", "systems design", "go query"}
+	for i := 0; i < 40; i++ {
+		r.Tuples = append(r.Tuples, tup(
+			"cat", values.Int(int64(i%8)),
+			"price", values.Int(int64(i*7%100)),
+			"title", values.String(fmt.Sprintf("%s vol %d", words[i%len(words)], i)),
+			"pdate", values.Date{Year: 1995 + i%4, Month: 1 + i%12},
+		))
+	}
+	return r
+}
+
+// TestAccessPlanKinds: the planner picks the expected probe kind per
+// operator and reports it through Describe.
+func TestAccessPlanKinds(t *testing.T) {
+	r := accessRelation()
+	acc := BuildAccess(r)
+	ev := NewEvaluator()
+	ev.MissingIsFalse = true
+	cases := []struct {
+		query string
+		want  string // Describe prefix: kind(attr)
+	}{
+		{`[cat = 3]`, "eq(cat)"},
+		{`[price < 20]`, "rng(price)"},
+		{`[title starts "go"]`, "pre(title)"},
+		{`[title contains "mapping"]`, "tok(title)"},
+		{`[pdate during 96]`, "rng(pdate)"},
+		{`[cat = 3] or [cat = 5]`, "eq(cat):5+eq(cat)"},
+		{`[cat != 3]`, "scan"}, // inequality has no probe
+		{`[nope = 1]`, "nil(nope)"},
+	}
+	for _, tc := range cases {
+		q := qparse.MustParse(tc.query)
+		plan := acc.PlanQuery(q, ev)
+		if d := plan.Describe(); !strings.HasPrefix(d, tc.want) {
+			t.Errorf("%s: plan %q, want prefix %q", tc.query, d, tc.want)
+		}
+		if tc.want == "scan" && plan.Probed() {
+			t.Errorf("%s: expected fallback plan", tc.query)
+		}
+	}
+}
+
+// TestSelectAccessByteIdentical: SelectAccess must reproduce Select's answer
+// byte-for-byte, including tuple order, across probed and fallback plans.
+func TestSelectAccessByteIdentical(t *testing.T) {
+	r := accessRelation()
+	acc := BuildAccess(r)
+	ev := NewEvaluator()
+	ev.MissingIsFalse = true
+	ctx := context.Background()
+	queries := []string{
+		`[cat = 3]`,
+		`[cat = 3] and [price < 40]`,
+		`[price >= 80] or [title starts "query"]`,
+		`[title contains "systems"] and [cat != 2]`,
+		`[pdate during 96] or [pdate during Feb/97]`,
+		`[cat = 99]`,
+		`[missing = 1] or [cat = 0]`,
+		`([cat = 1] or [cat = 2]) and ([price > 10] or [title contains "go"])`,
+	}
+	for _, qs := range queries {
+		q := qparse.MustParse(qs)
+		want, err := r.Select(q, ev)
+		if err != nil {
+			t.Fatalf("%s: scan: %v", qs, err)
+		}
+		got, err := r.SelectAccess(ctx, q, ev, acc)
+		if err != nil {
+			t.Fatalf("%s: access: %v", qs, err)
+		}
+		if err := sameRelation(want, got); err != nil {
+			t.Errorf("%s: %v", qs, err)
+		}
+	}
+}
+
+func sameRelation(want, got *Relation) error {
+	if want.Len() != got.Len() {
+		return fmt.Errorf("access returned %d tuples, scan %d", got.Len(), want.Len())
+	}
+	for i := range want.Tuples {
+		if want.Tuples[i].String() != got.Tuples[i].String() {
+			return fmt.Errorf("tuple %d differs: access %s, scan %s",
+				i, got.Tuples[i], want.Tuples[i])
+		}
+	}
+	return nil
+}
+
+// TestAccessRespectsOverrides: an overridden (attribute, operator) pair must
+// not be probed — the override's semantics replace value identity.
+func TestAccessRespectsOverrides(t *testing.T) {
+	r := NewRelation("r",
+		tup("author", values.String("Clancy, Tom")),
+		tup("author", values.String("Clancy, Jack")),
+		tup("author", values.String("Smith, Ann")),
+	)
+	ev := NewEvaluator()
+	ev.Override("author", qtree.OpEq, func(tv, cv qtree.Value) (bool, error) {
+		st, _ := tv.(values.String)
+		cs, _ := cv.(values.String)
+		ln, _ := values.NameToLnFn(st.Raw())
+		qn, _ := values.NameToLnFn(cs.Raw())
+		return ln == qn, nil
+	})
+	acc := BuildAccess(r)
+	q := qparse.MustParse(`[author = "Clancy"]`)
+	if plan := acc.PlanQuery(q, ev); plan.Probed() {
+		t.Fatalf("overridden equality planned as %q, want scan", plan.Describe())
+	}
+	got, err := r.SelectAccess(context.Background(), q, ev, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Errorf("override select returned %d tuples, want 2", got.Len())
+	}
+}
+
+// TestAccessStatsCounters: probed plans count probes and candidate tuples;
+// fallback plans count fallbacks and universe scans.
+func TestAccessStatsCounters(t *testing.T) {
+	r := accessRelation()
+	acc := BuildAccess(r)
+	ev := NewEvaluator()
+	ev.MissingIsFalse = true
+	ctx := context.Background()
+
+	if _, err := r.SelectAccess(ctx, qparse.MustParse(`[cat = 3]`), ev, acc); err != nil {
+		t.Fatal(err)
+	}
+	st := acc.Stats()
+	if st.Probes != 1 || st.Fallbacks != 0 {
+		t.Fatalf("after probe: %+v", st)
+	}
+	if st.Scanned != 5 { // 40 tuples, cat = i%8: exactly 5 candidates
+		t.Errorf("probe scanned %d tuples, want 5", st.Scanned)
+	}
+
+	if _, err := r.SelectAccess(ctx, qparse.MustParse(`[cat != 3]`), ev, acc); err != nil {
+		t.Fatal(err)
+	}
+	st = acc.Stats()
+	if st.Fallbacks != 1 {
+		t.Fatalf("after fallback: %+v", st)
+	}
+	if st.Scanned != 5+40 {
+		t.Errorf("fallback scanned %d total tuples, want 45", st.Scanned)
+	}
+}
+
+// TestAttrStats: build-time statistics reflect the value distribution.
+func TestAttrStats(t *testing.T) {
+	r := accessRelation()
+	acc := BuildAccess(r)
+	st, ok := acc.AttrStats("cat")
+	if !ok {
+		t.Fatal("no stats for cat")
+	}
+	if st.Count != 40 || st.Distinct != 8 || st.MaxBucket != 5 {
+		t.Errorf("cat stats = %+v, want Count 40, Distinct 8, MaxBucket 5", st)
+	}
+	if _, ok := acc.AttrStats("nope"); ok {
+		t.Error("stats reported for an attribute no tuple carries")
+	}
+}
+
+// TestSelectIndexedPicksSmallestBucket: with several indexed equality
+// conjuncts, SelectIndexed must evaluate over the smallest bucket — counted
+// through an overridden leading conjunct that sees every evaluated tuple.
+func TestSelectIndexedPicksSmallestBucket(t *testing.T) {
+	r := NewRelation("r")
+	for i := 0; i < 100; i++ {
+		r.Tuples = append(r.Tuples, tup(
+			"big", values.Int(1), // one 100-tuple bucket
+			"small", values.Int(int64(i/2)), // 2-tuple buckets
+			"flag", values.Int(5),
+		))
+	}
+	ev := NewEvaluator()
+	evaluated := 0
+	ev.Override("flag", qtree.OpEq, func(tv, cv qtree.Value) (bool, error) {
+		evaluated++
+		return true, nil
+	})
+	indexes := BuildIndexes(r, "big", "small")
+	// flag leads so the counting override runs once per candidate tuple.
+	q := qparse.MustParse(`[flag = 5] and [big = 1] and [small = 7]`)
+	got, err := r.SelectIndexed(q, ev, indexes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("returned %d tuples, want 2", got.Len())
+	}
+	if evaluated != 2 {
+		t.Errorf("evaluated %d candidate tuples, want 2 (the smallest bucket, not the first)", evaluated)
+	}
+}
+
+// fuzzAttrs drives the random query generator: each attribute with the
+// operators and constants the fuzzer may pair with it. "mixed" holds values
+// from two comparison families, so range probes are unsound there and the
+// planner must preserve scan-path errors; "ghost" is carried by no tuple.
+var fuzzWords = []string{"alpha", "beta", "gamma", "delta", "query", "map"}
+
+func fuzzRelation(rng *rand.Rand, n int) *Relation {
+	r := NewRelation("fz")
+	for i := 0; i < n; i++ {
+		t := Tuple{}
+		if rng.Intn(10) > 0 {
+			t["a"] = values.Int(int64(rng.Intn(12)))
+		}
+		if rng.Intn(10) > 1 {
+			t["s"] = values.String(fuzzWords[rng.Intn(len(fuzzWords))] + " " + fuzzWords[rng.Intn(len(fuzzWords))])
+		}
+		if rng.Intn(10) > 2 {
+			d := values.Date{Year: 1995 + rng.Intn(3)}
+			if rng.Intn(2) == 0 {
+				d.Month = 1 + rng.Intn(12)
+				if rng.Intn(2) == 0 {
+					d.Day = 1 + rng.Intn(28)
+				}
+			}
+			t["d"] = d
+		}
+		if rng.Intn(2) == 0 {
+			if rng.Intn(2) == 0 {
+				t["mixed"] = values.Int(int64(rng.Intn(5)))
+			} else {
+				t["mixed"] = values.String(fuzzWords[rng.Intn(len(fuzzWords))])
+			}
+		}
+		if len(t) == 0 {
+			t["a"] = values.Int(0)
+		}
+		r.Tuples = append(r.Tuples, t)
+	}
+	return r
+}
+
+func fuzzConstraint(rng *rand.Rand) *qtree.Constraint {
+	switch rng.Intn(7) {
+	case 0:
+		ops := []string{qtree.OpEq, qtree.OpNe, qtree.OpLt, qtree.OpLe, qtree.OpGt, qtree.OpGe}
+		return qtree.Sel(qtree.A("a"), ops[rng.Intn(len(ops))], values.Int(int64(rng.Intn(14)-1)))
+	case 1:
+		ops := []string{qtree.OpEq, qtree.OpStarts, qtree.OpContains}
+		return qtree.Sel(qtree.A("s"), ops[rng.Intn(len(ops))], values.String(fuzzWords[rng.Intn(len(fuzzWords))]))
+	case 2:
+		d := values.Date{Year: 1995 + rng.Intn(3)}
+		if rng.Intn(2) == 0 {
+			d.Month = 1 + rng.Intn(12)
+		}
+		return qtree.Sel(qtree.A("d"), qtree.OpDuring, d)
+	case 3:
+		return qtree.Sel(qtree.A("d"), qtree.OpEq, values.Date{Year: 1995 + rng.Intn(3), Month: 1 + rng.Intn(12)})
+	case 4: // mixed family: comparisons error on the wrong-family tuples
+		ops := []string{qtree.OpEq, qtree.OpLt, qtree.OpGe, qtree.OpContains}
+		return qtree.Sel(qtree.A("mixed"), ops[rng.Intn(len(ops))], values.Int(int64(rng.Intn(5))))
+	case 5: // ghost attribute: no tuple carries it
+		return qtree.Sel(qtree.A("ghost"), qtree.OpEq, values.Int(int64(rng.Intn(3))))
+	default: // overridable pair (the fuzz evaluator may override a/=)
+		return qtree.Sel(qtree.A("a"), qtree.OpEq, values.Int(int64(rng.Intn(12))))
+	}
+}
+
+func fuzzQuery(rng *rand.Rand, depth int) *qtree.Node {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		return qtree.Leaf(fuzzConstraint(rng))
+	}
+	kids := make([]*qtree.Node, 1+rng.Intn(3))
+	for i := range kids {
+		kids[i] = fuzzQuery(rng, depth-1)
+	}
+	if rng.Intn(2) == 0 {
+		return qtree.And(kids...)
+	}
+	return qtree.Or(kids...)
+}
+
+// FuzzIndexEquivalence: for random relations, evaluators, and queries —
+// including overridden operators, missing attributes, and mixed-family
+// values — SelectAccess must agree with Select byte-for-byte, and when the
+// scan path errors the access path must return the identical error.
+func FuzzIndexEquivalence(f *testing.F) {
+	for _, s := range []int64{1, 7, 42, 1001, 31337} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		r := fuzzRelation(rng, 30+rng.Intn(120))
+		ev := NewEvaluator()
+		ev.MissingIsFalse = rng.Intn(4) > 0
+		if rng.Intn(3) == 0 {
+			ev.Override("a", qtree.OpEq, func(tv, cv qtree.Value) (bool, error) {
+				x, _ := values.Numeric(tv)
+				y, _ := values.Numeric(cv)
+				return int64(x)%3 == int64(y)%3, nil
+			})
+		}
+		acc := BuildAccess(r)
+		ctx := context.Background()
+		for i := 0; i < 24; i++ {
+			q := fuzzQuery(rng, 2)
+			want, werr := r.Select(q, ev)
+			got, gerr := r.SelectAccess(ctx, q, ev, acc)
+			if (werr == nil) != (gerr == nil) {
+				t.Fatalf("seed %d q=%s: scan err %v, access err %v", seed, q, werr, gerr)
+			}
+			if werr != nil {
+				if werr.Error() != gerr.Error() {
+					t.Fatalf("seed %d q=%s: error text differs\nscan:   %v\naccess: %v", seed, q, werr, gerr)
+				}
+				continue
+			}
+			if err := sameRelation(want, got); err != nil {
+				t.Fatalf("seed %d q=%s: %v", seed, q, err)
+			}
+		}
+	})
+}

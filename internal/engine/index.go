@@ -33,14 +33,17 @@ func (ix *Index) Probe(v qtree.Value) []Tuple {
 	return ix.buckets[valueBucketKey(v)]
 }
 
+// ProbeKey returns the tuples bucketed under a canonical value-identity key
+// (qtree.ValueKey / Constraint.ValueKey). Constraints cache their key, so
+// probing this way costs no allocation.
+func (ix *Index) ProbeKey(key string) []Tuple {
+	return ix.buckets[key]
+}
+
 // valueBucketKey mirrors the canonical value identity used by constraint
 // keys (numeric kinds share one identity).
 func valueBucketKey(v qtree.Value) string {
-	kind := v.Kind()
-	if kind == "int" || kind == "float" {
-		kind = "num"
-	}
-	return kind + ":" + v.String()
+	return qtree.ValueKey(v)
 }
 
 // IndexSet holds the indexes available on one relation, by attribute name.
@@ -56,15 +59,18 @@ func BuildIndexes(r *Relation, attrs ...string) IndexSet {
 }
 
 // SelectIndexed evaluates q over the relation like Select, but when q is a
-// simple conjunction containing an equality constraint on an indexed
-// attribute with *default* semantics, it probes the index and evaluates the
-// full query only on the bucket. Overridden operators (source-specific
-// semantics such as Amazon's structured author match) disable the probe for
-// that constraint, since their equality is not value identity. Results are
-// identical to Select's up to tuple order.
+// simple conjunction containing equality constraints on indexed attributes
+// with *default* semantics, it probes the index whose bucket is smallest —
+// the most selective probe, not merely the first eligible one — and
+// evaluates the full query only on that bucket. Overridden operators
+// (source-specific semantics such as Amazon's structured author match)
+// disable the probe for that constraint, since their equality is not value
+// identity. Results are identical to Select's up to tuple order.
 func (r *Relation) SelectIndexed(q *qtree.Node, ev *Evaluator, indexes IndexSet) (*Relation, error) {
 	q = q.Normalize()
 	if q.IsSimpleConjunction() {
+		var best []Tuple
+		probed := false
 		for _, c := range q.SimpleConjuncts() {
 			if c.IsJoin() || c.Op != qtree.OpEq || c.Val == nil {
 				continue
@@ -76,8 +82,14 @@ func (r *Relation) SelectIndexed(q *qtree.Node, ev *Evaluator, indexes IndexSet)
 			if !ok {
 				continue
 			}
+			bucket := ix.ProbeKey(c.ValueKey())
+			if !probed || len(bucket) < len(best) {
+				best, probed = bucket, true
+			}
+		}
+		if probed {
 			out := &Relation{Name: r.Name}
-			for _, t := range ix.Probe(c.Val) {
+			for _, t := range best {
 				match, err := ev.EvalQuery(q, t)
 				if err != nil {
 					return nil, err

@@ -34,6 +34,12 @@ const (
 	// on streaming requests, never inside translation traces, so the golden
 	// translation trees are unaffected.
 	KindStream = "stream"
+	// KindAccess is an access-path span emitted by the serving layer when
+	// index-backed execution is on: one span per source per request, whose
+	// name records the planner's chosen path (e.g. "books eq(pyear):12" or
+	// "books scan"). Like KindStream it never appears inside translation
+	// traces.
+	KindAccess = "access"
 )
 
 // Counter keys used by the translation pipeline's spans.

@@ -51,12 +51,17 @@ type Constraint struct {
 	// Key() falls back to a stateless computation, so a missing cache can
 	// never be wrong — only slower.
 	key string
+	// valOff is the byte offset of the value-key component inside key for
+	// cached selection constraints; zero means "not cached" (the minimal
+	// real offset is 4).
+	valOff int
 }
 
 // Sel constructs a selection constraint [attr op val].
 func Sel(attr Attr, op string, val Value) *Constraint {
 	c := &Constraint{Attr: attr, Op: op, Val: val}
 	c.key = c.computeKey()
+	c.valOff = 1 + len(attr.Key()) + 1 + len(op) + 1
 	return c
 }
 
@@ -122,6 +127,25 @@ func (c *Constraint) computeKey() string {
 	}
 	return "[" + l.Key() + " " + op + " " + r.Key() + "]"
 }
+
+// ValueKey returns the canonical identity of the constraint's constant: the
+// value-key component of Key(). For constructor-built selection constraints
+// it slices the cached key without allocating, which keeps index probes off
+// the allocator. Join constraints have no constant and return "".
+func (c *Constraint) ValueKey() string {
+	if c.IsJoin() {
+		return ""
+	}
+	if c.key != "" && c.valOff > 0 {
+		return c.key[c.valOff : len(c.key)-1]
+	}
+	return valueKey(c.Val)
+}
+
+// ValueKey returns the canonical identity string of a constant value — the
+// same identity constraint keys embed (numeric kinds share one identity), so
+// engine-side value buckets and constraint probes agree byte-for-byte.
+func ValueKey(v Value) string { return valueKey(v) }
 
 func valueKey(v Value) string {
 	if v == nil {

@@ -264,6 +264,26 @@ func (n *Node) SimpleConjuncts() []*Constraint {
 	}
 }
 
+// DisjunctConjuncts decomposes a normalized query into probe shape: one
+// constraint list per top-level disjunct, each disjunct a simple conjunction.
+// ok is false when any disjunct nests further structure (an ∧ with ∨
+// children), in which case per-disjunct index probing is not applicable. A
+// True query returns (nil, true): zero disjuncts, every tuple matches.
+func (n *Node) DisjunctConjuncts() ([][]*Constraint, bool) {
+	if n.Kind == KindTrue {
+		return nil, true
+	}
+	djs := n.Disjuncts()
+	out := make([][]*Constraint, 0, len(djs))
+	for _, d := range djs {
+		if !d.IsSimpleConjunction() {
+			return nil, false
+		}
+		out = append(out, d.SimpleConjuncts())
+	}
+	return out, true
+}
+
 // Conjuncts returns the children of an ∧-node, or the node itself as a
 // single conjunct otherwise.
 func (n *Node) Conjuncts() []*Node {

@@ -100,6 +100,13 @@ func WithShardHook(h stream.Hook) Option {
 	return func(c *Config) { c.ShardHook = h }
 }
 
+// WithIndex builds a cost-based access path per source at construction time
+// and routes both execution paths through selectivity-ranked index probes.
+// Answers are byte-identical to the scan paths.
+func WithIndex(on bool) Option {
+	return func(c *Config) { c.Index = on }
+}
+
 // WithChainDebug switches the mediator's chain-backed sources to sequential
 // hop-by-hop translation through the original specs (differential-checking
 // mode; filtered answers are identical to the composed path's).

@@ -112,15 +112,20 @@ func (ct *CachingTranslator) Evictions() uint64 { return ct.cache.Evictions() }
 
 // SourceExecutor runs one source's native selection phase: evaluate the
 // translated query q over the source's relation rel with the source's
-// evaluator ev, using ix (may be nil) to accelerate equality probes. Custom
-// executors wrap DefaultExecutor to add fault injection, tracing, or remote
+// evaluator ev, using ix (may be nil) to accelerate equality probes and acc
+// (may be nil) for full cost-based access-path selection. Custom executors
+// wrap DefaultExecutor to add fault injection, tracing, or remote
 // transports; they must honor ctx, whose deadline carries the server's
 // per-source timeout.
-type SourceExecutor func(ctx context.Context, source string, rel *engine.Relation, q *qtree.Node, ev *engine.Evaluator, ix engine.IndexSet) (*engine.Relation, error)
+type SourceExecutor func(ctx context.Context, source string, rel *engine.Relation, q *qtree.Node, ev *engine.Evaluator, ix engine.IndexSet, acc *engine.Access) (*engine.Relation, error)
 
-// DefaultExecutor is the in-memory selection phase: an indexed select when
-// the source has indexes, a scan otherwise.
-func DefaultExecutor(_ context.Context, _ string, rel *engine.Relation, q *qtree.Node, ev *engine.Evaluator, ix engine.IndexSet) (*engine.Relation, error) {
+// DefaultExecutor is the in-memory selection phase: a cost-based
+// access-path select when the source has an Access, an indexed select when
+// it has equality indexes, a scan otherwise.
+func DefaultExecutor(ctx context.Context, _ string, rel *engine.Relation, q *qtree.Node, ev *engine.Evaluator, ix engine.IndexSet, acc *engine.Access) (*engine.Relation, error) {
+	if acc != nil {
+		return rel.SelectAccess(ctx, q, ev, acc)
+	}
 	if ix != nil {
 		return rel.SelectIndexed(q, ev, ix)
 	}
@@ -185,6 +190,13 @@ type Config struct {
 	// the streaming path — the per-shard analogue of wrapping Executor, used
 	// for fault injection (engine.Injector.ApplyShard) and admission checks.
 	ShardHook stream.Hook
+	// Index builds a cost-based access path (engine.Access) per source at
+	// construction time — hash, sorted-array, and inverted-token indexes
+	// plus per-attribute statistics — and routes both execution paths
+	// through selectivity-ranked index probes. Answers are byte-identical
+	// (content, order, and errors) to the scan paths; queries the planner
+	// cannot probe soundly fall back to scanning automatically.
+	Index bool
 	// ChainDebug switches the mediator's chain-backed sources (see
 	// mediator.AddChainSource) to sequential hop-by-hop translation through
 	// the original specs instead of the precomposed one. Filtered answers
@@ -215,6 +227,11 @@ type Server struct {
 	shardHook   stream.Hook
 	presorted   map[string]*stream.Sorted
 	streamMet   *stream.Metrics
+	// access holds each source's cost-based access path when Config.Index
+	// is on: built over the presorted universe on the streaming path (so
+	// probe positions align with shard slices) and over the raw data
+	// relation otherwise. Nil map when indexing is off.
+	access map[string]*engine.Access
 
 	reg      *obs.Registry
 	requests *obs.Counter
@@ -312,6 +329,18 @@ func New(med *mediator.Mediator, data map[string]*engine.Relation, cfg Config) *
 			s.presorted[name] = stream.Presort(rel)
 		}
 	}
+	if cfg.Index {
+		s.access = make(map[string]*engine.Access, len(data))
+		for name, rel := range data {
+			if cfg.Stream {
+				// The streaming executors probe in presorted position
+				// space, so the access path must be built over the
+				// presorted universe, not the raw relation.
+				rel = s.presorted[name].Relation()
+			}
+			s.access[name] = engine.BuildAccess(rel)
+		}
+	}
 	s.requests = reg.Counter("qmap_serve_requests_total",
 		"Translate and Query/QueryJoin calls.")
 	s.errors = reg.Counter("qmap_serve_errors_total",
@@ -360,6 +389,17 @@ func New(med *mediator.Mediator, data map[string]*engine.Relation, cfg Config) *
 			"Resident shared translation-plan entries.",
 			func() float64 { return float64(pl.Len()) })
 	}
+	if cfg.Index {
+		reg.CounterFunc("qmap_index_probes_total",
+			"Index probes executed by the access-path planner (one per planned disjunct).",
+			func() float64 { return float64(s.accessStats().Probes) })
+		reg.CounterFunc("qmap_index_fallbacks_total",
+			"Selections answered by a full scan because no sound probe existed.",
+			func() float64 { return float64(s.accessStats().Fallbacks) })
+		reg.CounterFunc("qmap_index_scanned_tuples_total",
+			"Tuples evaluated by selections: probe candidates when indexed, whole universes on fallback.",
+			func() float64 { return float64(s.accessStats().Scanned) })
+	}
 	s.streamReqs = reg.Counter("qmap_stream_requests_total",
 		"Requests answered by the streaming pipeline.")
 	s.streamMergeWaits = reg.Counter("qmap_stream_merge_waits_total",
@@ -397,6 +437,23 @@ func New(med *mediator.Mediator, data map[string]*engine.Relation, cfg Config) *
 	}
 	return s
 }
+
+// accessStats sums the cumulative access-path counters across all sources.
+// Zero when indexing is off.
+func (s *Server) accessStats() engine.AccessStats {
+	var out engine.AccessStats
+	for _, acc := range s.access {
+		st := acc.Stats()
+		out.Probes += st.Probes
+		out.Fallbacks += st.Fallbacks
+		out.Scanned += st.Scanned
+	}
+	return out
+}
+
+// Access returns the named source's cost-based access path, or nil when
+// indexing is off (or the source is unknown).
+func (s *Server) Access(source string) *engine.Access { return s.access[source] }
 
 // Translator returns the server's translation cache.
 func (s *Server) Translator() *CachingTranslator { return s.tr }
@@ -540,6 +597,7 @@ func (s *Server) Query(ctx context.Context, q *qtree.Node) (*engine.Relation, er
 		}
 	}
 	sortTuplesByKey(out.Tuples, keys)
+	s.accessSpan(ctx, tr)
 	return out, nil
 }
 
@@ -594,7 +652,38 @@ func (s *Server) QueryJoin(ctx context.Context, q *qtree.Node) (*engine.Relation
 	}
 	out.Name = "result"
 	sortRelation(out)
+	s.accessSpan(ctx, tr)
 	return out, nil
+}
+
+// accessSpan records the planner's chosen access path per source when the
+// request context carries a tracer and indexing is on. The path description
+// rides in the span name (deterministic for a fixed query and universe);
+// counters carry whether the plan probed and how many candidate tuples the
+// probes admit. Called after the merge, on the single request goroutine.
+func (s *Server) accessSpan(ctx context.Context, tr *mediator.Translation) {
+	if s.access == nil {
+		return
+	}
+	t := obs.TracerFrom(ctx)
+	if t == nil {
+		return
+	}
+	for i := range tr.Sources {
+		st := &tr.Sources[i]
+		acc := s.access[st.Source.Name]
+		if acc == nil {
+			continue
+		}
+		plan := acc.PlanQuery(st.Query, st.Source.Eval)
+		sp := t.Start(obs.KindAccess, st.Source.Name+" "+plan.Describe())
+		probed := int64(0)
+		if plan.Probed() {
+			probed = 1
+		}
+		sp.Set("probed", probed)
+		t.End()
+	}
 }
 
 // Stats returns a snapshot of the server's counters.
@@ -615,6 +704,12 @@ func (s *Server) Stats() Stats {
 		StreamPeakInFlight: s.streamPeak.Load(),
 		StreamEmitted:      s.streamEmitted.Load(),
 		StreamMergeWaits:   s.streamMergeWaits.Value(),
+	}
+	if s.access != nil {
+		as := s.accessStats()
+		st.IndexProbes = as.Probes
+		st.IndexFallbacks = as.Fallbacks
+		st.IndexScanned = as.Scanned
 	}
 	if s.mc != nil {
 		mcs := s.mc.Stats()
@@ -717,7 +812,7 @@ func (s *Server) evalSource(ctx context.Context, tr *mediator.Translation, st *m
 	if !ok {
 		return nil, fmt.Errorf("serve: no data for source %s", st.Source.Name)
 	}
-	native, err := s.exec(ctx, st.Source.Name, rel, st.Query, st.Source.Eval, s.med.Indexes[st.Source.Name])
+	native, err := s.exec(ctx, st.Source.Name, rel, st.Query, st.Source.Eval, s.med.Indexes[st.Source.Name], s.access[st.Source.Name])
 	if err != nil || !branchFilter {
 		return native, err
 	}

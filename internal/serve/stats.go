@@ -110,6 +110,15 @@ type Stats struct {
 	// StreamMergeWaits counts the times the k-way merge blocked waiting for
 	// a shard to produce.
 	StreamMergeWaits uint64 `json:"stream_merge_waits"`
+	// IndexProbes counts index probes executed by the access-path planner,
+	// one per planned disjunct (zero when indexing is off).
+	IndexProbes uint64 `json:"index_probes"`
+	// IndexFallbacks counts selections answered by a full scan because no
+	// sound probe existed for the query.
+	IndexFallbacks uint64 `json:"index_fallbacks"`
+	// IndexScanned counts tuples evaluated by selections: probe candidates
+	// on indexed executions, whole universes on fallbacks.
+	IndexScanned uint64 `json:"index_scanned_tuples"`
 	// Timeouts counts per-source executions cut off by a deadline.
 	Timeouts uint64 `json:"timeouts"`
 	// Errors counts requests that returned an error.

@@ -75,6 +75,8 @@ func (s *Server) sourceShards(st *mediator.SourceTranslation, filter *qtree.Node
 	if !ok {
 		return nil, fmt.Errorf("serve: no data for source %s", st.Source.Name)
 	}
+	acc := s.access[st.Source.Name] // nil when indexing is off
+	base := 0
 	for j, part := range sorted.Split(s.shards) {
 		out = append(out, stream.Shard{
 			Source:     st.Source.Name,
@@ -84,7 +86,10 @@ func (s *Server) sourceShards(st *mediator.SourceTranslation, filter *qtree.Node
 			Eval:       st.Source.Eval,
 			Filter:     filter,
 			FilterEval: s.med.Eval,
+			Access:     acc,
+			Base:       base,
 		})
+		base += len(part)
 	}
 	return out, nil
 }
@@ -119,6 +124,7 @@ func (s *Server) streamUnion(ctx context.Context, tr *mediator.Translation) (*en
 		return nil, s.streamFail(err)
 	}
 	s.streamSpan(ctx, "union", len(shards), len(out.Tuples))
+	s.accessSpan(ctx, tr)
 	return out, nil
 }
 
@@ -161,7 +167,12 @@ func (s *Server) streamJoin(ctx context.Context, tr *mediator.Translation) (*eng
 	}
 	var build *engine.Relation
 	for i := 0; i < n-1; i++ {
-		sel, err := s.streamSelect(ctx, &tr.Sources[i], 0)
+		// The budget applies while collecting: only tuples matching the
+		// translated build-side query count (with indexing on, the shard
+		// executors probe instead of scanning, so non-matching universe
+		// tuples never even reach the pipeline), and an over-budget build
+		// fails during the stream instead of after materializing it.
+		sel, err := s.streamSelect(ctx, &tr.Sources[i], s.buildBudget)
 		if err != nil {
 			return nil, s.streamFail(err)
 		}
@@ -220,6 +231,7 @@ func (s *Server) streamJoin(ctx context.Context, tr *mediator.Translation) (*eng
 	}
 	sortRelation(out)
 	s.streamSpan(ctx, "join", len(shards), len(out.Tuples))
+	s.accessSpan(ctx, tr)
 	return out, nil
 }
 

@@ -142,6 +142,38 @@ func TestStreamBuildBudget(t *testing.T) {
 	}
 }
 
+// TestStreamJoinIndexedBuildBudget: with access paths on, the join's build
+// side collects through index probes, the budget still counts matching
+// tuples, and an over-budget build fails with the typed error during the
+// stream. With an adequate budget the indexed join must stay byte-identical
+// to the sequential materialized join.
+func TestStreamJoinIndexedBuildBudget(t *testing.T) {
+	_, med, data := libraryServer(Config{})
+	q := qparse.MustParse(`([fac.dept = cs] or [fac.dept = ee]) and [fac.bib contains data(near)mining]`)
+
+	srv := New(med, data, Config{Stream: true, Shards: 2, Index: true, BuildBudget: 1})
+	_, err := srv.QueryJoin(context.Background(), q)
+	if !errors.Is(err, ErrBuildBudget) {
+		t.Fatalf("err = %v, want ErrBuildBudget", err)
+	}
+	if st := srv.Stats(); st.IndexProbes+st.IndexFallbacks == 0 {
+		t.Error("indexed build side planned no access paths")
+	}
+
+	srv = New(med, data, Config{Stream: true, Shards: 2, Index: true})
+	want, _, err := med.ExecuteJoin(q, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := srv.QueryJoin(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if render(got) != render(want) {
+		t.Error("indexed streaming QueryJoin diverged from ExecuteJoin")
+	}
+}
+
 // TestStreamShardHookFault injects a typed failure through the per-shard
 // hook and expects it to surface wrapped from Query.
 func TestStreamShardHookFault(t *testing.T) {
@@ -260,6 +292,9 @@ var statsMetricFor = map[string]string{
 	"stream_peak_in_flight": "qmap_stream_peak_in_flight",
 	"stream_emitted":        "qmap_stream_emitted_total",
 	"stream_merge_waits":    "qmap_stream_merge_waits_total",
+	"index_probes":          "qmap_index_probes_total",
+	"index_fallbacks":       "qmap_index_fallbacks_total",
+	"index_scanned_tuples":  "qmap_index_scanned_tuples_total",
 	"timeouts":              "qmap_serve_timeouts_total",
 	"errors":                "qmap_serve_errors_total",
 	// Per-source maps and display labels have labeled/derived backing:
@@ -272,7 +307,7 @@ var statsMetricFor = map[string]string{
 // exemption), so a counter can't be added to one surface and forgotten on
 // the other.
 func TestStatsMetricsDrift(t *testing.T) {
-	srv, _, _ := bookstoreServer(Config{Stream: true, Shards: 2})
+	srv, _, _ := bookstoreServer(Config{Stream: true, Shards: 2, Index: true})
 	// Touch both paths so functional collectors have live backing state.
 	if _, err := srv.Query(context.Background(), qparse.MustParse(`[publisher = "aw"]`)); err != nil {
 		t.Fatal(err)

@@ -23,6 +23,15 @@ type Shard struct {
 	Eval       *engine.Evaluator
 	Filter     *qtree.Node
 	FilterEval *engine.Evaluator
+
+	// Access, when non-nil, routes the shard's query evaluation through the
+	// cost-based access-path planner instead of the tuple-at-a-time scan. It
+	// must be built over the source's presorted universe (Sorted.Relation),
+	// with Base the shard's starting offset into it, so that probe positions
+	// map onto Entries. The residue Filter is still evaluated inline per
+	// surviving tuple. Emission order and errors are identical either way.
+	Access *engine.Access
+	Base   int
 }
 
 // Hook runs at the start of every shard execution, before any tuple is
@@ -150,6 +159,37 @@ func runShard(ctx context.Context, sh Shard, out chan<- Entry, opt Options) erro
 		filter = nil
 	}
 	met := opt.Metrics
+	if sh.Access != nil {
+		plan := sh.Access.PlanQuery(sh.Query, sh.Eval)
+		err := plan.Scan(ctx, sh.Base, sh.Base+len(sh.Entries), func(pos int) error {
+			e := sh.Entries[pos-sh.Base]
+			if filter != nil {
+				ok, ferr := sh.FilterEval.EvalQuery(filter, e.Tuple)
+				if ferr != nil {
+					return ferr
+				}
+				if !ok {
+					return nil
+				}
+			}
+			if met != nil && met.OnEmit != nil {
+				met.OnEmit(sh.Source, sh.Index)
+			}
+			select {
+			case out <- e:
+				return nil
+			case <-ctx.Done():
+				if met != nil && met.OnDeliver != nil {
+					met.OnDeliver() // the tuple in hand never entered the channel
+				}
+				return ctx.Err()
+			}
+		})
+		if err != nil {
+			return wrap(err)
+		}
+		return nil
+	}
 	for i := range sh.Entries {
 		// Long runs of non-matching tuples never reach the cancellable
 		// send, so poll the context on a stride.

@@ -53,6 +53,8 @@ type Entry struct {
 type Sorted struct {
 	Name    string
 	Entries []Entry
+
+	rel *engine.Relation
 }
 
 // Presort renders and sorts rel's tuples by their stable key. The relation
@@ -63,8 +65,19 @@ func Presort(rel *engine.Relation) *Sorted {
 		entries[i] = Entry{Key: t.String(), Tuple: t}
 	}
 	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
-	return &Sorted{Name: rel.Name, Entries: entries}
+	s := &Sorted{Name: rel.Name, Entries: entries}
+	s.rel = &engine.Relation{Name: rel.Name, Tuples: make([]engine.Tuple, len(entries))}
+	for i := range entries {
+		s.rel.Tuples[i] = entries[i].Tuple
+	}
+	return s
 }
+
+// Relation returns the presorted universe as a relation snapshot: tuple i is
+// Entries[i].Tuple. An engine.Access built over it speaks the same position
+// space as the shard slices (Shard.Base + offset), which is what lets index
+// probes reproduce each shard's key-sorted emission order exactly.
+func (s *Sorted) Relation() *engine.Relation { return s.rel }
 
 // Split cuts the sorted universe into n contiguous ranges of near-equal
 // size. Each range is itself key-sorted, which is what lets a k-way merge

@@ -1,0 +1,30 @@
+package workload
+
+import (
+	"repro/internal/engine"
+	"repro/internal/values"
+)
+
+// AccessRelation builds the access-path benchmark fixture: n tuples whose
+// low-selectivity attributes exercise each probe kind of engine.Access.
+// cat hits ~n/200 tuples per equality value, price spreads over a 0..9999
+// window so small ranges select ~0.5%, and the rare description token
+// "xenon" appears in every 200th tuple for inverted-token probes. It backs
+// the scan/{full,indexed}/* rows of qbench -bench-json and is free for
+// tests that need a deterministic indexable relation.
+func AccessRelation(n int) *engine.Relation {
+	rel := engine.NewRelation("scanbench")
+	for i := 0; i < n; i++ {
+		desc := "alpha beta gamma"
+		if i%200 == 7 {
+			desc = "alpha xenon gamma"
+		}
+		rel.Tuples = append(rel.Tuples, engine.Tuple{
+			"id":    values.Int(i),
+			"cat":   values.Int(i % 200),
+			"price": values.Int((i * 2497) % 10000),
+			"desc":  values.String(desc),
+		})
+	}
+	return rel
+}

@@ -373,6 +373,11 @@ var (
 	// ServeChainDebug switches chain-backed sources to sequential
 	// hop-by-hop translation (differential-checking mode).
 	ServeChainDebug = serve.WithChainDebug
+	// ServeIndex builds cost-based access paths (hash, sorted-array, and
+	// inverted-token indexes plus per-attribute statistics) per source and
+	// routes both execution paths through selectivity-ranked probes; answers
+	// are byte-identical to the scan paths.
+	ServeIndex = serve.WithIndex
 )
 
 // Serve wraps a mediator and its per-source data in the concurrent serving
