@@ -19,6 +19,14 @@
 // selectivity-ranked hash/range/prefix/token index probes with scan
 // fallback, byte-identical answers — and qmap_index_* metrics appear at
 // /metrics (see docs/performance.md §6).
+// With -breaker / -hedge / -retries, per-source fault absorption
+// (internal/resilience) guards the fan-out: circuit breakers fail a tripped
+// source's requests fast with a typed error, hedged requests duplicate
+// stragglers after the source's latency-quantile delay, and transient
+// faults are retried with jittered backoff; qmap_breaker_*, qmap_hedge_*,
+// and qmap_retry_* metrics appear at /metrics (see docs/resilience.md).
+// -admission puts a TinyLFU frequency sketch in front of the translation
+// and matchings caches so scan traffic cannot wash out the hot set.
 // SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight queries.
 //
 // Endpoints:
@@ -81,17 +89,31 @@ func main() {
 	streaming := flag.Bool("stream", false, "answer /query on the streaming per-shard pipeline (bounded memory, qmap_stream_* metrics)")
 	shards := flag.Int("shards", 4, "shards per source on the streaming path (with -stream)")
 	index := flag.Bool("index", false, "build cost-based access paths per source and answer via selectivity-ranked index probes (qmap_index_* metrics)")
+	breaker := flag.Bool("breaker", false, "per-source circuit breakers: a tripped source fails fast with a typed error (qmap_breaker_* metrics)")
+	hedge := flag.Bool("hedge", false, "hedge straggling source executions after the tracked latency-quantile delay (qmap_hedge_* metrics)")
+	retries := flag.Int("retries", 0, "total executions allowed per source request on transient faults, first included (<= 1 disables; qmap_retry_total)")
+	admission := flag.Bool("admission", false, "TinyLFU admission in front of the translation and matchings caches (qmap_admission_rejected_total)")
 	flag.Parse()
 
 	s := newServer(*seed, *nBooks, serve.Config{
-		CacheSize:      *cacheSize,
-		MatchCacheSize: *matchCache,
-		PlanSize:       *plan,
-		Workers:        *workers,
-		SourceTimeout:  *srcTimeout,
-		Stream:         *streaming,
-		Shards:         *shards,
-		Index:          *index,
+		Cache: serve.CacheConfig{
+			Size:           *cacheSize,
+			MatchCacheSize: *matchCache,
+			PlanSize:       *plan,
+			Admission:      *admission,
+		},
+		Streaming: serve.StreamConfig{
+			Enabled: *streaming,
+			Shards:  *shards,
+		},
+		Resilience: serve.ResilienceConfig{
+			Breaker: *breaker,
+			Hedge:   *hedge,
+			Retries: *retries,
+		},
+		Workers:       *workers,
+		SourceTimeout: *srcTimeout,
+		Index:         *index,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
@@ -113,6 +135,9 @@ func main() {
 	}
 	if *index {
 		mode += " (indexed access paths)"
+	}
+	if *breaker || *hedge || *retries > 1 {
+		mode += " (resilient fan-out)"
 	}
 	log.Printf("mediatord: serving %d-book catalog on %s%s", s.catalog.Len(), *addr, mode)
 

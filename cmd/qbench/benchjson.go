@@ -60,6 +60,14 @@ type benchEntry struct {
 	// scan/* and indexed-stream benchmarks — the evidence that index probes
 	// touch candidates instead of the universe.
 	ScannedTuples float64 `json:"scanned_tuples,omitempty"`
+	// P99NsPerOp is the 99th-percentile per-request wall time for the
+	// tail-latency benchmarks (hedge/tail/*) — the quantity hedged source
+	// requests exist to improve, recorded so the trajectory file witnesses
+	// the tail collapsing when hedging is on.
+	P99NsPerOp float64 `json:"p99_ns_per_op,omitempty"`
+	// HedgesWonPct is the fraction of requests won by a hedged attempt over
+	// the measurement, for the hedge/tail/on row.
+	HedgesWonPct float64 `json:"hedges_won_pct,omitempty"`
 }
 
 // registeredFlagNames enumerates the qbench flag set, sorted.
@@ -216,6 +224,111 @@ func runBenchSuite() []benchEntry {
 	out = append(out, runStreamBench()...)
 	out = append(out, runScanBench()...)
 	out = append(out, runComposeBench()...)
+	out = append(out, runHedgeBench()...)
+	out = append(out, runAdmissionBench()...)
+	return out
+}
+
+// runHedgeBench measures the per-request latency tail against a source pair
+// whose executions suffer a deterministic-seeded 5% chance of a multi-
+// millisecond benign delay — the transiently-slow-replica regime hedging is
+// built for. The off/on pair shares the fault plan; the on row launches a
+// duplicate execution after the source's tracked latency-quantile delay and
+// takes the first completion. ns/op is the mean, p99_ns_per_op the nearest-
+// rank 99th percentile over the sample — the recorded evidence of the p99
+// hedge win.
+func runHedgeBench() []benchEntry {
+	ctx := context.Background()
+	q := streamBenchQuery()
+	const reqs = 400
+	var out []benchEntry
+	for _, variant := range []struct {
+		name  string
+		hedge bool
+	}{{"off", false}, {"on", true}} {
+		inj := engine.NewInjector(7, engine.FaultPlan{
+			DelayProb: 0.05,
+			Delay:     8 * time.Millisecond,
+		})
+		srv := bookstoreStack(200, serve.Config{
+			Cache:      serve.CacheConfig{Size: 16},
+			Resilience: serve.ResilienceConfig{Hedge: variant.hedge},
+			Executor: func(ctx context.Context, source string, rel *engine.Relation, q *qtree.Node, ev *engine.Evaluator, ix engine.IndexSet, acc *engine.Access) (*engine.Relation, error) {
+				if err := inj.Apply(ctx, source); err != nil {
+					return nil, err
+				}
+				return serve.DefaultExecutor(ctx, source, rel, q, ev, ix, acc)
+			},
+		})
+		if _, err := srv.Query(ctx, q); err != nil { // warm the translation cache
+			panic(err)
+		}
+		lats := make([]time.Duration, reqs)
+		var total time.Duration
+		for i := range lats {
+			t0 := time.Now()
+			if _, err := srv.Query(ctx, q); err != nil {
+				panic(err)
+			}
+			lats[i] = time.Since(t0)
+			total += lats[i]
+		}
+		sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+		entry := benchEntry{
+			Name:       "hedge/tail/" + variant.name,
+			NsPerOp:    math.Round(float64(total.Nanoseconds()) / reqs),
+			P99NsPerOp: float64(lats[reqs*99/100].Nanoseconds()),
+		}
+		if variant.hedge {
+			entry.HedgesWonPct = math.Round(1000*float64(srv.Stats().HedgesWon)/reqs) / 10
+		}
+		out = append(out, entry)
+	}
+	return out
+}
+
+// runAdmissionBench measures the translation cache under a scan-polluted
+// rotation: every operation translates one query from a 32-entry hot set
+// (fitting the 32-entry cache exactly) and one from a 2048-query scan pool
+// that recycles far too slowly to deserve caching. Plain LRU lets every scan
+// insert evict a hot entry; TinyLFU admission refuses inserts whose
+// estimated frequency does not beat the victim's, so the hot set survives —
+// hit_rate_pct records the difference.
+func runAdmissionBench() []benchEntry {
+	s := workload.New(workload.Config{Indep: 6, Pairs: 3, InexactPairs: 2, Triples: 1})
+	hot := benchQueriesSeed(s, 32, 1999)
+	scans := benchQueriesSeed(s, 2048, 2024)
+	ctx := context.Background()
+	var out []benchEntry
+	for _, variant := range []struct {
+		name  string
+		admit bool
+	}{{"lru", false}, {"tinylfu", true}} {
+		med := mediator.New(&sources.Source{Name: "w1", Spec: s.Spec, Eval: s.Eval})
+		srv := serve.New(med, nil, serve.Config{
+			Cache: serve.CacheConfig{
+				Size:           32,
+				MatchCacheSize: -1,
+				PlanSize:       -1,
+				Admission:      variant.admit,
+			},
+		})
+		i := 0
+		entry := benchEntry{
+			Name: "admission/" + variant.name + "/scanmix",
+			NsPerOp: timeOp(func() {
+				if _, err := srv.Translate(ctx, hot[i%len(hot)]); err != nil {
+					panic(err)
+				}
+				if _, err := srv.Translate(ctx, scans[i%len(scans)]); err != nil {
+					panic(err)
+				}
+				i++
+			}),
+		}
+		entry.HitRatePct = math.Round(1000*srv.Stats().HitRate()) / 10
+		out = append(out, entry)
+	}
 	return out
 }
 
@@ -396,7 +509,14 @@ func runStreamBench() []benchEntry {
 // translate: deterministic-seeded random trees over the standard synthetic
 // scenario.
 func benchQueries(s *workload.Scenario, n int) []*qtree.Node {
-	rng := rand.New(rand.NewSource(1999))
+	return benchQueriesSeed(s, n, 1999)
+}
+
+// benchQueriesSeed is benchQueries with an explicit generator seed, so two
+// rotations over the same scenario can be made disjoint (the admission
+// benchmark's hot set vs scan pool).
+func benchQueriesSeed(s *workload.Scenario, n int, seed int64) []*qtree.Node {
+	rng := rand.New(rand.NewSource(seed))
 	cfg := workload.QueryConfig{MaxDepth: 3, MaxFanout: 3, LeafProb: 0.4}
 	qs := make([]*qtree.Node, n)
 	for i := range qs {
@@ -518,6 +638,11 @@ func benchNames() []string {
 				fmt.Sprintf("compose/composed/e=%d/k=%d", e, k))
 		}
 	}
+	names = append(names,
+		"hedge/tail/off",
+		"hedge/tail/on",
+		"admission/lru/scanmix",
+		"admission/tinylfu/scanmix")
 	return names
 }
 

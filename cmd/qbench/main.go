@@ -15,6 +15,12 @@
 //	                   # chunks of N; -matchcache N sizes the shared
 //	                   # matchings cache and -plan N the shared translation
 //	                   # plan (negative disables either)
+//	qbench -serve -rps 500 -slo 20ms -hedge -taildelay 10ms
+//	                   # drill mode: open-loop load paced at a fixed RPS with
+//	                   # p50/p95/p99 latency reporting; exits 1 when p99
+//	                   # exceeds -slo. -breaker/-hedge/-retries/-admission
+//	                   # enable the resilience layer and -taildelay/-tailprob
+//	                   # inject a benign latency tail to drill against
 //	qbench -bench-json BENCH_matching.json
 //	                   # re-measure the matching-engine benchmarks and rewrite
 //	                   # the perf trajectory file; -bench-check verifies its
@@ -92,6 +98,14 @@ func registerFlags(fs *flag.FlagSet) *options {
 	fs.BoolVar(&o.serveMode.stream, "stream", false, "serve mode: answer queries on the streaming per-shard pipeline")
 	fs.IntVar(&o.serveMode.shards, "shards", 4, "serve mode: shards per source on the streaming path")
 	fs.BoolVar(&o.serveMode.index, "index", false, "serve mode: answer via cost-based access paths (selectivity-ranked index probes)")
+	fs.IntVar(&o.serveMode.rps, "rps", 0, "serve mode: drill — pace requests at this fixed rate and report p50/p95/p99 latency (0 = closed loop)")
+	fs.DurationVar(&o.serveMode.slo, "slo", 0, "drill mode: fail (exit 1) when p99 latency exceeds this (0 = report only)")
+	fs.BoolVar(&o.serveMode.breaker, "breaker", false, "serve mode: per-source circuit breakers (tripped sources fail fast with a typed error)")
+	fs.BoolVar(&o.serveMode.hedge, "hedge", false, "serve mode: hedge straggling source executions after the latency-quantile delay")
+	fs.IntVar(&o.serveMode.retries, "retries", 0, "serve mode: total executions allowed per source request on transient faults (<= 1 disables)")
+	fs.BoolVar(&o.serveMode.admit, "admission", false, "serve mode: TinyLFU admission in front of the translation and matchings caches")
+	fs.DurationVar(&o.serveMode.taildel, "taildelay", 0, "serve mode: inject a benign per-source delay up to this bound with probability -tailprob (0 = off)")
+	fs.Float64Var(&o.serveMode.tailprob, "tailprob", 0.05, "serve mode: probability of the injected -taildelay per source execution")
 
 	fs.StringVar(&o.benchJSON, "bench-json", "", "run the matching benchmark suite and write results to this file")
 	fs.StringVar(&o.benchCheck, "bench-check", "", "verify a -bench-json file's flag and benchmark sets match this binary")
@@ -135,7 +149,10 @@ func main() {
 		return
 	}
 	if o.serve {
-		runServe(o.serveMode)
+		if err := runServe(o.serveMode); err != nil {
+			fmt.Fprintf(os.Stderr, "qbench: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 	if o.list {

@@ -23,6 +23,10 @@
 //	                              # the plant IS caught)
 //	qcheck -n 200 -plant badindex # self-test: serve stale index snapshots,
 //	                              # caught by serve equivalence
+//	qcheck -n 200 -plant badbreaker
+//	                              # self-test: breaker silently omits a
+//	                              # tripped source, caught by serve
+//	                              # equivalence
 //	qcheck -n 200 -oracle compose # run only the spec-composition oracle
 //
 // Exit status: 0 when every case conforms (or, with -plant, when the
@@ -44,7 +48,7 @@ func main() {
 	replay := flag.String("replay", "", "replay one case from a qc1:... seed string")
 	shrink := flag.Bool("shrink", true, "shrink failing cases to a minimal reproducer")
 	faults := flag.Bool("faults", false, "enable the fault-injected serve equivalence oracle")
-	plant := flag.String("plant", "", "plant a known bug: nosuppression | dropfilter | badcompose | badindex (self-test)")
+	plant := flag.String("plant", "", "plant a known bug: nosuppression | dropfilter | badcompose | badindex | badbreaker (self-test)")
 	oracle := flag.String("oracle", "", "restrict the run to one oracle: subsumption | filter-exactness | minimality | compose | serve-equivalence")
 	flag.Parse()
 
@@ -59,8 +63,10 @@ func main() {
 		opts.Plant = conformance.PlantBadCompose
 	case string(conformance.PlantBadIndex):
 		opts.Plant = conformance.PlantBadIndex
+	case string(conformance.PlantBadBreaker):
+		opts.Plant = conformance.PlantBadBreaker
 	default:
-		fmt.Fprintf(os.Stderr, "qcheck: unknown -plant %q (want nosuppression, dropfilter, badcompose, or badindex)\n", *plant)
+		fmt.Fprintf(os.Stderr, "qcheck: unknown -plant %q (want nosuppression, dropfilter, badcompose, badindex, or badbreaker)\n", *plant)
 		os.Exit(2)
 	}
 	h := conformance.New(opts)

@@ -68,6 +68,13 @@ const (
 	// (rules.ComposeTightened): the composed translation drops answers the
 	// sequential two-hop reference keeps, which the compose oracle catches.
 	PlantBadCompose Plant = "badcompose"
+	// PlantBadBreaker answers a source's selections on the breaker-enabled
+	// materialized grid points with a silently empty relation after its
+	// first execution, modeling a breaker that omits a tripped source
+	// instead of surfacing the typed ErrBreakerOpen fast-fail — the
+	// degraded-answer-contract violation the serve-equivalence oracle
+	// catches as an answer diverging from the sequential baseline.
+	PlantBadBreaker Plant = "badbreaker"
 	// PlantBadIndex answers the indexed materialized grid points from a
 	// stale access snapshot (built before each source's last tuple
 	// arrived), so indexed answers silently drop tuples the scan path

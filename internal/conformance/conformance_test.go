@@ -113,6 +113,22 @@ func TestPlantedBadIndexCaught(t *testing.T) {
 	}
 }
 
+// TestPlantedBadBreakerCaught plants the silently-omitting breaker executor
+// on the breaker-enabled materialized grid points and demands the
+// serve-equivalence oracle catches the degraded-answer-contract violation
+// (an empty per-source answer instead of the typed ErrBreakerOpen).
+func TestPlantedBadBreakerCaught(t *testing.T) {
+	h := New(Options{Plant: PlantBadBreaker})
+	rep := h.Run(1, 200, false)
+	if len(rep.Failures) == 0 {
+		t.Fatalf("planted silent-breaker bug not caught in %d cases", rep.Cases)
+	}
+	if o := rep.Failures[0].Violation.Oracle; o != "serve-equivalence" {
+		t.Fatalf("planted silent-breaker bug caught by %q, want serve-equivalence:\n%s",
+			o, rep.Failures[0].Reproducer())
+	}
+}
+
 // TestOracleFilter restricts the harness to a single oracle: the planted
 // compose bug must be invisible to a minimality-only run and caught by a
 // compose-only run.

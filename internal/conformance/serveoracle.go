@@ -10,6 +10,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/mediator"
 	"repro/internal/qtree"
+	"repro/internal/resilience"
 	"repro/internal/serve"
 	"repro/internal/sources"
 )
@@ -76,14 +77,35 @@ func (h *Harness) checkServe(c *Case) *Violation {
 		{name: "stream/shards=1/index", cfg: serve.Config{Workers: 4, CacheSize: 64, Stream: true, Shards: 1, Index: true}},
 		{name: "stream/shards=2/index", cfg: serve.Config{Workers: 4, CacheSize: 64, Stream: true, Shards: 2, Index: true}},
 		{name: "stream/shards=8/index", cfg: serve.Config{Workers: 4, CacheSize: 64, Stream: true, Shards: 8, StreamBuffer: 4, Index: true}},
+		// The resilience dimension ({breaker on/off} × {hedge on/off}, plus
+		// retries and TinyLFU cache admission): all of it must be invisible
+		// on clean runs — answers byte-identical to the unprotected path,
+		// because breakers only trip on errors, retries only re-run failed
+		// executions, hedges duplicate pure selections, and admission only
+		// decides what is cached, never what is answered.
+		{name: "par/cache/breaker", cfg: serve.Config{Workers: 4, CacheSize: 64,
+			Resilience: serve.ResilienceConfig{Breaker: true}}},
+		{name: "par/cache/hedge", cfg: serve.Config{Workers: 4, CacheSize: 64,
+			Resilience: serve.ResilienceConfig{Hedge: true}}},
+		{name: "par/cache/breaker+hedge", cfg: serve.Config{Workers: 4, CacheSize: 64,
+			Resilience: serve.ResilienceConfig{Breaker: true, Hedge: true, Retries: 2}}},
+		{name: "par/cache/admission", cfg: serve.Config{Workers: 4,
+			Cache: serve.CacheConfig{Size: 64, Admission: true}}},
+		{name: "stream/shards=2/breaker", cfg: serve.Config{Workers: 4, CacheSize: 64,
+			Stream: true, Shards: 2,
+			Resilience: serve.ResilienceConfig{Breaker: true}}},
 	}
 	ctx := context.Background()
 	stale := staleIndexExecutor()
+	silent := silentBreakerExecutor()
 
 	for _, gc := range grid {
 		cfg := gc.cfg
 		if h.opts.Plant == PlantBadIndex && cfg.Index && !cfg.Stream {
 			cfg.Executor = stale
+		}
+		if h.opts.Plant == PlantBadBreaker && cfg.Resilience.Breaker && !cfg.Stream {
+			cfg.Executor = silent
 		}
 		srv := serve.New(med, data, cfg)
 		for qi, q := range []*qtree.Node{c.Query, permuted} {
@@ -160,6 +182,29 @@ func staleIndexExecutor() serve.SourceExecutor {
 	}
 }
 
+// silentBreakerExecutor implements the badbreaker plant: a defective
+// breaker integration that, once a source has "tripped" (here: after its
+// first execution), silently answers that source's selections with an empty
+// relation instead of failing the request with the typed ErrBreakerOpen.
+// That is exactly the degraded-answer-contract violation the resilience
+// layer forbids — a tripped source silently omitted from a union answer —
+// and the serve-equivalence oracle must catch it as an answer smaller than
+// the sequential baseline.
+func silentBreakerExecutor() serve.SourceExecutor {
+	var mu sync.Mutex
+	execs := map[string]int{}
+	return func(ctx context.Context, source string, rel *engine.Relation, q *qtree.Node, ev *engine.Evaluator, ix engine.IndexSet, acc *engine.Access) (*engine.Relation, error) {
+		mu.Lock()
+		n := execs[source]
+		execs[source] = n + 1
+		mu.Unlock()
+		if source == "sB" && n > 0 {
+			return engine.NewRelation(source), nil
+		}
+		return serve.DefaultExecutor(ctx, source, rel, q, ev, ix, acc)
+	}
+}
+
 // faultPlan is the mix the fault-injected grid runs under: frequent typed
 // transient errors, benign sub-timeout delays, and stalls long enough to trip
 // the per-source timeout below.
@@ -208,6 +253,41 @@ func (h *Harness) checkServeFaults(c *Case, med *mediator.Mediator, data map[str
 				},
 			})
 		}
+	}
+	// The resilience combos under faults ({breaker} × {hedge}, plus retry):
+	// failed requests must still carry only typed errors — now including
+	// ErrBreakerOpen — and successes must still be byte-identical to the
+	// fault-free baseline. The breaker cool-down is shortened so the retry
+	// loop can observe recovery rather than starving on fast-fails.
+	shortOpen := resilience.BreakerConfig{OpenFor: 2 * time.Millisecond}
+	for _, res := range []struct {
+		tag string
+		rc  serve.ResilienceConfig
+	}{
+		{"breaker", serve.ResilienceConfig{Breaker: true, BreakerConfig: shortOpen}},
+		{"hedge", serve.ResilienceConfig{Hedge: true}},
+		{"breaker+hedge+retry", serve.ResilienceConfig{
+			Breaker: true, BreakerConfig: shortOpen, Hedge: true, Retries: 2}},
+	} {
+		res := res
+		grid = append(grid, faultConfig{
+			variant: "faults/" + res.tag,
+			plan:    faultPlan,
+			make: func(inj *engine.Injector) serve.Config {
+				return serve.Config{
+					Workers:       4,
+					CacheSize:     64,
+					SourceTimeout: faultTimeout,
+					Resilience:    res.rc,
+					Executor: func(ctx context.Context, source string, rel *engine.Relation, q *qtree.Node, ev *engine.Evaluator, ix engine.IndexSet, acc *engine.Access) (*engine.Relation, error) {
+						if err := inj.Apply(ctx, source); err != nil {
+							return nil, err
+						}
+						return serve.DefaultExecutor(ctx, source, rel, q, ev, ix, acc)
+					},
+				}
+			},
+		})
 	}
 	for _, shards := range []int{1, 2, 8} {
 		for _, index := range []bool{false, true} {
@@ -267,12 +347,15 @@ func (h *Harness) checkServeFaults(c *Case, med *mediator.Mediator, data map[str
 }
 
 // typedFault reports whether err is one of the contractually allowed fault
-// shapes: the injector's typed transient error or a context deadline /
-// cancellation surfaced by the per-source timeout.
+// shapes: the injector's typed transient error, a context deadline /
+// cancellation surfaced by the per-source timeout, or the breaker's typed
+// fast-fail — the degraded-answer contract says a tripped source must
+// surface ErrBreakerOpen, never a silently smaller answer.
 func typedFault(err error) bool {
 	return errors.Is(err, engine.ErrInjected) ||
 		errors.Is(err, context.DeadlineExceeded) ||
-		errors.Is(err, context.Canceled)
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, serve.ErrBreakerOpen)
 }
 
 // serveStack builds the mediation stack the serve oracle runs: two sources

@@ -132,7 +132,7 @@ func (t *Translator) SetCompiled(on bool) { t.compiledOff = !on }
 // cache is observable only through its own MatchCacheStats.
 //
 // Deprecated: prefer the WithMatchCache option at construction time.
-func (t *Translator) SetMatchCache(c *MatchCache) { t.shared = c }
+func (t *Translator) SetMatchCache(c *MatchCache) { WithMatchCache(c)(t) }
 
 // MatchCache returns the attached shared matchings cache, or nil.
 func (t *Translator) MatchCache() *MatchCache { return t.shared }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/resilience"
 	"repro/internal/rules"
 )
 
@@ -39,6 +40,15 @@ type MatchCache struct {
 	shards []matchShard
 	seed   maphash.Seed
 
+	// admit, when non-nil, is the TinyLFU admission sketch: every lookup
+	// touches it, and a full shard only admits an insert whose estimated
+	// access frequency strictly exceeds its eviction victim's. The sketch
+	// is keyed by the canonical constraint-set key alone (not the spec
+	// pointer) — cross-spec frequency sharing is harmless noise in an
+	// already-approximate estimate.
+	admit    *resilience.Sketch
+	rejected atomic.Uint64
+
 	hits, misses, evictions atomic.Uint64
 }
 
@@ -71,6 +81,17 @@ type matchEntry struct {
 // NewMatchCache returns a cache holding up to capacity matchings entries
 // (DefaultMatchCacheSize if capacity <= 0).
 func NewMatchCache(capacity int) *MatchCache {
+	return NewMatchCacheAdmission(capacity, false)
+}
+
+// NewMatchCacheAdmission returns a cache like NewMatchCache, optionally
+// guarded by a TinyLFU admission sketch: a full shard refuses inserts whose
+// estimated access frequency does not strictly exceed the eviction
+// victim's, so a flood of one-off constraint sets (scan-like traffic)
+// cannot wash out the hot working set. A refused insert changes nothing
+// for its caller — the derived matchings are still returned, just not
+// cached. Rejections are counted (AdmissionRejected).
+func NewMatchCacheAdmission(capacity int, admission bool) *MatchCache {
 	if capacity <= 0 {
 		capacity = DefaultMatchCacheSize
 	}
@@ -79,6 +100,9 @@ func NewMatchCache(capacity int) *MatchCache {
 		n = 1
 	}
 	c := &MatchCache{shards: make([]matchShard, n), seed: maphash.MakeSeed()}
+	if admission {
+		c.admit = resilience.NewSketch(capacity)
+	}
 	for i := range c.shards {
 		per := capacity / n
 		if i < capacity%n {
@@ -109,6 +133,9 @@ func (c *MatchCache) shardFor(cs string) *matchShard {
 // get returns the entry for (spec, cs), promoting it to most recently used
 // and counting a hit; a failed lookup counts a miss.
 func (c *MatchCache) get(spec *rules.Spec, cs string) (memoEntry, bool) {
+	if c.admit != nil {
+		c.admit.Touch(cs)
+	}
 	sh := c.shardFor(cs)
 	sh.mu.Lock()
 	el, ok := sh.items[matchKey{spec: spec, cs: cs}]
@@ -136,6 +163,14 @@ func (c *MatchCache) put(spec *rules.Spec, cs string, ms []*rules.Matching, prob
 		sh.mu.Unlock()
 		return
 	}
+	if c.admit != nil && sh.ll.Len() >= sh.cap {
+		victim := sh.ll.Back().Value.(*matchEntry).key.cs
+		if !c.admit.Admit(cs, victim) {
+			sh.mu.Unlock()
+			c.rejected.Add(1)
+			return
+		}
+	}
 	sh.items[key] = sh.ll.PushFront(&matchEntry{key: key, memoEntry: memoEntry{ms: ms, probed: probed}})
 	evicted := 0
 	for sh.ll.Len() > sh.cap {
@@ -149,6 +184,10 @@ func (c *MatchCache) put(spec *rules.Spec, cs string, ms []*rules.Matching, prob
 		c.evictions.Add(uint64(evicted))
 	}
 }
+
+// AdmissionRejected returns the number of inserts refused by the TinyLFU
+// admission policy (always 0 without admission).
+func (c *MatchCache) AdmissionRejected() uint64 { return c.rejected.Load() }
 
 // noteBypass records a tracing-mode bypass as a miss: traced lookups are
 // skipped (every match run must emit its spans) but still recorded, so the

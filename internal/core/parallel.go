@@ -19,16 +19,7 @@ import (
 // derivation logs are ordered, sequential artifacts.
 //
 // Deprecated: prefer the WithParallelism option at construction time.
-func (t *Translator) SetParallelism(n int) {
-	if n <= 1 {
-		t.workers, t.sem = 0, nil
-		return
-	}
-	t.workers = n
-	// n-1 slots: the caller's goroutine is the n-th worker (branches that
-	// find the pool full run inline on it).
-	t.sem = make(chan struct{}, n-1)
-}
+func (t *Translator) SetParallelism(n int) { WithParallelism(n)(t) }
 
 // parallelEligible reports whether a fan-out over n branches should run
 // concurrently.

@@ -316,7 +316,7 @@ func (s *Stats) add(d Stats) {
 // the plan is observable only through its own PlanStats.
 //
 // Deprecated: prefer the WithPlan option at construction time.
-func (t *Translator) SetPlan(p *Plan) { t.plan = p }
+func (t *Translator) SetPlan(p *Plan) { WithPlan(p)(t) }
 
 // Plan returns the attached shared translation plan, or nil.
 func (t *Translator) Plan() *Plan { return t.plan }

@@ -21,14 +21,14 @@ import (
 //
 // Deprecated: prefer the WithTracer option at construction time, or carry
 // the tracer in the context passed to Do (obs.WithTracer).
-func (t *Translator) SetTracer(tr *obs.Tracer) { t.tracer = tr }
+func (t *Translator) SetTracer(tr *obs.Tracer) { WithTracer(tr)(t) }
 
 // SetMetrics attaches (or detaches, with nil) cumulative translation
 // metrics; per-rule fire/suppress counts and algorithm work counters are
 // recorded under the spec's name.
 //
 // Deprecated: prefer the WithMetrics option at construction time.
-func (t *Translator) SetMetrics(m *obs.TranslationMetrics) { t.metrics = m }
+func (t *Translator) SetMetrics(m *obs.TranslationMetrics) { WithMetrics(m)(t) }
 
 // traceEnter tracks translation depth and, at the top level, computes the
 // dependent-constraint support of the whole query: the keys of every

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,6 +48,13 @@ type FaultPlan struct {
 // other sources interleave — which is what makes fault-injected runs
 // replayable from a single case seed.
 //
+// Beyond the probabilistic plan, two deterministic modes exist for tests
+// that need exact fault schedules rather than distributions: SetLatency pins
+// a fixed extra delay on every execution of a source (a reproducibly slow
+// source, the scenario hedging exists for), and SetErrorBurst fails the
+// source's next n executions outright (the trip-then-recover schedule
+// breaker tests need).
+//
 // Injector is safe for concurrent use.
 type Injector struct {
 	plan FaultPlan
@@ -54,14 +62,80 @@ type Injector struct {
 
 	mu      sync.Mutex
 	streams map[string]*rand.Rand
+	latency map[string]time.Duration
+	burst   map[string]int
 
-	errs, stalls, delays atomic.Uint64
+	errs, stalls, delays, lats atomic.Uint64
 }
 
 // NewInjector returns an injector drawing from plan, with per-source streams
 // derived from seed.
 func NewInjector(seed int64, plan FaultPlan) *Injector {
-	return &Injector{plan: plan, seed: seed, streams: make(map[string]*rand.Rand)}
+	return &Injector{
+		plan:    plan,
+		seed:    seed,
+		streams: make(map[string]*rand.Rand),
+		latency: make(map[string]time.Duration),
+		burst:   make(map[string]int),
+	}
+}
+
+// SetLatency pins a deterministic extra latency on every execution of the
+// named source (its shard executions included — shard streams inherit the
+// base source's pinned latency). A non-positive d clears the pin. Pinned
+// latency composes with the probabilistic plan: the sleep happens first,
+// then the plan draw proceeds as usual.
+func (in *Injector) SetLatency(source string, d time.Duration) {
+	in.mu.Lock()
+	if d <= 0 {
+		delete(in.latency, source)
+	} else {
+		in.latency[source] = d
+	}
+	in.mu.Unlock()
+}
+
+// SetErrorBurst makes the named source's next n executions fail with
+// ErrInjected before any plan draw — a deterministic failure run that trips
+// a circuit breaker at an exact execution count and then lets the source
+// recover. A non-positive n clears the burst.
+func (in *Injector) SetErrorBurst(source string, n int) {
+	in.mu.Lock()
+	if n <= 0 {
+		delete(in.burst, source)
+	} else {
+		in.burst[source] = n
+	}
+	in.mu.Unlock()
+}
+
+// deterministic resolves the pinned fault decision for one execution of
+// source: the remaining burst error (consuming it) and the pinned latency.
+// Shard names ("source#shard") fall back to the base source's pins.
+func (in *Injector) deterministic(source string) (failNow bool, extra time.Duration) {
+	base := source
+	if i := strings.IndexByte(source, '#'); i >= 0 {
+		base = source[:i]
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, name := range []string{source, base} {
+		if n, ok := in.burst[name]; ok {
+			if n <= 1 {
+				delete(in.burst, name)
+			} else {
+				in.burst[name] = n - 1
+			}
+			failNow = true
+			break
+		}
+	}
+	if d, ok := in.latency[source]; ok {
+		extra = d
+	} else if d, ok := in.latency[base]; ok {
+		extra = d
+	}
+	return failNow, extra
 }
 
 // draw advances the named source's stream by one decision.
@@ -90,8 +164,19 @@ func (in *Injector) draw(source string) (kind int, frac float64) {
 
 // Apply draws the next fault for the named source and enacts it: it returns
 // an error wrapping ErrInjected, sleeps (respecting ctx), or does nothing.
-// A stall or delay interrupted by ctx returns ctx.Err().
+// A stall or delay interrupted by ctx returns ctx.Err(). Deterministic pins
+// run first: a pending error burst fails immediately; a pinned latency
+// sleeps before the probabilistic draw.
 func (in *Injector) Apply(ctx context.Context, source string) error {
+	if failNow, extra := in.deterministic(source); failNow {
+		in.errs.Add(1)
+		return fmt.Errorf("source %s: %w", source, ErrInjected)
+	} else if extra > 0 {
+		in.lats.Add(1)
+		if err := sleepCtx(ctx, extra); err != nil {
+			return err
+		}
+	}
 	kind, frac := in.draw(source)
 	switch kind {
 	case 1:
@@ -127,6 +212,9 @@ func (in *Injector) Stalls() uint64 { return in.stalls.Load() }
 
 // Delays returns the number of benign delays injected so far.
 func (in *Injector) Delays() uint64 { return in.delays.Load() }
+
+// Latencies returns the number of pinned-latency sleeps injected so far.
+func (in *Injector) Latencies() uint64 { return in.lats.Load() }
 
 func sleepCtx(ctx context.Context, d time.Duration) error {
 	if d <= 0 {

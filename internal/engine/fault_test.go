@@ -68,3 +68,65 @@ func TestZeroPlanInjectsNothing(t *testing.T) {
 		t.Fatal("zero plan recorded injections")
 	}
 }
+
+func TestInjectorErrorBurst(t *testing.T) {
+	in := NewInjector(1, FaultPlan{})
+	in.SetErrorBurst("s", 3)
+	for i := 0; i < 3; i++ {
+		if err := in.Apply(context.Background(), "s"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("burst call %d: err = %v, want ErrInjected", i, err)
+		}
+	}
+	if err := in.Apply(context.Background(), "s"); err != nil {
+		t.Fatalf("post-burst call: err = %v, want recovery", err)
+	}
+	if in.Errors() != 3 {
+		t.Fatalf("Errors = %d, want 3", in.Errors())
+	}
+	// Bursts are per source; shard streams inherit the base source's burst.
+	in.SetErrorBurst("s", 1)
+	if err := in.ApplyShard(context.Background(), "s", 2); !errors.Is(err, ErrInjected) {
+		t.Fatalf("shard did not inherit the base burst: %v", err)
+	}
+	if err := in.Apply(context.Background(), "other"); err != nil {
+		t.Fatalf("burst leaked across sources: %v", err)
+	}
+}
+
+func TestInjectorPinnedLatency(t *testing.T) {
+	in := NewInjector(1, FaultPlan{})
+	in.SetLatency("slow", 20*time.Millisecond)
+	start := time.Now()
+	if err := in.Apply(context.Background(), "slow"); err != nil {
+		t.Fatalf("pinned latency errored: %v", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("pinned latency slept only %v", d)
+	}
+	if in.Latencies() != 1 {
+		t.Fatalf("Latencies = %d, want 1", in.Latencies())
+	}
+	// Other sources are unaffected; clearing removes the pin.
+	start = time.Now()
+	if err := in.Apply(context.Background(), "fast"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 10*time.Millisecond {
+		t.Fatalf("unpinned source slept %v", d)
+	}
+	in.SetLatency("slow", 0)
+	start = time.Now()
+	if err := in.Apply(context.Background(), "slow"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 10*time.Millisecond {
+		t.Fatalf("cleared pin still slept %v", d)
+	}
+	// A pinned sleep honors context cancellation.
+	in.SetLatency("slow", time.Minute)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if err := in.Apply(ctx, "slow"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}

@@ -40,6 +40,16 @@ const (
 	// "books scan"). Like KindStream it never appears inside translation
 	// traces.
 	KindAccess = "access"
+	// KindBreaker is a circuit-breaker summary span emitted by the serving
+	// layer per source per request when breakers are on: the name carries
+	// the source and its breaker state ("books closed"), counters carry the
+	// trip count and whether this request was refused. Serving-layer only,
+	// never inside translation traces.
+	KindBreaker = "breaker"
+	// KindHedge is a hedge/retry summary span emitted per source per
+	// request when hedging or retry is on: counters carry whether a hedge
+	// launched and won, and how many retries ran. Serving-layer only.
+	KindHedge = "hedge"
 )
 
 // Counter keys used by the translation pipeline's spans.

@@ -1,0 +1,168 @@
+package resilience
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// HedgeConfig tunes hedged execution. The zero value selects working
+// defaults.
+type HedgeConfig struct {
+	// Quantile is the completion-latency quantile at which the hedge
+	// launches (default 0.95): an attempt still running after the source's
+	// q-th latency percentile is in the tail, so a duplicate is started.
+	Quantile float64
+	// MinDelay floors the hedge delay — and is the delay used while the
+	// latency tracker has no samples yet (default 1ms).
+	MinDelay time.Duration
+	// MaxDelay caps the hedge delay (default 1s).
+	MaxDelay time.Duration
+}
+
+// withDefaults fills unset fields.
+func (c HedgeConfig) withDefaults() HedgeConfig {
+	if c.Quantile <= 0 || c.Quantile >= 1 {
+		c.Quantile = 0.95
+	}
+	if c.MinDelay <= 0 {
+		c.MinDelay = time.Millisecond
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = time.Second
+	}
+	return c
+}
+
+// latencySamples is the tracker's ring size: large enough for a stable tail
+// quantile, small enough that a sort-on-demand stays trivial.
+const latencySamples = 128
+
+// LatencyTracker keeps a sliding ring of recent completion latencies and
+// answers quantile queries over it — the adaptive half of the hedging
+// policy: the hedge delay follows each source's own latency distribution
+// instead of a global constant.
+type LatencyTracker struct {
+	mu   sync.Mutex
+	ring [latencySamples]time.Duration
+	n    int // occupied
+	idx  int // next write
+}
+
+// Observe records one completed execution's latency.
+func (t *LatencyTracker) Observe(d time.Duration) {
+	t.mu.Lock()
+	t.ring[t.idx] = d
+	t.idx = (t.idx + 1) % latencySamples
+	if t.n < latencySamples {
+		t.n++
+	}
+	t.mu.Unlock()
+}
+
+// Quantile returns the q-th latency quantile over the resident samples;
+// ok is false while no sample has been observed.
+func (t *LatencyTracker) Quantile(q float64) (d time.Duration, ok bool) {
+	t.mu.Lock()
+	if t.n == 0 {
+		t.mu.Unlock()
+		return 0, false
+	}
+	samples := make([]time.Duration, t.n)
+	copy(samples, t.ring[:t.n])
+	t.mu.Unlock()
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	i := int(q * float64(len(samples)))
+	if i >= len(samples) {
+		i = len(samples) - 1
+	}
+	return samples[i], true
+}
+
+// HedgeDelay resolves the delay after which a hedge should launch: the
+// tracked Quantile latency clamped to [MinDelay, MaxDelay], or MinDelay
+// while the tracker is empty (or nil).
+func HedgeDelay(t *LatencyTracker, cfg HedgeConfig) time.Duration {
+	cfg = cfg.withDefaults()
+	if t == nil {
+		return cfg.MinDelay
+	}
+	q, ok := t.Quantile(cfg.Quantile)
+	switch {
+	case !ok, q < cfg.MinDelay:
+		return cfg.MinDelay
+	case q > cfg.MaxDelay:
+		return cfg.MaxDelay
+	default:
+		return q
+	}
+}
+
+// Hedge runs fn, and if it has not completed after delay, launches a second
+// identical attempt and returns whichever completes successfully first,
+// cancelling the loser's context. fn must therefore be idempotent and honor
+// its context — both true of the pure per-source selections this package
+// protects, which is also why hedging is semantics-preserving: either
+// attempt computes the same answer.
+//
+// Outcomes: the first successful attempt wins. If the primary fails before
+// the hedge launches, its error returns immediately (the retry layer's
+// job, not the hedge's). If both attempts fail, the primary's error is
+// returned. launched reports whether the hedge started; won reports whether
+// the hedge's result (value or error, per the rules above) was the one
+// returned.
+func Hedge[T any](ctx context.Context, delay time.Duration, fn func(context.Context) (T, error)) (v T, err error, launched, won bool) {
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type outcome struct {
+		v     T
+		err   error
+		hedge bool
+	}
+	ch := make(chan outcome, 2) // buffered: the losing attempt never blocks
+	run := func(hedge bool) {
+		v, err := fn(hctx)
+		ch <- outcome{v, err, hedge}
+	}
+	go run(false)
+
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+
+	var primaryErr error
+	pending := 1
+	for {
+		select {
+		case o := <-ch:
+			pending--
+			if o.err == nil {
+				return o.v, nil, launched, o.hedge
+			}
+			if !o.hedge {
+				primaryErr = o.err
+			}
+			if !launched {
+				// Primary failed before the hedge fired: fail fast.
+				return o.v, o.err, false, false
+			}
+			if pending == 0 {
+				// Both attempts failed; report the primary's error as the
+				// representative one.
+				if primaryErr != nil {
+					return v, primaryErr, true, false
+				}
+				return v, o.err, true, o.hedge
+			}
+		case <-timer.C:
+			if !launched {
+				launched = true
+				pending++
+				go run(true)
+			}
+		case <-ctx.Done():
+			return v, ctx.Err(), launched, false
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestHedgeFastPrimaryNoHedge(t *testing.T) {
+	var calls atomic.Int32
+	v, err, launched, won := Hedge(context.Background(), time.Second,
+		func(context.Context) (int, error) {
+			calls.Add(1)
+			return 7, nil
+		})
+	if err != nil || v != 7 {
+		t.Fatalf("Hedge = (%d, %v), want (7, nil)", v, err)
+	}
+	if launched || won {
+		t.Fatalf("launched=%v won=%v, want no hedge for a fast primary", launched, won)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("calls = %d, want 1", got)
+	}
+}
+
+func TestHedgeWinsOverSlowPrimary(t *testing.T) {
+	var calls atomic.Int32
+	v, err, launched, won := Hedge(context.Background(), time.Millisecond,
+		func(ctx context.Context) (int, error) {
+			if calls.Add(1) == 1 {
+				// Primary: stall until cancelled by the winning hedge.
+				<-ctx.Done()
+				return 0, ctx.Err()
+			}
+			return 7, nil
+		})
+	if err != nil || v != 7 {
+		t.Fatalf("Hedge = (%d, %v), want (7, nil)", v, err)
+	}
+	if !launched || !won {
+		t.Fatalf("launched=%v won=%v, want hedge launched and won", launched, won)
+	}
+}
+
+func TestHedgePrimaryWinsAfterHedgeLaunch(t *testing.T) {
+	var calls atomic.Int32
+	release := make(chan struct{})
+	// Release the primary once the hedge attempt has launched.
+	go func() {
+		for calls.Load() < 2 {
+			time.Sleep(time.Millisecond)
+		}
+		close(release)
+	}()
+	v, err, launched, won := Hedge(context.Background(), time.Millisecond,
+		func(ctx context.Context) (int, error) {
+			if calls.Add(1) == 1 {
+				<-release
+				return 1, nil
+			}
+			// Hedge: slower than the released primary.
+			select {
+			case <-time.After(10 * time.Second):
+				return 2, nil
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			}
+		})
+	if err != nil || v != 1 {
+		t.Fatalf("Hedge = (%d, %v), want (1, nil)", v, err)
+	}
+	if !launched || won {
+		t.Fatalf("launched=%v won=%v, want hedge launched but primary won", launched, won)
+	}
+}
+
+func TestHedgePrimaryErrorBeforeHedgeFailsFast(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int32
+	_, err, launched, _ := Hedge(context.Background(), time.Hour,
+		func(context.Context) (int, error) {
+			calls.Add(1)
+			return 0, boom
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if launched || calls.Load() != 1 {
+		t.Fatalf("launched=%v calls=%d, want immediate fail-fast", launched, calls.Load())
+	}
+}
+
+func TestHedgeBothFailReturnsPrimaryError(t *testing.T) {
+	primaryErr := errors.New("primary down")
+	hedgeErr := errors.New("hedge down")
+	var calls atomic.Int32
+	_, err, launched, won := Hedge(context.Background(), time.Millisecond,
+		func(ctx context.Context) (int, error) {
+			if calls.Add(1) == 1 {
+				// Outlive the hedge launch, then fail.
+				select {
+				case <-time.After(20 * time.Millisecond):
+				case <-ctx.Done():
+				}
+				return 0, primaryErr
+			}
+			return 0, hedgeErr
+		})
+	if !errors.Is(err, primaryErr) {
+		t.Fatalf("err = %v, want the primary's error", err)
+	}
+	if !launched || won {
+		t.Fatalf("launched=%v won=%v", launched, won)
+	}
+}
+
+func TestHedgeContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		_, err, _, _ := Hedge(ctx, time.Hour,
+			func(ctx context.Context) (int, error) {
+				<-ctx.Done()
+				return 0, ctx.Err()
+			})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+		close(done)
+	}()
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Hedge did not return after ctx cancel")
+	}
+}
+
+func TestLatencyTrackerQuantile(t *testing.T) {
+	var lt LatencyTracker
+	if _, ok := lt.Quantile(0.95); ok {
+		t.Fatal("empty tracker reported a quantile")
+	}
+	for i := 1; i <= 100; i++ {
+		lt.Observe(time.Duration(i) * time.Millisecond)
+	}
+	p50, ok := lt.Quantile(0.5)
+	if !ok || p50 < 45*time.Millisecond || p50 > 55*time.Millisecond {
+		t.Fatalf("p50 = %v (ok=%v), want ≈50ms", p50, ok)
+	}
+	p95, _ := lt.Quantile(0.95)
+	if p95 < 90*time.Millisecond || p95 > 100*time.Millisecond {
+		t.Fatalf("p95 = %v, want ≈95ms", p95)
+	}
+	// Ring slides: flood with large samples and the quantile follows.
+	for i := 0; i < latencySamples; i++ {
+		lt.Observe(time.Second)
+	}
+	if p50, _ := lt.Quantile(0.5); p50 != time.Second {
+		t.Fatalf("p50 after slide = %v, want 1s", p50)
+	}
+}
+
+func TestHedgeDelayClamping(t *testing.T) {
+	cfg := HedgeConfig{Quantile: 0.5, MinDelay: 10 * time.Millisecond, MaxDelay: 100 * time.Millisecond}
+	if d := HedgeDelay(nil, cfg); d != 10*time.Millisecond {
+		t.Fatalf("nil tracker delay = %v, want MinDelay", d)
+	}
+	var lt LatencyTracker
+	if d := HedgeDelay(&lt, cfg); d != 10*time.Millisecond {
+		t.Fatalf("empty tracker delay = %v, want MinDelay", d)
+	}
+	lt.Observe(time.Microsecond)
+	if d := HedgeDelay(&lt, cfg); d != 10*time.Millisecond {
+		t.Fatalf("below-floor delay = %v, want MinDelay", d)
+	}
+	for i := 0; i < latencySamples; i++ {
+		lt.Observe(time.Minute)
+	}
+	if d := HedgeDelay(&lt, cfg); d != 100*time.Millisecond {
+		t.Fatalf("above-cap delay = %v, want MaxDelay", d)
+	}
+	for i := 0; i < latencySamples; i++ {
+		lt.Observe(50 * time.Millisecond)
+	}
+	if d := HedgeDelay(&lt, cfg); d != 50*time.Millisecond {
+		t.Fatalf("in-range delay = %v, want the tracked quantile", d)
+	}
+}

@@ -1,0 +1,103 @@
+package resilience
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryConfig bounds a Retrier. The zero value selects working defaults.
+type RetryConfig struct {
+	// MaxAttempts is the total number of executions allowed, the first
+	// one included; 1 disables retry (default 3).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 1ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth (default 100ms).
+	MaxDelay time.Duration
+}
+
+// withDefaults fills unset fields.
+func (c RetryConfig) withDefaults() RetryConfig {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.BaseDelay <= 0 {
+		c.BaseDelay = time.Millisecond
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 100 * time.Millisecond
+	}
+	return c
+}
+
+// Retrier re-executes transiently failed work a bounded number of times
+// with full-jitter exponential backoff: the delay before retry n is uniform
+// in (0, min(BaseDelay·2ⁿ⁻¹, MaxDelay)]. Full jitter decorrelates the
+// retries of concurrent callers, so a burst of failures against one source
+// does not come back as a synchronized second burst.
+type Retrier struct {
+	cfg RetryConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRetrier returns a retrier configured by cfg (zero fields take
+// defaults), with jitter drawn from the given seed — deterministic seeds
+// make backoff schedules replayable in tests.
+func NewRetrier(seed int64, cfg RetryConfig) *Retrier {
+	return &Retrier{cfg: cfg.withDefaults(), rng: rand.New(rand.NewSource(seed))}
+}
+
+// MaxAttempts returns the configured execution bound.
+func (r *Retrier) MaxAttempts() int { return r.cfg.MaxAttempts }
+
+// Delay returns the jittered backoff before the retry-th retry (retry >= 1).
+func (r *Retrier) Delay(retry int) time.Duration {
+	d := r.cfg.BaseDelay << uint(retry-1)
+	if d <= 0 || d > r.cfg.MaxDelay { // <= 0 guards shift overflow
+		d = r.cfg.MaxDelay
+	}
+	r.mu.Lock()
+	frac := r.rng.Float64()
+	r.mu.Unlock()
+	j := time.Duration(frac * float64(d))
+	if j <= 0 {
+		j = 1
+	}
+	return j
+}
+
+// Do runs fn up to MaxAttempts times, sleeping the jittered backoff between
+// attempts, until it succeeds, fails non-retryably, or the context ends. It
+// returns fn's last result, and the number of retries actually performed
+// (0 when the first attempt settled it). A nil retryable predicate never
+// retries.
+func Do[T any](ctx context.Context, r *Retrier, retryable func(error) bool, fn func(context.Context) (T, error)) (v T, retries int, err error) {
+	for attempt := 1; ; attempt++ {
+		v, err = fn(ctx)
+		if err == nil || retryable == nil || !retryable(err) || attempt >= r.cfg.MaxAttempts {
+			return v, attempt - 1, err
+		}
+		if serr := SleepCtx(ctx, r.Delay(attempt)); serr != nil {
+			return v, attempt - 1, err // the attempt's error, not the cancellation
+		}
+	}
+}
+
+// SleepCtx sleeps for d or until ctx ends, whichever comes first.
+func SleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,124 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+var errTransient = errors.New("transient")
+
+func TestRetryDoSucceedsAfterTransients(t *testing.T) {
+	r := NewRetrier(1, RetryConfig{MaxAttempts: 4, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond})
+	calls := 0
+	v, retries, err := Do(context.Background(), r,
+		func(err error) bool { return errors.Is(err, errTransient) },
+		func(context.Context) (int, error) {
+			calls++
+			if calls < 3 {
+				return 0, errTransient
+			}
+			return 42, nil
+		})
+	if err != nil || v != 42 {
+		t.Fatalf("Do = (%d, %v), want (42, nil)", v, err)
+	}
+	if calls != 3 || retries != 2 {
+		t.Fatalf("calls=%d retries=%d, want 3 and 2", calls, retries)
+	}
+}
+
+func TestRetryDoBoundsAttempts(t *testing.T) {
+	r := NewRetrier(1, RetryConfig{MaxAttempts: 3, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond})
+	calls := 0
+	_, retries, err := Do(context.Background(), r,
+		func(error) bool { return true },
+		func(context.Context) (int, error) {
+			calls++
+			return 0, errTransient
+		})
+	if !errors.Is(err, errTransient) {
+		t.Fatalf("err = %v, want errTransient", err)
+	}
+	if calls != 3 || retries != 2 {
+		t.Fatalf("calls=%d retries=%d, want 3 and 2", calls, retries)
+	}
+}
+
+func TestRetryDoNonRetryableFailsFast(t *testing.T) {
+	r := NewRetrier(1, RetryConfig{MaxAttempts: 5})
+	permanent := errors.New("permanent")
+	calls := 0
+	_, retries, err := Do(context.Background(), r,
+		func(err error) bool { return errors.Is(err, errTransient) },
+		func(context.Context) (int, error) {
+			calls++
+			return 0, permanent
+		})
+	if !errors.Is(err, permanent) || calls != 1 || retries != 0 {
+		t.Fatalf("calls=%d retries=%d err=%v, want 1, 0, permanent", calls, retries, err)
+	}
+}
+
+func TestRetryDoNilPredicateNeverRetries(t *testing.T) {
+	r := NewRetrier(1, RetryConfig{MaxAttempts: 5})
+	calls := 0
+	_, _, err := Do(context.Background(), r, nil,
+		func(context.Context) (int, error) {
+			calls++
+			return 0, errTransient
+		})
+	if !errors.Is(err, errTransient) || calls != 1 {
+		t.Fatalf("calls=%d err=%v, want 1 call", calls, err)
+	}
+}
+
+func TestRetryDoContextCancelStopsBackoff(t *testing.T) {
+	r := NewRetrier(1, RetryConfig{MaxAttempts: 10, BaseDelay: time.Hour, MaxDelay: time.Hour})
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	start := time.Now()
+	_, _, err := Do(ctx, r, func(error) bool { return true },
+		func(context.Context) (int, error) {
+			calls++
+			cancel()
+			return 0, errTransient
+		})
+	if !errors.Is(err, errTransient) {
+		t.Fatalf("err = %v, want the attempt's error, not the cancellation", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (backoff aborted by cancel)", calls)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("Do blocked %v in a cancelled backoff", elapsed)
+	}
+}
+
+func TestRetryDelayBounds(t *testing.T) {
+	cfg := RetryConfig{MaxAttempts: 8, BaseDelay: time.Millisecond, MaxDelay: 8 * time.Millisecond}
+	r := NewRetrier(7, cfg)
+	for retry := 1; retry <= 7; retry++ {
+		for i := 0; i < 50; i++ {
+			d := r.Delay(retry)
+			cap := cfg.BaseDelay << uint(retry-1)
+			if cap > cfg.MaxDelay {
+				cap = cfg.MaxDelay
+			}
+			if d <= 0 || d > cap {
+				t.Fatalf("Delay(%d) = %v, want in (0, %v]", retry, d, cap)
+			}
+		}
+	}
+}
+
+func TestRetryDelayDeterministicPerSeed(t *testing.T) {
+	a := NewRetrier(99, RetryConfig{})
+	b := NewRetrier(99, RetryConfig{})
+	for i := 1; i <= 10; i++ {
+		if da, db := a.Delay(i), b.Delay(i); da != db {
+			t.Fatalf("same-seed Delay(%d) diverged: %v vs %v", i, da, db)
+		}
+	}
+}

@@ -5,16 +5,24 @@ import (
 	"sync"
 
 	"repro/internal/mediator"
+	"repro/internal/resilience"
 )
 
 // lruCache is a bounded, mutex-guarded LRU map of canonical query key →
-// translation. Values are shared between callers and treated as immutable.
+// translation, optionally guarded by a TinyLFU admission sketch. Values are
+// shared between callers and treated as immutable.
 type lruCache struct {
 	mu        sync.Mutex
 	cap       int
 	ll        *list.List               // front = most recently used
 	items     map[string]*list.Element // key → element whose Value is *lruEntry
 	evictions uint64
+	// admit, when non-nil, is the TinyLFU admission sketch: every Get
+	// touches it (hits and misses both build frequency), and a full cache
+	// only admits an insert whose estimated frequency strictly exceeds the
+	// eviction victim's.
+	admit    *resilience.Sketch
+	rejected uint64
 }
 
 type lruEntry struct {
@@ -22,17 +30,26 @@ type lruEntry struct {
 	val *mediator.Translation
 }
 
-func newLRU(capacity int) *lruCache {
-	return &lruCache{
+func newLRU(capacity int, admission bool) *lruCache {
+	c := &lruCache{
 		cap:   capacity,
 		ll:    list.New(),
 		items: make(map[string]*list.Element, capacity),
 	}
+	if admission {
+		c.admit = resilience.NewSketch(capacity)
+	}
+	return c
 }
 
 // Get returns the cached translation for key, promoting it to most
-// recently used.
+// recently used. With admission on, every lookup — hit or miss — feeds the
+// frequency sketch, so a recurring key that keeps missing accumulates the
+// estimate it needs to eventually displace a colder resident.
 func (c *lruCache) Get(key string) (*mediator.Translation, bool) {
+	if c.admit != nil {
+		c.admit.Touch(key)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
@@ -44,7 +61,10 @@ func (c *lruCache) Get(key string) (*mediator.Translation, bool) {
 }
 
 // Add inserts (or refreshes) key, evicting the least recently used entries
-// beyond capacity.
+// beyond capacity. With admission on, a full cache refuses the insert when
+// the candidate's estimated frequency does not strictly exceed the
+// would-be victim's — the caller still gets its value, it just isn't
+// cached — so one-off scan keys cannot evict the hot working set.
 func (c *lruCache) Add(key string, v *mediator.Translation) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -53,6 +73,13 @@ func (c *lruCache) Add(key string, v *mediator.Translation) {
 		el.Value.(*lruEntry).val = v
 		return
 	}
+	if c.admit != nil && c.ll.Len() >= c.cap {
+		victim := c.ll.Back().Value.(*lruEntry).key
+		if !c.admit.Admit(key, victim) {
+			c.rejected++
+			return
+		}
+	}
 	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: v})
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
@@ -60,6 +87,13 @@ func (c *lruCache) Add(key string, v *mediator.Translation) {
 		delete(c.items, oldest.Value.(*lruEntry).key)
 		c.evictions++
 	}
+}
+
+// Rejected returns the number of inserts refused by admission.
+func (c *lruCache) Rejected() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rejected
 }
 
 // Len returns the number of resident entries.

@@ -33,6 +33,7 @@ import (
 	"repro/internal/mediator"
 	"repro/internal/obs"
 	"repro/internal/qtree"
+	"repro/internal/resilience"
 	"repro/internal/stream"
 )
 
@@ -59,14 +60,14 @@ type CachingTranslator struct {
 // NewCachingTranslator wraps med.Translate in a canonical LRU cache holding
 // up to capacity translations (DefaultCacheSize if capacity <= 0).
 func NewCachingTranslator(med *mediator.Mediator, capacity int) *CachingTranslator {
-	return newCachingTranslator(med.Translate, capacity)
+	return newCachingTranslator(med.Translate, capacity, false)
 }
 
-func newCachingTranslator(fn func(*qtree.Node) (*mediator.Translation, error), capacity int) *CachingTranslator {
+func newCachingTranslator(fn func(*qtree.Node) (*mediator.Translation, error), capacity int, admission bool) *CachingTranslator {
 	if capacity <= 0 {
 		capacity = DefaultCacheSize
 	}
-	return &CachingTranslator{translate: fn, cache: newLRU(capacity)}
+	return &CachingTranslator{translate: fn, cache: newLRU(capacity, admission)}
 }
 
 // Translate returns the translation of q, computing it at most once per
@@ -110,6 +111,10 @@ func (ct *CachingTranslator) Len() int { return ct.cache.Len() }
 // Evictions returns the number of entries evicted for capacity.
 func (ct *CachingTranslator) Evictions() uint64 { return ct.cache.Evictions() }
 
+// AdmissionRejected returns the number of inserts the TinyLFU admission
+// policy refused (always 0 without admission).
+func (ct *CachingTranslator) AdmissionRejected() uint64 { return ct.cache.Rejected() }
+
 // SourceExecutor runs one source's native selection phase: evaluate the
 // translated query q over the source's relation rel with the source's
 // evaluator ev, using ix (may be nil) to accelerate equality probes and acc
@@ -130,79 +135,6 @@ func DefaultExecutor(ctx context.Context, _ string, rel *engine.Relation, q *qtr
 		return rel.SelectIndexed(q, ev, ix)
 	}
 	return rel.Select(q, ev)
-}
-
-// Config sizes a Server. The zero value is a working default; NewServer
-// offers the same knobs as functional options.
-type Config struct {
-	// CacheSize bounds the translation cache in entries
-	// (DefaultCacheSize if <= 0).
-	CacheSize int
-	// MatchCache, when non-nil, is the shared cross-request matchings cache
-	// the server installs on its mediator. Nil builds one sized by
-	// MatchCacheSize.
-	MatchCache *core.MatchCache
-	// MatchCacheSize bounds the shared matchings cache in entries when
-	// MatchCache is nil (core.DefaultMatchCacheSize if 0); a negative size
-	// disables cross-request matching reuse entirely.
-	MatchCacheSize int
-	// Plan, when non-nil, is the shared cross-request translation plan the
-	// server installs on its mediator. Nil builds one sized by PlanSize.
-	Plan *core.Plan
-	// PlanSize bounds the shared translation plan in entries when Plan is
-	// nil (core.DefaultPlanSize if 0); a negative size disables
-	// cross-request translation-plan reuse entirely.
-	PlanSize int
-	// Workers bounds concurrently executing source selections across all
-	// requests (2×GOMAXPROCS if <= 0).
-	Workers int
-	// SourceTimeout bounds each per-source select+filter execution
-	// (no timeout if 0).
-	SourceTimeout time.Duration
-	// Executor overrides the per-source selection phase
-	// (DefaultExecutor if nil).
-	Executor SourceExecutor
-	// Metrics is the registry the server's counters, gauges, and histograms
-	// are registered in (a private registry if nil). A registry must back at
-	// most one server: the server registers fixed metric names and duplicate
-	// registration panics.
-	Metrics *obs.Registry
-	// Stream switches Query/QueryJoin to the tuple-at-a-time pipeline of
-	// internal/stream: per-shard executors over presorted universes, bounded
-	// channels, and a deterministic k-way merge. Answers are byte-identical
-	// to the materialized path; per-request memory is bounded by
-	// Shards × StreamBuffer in-flight tuples instead of result size. Shard
-	// executors bypass the Workers pool (the merge needs one tuple from
-	// every shard before emitting, so cross-shard admission control could
-	// deadlock a request against itself); SourceTimeout applies per shard.
-	Stream bool
-	// Shards is the number of shards each source's universe splits into on
-	// the streaming path (1 if <= 0).
-	Shards int
-	// StreamBuffer is the per-shard channel capacity on the streaming path
-	// (stream.DefaultBuffer if <= 0).
-	StreamBuffer int
-	// BuildBudget bounds the materialized build side of a streaming join in
-	// tuples (DefaultBuildBudget if <= 0); exceeding it fails the request
-	// with ErrBuildBudget.
-	BuildBudget int
-	// ShardHook, when non-nil, runs at the start of every shard execution on
-	// the streaming path — the per-shard analogue of wrapping Executor, used
-	// for fault injection (engine.Injector.ApplyShard) and admission checks.
-	ShardHook stream.Hook
-	// Index builds a cost-based access path (engine.Access) per source at
-	// construction time — hash, sorted-array, and inverted-token indexes
-	// plus per-attribute statistics — and routes both execution paths
-	// through selectivity-ranked index probes. Answers are byte-identical
-	// (content, order, and errors) to the scan paths; queries the planner
-	// cannot probe soundly fall back to scanning automatically.
-	Index bool
-	// ChainDebug switches the mediator's chain-backed sources (see
-	// mediator.AddChainSource) to sequential hop-by-hop translation through
-	// the original specs instead of the precomposed one. Filtered answers
-	// are identical; this is the differential-checking mode, not a serving
-	// optimization.
-	ChainDebug bool
 }
 
 // Server serves mediated queries concurrently: cached translation, parallel
@@ -246,6 +178,14 @@ type Server struct {
 	streamInFlight   atomic.Int64
 	streamPeak       atomic.Int64
 	shardEmits       map[string][]*obs.Counter
+
+	// Resilience layer (nil/zero when ResilienceConfig is all-off).
+	resCfg        ResilienceConfig
+	retrier       *resilience.Retrier
+	res           map[string]*sourceResilience
+	hedgeLaunched *obs.Counter
+	hedgeWon      *obs.Counter
+	retriesCtr    *obs.Counter
 }
 
 // New returns a server over med and the per-source data relations. data
@@ -259,6 +199,7 @@ type Server struct {
 // translation plan on the mediator (med.Plan) so recurring query shapes
 // replay precomputed TDQM/PSafe/EDNF/SCM fragments.
 func New(med *mediator.Mediator, data map[string]*engine.Relation, cfg Config) *Server {
+	cfg = cfg.normalized()
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = 2 * runtime.GOMAXPROCS(0)
@@ -271,18 +212,18 @@ func New(med *mediator.Mediator, data map[string]*engine.Relation, cfg Config) *
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	mc := cfg.MatchCache
-	if mc == nil && cfg.MatchCacheSize >= 0 {
-		mc = core.NewMatchCache(cfg.MatchCacheSize)
+	mc := cfg.Cache.MatchCache
+	if mc == nil && cfg.Cache.MatchCacheSize >= 0 {
+		mc = core.NewMatchCacheAdmission(cfg.Cache.MatchCacheSize, cfg.Cache.Admission)
 	}
 	if med.MatchCache != nil {
 		mc = med.MatchCache
 	} else if mc != nil {
 		med.MatchCache = mc
 	}
-	pl := cfg.Plan
-	if pl == nil && cfg.PlanSize >= 0 {
-		pl = core.NewPlan(cfg.PlanSize)
+	pl := cfg.Cache.Plan
+	if pl == nil && cfg.Cache.PlanSize >= 0 {
+		pl = core.NewPlan(cfg.Cache.PlanSize)
 	}
 	if med.Plan != nil {
 		pl = med.Plan
@@ -292,22 +233,22 @@ func New(med *mediator.Mediator, data map[string]*engine.Relation, cfg Config) *
 	if cfg.ChainDebug {
 		med.ChainDebug = true
 	}
-	shards := cfg.Shards
+	shards := cfg.Streaming.Shards
 	if shards <= 0 {
 		shards = 1
 	}
-	streamBuf := cfg.StreamBuffer
+	streamBuf := cfg.Streaming.Buffer
 	if streamBuf <= 0 {
 		streamBuf = stream.DefaultBuffer
 	}
-	budget := cfg.BuildBudget
+	budget := cfg.Streaming.BuildBudget
 	if budget <= 0 {
 		budget = DefaultBuildBudget
 	}
 	s := &Server{
 		med:     med,
 		data:    data,
-		tr:      NewCachingTranslator(med, cfg.CacheSize),
+		tr:      newCachingTranslator(med.Translate, cfg.Cache.Size, cfg.Cache.Admission),
 		mc:      mc,
 		pl:      pl,
 		sem:     make(chan struct{}, workers),
@@ -317,13 +258,15 @@ func New(med *mediator.Mediator, data map[string]*engine.Relation, cfg Config) *
 		reg:     reg,
 		sources: make(map[string]*sourceCounters, len(med.Sources)),
 
-		stream:      cfg.Stream,
+		stream:      cfg.Streaming.Enabled,
 		shards:      shards,
 		streamBuf:   streamBuf,
 		buildBudget: budget,
-		shardHook:   cfg.ShardHook,
+		resCfg:      cfg.Resilience,
 	}
-	if cfg.Stream {
+	s.initResilience(cfg.Resilience)
+	s.shardHook = s.wrapShardHook(cfg.Streaming.Hook)
+	if cfg.Streaming.Enabled {
 		s.presorted = make(map[string]*stream.Sorted, len(data))
 		for name, rel := range data {
 			s.presorted[name] = stream.Presort(rel)
@@ -332,7 +275,7 @@ func New(med *mediator.Mediator, data map[string]*engine.Relation, cfg Config) *
 	if cfg.Index {
 		s.access = make(map[string]*engine.Access, len(data))
 		for name, rel := range data {
-			if cfg.Stream {
+			if cfg.Streaming.Enabled {
 				// The streaming executors probe in presorted position
 				// space, so the access path must be built over the
 				// presorted universe, not the raw relation.
@@ -413,7 +356,7 @@ func New(med *mediator.Mediator, data map[string]*engine.Relation, cfg Config) *
 	reg.GaugeFunc("qmap_stream_peak_in_flight",
 		"High-water mark of in-flight streaming tuples (peak buffer occupancy).",
 		func() float64 { return float64(s.streamPeak.Load()) })
-	if cfg.Stream {
+	if cfg.Streaming.Enabled {
 		s.shardEmits = make(map[string][]*obs.Counter, len(med.Sources))
 		for _, src := range med.Sources {
 			cs := make([]*obs.Counter, shards)
@@ -425,6 +368,18 @@ func New(med *mediator.Mediator, data map[string]*engine.Relation, cfg Config) *
 			s.shardEmits[src.Name] = cs
 		}
 	}
+	s.hedgeLaunched = reg.Counter("qmap_hedge_launched_total",
+		"Hedged source attempts launched after the latency-quantile delay.")
+	s.hedgeWon = reg.Counter("qmap_hedge_won_total",
+		"Hedged attempts whose result was the one returned.")
+	s.retriesCtr = reg.Counter("qmap_retry_total",
+		"Source execution retries after typed transient faults.")
+	reg.CounterFunc("qmap_breaker_trips_total",
+		"Circuit-breaker transitions to the open state across all sources.",
+		func() float64 { return float64(s.breakerTrips()) })
+	reg.CounterFunc("qmap_admission_rejected_total",
+		"Cache inserts rejected by the TinyLFU admission policy (translation and matchings caches).",
+		func() float64 { return float64(s.admissionRejected()) })
 	s.streamMet = s.streamMetrics()
 	for _, src := range med.Sources {
 		s.sources[src.Name] = &sourceCounters{
@@ -434,6 +389,11 @@ func New(med *mediator.Mediator, data map[string]*engine.Relation, cfg Config) *
 				"Completed source select+filter latency in seconds.",
 				LatencyBounds(), "source", src.Name),
 		}
+		name := src.Name
+		reg.GaugeFunc("qmap_breaker_state",
+			"Circuit-breaker state per source: 0 closed, 1 open, 2 half-open.",
+			func() float64 { return float64(s.breakerState(name)) },
+			"source", name)
 	}
 	return s
 }
@@ -578,7 +538,7 @@ func (s *Server) Query(ctx context.Context, q *qtree.Node) (*engine.Relation, er
 		}
 		return out, err
 	}
-	rels, err := s.fanOut(ctx, tr, true)
+	rels, events, err := s.fanOut(ctx, tr, true)
 	if err != nil {
 		s.errors.Inc()
 		return nil, err
@@ -598,6 +558,7 @@ func (s *Server) Query(ctx context.Context, q *qtree.Node) (*engine.Relation, er
 	}
 	sortTuplesByKey(out.Tuples, keys)
 	s.accessSpan(ctx, tr)
+	s.resilienceSpan(ctx, tr, events)
 	return out, nil
 }
 
@@ -622,7 +583,7 @@ func (s *Server) QueryJoin(ctx context.Context, q *qtree.Node) (*engine.Relation
 		}
 		return out, err
 	}
-	rels, err := s.fanOut(ctx, tr, false)
+	rels, events, err := s.fanOut(ctx, tr, false)
 	if err != nil {
 		s.errors.Inc()
 		return nil, err
@@ -653,6 +614,7 @@ func (s *Server) QueryJoin(ctx context.Context, q *qtree.Node) (*engine.Relation
 	out.Name = "result"
 	sortRelation(out)
 	s.accessSpan(ctx, tr)
+	s.resilienceSpan(ctx, tr, events)
 	return out, nil
 }
 
@@ -704,6 +666,12 @@ func (s *Server) Stats() Stats {
 		StreamPeakInFlight: s.streamPeak.Load(),
 		StreamEmitted:      s.streamEmitted.Load(),
 		StreamMergeWaits:   s.streamMergeWaits.Value(),
+
+		BreakerTrips:      s.breakerTrips(),
+		HedgesLaunched:    s.hedgeLaunched.Value(),
+		HedgesWon:         s.hedgeWon.Value(),
+		Retries:           s.retriesCtr.Value(),
+		AdmissionRejected: s.admissionRejected(),
 	}
 	if s.access != nil {
 		as := s.accessStats()
@@ -732,77 +700,36 @@ func (s *Server) Stats() Stats {
 			Executions:     sc.lat.Count(),
 			Timeouts:       sc.timeouts.Value(),
 			LatencyBuckets: sc.latencyBuckets(),
+			BreakerState:   resilience.BreakerState(s.breakerState(name)).String(),
 		}
 	}
 	return st
 }
 
 // fanOut executes every source's phase concurrently and returns the
-// per-source relations in tr.Sources order. branchFilter selects the
-// union-style post-filtering (true) or the bare selection of join-style
-// integration (false).
-func (s *Server) fanOut(ctx context.Context, tr *mediator.Translation, branchFilter bool) ([]*engine.Relation, error) {
+// per-source relations in tr.Sources order, plus each source's resilience
+// events for the post-merge spans. branchFilter selects the union-style
+// post-filtering (true) or the bare selection of join-style integration
+// (false).
+func (s *Server) fanOut(ctx context.Context, tr *mediator.Translation, branchFilter bool) ([]*engine.Relation, []sourceEvents, error) {
 	rels := make([]*engine.Relation, len(tr.Sources))
 	errs := make([]error, len(tr.Sources))
+	events := make([]sourceEvents, len(tr.Sources))
 	var wg sync.WaitGroup
 	for i := range tr.Sources {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			rels[i], errs[i] = s.runSource(ctx, tr, &tr.Sources[i], branchFilter)
+			rels[i], errs[i] = s.runSource(ctx, tr, &tr.Sources[i], branchFilter, &events[i])
 		}(i)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, events, err
 		}
 	}
-	return rels, nil
-}
-
-// runSource admits one source execution to the worker pool, runs it in a
-// goroutine, and waits for completion or deadline.
-func (s *Server) runSource(ctx context.Context, tr *mediator.Translation, st *mediator.SourceTranslation, branchFilter bool) (*engine.Relation, error) {
-	name := st.Source.Name
-	select {
-	case s.sem <- struct{}{}:
-	case <-ctx.Done():
-		return nil, fmt.Errorf("serve: source %s: %w", name, ctx.Err())
-	}
-	if s.timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.timeout)
-		defer cancel()
-	}
-	sc := s.sources[name]
-	start := time.Now()
-	type result struct {
-		rel *engine.Relation
-		err error
-	}
-	ch := make(chan result, 1)
-	go func() {
-		defer func() { <-s.sem }()
-		rel, err := s.evalSource(ctx, tr, st, branchFilter)
-		ch <- result{rel, err}
-	}()
-	select {
-	case r := <-ch:
-		if sc != nil {
-			sc.lat.ObserveDuration(time.Since(start))
-		}
-		return r.rel, r.err
-	case <-ctx.Done():
-		// The engine has no cancellation points: the worker keeps its pool
-		// slot until the abandoned scan finishes, and its result is
-		// discarded. Admission control stays accurate.
-		s.timeouts.Inc()
-		if sc != nil {
-			sc.timeouts.Inc()
-		}
-		return nil, fmt.Errorf("serve: source %s: %w", name, ctx.Err())
-	}
+	return rels, events, nil
 }
 
 // evalSource is the sequential per-source phase, mirroring the loop bodies

@@ -159,7 +159,7 @@ func TestCacheStampede(t *testing.T) {
 		}
 		<-release
 		return want, nil
-	}, 8)
+	}, 8, false)
 
 	q1 := qparse.MustParse(`[ln = "Clancy"] and [fn = "Tom"]`)
 	q2 := qparse.MustParse(`[fn = "Tom"] and [ln = "Clancy"]`) // same canonical key

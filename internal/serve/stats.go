@@ -52,6 +52,9 @@ type SourceStats struct {
 	// LatencyBuckets is the coarse completion-latency histogram,
 	// index-aligned with LatencyBucketLabels.
 	LatencyBuckets [NumLatencyBuckets]uint64 `json:"latency_buckets"`
+	// BreakerState is the source's circuit-breaker state ("closed", "open",
+	// "half-open") — "closed" when breakers are off.
+	BreakerState string `json:"breaker_state"`
 }
 
 // Stats is a point-in-time snapshot of a Server's counters. All counters
@@ -119,6 +122,21 @@ type Stats struct {
 	// IndexScanned counts tuples evaluated by selections: probe candidates
 	// on indexed executions, whole universes on fallbacks.
 	IndexScanned uint64 `json:"index_scanned_tuples"`
+	// BreakerTrips counts circuit-breaker transitions to the open state
+	// across all sources (zero when breakers are off).
+	BreakerTrips uint64 `json:"breaker_trips"`
+	// HedgesLaunched counts hedged source attempts launched after the
+	// latency-quantile delay (zero when hedging is off).
+	HedgesLaunched uint64 `json:"hedges_launched"`
+	// HedgesWon counts hedged attempts whose result was the one returned.
+	HedgesWon uint64 `json:"hedges_won"`
+	// Retries counts source execution re-runs after typed transient faults
+	// (zero when retry is off).
+	Retries uint64 `json:"retries"`
+	// AdmissionRejected counts cache inserts refused by the TinyLFU
+	// admission policy, translation and matchings caches combined (zero
+	// when admission is off).
+	AdmissionRejected uint64 `json:"admission_rejected"`
 	// Timeouts counts per-source executions cut off by a deadline.
 	Timeouts uint64 `json:"timeouts"`
 	// Errors counts requests that returned an error.

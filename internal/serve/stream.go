@@ -45,6 +45,9 @@ func (s *Server) streamMetrics() *stream.Metrics {
 		},
 		OnDeliver:   func() { s.streamInFlight.Add(-1) },
 		OnMergeWait: func() { s.streamMergeWaits.Inc() },
+		OnShardDone: func(source string, shard int, err error) {
+			s.recordShardOutcome(source, err)
+		},
 	}
 }
 

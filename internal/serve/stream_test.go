@@ -295,6 +295,11 @@ var statsMetricFor = map[string]string{
 	"index_probes":          "qmap_index_probes_total",
 	"index_fallbacks":       "qmap_index_fallbacks_total",
 	"index_scanned_tuples":  "qmap_index_scanned_tuples_total",
+	"breaker_trips":         "qmap_breaker_trips_total",
+	"hedges_launched":       "qmap_hedge_launched_total",
+	"hedges_won":            "qmap_hedge_won_total",
+	"retries":               "qmap_retry_total",
+	"admission_rejected":    "qmap_admission_rejected_total",
 	"timeouts":              "qmap_serve_timeouts_total",
 	"errors":                "qmap_serve_errors_total",
 	// Per-source maps and display labels have labeled/derived backing:
@@ -363,6 +368,7 @@ func TestStatsMetricsDrift(t *testing.T) {
 		"executions":      "qmap_source_latency_seconds", // histogram count
 		"timeouts":        "qmap_source_timeouts_total",
 		"latency_buckets": "qmap_source_latency_seconds",
+		"breaker_state":   "qmap_breaker_state",
 	} {
 		if !exported[metric] {
 			t.Errorf("SourceStats field %q maps to metric %q, which the registry does not export", field, metric)
@@ -372,7 +378,7 @@ func TestStatsMetricsDrift(t *testing.T) {
 	for i := 0; i < sst.NumField(); i++ {
 		tag := strings.Split(sst.Field(i).Tag.Get("json"), ",")[0]
 		switch tag {
-		case "executions", "timeouts", "latency_buckets":
+		case "executions", "timeouts", "latency_buckets", "breaker_state":
 		default:
 			t.Errorf("SourceStats field %q has no metric mapping in TestStatsMetricsDrift", tag)
 		}

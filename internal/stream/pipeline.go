@@ -54,6 +54,10 @@ type Metrics struct {
 	// OnMergeWait fires when the k-way merge must block waiting for a shard
 	// to produce — the signal that the consumer outruns the executors.
 	OnMergeWait func()
+	// OnShardDone fires once per shard when its executor goroutine finishes,
+	// with the error it closed on (nil on clean exhaustion). This is the
+	// per-shard outcome feed the serving layer's circuit breakers record.
+	OnShardDone func(source string, shard int, err error)
 }
 
 // Options configures one pipeline run.
@@ -130,7 +134,11 @@ func Run(ctx context.Context, shards []Shard, opt Options) *Stream {
 		go func(i int, sh Shard) {
 			defer st.wg.Done()
 			defer close(ch)
-			st.errs[i] = runShard(cctx, sh, ch, opt)
+			err := runShard(cctx, sh, ch, opt)
+			st.errs[i] = err
+			if opt.Metrics != nil && opt.Metrics.OnShardDone != nil {
+				opt.Metrics.OnShardDone(sh.Source, sh.Index, err)
+			}
 		}(i, shards[i])
 	}
 	return st

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -231,5 +232,69 @@ func TestMetricsBalanceAndBound(t *testing.T) {
 	}
 	if bound := int64(shards * (buf + 2)); peak.Load() > bound {
 		t.Fatalf("peak in-flight %d exceeds shards*(buffer+2) = %d", peak.Load(), bound)
+	}
+}
+
+func TestOnShardDoneReportsOutcomes(t *testing.T) {
+	rel := testUniverse(300, 11)
+	type done struct {
+		source string
+		shard  int
+		failed bool
+	}
+	var mu sync.Mutex
+	var outcomes []done
+	met := &Metrics{
+		OnShardDone: func(source string, shard int, err error) {
+			mu.Lock()
+			outcomes = append(outcomes, done{source, shard, err != nil})
+			mu.Unlock()
+		},
+	}
+
+	// Clean run: one nil-error outcome per shard.
+	keys, err := collect(t, rel, 4, q("a", 5), nil, Options{Dedup: true, Metrics: met})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) == 0 {
+		t.Fatal("no results")
+	}
+	if len(outcomes) != 4 {
+		t.Fatalf("outcomes = %d, want one per shard", len(outcomes))
+	}
+	for _, o := range outcomes {
+		if o.source != rel.Name || o.failed {
+			t.Fatalf("clean shard outcome = %+v", o)
+		}
+	}
+
+	// Failing hook: the failed shard reports its error.
+	outcomes = nil
+	boom := errors.New("boom")
+	opt := Options{
+		Dedup:   true,
+		Metrics: met,
+		Hook: func(ctx context.Context, source string, shard int) error {
+			if shard == 2 {
+				return boom
+			}
+			return nil
+		},
+	}
+	_, err = collect(t, rel, 4, q("a", 5), nil, opt)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	var sawFailure bool
+	for _, o := range outcomes {
+		if o.shard == 2 && o.failed {
+			sawFailure = true
+		}
+	}
+	if !sawFailure {
+		t.Fatal("failed shard never reported through OnShardDone")
 	}
 }

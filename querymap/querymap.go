@@ -46,6 +46,7 @@ import (
 	"repro/internal/mediator"
 	"repro/internal/qparse"
 	"repro/internal/qtree"
+	"repro/internal/resilience"
 	"repro/internal/rules"
 	"repro/internal/serve"
 	"repro/internal/sources"
@@ -315,9 +316,29 @@ type (
 	// keyed by the query's canonical form, with singleflight suppression
 	// of concurrent duplicate misses. Safe for concurrent use.
 	CachingTranslator = serve.CachingTranslator
-	// ServeConfig sizes a serve.Server (cache capacity, worker pool,
-	// per-source timeout).
+	// ServeConfig sizes a serve.Server. The grouped sub-structs
+	// (ServeCacheConfig, ServeStreamConfig, ServeResilienceConfig) are the
+	// primary surface; the flat fields marked Deprecated remain as a
+	// source-compatible shim.
 	ServeConfig = serve.Config
+	// ServeCacheConfig groups the server's cache sizing and the TinyLFU
+	// admission policy (ServeConfig.Cache).
+	ServeCacheConfig = serve.CacheConfig
+	// ServeStreamConfig groups the streaming pipeline's knobs
+	// (ServeConfig.Streaming).
+	ServeStreamConfig = serve.StreamConfig
+	// ServeResilienceConfig groups the per-source breaker/retry/hedge layer
+	// (ServeConfig.Resilience). The zero value disables everything.
+	ServeResilienceConfig = serve.ResilienceConfig
+	// BreakerConfig sizes a per-source circuit breaker (sliding outcome
+	// window, trip ratio, cool-down, half-open probe bound).
+	BreakerConfig = resilience.BreakerConfig
+	// RetryConfig tunes the full-jitter exponential backoff between source
+	// retry attempts.
+	RetryConfig = resilience.RetryConfig
+	// HedgeConfig tunes hedged source execution (launch quantile, delay
+	// floor and cap).
+	HedgeConfig = resilience.HedgeConfig
 	// ServeServer runs cached translation and concurrent per-source
 	// fan-out over a mediator, exposing atomic serving stats.
 	ServeServer = serve.Server
@@ -378,6 +399,49 @@ var (
 	// routes both execution paths through selectivity-ranked probes; answers
 	// are byte-identical to the scan paths.
 	ServeIndex = serve.WithIndex
+	// ServeCacheAdmission guards the translation and matchings caches with
+	// a TinyLFU admission sketch: full caches only admit entries estimated
+	// more frequent than their eviction victim, so scans cannot wash out the
+	// hot working set. Answers are unchanged.
+	ServeCacheAdmission = serve.WithCacheAdmission
+	// ServeBreaker enables per-source circuit breakers with default sizing;
+	// a tripped source fails fast with the typed ErrBreakerOpen, never a
+	// silently smaller answer.
+	ServeBreaker = serve.WithBreaker
+	// ServeBreakerConfig enables per-source circuit breakers sized by a
+	// BreakerConfig.
+	ServeBreakerConfig = serve.WithBreakerConfig
+	// ServeRetries allows up to n total executions per source request,
+	// re-running only typed transient faults with jittered backoff.
+	ServeRetries = serve.WithRetries
+	// ServeRetryConfig tunes the backoff between retry attempts.
+	ServeRetryConfig = serve.WithRetryConfig
+	// ServeHedge duplicates straggling source executions after the source's
+	// latency-quantile delay and takes the first result (materialized
+	// fan-out only).
+	ServeHedge = serve.WithHedge
+	// ServeHedgeConfig enables hedging tuned by a HedgeConfig.
+	ServeHedgeConfig = serve.WithHedgeConfig
+	// ServeResilienceSeed seeds the retry jitter stream for replayable
+	// backoff schedules.
+	ServeResilienceSeed = serve.WithResilienceSeed
+	// ServeResilience replaces the whole resilience group at once.
+	ServeResilience = serve.WithResilience
+)
+
+// Typed error sentinels of the serving layer, for errors.Is checks.
+var (
+	// ErrBuildBudget reports a streaming join whose materialized build side
+	// exceeded its tuple budget.
+	ErrBuildBudget = serve.ErrBuildBudget
+	// ErrInjected is the typed root of every transient fault an injector
+	// produces (fault-injection testing).
+	ErrInjected = engine.ErrInjected
+	// ErrBreakerOpen is the typed fast-fail of a tripped per-source circuit
+	// breaker — the degraded-answer contract: a request that touched a
+	// tripped source fails with this error, never with a silently smaller
+	// answer.
+	ErrBreakerOpen = serve.ErrBreakerOpen
 )
 
 // Serve wraps a mediator and its per-source data in the concurrent serving

@@ -1,9 +1,11 @@
 package querymap_test
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/querymap"
 )
@@ -160,5 +162,64 @@ func TestNewCachingTranslatorExported(t *testing.T) {
 	}
 	if ct.Hits() != 1 || ct.Misses() != 1 {
 		t.Errorf("hits/misses = %d/%d, want 1/1", ct.Hits(), ct.Misses())
+	}
+}
+
+func TestResilienceSurfaceExported(t *testing.T) {
+	med := querymap.NewMediator(querymap.Amazon(), querymap.Clbooks())
+	data := map[string]*querymap.Relation{
+		"amazon":  querymap.NewRelation("amazon"),
+		"clbooks": querymap.NewRelation("clbooks"),
+	}
+	srv := querymap.Serve(med, data,
+		querymap.ServeCacheSize(8),
+		querymap.ServeCacheAdmission(true),
+		querymap.ServeBreaker(true),
+		querymap.ServeRetries(2),
+		querymap.ServeHedge(true),
+		querymap.ServeResilienceSeed(7),
+	)
+	out, err := srv.Query(context.Background(), querymap.MustParse(`[ln = "Clancy"]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("empty sources answered %d tuples", out.Len())
+	}
+	st := srv.Stats()
+	if st.BreakerTrips != 0 || st.Retries != 0 {
+		t.Errorf("clean run recorded trips=%d retries=%d, want 0/0", st.BreakerTrips, st.Retries)
+	}
+	for _, name := range []string{"amazon", "clbooks"} {
+		if got := st.Sources[name].BreakerState; got != "closed" {
+			t.Errorf("source %s breaker state = %q, want closed", name, got)
+		}
+	}
+
+	// The grouped ServeConfig form builds the same server shape.
+	srv2 := querymap.NewServer(med, data, querymap.ServeConfig{
+		Cache: querymap.ServeCacheConfig{Size: 8, Admission: true},
+		Resilience: querymap.ServeResilienceConfig{
+			Breaker:       true,
+			BreakerConfig: querymap.BreakerConfig{MinSamples: 4},
+			Retries:       2,
+			RetryConfig:   querymap.RetryConfig{BaseDelay: time.Millisecond},
+			Hedge:         true,
+			HedgeConfig:   querymap.HedgeConfig{MinDelay: time.Millisecond},
+		},
+	})
+	if _, err := srv2.Query(context.Background(), querymap.MustParse(`[ln = "Clancy"]`)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The typed sentinels must be wired to their internal roots.
+	for name, sentinel := range map[string]error{
+		"ErrBuildBudget": querymap.ErrBuildBudget,
+		"ErrInjected":    querymap.ErrInjected,
+		"ErrBreakerOpen": querymap.ErrBreakerOpen,
+	} {
+		if sentinel == nil {
+			t.Errorf("%s is nil", name)
+		}
 	}
 }
